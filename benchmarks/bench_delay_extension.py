@@ -1,0 +1,63 @@
+"""E7 (extension) — detection/reconfiguration delay (§7, [29]).
+
+Regenerates a reward-vs-detection-latency curve: the instantaneous
+model is the limit of fast detection, and reward degrades monotonically
+as the mean detection+reconfiguration latency grows (longer heartbeat
+intervals)."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.markov.availability import ComponentAvailability
+from repro.markov.detection import detection_delay_model
+
+
+@pytest.fixture(scope="module")
+def delay_inputs(request):
+    from repro.experiments.figure1 import figure1_system
+
+    ftlqn = figure1_system()
+    probs = figure1_failure_probs()
+    result = PerformabilityAnalyzer(
+        ftlqn, None, failure_probs=probs
+    ).solve()
+    rewards = {
+        record.configuration: dict(record.throughputs)
+        for record in result.records
+        if record.configuration is not None
+    }
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in probs.items()
+    }
+    return ftlqn, rates, rewards
+
+
+def test_delay_curve(benchmark, delay_inputs):
+    ftlqn, rates, rewards = delay_inputs
+
+    def curve():
+        return [
+            detection_delay_model(
+                ftlqn, rates, rewards, detection_rate=rate
+            ).expected_reward
+            for rate in (0.1, 0.5, 1.0, 5.0, 10.0, 100.0)
+        ]
+
+    values = benchmark.pedantic(curve, rounds=1, iterations=1)
+    assert values == sorted(values)
+    instantaneous = detection_delay_model(
+        ftlqn, rates, rewards, detection_rate=10_000.0
+    )
+    assert values[-1] <= instantaneous.expected_reward + 1e-6
+
+
+def test_single_delay_solve(benchmark, delay_inputs):
+    ftlqn, rates, rewards = delay_inputs
+    result = benchmark(
+        lambda: detection_delay_model(
+            ftlqn, rates, rewards, detection_rate=1.0
+        )
+    )
+    assert 0 < result.expected_reward < result.instantaneous_reward

@@ -1,0 +1,55 @@
+"""E3 — regenerate Figure 11: expected reward rate vs weight of UserB
+for the four management architectures (plus the perfect baseline)."""
+
+import pytest
+
+from repro.experiments.figure11 import run_figure11
+
+
+def test_figure11_sweep(benchmark):
+    figure = benchmark.pedantic(
+        lambda: run_figure11(weights_b=(0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0)),
+        rounds=1,
+        iterations=1,
+    )
+    # Qualitative shape checks (the paper's Figure 11 commentary):
+    # every curve rises with w_B; hierarchical is last at high weight;
+    # network beats centralized there; perfect dominates all.
+    for series in figure.series:
+        assert list(series.expected_rewards) == sorted(series.expected_rewards)
+    ordering = figure.ordering_at(5.0)
+    assert ordering[-1] == "hierarchical"
+    assert ordering.index("network") < ordering.index("centralized")
+    perfect = figure.series_for("perfect").expected_rewards
+    for series in figure.series:
+        for ours, reference in zip(series.expected_rewards, perfect):
+            assert ours <= reference + 1e-9
+
+
+def test_reward_reweighting_is_cheap(benchmark, figure1, cases):
+    """The sweep itself (given solved configurations) is near-free —
+    benchmarks the reward recombination step in isolation."""
+    from repro.core import PerformabilityAnalyzer
+
+    mama, probs = cases["centralized"]
+    result = PerformabilityAnalyzer(
+        figure1, mama, failure_probs=probs
+    ).solve()
+
+    def sweep():
+        totals = []
+        for w_b in (0.5, 1.0, 2.0, 3.0, 4.0, 5.0):
+            total = sum(
+                record.probability
+                * (
+                    record.throughputs.get("UserA", 0.0)
+                    + w_b * record.throughputs.get("UserB", 0.0)
+                )
+                for record in result.records
+                if record.configuration is not None
+            )
+            totals.append(total)
+        return totals
+
+    totals = benchmark(sweep)
+    assert totals == sorted(totals)

@@ -1,0 +1,59 @@
+"""Substrate benchmark — the LQN solver and MVA kernels on the paper's
+performance models (§5 step 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import configuration_to_lqn
+from repro.lqn import solve_lqn
+from repro.lqn.mva import Discipline, Station, StationKind, schweitzer_mva
+
+C5 = frozenset(
+    {"userA", "userB", "eA", "eB", "serviceA", "serviceB", "eA-1", "eB-1"}
+)
+
+
+def test_solve_c5_configuration(benchmark, figure1):
+    lqn = configuration_to_lqn(figure1, C5)
+    results = benchmark(lambda: solve_lqn(lqn))
+    assert results.task_throughputs["UserA"] == pytest.approx(0.44, abs=0.03)
+    assert results.task_throughputs["UserB"] == pytest.approx(0.67, abs=0.06)
+
+
+def test_solve_all_six_configurations(benchmark, figure1):
+    configurations = [
+        frozenset({"userA", "eA", "serviceA", "eA-1"}),
+        frozenset({"userA", "eA", "serviceA", "eA-2"}),
+        frozenset({"userB", "eB", "serviceB", "eB-1"}),
+        frozenset({"userB", "eB", "serviceB", "eB-2"}),
+        C5,
+        frozenset(
+            {"userA", "userB", "eA", "eB", "serviceA", "serviceB",
+             "eA-2", "eB-2"}
+        ),
+    ]
+
+    def solve_all():
+        return [
+            solve_lqn(configuration_to_lqn(figure1, c)) for c in configurations
+        ]
+
+    results = benchmark(solve_all)
+    assert all(r.converged for r in results)
+
+
+def test_schweitzer_kernel(benchmark):
+    stations = [
+        Station(name=f"s{i}", kind=StationKind.QUEUE, discipline=Discipline.FCFS)
+        for i in range(6)
+    ]
+    rng = np.random.default_rng(0)
+    demands = rng.uniform(0.1, 1.0, size=(4, 6))
+    visits = np.ones_like(demands)
+    result = benchmark(
+        lambda: schweitzer_mva(
+            stations, demands, [5, 10, 3, 8], [1.0, 0.5, 2.0, 0.1],
+            visits=visits,
+        )
+    )
+    assert np.all(result.throughputs > 0)

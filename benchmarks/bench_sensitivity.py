@@ -1,0 +1,35 @@
+"""Ablation — sensitivity of each architecture to management reliability.
+
+Sweeps the agent/manager failure probability from 0 (ideal hardware) to
+0.3 and checks the structural expectations: every curve starts at the
+perfect-knowledge value and decreases monotonically; the hierarchical
+architecture (longest knowledge chains) degrades fastest."""
+
+import pytest
+
+from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+
+
+def test_sensitivity_sweep(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_sensitivity(probabilities=(0.0, 0.05, 0.1, 0.2, 0.3)),
+        rounds=1,
+        iterations=1,
+    )
+    for series in report.series:
+        rewards = series.rewards()
+        # p = 0: exactly the perfect-knowledge analysis.
+        assert rewards[0] == pytest.approx(report.perfect_reward, abs=1e-9)
+        assert series.failure_probabilities()[0] == pytest.approx(
+            report.perfect_failed, abs=1e-12
+        )
+        # Monotone degradation in management failure probability.
+        assert rewards == sorted(rewards, reverse=True)
+
+    at_03 = {
+        series.architecture: series.rewards()[-1] for series in report.series
+    }
+    assert min(at_03, key=at_03.get) == "hierarchical"
+
+    text = format_sensitivity(report)
+    assert "perfect knowledge" in text

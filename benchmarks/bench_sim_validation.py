@@ -1,0 +1,52 @@
+"""E8 (validation) — simulators vs analytic models.
+
+Monte-Carlo confirmation that (a) the LQN solver tracks the
+discrete-event ground truth and (b) configuration occupancies of the
+failure/repair process converge to the analytic probabilities."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer, configuration_to_lqn
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.lqn import solve_lqn
+from repro.sim.availability_sim import simulate_availability
+from repro.sim.lqn_sim import simulate_lqn
+
+C5 = frozenset(
+    {"userA", "userB", "eA", "eB", "serviceA", "serviceB", "eA-1", "eB-1"}
+)
+
+
+def test_lqn_simulation_c5(benchmark, figure1):
+    lqn = configuration_to_lqn(figure1, C5)
+    sim = benchmark.pedantic(
+        lambda: simulate_lqn(lqn, horizon=8000, seed=4),
+        rounds=1,
+        iterations=1,
+    )
+    analytic = solve_lqn(lqn)
+    assert analytic.task_throughputs["UserA"] == pytest.approx(
+        sim.task_throughputs["UserA"], rel=0.15
+    )
+    assert analytic.task_throughputs["UserB"] == pytest.approx(
+        sim.task_throughputs["UserB"], rel=0.15
+    )
+
+
+def test_availability_simulation_centralized(benchmark, figure1, cases):
+    mama, probs = cases["centralized"]
+    analytic = PerformabilityAnalyzer(
+        figure1, mama, failure_probs=probs
+    ).configuration_probabilities()
+
+    sim = benchmark.pedantic(
+        lambda: simulate_availability(
+            figure1, mama, probs, horizon=20_000, seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    top = max(analytic.items(), key=lambda kv: kv[1])
+    assert sim.configuration_fractions.get(top[0], 0.0) == pytest.approx(
+        top[1], abs=0.05
+    )

@@ -1,0 +1,27 @@
+"""E4 — the §6.3 state-space scan: 2^N enumeration cost per case.
+
+The paper reports 256 / 16384 / 65536 / 262144 / 65536 states and Java
+runtimes of 0.2–35 s; these benchmarks measure our implementation of
+the same literal scan (plus the exact state counts)."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.statespace import PAPER_STATE_COUNTS
+
+
+@pytest.mark.parametrize(
+    "case_name",
+    ["perfect", "centralized", "distributed", "hierarchical", "network"],
+)
+def test_enumeration_scan(benchmark, figure1, cases, case_name):
+    mama, probs = cases[case_name]
+    analyzer = PerformabilityAnalyzer(figure1, mama, failure_probs=probs)
+    assert analyzer.problem.state_count == PAPER_STATE_COUNTS[case_name]
+
+    result = benchmark.pedantic(
+        lambda: analyzer.configuration_probabilities(method="enumeration"),
+        rounds=1,
+        iterations=1,
+    )
+    assert sum(result.values()) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,20 @@
+"""E1 — regenerate Table 1 (perfect vs centralized, probabilities,
+rewards, expected reward rate)."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    by_label = {row.label: row for row in table.rows}
+    for label, expected in PAPER_TABLE1["perfect"].items():
+        assert by_label[label].probability_perfect == pytest.approx(
+            expected, abs=1e-3
+        )
+    for label, expected in PAPER_TABLE1["centralized"].items():
+        assert by_label[label].probability_centralized == pytest.approx(
+            expected, abs=1e-3
+        )
+    assert table.expected_centralized < table.expected_perfect

@@ -1,0 +1,38 @@
+"""E2 — regenerate Table 2: per-case configuration probabilities,
+per-configuration throughputs, and average user-group throughputs."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.table2 import (
+    PAPER_AVERAGE_THROUGHPUT,
+    PAPER_TABLE2,
+    run_table2,
+)
+from repro.experiments.table1 import grouped_probabilities
+
+
+def test_table2_full(benchmark):
+    table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    for case_name in ("perfect", "centralized", "hierarchical", "network"):
+        case = table.case(case_name)
+        for label, expected in PAPER_TABLE2[case_name].items():
+            assert case.probabilities[label] == pytest.approx(
+                expected, abs=1e-3
+            ), (case_name, label)
+        paper_avg = PAPER_AVERAGE_THROUGHPUT[case_name]
+        assert case.average_throughput_a == pytest.approx(
+            paper_avg["UserA"], abs=0.02
+        )
+
+
+@pytest.mark.parametrize(
+    "case_name", ["perfect", "centralized", "distributed", "hierarchical", "network"]
+)
+def test_single_case_probabilities(benchmark, figure1, cases, case_name):
+    mama, probs = cases[case_name]
+    analyzer = PerformabilityAnalyzer(figure1, mama, failure_probs=probs)
+
+    result = benchmark(analyzer.configuration_probabilities)
+    assert sum(result.values()) == pytest.approx(1.0, abs=1e-9)
+    assert len(result) == 7

@@ -1,0 +1,39 @@
+"""Extension — transient performability (reward decay from a clean start).
+
+Exact time-dependent configuration probabilities via the product-form
+component transients, evaluated on the Figure 1 system under the
+centralized architecture: how quickly a freshly deployed system decays
+to its steady-state reward."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.architectures import centralized_mama
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+from repro.markov import ComponentAvailability, TransientPerformability
+
+
+def test_transient_decay_curve(benchmark):
+    mama = centralized_mama()
+    probs = figure1_failure_probs(mama)
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in probs.items()
+    }
+    curve = TransientPerformability(figure1_system(), mama, rates)
+
+    times = (0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 20.0)
+    points = benchmark.pedantic(
+        lambda: curve.evaluate(times), rounds=1, iterations=1
+    )
+
+    rewards = [point.expected_reward for point in points]
+    assert rewards == sorted(rewards, reverse=True)
+    assert points[0].failed_probability == 0.0
+
+    static = PerformabilityAnalyzer(
+        figure1_system(), mama, failure_probs=probs
+    ).solve()
+    assert points[-1].expected_reward == pytest.approx(
+        static.expected_reward, rel=0.01
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The benchmarks double as end-to-end checks: every timed function
+asserts the headline numbers it reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return figure1_system()
+
+
+@pytest.fixture(scope="session")
+def cases():
+    """Name -> (mama, failure_probs) for the five §6.3 cases."""
+    table: dict[str, tuple[object, dict[str, float]]] = {
+        "perfect": (None, figure1_failure_probs())
+    }
+    for name, builder in ARCHITECTURE_BUILDERS.items():
+        mama = builder()
+        table[name] = (mama, figure1_failure_probs(mama))
+    return table

@@ -1,0 +1,141 @@
+"""Choosing a fault-management architecture for an e-commerce stack.
+
+A scenario the paper's introduction motivates: a storefront where two
+user populations (shoppers browsing the catalogue, staff running the
+back office) share a replicated order database.  We compare a
+centralized manager against a two-domain distributed design — built
+with the generic factories in :mod:`repro.mama.architectures` — and
+quantify, for each:
+
+* how often each operational configuration is in force;
+* the probability the store is completely down;
+* the revenue-weighted expected reward (shopper throughput is worth
+  5x staff throughput).
+
+Run with::
+
+    python examples/ecommerce_failover.py
+"""
+
+from repro import PerformabilityAnalyzer, weighted_throughput_reward
+from repro.ftlqn import FTLQNModel, Request
+from repro.mama.architectures import (
+    Domain,
+    centralized_architecture,
+    distributed_architecture,
+)
+
+
+def build_store() -> FTLQNModel:
+    model = FTLQNModel(name="store")
+    for processor in (
+        "p.shoppers", "p.staff", "p.web", "p.office", "p.db1", "p.db2"
+    ):
+        model.add_processor(processor)
+
+    model.add_task("shoppers", processor="p.shoppers", multiplicity=120,
+                   is_reference=True, think_time=5.0)
+    model.add_task("staff", processor="p.staff", multiplicity=10,
+                   is_reference=True, think_time=2.0)
+    model.add_task("webapp", processor="p.web", multiplicity=4)
+    model.add_task("backoffice", processor="p.office")
+    model.add_task("orders-primary", processor="p.db1", multiplicity=2)
+    model.add_task("orders-replica", processor="p.db2", multiplicity=2)
+
+    model.add_entry("read1", task="orders-primary", demand=0.030)
+    model.add_entry("read2", task="orders-replica", demand=0.045)
+    model.add_entry("write1", task="orders-primary", demand=0.060)
+    model.add_entry("write2", task="orders-replica", demand=0.090)
+    model.add_service("order-reads", targets=["read1", "read2"])
+    model.add_service("order-writes", targets=["write1", "write2"])
+
+    model.add_entry("page", task="webapp", demand=0.015,
+                    requests=[Request("order-reads", mean_calls=3.0)])
+    model.add_entry("report", task="backoffice", demand=0.200,
+                    requests=[Request("order-writes", mean_calls=1.0)])
+    model.add_entry("shop", task="shoppers", requests=[Request("page")])
+    model.add_entry("work", task="staff", requests=[Request("report")])
+    return model.validated()
+
+
+MONITORED = {
+    "webapp": "p.web",
+    "backoffice": "p.office",
+    "orders-primary": "p.db1",
+    "orders-replica": "p.db2",
+}
+
+FAILURE_PROBS_APP = {
+    "webapp": 0.02, "backoffice": 0.02,
+    "orders-primary": 0.04, "orders-replica": 0.04,
+    "p.web": 0.01, "p.office": 0.01, "p.db1": 0.02, "p.db2": 0.02,
+}
+
+
+def management_variants():
+    centralized = centralized_architecture(
+        tasks=MONITORED,
+        subscribers=["webapp", "backoffice"],
+        manager_processor="p.mgmt",
+    )
+    distributed = distributed_architecture(
+        domains=[
+            Domain(
+                manager="dm.front",
+                manager_processor="p.mgmt1",
+                tasks={"webapp": "p.web", "orders-primary": "p.db1"},
+                subscribers=("webapp",),
+            ),
+            Domain(
+                manager="dm.back",
+                manager_processor="p.mgmt2",
+                tasks={"backoffice": "p.office", "orders-replica": "p.db2"},
+                subscribers=("backoffice",),
+            ),
+        ]
+    )
+    return {"centralized": centralized, "distributed (2 domains)": distributed}
+
+
+def failure_probs_for(mama):
+    probs = dict(FAILURE_PROBS_APP)
+    for component in mama.components.values():
+        if component.name not in probs and not component.name.startswith("p."):
+            probs[component.name] = 0.03  # agents and managers
+        elif component.name.startswith("p.mgmt"):
+            probs[component.name] = 0.01  # management hosts
+    return probs
+
+
+def main() -> None:
+    store = build_store()
+    reward = weighted_throughput_reward({"shoppers": 5.0, "staff": 1.0})
+
+    ideal = PerformabilityAnalyzer(
+        store, None, failure_probs=FAILURE_PROBS_APP, reward=reward
+    ).solve()
+    print(f"perfect knowledge: expected reward {ideal.expected_reward:.3f}, "
+          f"P(down) {ideal.failed_probability:.4f}")
+    print()
+
+    for name, mama in management_variants().items():
+        analyzer = PerformabilityAnalyzer(
+            store, mama, failure_probs=failure_probs_for(mama), reward=reward
+        )
+        result = analyzer.solve()
+        print(f"--- {name}  (2^{result.state_count.bit_length() - 1} states)")
+        for record in result.records[:4]:
+            shoppers = record.throughputs.get("shoppers", 0.0)
+            staff = record.throughputs.get("staff", 0.0)
+            print(f"  P={record.probability:6.4f}  "
+                  f"shoppers={shoppers:6.2f}/s staff={staff:5.2f}/s  "
+                  f"{record.label()[:70]}")
+        print(f"  P(store completely down) = {result.failed_probability:.4f}")
+        print(f"  expected reward          = {result.expected_reward:.3f} "
+              f"({100 * result.expected_reward / ideal.expected_reward:.1f}% "
+              "of perfect)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Boolean expressions over independent component-state variables.
+
+The paper's ``know`` functions — "task *t* learns the operational state of
+component *c*" — are monotone boolean functions: unions of *minpath*
+conjunctions over component "up" variables.  This package provides:
+
+* :mod:`repro.booleans.expr` — an immutable expression AST
+  (:class:`Var`, :class:`Not`, :class:`And`, :class:`Or`, plus the
+  constants :data:`TRUE` and :data:`FALSE`) with evaluation and
+  substitution.
+* :mod:`repro.booleans.bdd` — reduced ordered binary decision diagrams
+  with exact probability evaluation in time linear in BDD size.
+* :mod:`repro.booleans.sdp` — sum-of-disjoint-products (Abraham's
+  algorithm) for monotone path unions, the classical network-reliability
+  technique cited by the paper ([22] Colbourn).
+* :mod:`repro.booleans.probability` — one entry point,
+  :func:`probability`, dispatching to BDD / SDP / inclusion–exclusion /
+  brute-force enumeration, all of which agree exactly (property-tested).
+"""
+
+from repro.booleans.expr import (
+    FALSE,
+    TRUE,
+    And,
+    Expr,
+    Not,
+    Or,
+    Var,
+    all_of,
+    any_of,
+    path_union,
+)
+from repro.booleans.bdd import BDD
+from repro.booleans.sdp import disjoint_products, sdp_probability
+from repro.booleans.probability import (
+    enumeration_probability,
+    inclusion_exclusion_probability,
+    probability,
+)
+
+__all__ = [
+    "And",
+    "BDD",
+    "Expr",
+    "FALSE",
+    "Not",
+    "Or",
+    "TRUE",
+    "Var",
+    "all_of",
+    "any_of",
+    "disjoint_products",
+    "enumeration_probability",
+    "inclusion_exclusion_probability",
+    "path_union",
+    "probability",
+    "sdp_probability",
+]

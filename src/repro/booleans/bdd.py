@@ -1,0 +1,227 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A :class:`BDD` manager hash-conses nodes so that equivalent functions are
+represented by the same node id, making equality checks O(1) and
+probability evaluation linear in diagram size.  This is the workhorse for
+exact probability of ``know`` expressions and for the factored
+performability evaluator.
+
+Node encoding
+-------------
+Terminals are the integers ``0`` and ``1``.  Internal nodes are integer
+ids ≥ 2 mapping to ``(level, low, high)`` triples, where ``level`` indexes
+into the manager's variable order, ``low`` is the cofactor for the
+variable being False and ``high`` for True.  The reduction invariants —
+``low != high`` and unique ``(level, low, high)`` triples — are maintained
+by :meth:`BDD._mk`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.booleans.expr import FALSE, TRUE, And, Expr, Not, Or, Var
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BDD:
+    """A manager for reduced ordered BDDs over a fixed variable order.
+
+    Parameters
+    ----------
+    order:
+        Variable names, outermost (root) first.  Every expression
+        converted by this manager may only mention these variables.
+
+    Example
+    -------
+    >>> manager = BDD(["a", "b"])
+    >>> from repro.booleans import Var
+    >>> node = manager.from_expr(Var("a") | Var("b"))
+    >>> manager.probability(node, {"a": 0.9, "b": 0.9})
+    0.99
+    """
+
+    def __init__(self, order: Sequence[str]):
+        if len(set(order)) != len(order):
+            raise ValueError("variable order contains duplicates")
+        self._order: tuple[str, ...] = tuple(order)
+        self._level: dict[str, int] = {name: i for i, name in enumerate(order)}
+        # id -> (level, low, high); ids 0 and 1 are the terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """The variable order, root level first."""
+        return self._order
+
+    def __len__(self) -> int:
+        """Total number of allocated nodes including the two terminals."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Node construction
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD for a single variable."""
+        try:
+            level = self._level[name]
+        except KeyError:
+            raise KeyError(f"variable {name!r} is not in this manager's order") from None
+        return self._mk(level, ZERO, ONE)
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+
+    def apply_and(self, u: int, v: int) -> int:
+        """Conjunction of two nodes."""
+        return self._apply("and", u, v)
+
+    def apply_or(self, u: int, v: int) -> int:
+        """Disjunction of two nodes."""
+        return self._apply("or", u, v)
+
+    def negate(self, u: int) -> int:
+        """Negation of a node."""
+        if u == ZERO:
+            return ONE
+        if u == ONE:
+            return ZERO
+        cached = self._not_cache.get(u)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[u]
+        result = self._mk(level, self.negate(low), self.negate(high))
+        self._not_cache[u] = result
+        return result
+
+    def _apply(self, op: str, u: int, v: int) -> int:
+        if op == "and":
+            if u == ZERO or v == ZERO:
+                return ZERO
+            if u == ONE:
+                return v
+            if v == ONE:
+                return u
+        else:  # or
+            if u == ONE or v == ONE:
+                return ONE
+            if u == ZERO:
+                return v
+            if v == ZERO:
+                return u
+        if u == v:
+            return u
+        if u > v:
+            u, v = v, u  # both ops are commutative; canonicalise the key
+        key = (op, u, v)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        u_level = self._nodes[u][0]
+        v_level = self._nodes[v][0]
+        level = min(u_level, v_level)
+        u_low, u_high = (self._nodes[u][1], self._nodes[u][2]) if u_level == level else (u, u)
+        v_low, v_high = (self._nodes[v][1], self._nodes[v][2]) if v_level == level else (v, v)
+        result = self._mk(
+            level,
+            self._apply(op, u_low, v_low),
+            self._apply(op, u_high, v_high),
+        )
+        self._apply_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Conversion and queries
+
+    def from_expr(self, expr: Expr) -> int:
+        """Convert an expression AST into a node of this manager."""
+        if expr == TRUE:
+            return ONE
+        if expr == FALSE:
+            return ZERO
+        if isinstance(expr, Var):
+            return self.var(expr.name)
+        if isinstance(expr, Not):
+            return self.negate(self.from_expr(expr.operand))
+        if isinstance(expr, And):
+            node = ONE
+            for term in expr.terms:
+                node = self.apply_and(node, self.from_expr(term))
+                if node == ZERO:
+                    break
+            return node
+        if isinstance(expr, Or):
+            node = ZERO
+            for term in expr.terms:
+                node = self.apply_or(node, self.from_expr(term))
+                if node == ONE:
+                    break
+            return node
+        raise TypeError(f"cannot convert {type(expr).__name__} to a BDD node")
+
+    def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate a node under a total variable assignment."""
+        while node not in (ZERO, ONE):
+            level, low, high = self._nodes[node]
+            node = high if assignment[self._order[level]] else low
+        return node == ONE
+
+    def probability(self, node: int, probs: Mapping[str, float]) -> float:
+        """Exact probability that the function is true.
+
+        ``probs[name]`` is the (independent) probability that variable
+        ``name`` is True.  Runs in time linear in the number of distinct
+        nodes reachable from ``node``.
+        """
+        cache: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+
+        def walk(n: int) -> float:
+            found = cache.get(n)
+            if found is not None:
+                return found
+            level, low, high = self._nodes[n]
+            p = probs[self._order[level]]
+            value = (1.0 - p) * walk(low) + p * walk(high)
+            cache[n] = value
+            return value
+
+        return walk(node)
+
+    def support(self, node: int) -> frozenset[str]:
+        """Variables the function actually depends on."""
+        seen: set[int] = set()
+        names: set[str] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (ZERO, ONE) or n in seen:
+                continue
+            seen.add(n)
+            level, low, high = self._nodes[n]
+            names.add(self._order[level])
+            stack.append(low)
+            stack.append(high)
+        return frozenset(names)
+
+    def satisfying_fraction(self, node: int) -> float:
+        """Fraction of the 2^n assignments that satisfy the function."""
+        return self.probability(node, {name: 0.5 for name in self._order})

@@ -1,0 +1,94 @@
+"""Sum of disjoint products for monotone path unions.
+
+Given minpaths P₁..P_m (sets of component names whose joint operation
+connects a source to a target), system reliability is
+``Pr[⋁ᵢ ⋀_{x∈Pᵢ} x]``.  Abraham's classical single-variable-inversion
+algorithm rewrites that union as a sum of *disjoint* products, so the
+probability is a plain sum of term probabilities.  This is the technique
+the paper points to via Colbourn's monograph [22].
+
+The implementation processes paths shortest-first (a standard ordering
+heuristic) and represents each disjoint term as a pair of disjoint
+variable sets ``(positive, negative)`` meaning
+``⋀ positive ∧ ⋀ ¬negative``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def _normalise(paths: Iterable[Iterable[str]]) -> list[frozenset[str]]:
+    """Deduplicate, drop supersets of other paths, and sort shortest-first.
+
+    Removing non-minimal paths is not just an optimisation: Abraham's
+    expansion assumes the path list is an antichain.
+    """
+    unique = {frozenset(p) for p in paths}
+    minimal = [p for p in unique if not any(q < p for q in unique)]
+    minimal.sort(key=lambda p: (len(p), sorted(p)))
+    return minimal
+
+
+def disjoint_products(
+    paths: Iterable[Iterable[str]],
+) -> list[tuple[frozenset[str], frozenset[str]]]:
+    """Expand a union of paths into disjoint products.
+
+    Returns a list of ``(positive, negative)`` pairs whose events are
+    pairwise disjoint and whose union equals the union of the path
+    events.  An empty path (always-true term) yields the single product
+    ``(∅, ∅)``.
+    """
+    minimal = _normalise(paths)
+    result: list[tuple[frozenset[str], frozenset[str]]] = []
+    for i, path in enumerate(minimal):
+        # Terms for path_i ∧ ¬(path_0 ∪ .. path_{i-1}); expand each earlier
+        # path into its variables not already implied true by `path` or the
+        # partial product built so far.
+        partial: list[tuple[frozenset[str], frozenset[str]]] = [(path, frozenset())]
+        for j in range(i):
+            earlier = minimal[j]
+            expanded: list[tuple[frozenset[str], frozenset[str]]] = []
+            for pos, neg in partial:
+                missing = sorted(earlier - pos)
+                if not missing:
+                    # earlier ⊆ pos: this product is inside an earlier path
+                    # event, contribute nothing.
+                    continue
+                if neg & earlier:
+                    # Some variable of the earlier path is already negated:
+                    # the product is already disjoint from it.
+                    expanded.append((pos, neg))
+                    continue
+                # Split on the first failed variable of `earlier`:
+                # ¬(x₁∧..∧x_k) = ¬x₁ ∨ (x₁∧¬x₂) ∨ ... — disjoint by design.
+                prefix: list[str] = []
+                for var in missing:
+                    expanded.append(
+                        (pos | frozenset(prefix), neg | frozenset((var,)))
+                    )
+                    prefix.append(var)
+            partial = expanded
+        result.extend(partial)
+    return result
+
+
+def sdp_probability(
+    paths: Iterable[Iterable[str]],
+    probs: Mapping[str, float],
+) -> float:
+    """Probability of the union of path events via disjoint products.
+
+    ``probs[name]`` is the independent probability that component ``name``
+    is operational.
+    """
+    total = 0.0
+    for pos, neg in disjoint_products(paths):
+        term = 1.0
+        for name in pos:
+            term *= probs[name]
+        for name in neg:
+            term *= 1.0 - probs[name]
+        total += term
+    return total

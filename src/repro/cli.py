@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``validate``
+    Check an FTLQN model file (and optionally a MAMA file) for
+    structural well-formedness.
+``analyze``
+    Run the coverage-aware performability analysis on model files and
+    print the configuration table and expected reward.
+``importance``
+    Rank components by Birnbaum reward/failure importance.
+``dot``
+    Emit Graphviz renderings of a model, its fault propagation graph,
+    or a management architecture.
+``paper``
+    Regenerate the paper's evaluation artifacts (table1, table2,
+    figure11, statespace).
+
+Model files use the JSON formats of :mod:`repro.ftlqn.serialize` and
+:mod:`repro.mama.serialize`.  The ``--probs`` file is either a flat
+``{"component": probability}`` object or
+``{"failure_probs": {...}, "common_causes": [{"name": ...,
+"probability": ..., "components": [...]}]}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core import (
+    CommonCause,
+    PerformabilityAnalyzer,
+    importance_analysis,
+    weighted_throughput_reward,
+)
+from repro.errors import ReproError, SerializationError
+from repro.ftlqn import build_fault_graph, model_from_json
+from repro.ftlqn.dot import fault_graph_to_dot, model_to_dot
+from repro.mama.dot import mama_to_dot
+from repro.mama.serialize import mama_from_json
+
+
+def _read(path: str) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+
+
+def _load_models(args):
+    ftlqn = model_from_json(_read(args.model))
+    mama = mama_from_json(_read(args.mama)) if args.mama else None
+    return ftlqn, mama
+
+
+def _load_probs(path: str | None):
+    if path is None:
+        return {}, ()
+    document = json.loads(_read(path))
+    if not isinstance(document, dict):
+        raise SerializationError("--probs file must contain a JSON object")
+    if "failure_probs" in document:
+        probs = document["failure_probs"]
+        causes = tuple(
+            CommonCause(
+                name=item["name"],
+                probability=float(item["probability"]),
+                components=tuple(item["components"]),
+            )
+            for item in document.get("common_causes", [])
+        )
+    else:
+        probs, causes = document, ()
+    return {str(k): float(v) for k, v in probs.items()}, causes
+
+
+def _cmd_validate(args) -> int:
+    ftlqn, mama = _load_models(args)
+    build_fault_graph(ftlqn)  # also checks service-decider uniqueness
+    print(f"ftlqn model {ftlqn.name!r}: "
+          f"{len(ftlqn.tasks)} tasks, {len(ftlqn.processors)} processors, "
+          f"{len(ftlqn.entries)} entries, {len(ftlqn.services)} services — OK")
+    if mama is not None:
+        print(f"mama model {mama.name!r}: "
+              f"{len(mama.components)} components, "
+              f"{len(mama.connectors)} connectors — OK")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    ftlqn, mama = _load_models(args)
+    probs, causes = _load_probs(args.probs)
+    reward = None
+    if args.weights:
+        weights = {
+            str(k): float(v) for k, v in json.loads(args.weights).items()
+        }
+        reward = weighted_throughput_reward(weights)
+    analyzer = PerformabilityAnalyzer(
+        ftlqn, mama, failure_probs=probs, reward=reward,
+        common_causes=causes,
+    )
+    result = analyzer.solve(method=args.method)
+    print(f"state space: {result.state_count} states "
+          f"({result.method} evaluation)")
+    print(f"{'probability':>12}  {'reward':>8}  configuration")
+    for record in result.records:
+        print(f"{record.probability:12.6f}  {record.reward:8.4f}  "
+              f"{record.label()}")
+    print(f"expected steady-state reward rate: "
+          f"{result.expected_reward:.6f}")
+    return 0
+
+
+def _cmd_importance(args) -> int:
+    ftlqn, mama = _load_models(args)
+    probs, causes = _load_probs(args.probs)
+    records = importance_analysis(
+        ftlqn, mama, probs, common_causes=causes
+    )
+    print(f"{'component':>16} {'reward imp.':>12} {'failure imp.':>13} "
+          f"{'potential':>10}")
+    for record in records:
+        print(f"{record.component:>16} {record.reward_importance:12.4f} "
+              f"{record.failure_importance:13.4f} "
+              f"{record.improvement_potential:10.4f}")
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    if args.kind == "mama":
+        if not args.mama:
+            raise SerializationError("dot --kind mama requires --mama FILE")
+        print(mama_to_dot(mama_from_json(_read(args.mama))))
+        return 0
+    ftlqn = model_from_json(_read(args.model))
+    if args.kind == "model":
+        print(model_to_dot(ftlqn))
+    else:
+        print(fault_graph_to_dot(build_fault_graph(ftlqn)))
+    return 0
+
+
+def _cmd_paper(args) -> int:
+    from repro.experiments.figure11 import run_figure11
+    from repro.experiments.reporting import (
+        format_figure11,
+        format_statespace,
+        format_table1,
+        format_table2,
+    )
+    from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+    from repro.experiments.statespace import run_statespace
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
+    artifacts = {
+        "table1": lambda: format_table1(run_table1()),
+        "table2": lambda: format_table2(run_table2()),
+        "figure11": lambda: format_figure11(run_figure11()),
+        "statespace": lambda: format_statespace(run_statespace()),
+        "sensitivity": lambda: format_sensitivity(run_sensitivity()),
+    }
+    names = args.artifacts or list(artifacts)
+    unknown = [name for name in names if name not in artifacts]
+    if unknown:
+        raise SerializationError(
+            f"unknown artifact(s) {unknown}; choose from {list(artifacts)}"
+        )
+    for name in names:
+        print(artifacts[name]())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Coverage-aware performability of layered systems "
+        "(Das & Woodside, DSN 2002 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(sub, with_probs=True):
+        sub.add_argument("model", help="FTLQN model JSON file")
+        sub.add_argument("--mama", help="MAMA architecture JSON file")
+        if with_probs:
+            sub.add_argument("--probs", help="failure-probability JSON file")
+
+    validate = commands.add_parser(
+        "validate", help="validate model files"
+    )
+    add_model_args(validate, with_probs=False)
+    validate.set_defaults(handler=_cmd_validate)
+
+    analyze = commands.add_parser(
+        "analyze", help="run the performability analysis"
+    )
+    add_model_args(analyze)
+    analyze.add_argument(
+        "--method", choices=("factored", "enumeration"), default="factored"
+    )
+    analyze.add_argument(
+        "--weights",
+        help='reward weights per user group as JSON, e.g. \'{"UserA": 1}\'',
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    importance = commands.add_parser(
+        "importance", help="rank components by Birnbaum importance"
+    )
+    add_model_args(importance)
+    importance.set_defaults(handler=_cmd_importance)
+
+    dot = commands.add_parser("dot", help="emit Graphviz renderings")
+    dot.add_argument(
+        "--kind", choices=("model", "fault-graph", "mama"), default="model"
+    )
+    add_model_args(dot, with_probs=False)
+    dot.set_defaults(handler=_cmd_dot)
+
+    paper = commands.add_parser(
+        "paper", help="regenerate the paper's evaluation artifacts"
+    )
+    paper.add_argument(
+        "artifacts", nargs="*",
+        help="table1 table2 figure11 statespace sensitivity (default: all)",
+    )
+    paper.set_defaults(handler=_cmd_paper)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

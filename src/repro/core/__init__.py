@@ -1,0 +1,40 @@
+"""The paper's primary contribution: coverage-aware performability.
+
+:class:`PerformabilityAnalyzer` wires everything together:
+
+1. derive the fault propagation graph from the FTLQN model (§3);
+2. derive the knowledge propagation graph and ``know`` expressions from
+   the MAMA model (§4);
+3. scan the space of component up/down states, evaluating
+   knowledge-gated reconfiguration (Definition 1) in each, to find the
+   distinct operational configurations and their probabilities (§5,
+   steps 1–4) — either by the paper's literal 2^N enumeration
+   (:mod:`repro.core.enumeration`) or by the factored evaluator
+   (:mod:`repro.core.factored`) that realises the §7 conjecture of a
+   non-state-space-based computation;
+4. solve one LQN per configuration and attach rewards (§5, step 5);
+5. report the expected steady-state reward rate (§5, step 6).
+"""
+
+from repro.core.dependency import CommonCause
+from repro.core.importance import ImportanceRecord, importance_analysis
+from repro.core.performability import PerformabilityAnalyzer
+from repro.core.results import ConfigurationRecord, PerformabilityResult
+from repro.core.rewards import (
+    total_reference_throughput,
+    weighted_throughput_reward,
+)
+from repro.core.configuration import configuration_to_lqn, group_support
+
+__all__ = [
+    "CommonCause",
+    "ConfigurationRecord",
+    "ImportanceRecord",
+    "PerformabilityAnalyzer",
+    "PerformabilityResult",
+    "configuration_to_lqn",
+    "group_support",
+    "importance_analysis",
+    "total_reference_throughput",
+    "weighted_throughput_reward",
+]

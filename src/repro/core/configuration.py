@@ -1,0 +1,132 @@
+"""Resolve an operational configuration into an ordinary LQN (§5, step 5).
+
+A configuration (Definition 2) is the set of entry and service nodes
+that are working and in use.  The resolved LQN contains exactly the
+tasks whose entries appear in the configuration; every request through a
+service is replaced by a direct call to the target entry that the
+service selected (the unique target entry of that service present in
+the configuration).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.ftlqn.model import FTLQNModel
+from repro.lqn.model import LQNCall, LQNModel
+
+
+def selected_target_of(
+    ftlqn: FTLQNModel, configuration: frozenset[str], service: str
+) -> str:
+    """The target entry the named service uses in this configuration."""
+    candidates = [
+        target
+        for target in ftlqn.services[service].targets
+        if target in configuration
+    ]
+    if len(candidates) != 1:
+        raise ModelError(
+            f"configuration does not determine a unique target for service "
+            f"{service!r}: candidates {candidates}"
+        )
+    return candidates[0]
+
+
+def group_support(
+    ftlqn: FTLQNModel, configuration: frozenset[str], group: str
+) -> frozenset[str]:
+    """Components (tasks and processors) a user group relies on within a
+    configuration: the support of the chain from the group's entries
+    through the selected service targets.
+
+    Used by the simulators and the detection-delay model to decide
+    whether a group still earns reward while the system operates a
+    stale configuration.
+    """
+    support: set[str] = set()
+    frontier = [
+        entry.name
+        for entry in ftlqn.entries_of_task(group)
+        if entry.name in configuration
+    ]
+    seen: set[str] = set()
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in ftlqn.entries:
+            entry = ftlqn.entries[name]
+            task = ftlqn.tasks[entry.task]
+            support.add(task.name)
+            support.add(task.processor)
+            support.update(entry.depends_on)
+            for request in entry.requests:
+                frontier.append(request.target)
+        elif name in ftlqn.services:
+            frontier.extend(
+                target
+                for target in ftlqn.services[name].targets
+                if target in configuration
+            )
+    return frozenset(support)
+
+
+def configuration_to_lqn(
+    ftlqn: FTLQNModel, configuration: frozenset[str], *, name: str | None = None
+) -> LQNModel:
+    """Build the ordinary LQN for one operational configuration.
+
+    Raises
+    ------
+    ModelError
+        If the configuration is inconsistent with the model (unknown
+        node names, or a service without a unique selected target).
+    """
+    unknown = [
+        node
+        for node in configuration
+        if node not in ftlqn.entries and node not in ftlqn.services
+    ]
+    if unknown:
+        raise ModelError(f"configuration contains unknown nodes: {sorted(unknown)}")
+
+    lqn = LQNModel(name=name or f"{ftlqn.name}-config")
+    used_entries = [e for e in ftlqn.entries.values() if e.name in configuration]
+    used_tasks = {entry.task for entry in used_entries}
+    used_processors = {ftlqn.tasks[t].processor for t in used_tasks}
+
+    for processor_name in ftlqn.processors:
+        if processor_name in used_processors:
+            processor = ftlqn.processors[processor_name]
+            lqn.add_processor(processor.name, multiplicity=processor.multiplicity)
+    for task_name, task in ftlqn.tasks.items():
+        if task_name in used_tasks:
+            lqn.add_task(
+                task.name,
+                processor=task.processor,
+                multiplicity=task.multiplicity,
+                is_reference=task.is_reference,
+                think_time=task.think_time,
+            )
+    for entry in used_entries:
+        calls = []
+        for request in entry.requests:
+            if request.target in ftlqn.services:
+                if request.target not in configuration:
+                    raise ModelError(
+                        f"entry {entry.name!r} is in use but its service "
+                        f"{request.target!r} is not in the configuration"
+                    )
+                target = selected_target_of(ftlqn, configuration, request.target)
+            else:
+                target = request.target
+                if target not in configuration:
+                    raise ModelError(
+                        f"entry {entry.name!r} is in use but its callee "
+                        f"{target!r} is not in the configuration"
+                    )
+            calls.append(LQNCall(target=target, mean_calls=request.mean_calls))
+        lqn.add_entry(entry.name, task=entry.task, demand=entry.demand, calls=calls)
+    lqn.validate()
+    return lqn

@@ -1,0 +1,63 @@
+"""Common-cause failure events (dependent failures).
+
+The paper's earlier work [10] models "failure dependency factors" that
+correlate individual failures; the natural library form is the
+*common-cause event*: a named event with its own occurrence probability
+that, when it fires, takes down a whole set of components at once (a
+shared power feed, a rack switch, a bad deploy touching every replica).
+
+A :class:`CommonCause` integrates into the analysis as one more
+independent boolean variable whose "up" polarity means *the event has
+not occurred*:
+
+* every affected fault-graph leaf is up only while its own variable is
+  up **and** every covering event is quiet;
+* every ``know`` expression has the affected component variables
+  rewritten to ``component ∧ ¬event`` (via :meth:`Expr.replace`), so a
+  common cause that knocks out an agent silently degrades coverage too.
+
+Both state-space evaluators handle the extra variables untouched, and
+their exact agreement is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CommonCause:
+    """A shared failure mode.
+
+    Parameters
+    ----------
+    name:
+        Unique event name (its own namespace: must not collide with any
+        component or connector).
+    probability:
+        Probability that the event has occurred (is active) in the
+        steady state.
+    components:
+        Names of the components (tasks, processors, or connectors) the
+        event takes down.
+    """
+
+    name: str
+    probability: float
+    components: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ModelError(
+                f"common cause {self.name!r}: probability must be in [0, 1]"
+            )
+        if not self.components:
+            raise ModelError(
+                f"common cause {self.name!r}: must affect at least one component"
+            )
+        if len(set(self.components)) != len(self.components):
+            raise ModelError(
+                f"common cause {self.name!r}: duplicate affected components"
+            )

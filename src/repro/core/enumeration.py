@@ -1,0 +1,179 @@
+"""The paper's literal state-space scan (§5, step 4).
+
+Enumerates all 2^N up/down states of the unreliable tasks and
+processors (application and management alike, plus any connectors given
+a failure probability), evaluates knowledge-gated reconfiguration in
+each state, and accumulates the probability of every distinct
+operational configuration.
+
+The loop is organised application-components-outer /
+management-components-inner: the ``know`` expressions are partially
+evaluated at the application state once, and the fault graph is
+re-evaluated only for distinct knowledge-bit patterns.  This changes
+nothing semantically — every one of the 2^N states is still visited —
+but keeps the Python constant factor tolerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from collections.abc import Mapping
+
+from repro.booleans.expr import Expr, FALSE, TRUE
+from repro.ftlqn.fault_graph import FaultPropagationGraph
+
+
+@dataclass(frozen=True)
+class StateSpaceProblem:
+    """Inputs shared by the enumerative and factored evaluators.
+
+    Attributes
+    ----------
+    graph:
+        The fault propagation graph of the application.
+    know_exprs:
+        ``know[c, t]`` boolean expressions keyed by (component, task);
+        empty together with ``perfect=True`` for the idealised analysis.
+    perfect:
+        If True, every task knows everything (no MAMA model).
+    app_components:
+        Unreliable FTLQN components (graph leaves), in a fixed order.
+    mgmt_components:
+        Unreliable management-only variables (agent/manager tasks,
+        their processors, and any connectors with a failure
+        probability), in a fixed order.
+    fixed_up / fixed_down:
+        Variables pinned up (perfectly reliable) or down (certain to be
+        failed).
+    up_probability:
+        Probability of being operational for every unreliable variable.
+    """
+
+    graph: FaultPropagationGraph
+    know_exprs: Mapping[tuple[str, str], Expr]
+    perfect: bool
+    app_components: tuple[str, ...]
+    mgmt_components: tuple[str, ...]
+    fixed_up: frozenset[str]
+    fixed_down: frozenset[str]
+    up_probability: Mapping[str, float]
+    #: Common-cause coverage: leaf component -> the event variables that
+    #: take it down when they fire (event variable True = event has NOT
+    #: occurred, keeping "up" semantics uniform).
+    leaf_causes: Mapping[str, tuple[str, ...]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.leaf_causes is None:
+            object.__setattr__(self, "leaf_causes", {})
+
+    @property
+    def state_count(self) -> int:
+        """2^N over all unreliable entities (the paper's N)."""
+        return 2 ** (len(self.app_components) + len(self.mgmt_components))
+
+    def fixed_assignment(self) -> dict[str, bool]:
+        assignment = {name: True for name in self.fixed_up}
+        assignment.update({name: False for name in self.fixed_down})
+        return assignment
+
+    def _variable_value(self, name: str, app_state: Mapping[str, bool]) -> bool:
+        if name in app_state:
+            return app_state[name]
+        return name not in self.fixed_down
+
+    def leaf_state(self, app_state: Mapping[str, bool]) -> dict[str, bool]:
+        """Total up/down state of the fault-graph leaves.
+
+        A leaf is up iff its own variable is up and no common-cause
+        event covering it has fired.
+        """
+        state: dict[str, bool] = {}
+        for leaf in self.graph.leaves():
+            name = leaf.name
+            up = self._variable_value(name, app_state)
+            if up:
+                for event in self.leaf_causes.get(name, ()):
+                    if not self._variable_value(event, app_state):
+                        up = False
+                        break
+            state[name] = up
+        return state
+
+
+def _state_probability(
+    names: tuple[str, ...],
+    bits: tuple[bool, ...],
+    up_probability: Mapping[str, float],
+) -> float:
+    probability = 1.0
+    for name, up in zip(names, bits):
+        p_up = up_probability[name]
+        probability *= p_up if up else 1.0 - p_up
+    return probability
+
+
+def enumerate_configurations(
+    problem: StateSpaceProblem,
+) -> dict[frozenset[str] | None, float]:
+    """Exact configuration probabilities by full 2^N enumeration."""
+    accumulator: dict[frozenset[str] | None, float] = {}
+    fixed = problem.fixed_assignment()
+    pairs = list(problem.know_exprs)
+
+    for app_bits in product((True, False), repeat=len(problem.app_components)):
+        app_state = dict(zip(problem.app_components, app_bits))
+        p_app = _state_probability(
+            problem.app_components, app_bits, problem.up_probability
+        )
+        if p_app == 0.0:
+            continue
+        leaf_state = problem.leaf_state(app_state)
+
+        substitution = {**fixed, **app_state}
+        reduced: dict[tuple[str, str], Expr] = {
+            pair: expr.substitute(substitution)
+            for pair, expr in problem.know_exprs.items()
+        }
+
+        config_memo: dict[tuple[bool, ...], frozenset[str] | None] = {}
+        for mgmt_bits in product(
+            (True, False), repeat=len(problem.mgmt_components)
+        ):
+            p_mgmt = _state_probability(
+                problem.mgmt_components, mgmt_bits, problem.up_probability
+            )
+            if p_mgmt == 0.0:
+                continue
+            mgmt_state = dict(zip(problem.mgmt_components, mgmt_bits))
+            if problem.perfect:
+                bits: tuple[bool, ...] = ()
+            else:
+                bits = tuple(
+                    expr is TRUE
+                    or (expr is not FALSE and expr.evaluate(mgmt_state))
+                    for expr in (reduced[pair] for pair in pairs)
+                )
+            configuration = config_memo.get(bits, _UNSET)
+            if configuration is _UNSET:
+                know_bits = dict(zip(pairs, bits))
+                know = (
+                    _always_true
+                    if problem.perfect
+                    else lambda c, t: know_bits[(c, t)]
+                )
+                configuration = problem.graph.evaluate(
+                    leaf_state, know
+                ).configuration
+                config_memo[bits] = configuration
+            accumulator[configuration] = (
+                accumulator.get(configuration, 0.0) + p_app * p_mgmt
+            )
+    return accumulator
+
+
+_UNSET = object()
+
+
+def _always_true(component: str, task: str) -> bool:
+    return True

@@ -1,0 +1,345 @@
+"""The end-to-end performability algorithm of §5.
+
+:class:`PerformabilityAnalyzer` composes the substrates:
+
+FTLQN model → fault propagation graph (§3)
+MAMA model → knowledge propagation graph → ``know`` expressions (§4)
+state-space scan (enumerative §5 or factored §7) → configurations + probabilities
+configuration → ordinary LQN → solver → throughputs → reward (§5 step 5)
+expected reward rate = Σ R_i · Prob(C_i) (§5 step 6)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.booleans.expr import Expr, Var, all_of
+from repro.core.configuration import configuration_to_lqn
+from repro.core.dependency import CommonCause
+from repro.core.enumeration import (
+    StateSpaceProblem,
+    enumerate_configurations,
+)
+from repro.core.factored import factored_configurations
+from repro.core.results import ConfigurationRecord, PerformabilityResult
+from repro.core.rewards import RewardFunction, weighted_throughput_reward
+from repro.errors import ModelError
+from repro.ftlqn.fault_graph import build_fault_graph
+from repro.ftlqn.model import FTLQNModel
+from repro.lqn.results import LQNResults
+from repro.lqn.solver import solve_lqn
+from repro.mama.knowledge import KnowledgeGraph
+from repro.mama.model import ComponentKind, MAMAModel
+
+
+class PerformabilityAnalyzer:
+    """Coverage-aware performability of a layered system.
+
+    Parameters
+    ----------
+    ftlqn:
+        The layered application model.
+    mama:
+        The fault-management architecture; ``None`` analyses the
+        idealised perfect-knowledge system of [8, 10].
+    failure_probs:
+        Steady-state failure probability per component name (tasks,
+        processors — application and management — and, optionally,
+        MAMA connectors).  Names absent from the mapping are perfectly
+        reliable.  A probability of 1.0 pins a component down (useful
+        for what-if analyses).
+    reward:
+        Reward function for operational configurations; defaults to the
+        unweighted sum of user-group throughputs.  The failed
+        configuration always has reward 0.
+    common_causes:
+        Optional shared failure modes (see
+        :class:`repro.core.dependency.CommonCause`): each event is an
+        extra independent variable taking down all its components at
+        once, in both the application and the knowledge analysis.
+
+    Example
+    -------
+    See ``examples/quickstart.py`` for a complete walk-through on the
+    paper's Figure 1 system.
+    """
+
+    def __init__(
+        self,
+        ftlqn: FTLQNModel,
+        mama: MAMAModel | None = None,
+        *,
+        failure_probs: Mapping[str, float] | None = None,
+        reward: RewardFunction | None = None,
+        common_causes: list[CommonCause] | tuple[CommonCause, ...] = (),
+    ):
+        ftlqn.validated()
+        self._ftlqn = ftlqn
+        self._mama = mama
+        self._common_causes = tuple(common_causes)
+        self._failure_probs = dict(failure_probs or {})
+        for name, probability in self._failure_probs.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ModelError(
+                    f"failure probability of {name!r} must be in [0, 1], "
+                    f"got {probability}"
+                )
+        self._graph = build_fault_graph(ftlqn)
+        if reward is None:
+            reward = weighted_throughput_reward(
+                {task.name: 1.0 for task in ftlqn.reference_tasks()}
+            )
+        self._reward = reward
+        self._problem = self._build_problem()
+        self._lqn_cache: dict[frozenset[str], LQNResults] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_graph(self):
+        """The derived fault propagation graph."""
+        return self._graph
+
+    @property
+    def problem(self) -> StateSpaceProblem:
+        """The prepared state-space problem (for inspection/testing)."""
+        return self._problem
+
+    def _build_problem(self) -> StateSpaceProblem:
+        ftlqn_names = set(self._ftlqn.component_names())
+        know_exprs: dict[tuple[str, str], Expr] = {}
+        mama_names: set[str] = set()
+        connector_names: set[str] = set()
+
+        if self._mama is not None:
+            self._check_cross_model_names(ftlqn_names)
+            knowledge = KnowledgeGraph(self._mama)
+            pairs = self._graph.required_know_pairs()
+            missing = sorted(
+                {c for c, _ in pairs if c not in self._mama.components}
+            )
+            if missing:
+                raise ModelError(
+                    "the MAMA model does not cover the components "
+                    f"{missing}, whose state the reconfiguration decisions "
+                    "need (they support a service target).  Add them to "
+                    "the architecture — links and processors as "
+                    "alive-watched processor-kind components, tasks as "
+                    "monitored application tasks."
+                )
+            know_exprs = dict(knowledge.know_table(pairs))
+            mama_names = set(self._mama.components)
+            connector_names = set(self._mama.connectors)
+
+        universe = ftlqn_names | mama_names | connector_names
+        unknown = [
+            name for name in self._failure_probs if name not in universe
+        ]
+        if unknown:
+            raise ModelError(
+                f"failure_probs mention unknown components: {sorted(unknown)}"
+            )
+
+        cause_probability, leaf_causes, app_events, mgmt_events = (
+            self._resolve_common_causes(universe, ftlqn_names, know_exprs)
+        )
+
+        app_components: list[str] = []
+        mgmt_components: list[str] = []
+        fixed_up: set[str] = set()
+        fixed_down: set[str] = set()
+        up_probability: dict[str, float] = {}
+
+        for name in sorted(universe):
+            p_fail = self._failure_probs.get(name, 0.0)
+            if p_fail == 0.0:
+                fixed_up.add(name)
+            elif p_fail == 1.0:
+                fixed_down.add(name)
+            else:
+                up_probability[name] = 1.0 - p_fail
+                if name in ftlqn_names:
+                    app_components.append(name)
+                else:
+                    mgmt_components.append(name)
+
+        for name, p_occur in cause_probability.items():
+            if p_occur == 0.0:
+                fixed_up.add(name)
+            elif p_occur == 1.0:
+                fixed_down.add(name)
+            else:
+                up_probability[name] = 1.0 - p_occur
+                if name in app_events:
+                    app_components.append(name)
+                else:
+                    mgmt_components.append(name)
+
+        return StateSpaceProblem(
+            graph=self._graph,
+            know_exprs=know_exprs,
+            perfect=self._mama is None,
+            app_components=tuple(app_components),
+            mgmt_components=tuple(mgmt_components),
+            fixed_up=frozenset(fixed_up),
+            fixed_down=frozenset(fixed_down),
+            up_probability=up_probability,
+            leaf_causes=leaf_causes,
+        )
+
+    def _resolve_common_causes(
+        self,
+        universe: set[str],
+        ftlqn_names: set[str],
+        know_exprs: dict[tuple[str, str], Expr],
+    ) -> tuple[dict[str, float], dict[str, tuple[str, ...]], set[str], set[str]]:
+        """Validate common causes, rewrite know expressions, and return
+        (event probability, leaf->events, app-side events, mgmt-side
+        events).
+
+        An event covering any application (fault-graph) component must be
+        enumerated on the application side so that
+        :meth:`StateSpaceProblem.leaf_state` can see it; pure-management
+        events stay on the management side where the factored evaluator
+        handles them symbolically.
+        """
+        cause_probability: dict[str, float] = {}
+        component_events: dict[str, list[str]] = {}
+        app_events: set[str] = set()
+        mgmt_events: set[str] = set()
+
+        for cause in self._common_causes:
+            if cause.name in universe or cause.name in cause_probability:
+                raise ModelError(
+                    f"common cause name {cause.name!r} collides with an "
+                    "existing component, connector or event"
+                )
+            missing = [c for c in cause.components if c not in universe]
+            if missing:
+                raise ModelError(
+                    f"common cause {cause.name!r} affects unknown "
+                    f"components: {sorted(missing)}"
+                )
+            cause_probability[cause.name] = cause.probability
+            touches_application = False
+            for component in cause.components:
+                component_events.setdefault(component, []).append(cause.name)
+                if component in ftlqn_names:
+                    touches_application = True
+            (app_events if touches_application else mgmt_events).add(cause.name)
+
+        if component_events and know_exprs:
+            replacement = {
+                component: all_of(
+                    [Var(component)] + [Var(event) for event in events]
+                )
+                for component, events in component_events.items()
+            }
+            for pair, expr in know_exprs.items():
+                know_exprs[pair] = expr.replace(replacement)
+
+        leaf_names = {leaf.name for leaf in self._graph.leaves()}
+        leaf_causes = {
+            component: tuple(events)
+            for component, events in component_events.items()
+            if component in leaf_names
+        }
+        return cause_probability, leaf_causes, app_events, mgmt_events
+
+    def _check_cross_model_names(self, ftlqn_names: set[str]) -> None:
+        assert self._mama is not None
+        for component in self._mama.components.values():
+            if component.kind is ComponentKind.APPLICATION_TASK:
+                if component.name not in self._ftlqn.tasks:
+                    raise ModelError(
+                        f"MAMA application task {component.name!r} does not "
+                        "exist in the FTLQN model"
+                    )
+                expected = self._ftlqn.tasks[component.name].processor
+                if component.processor != expected:
+                    raise ModelError(
+                        f"MAMA places {component.name!r} on "
+                        f"{component.processor!r} but the FTLQN model hosts "
+                        f"it on {expected!r}"
+                    )
+        for connector in self._mama.connectors:
+            if connector in ftlqn_names:
+                raise ModelError(
+                    f"MAMA connector name {connector!r} collides with an "
+                    "FTLQN component name"
+                )
+
+    # ------------------------------------------------------------------
+
+    def configuration_probabilities(
+        self, *, method: str = "factored"
+    ) -> dict[frozenset[str] | None, float]:
+        """Step 4: distinct configurations and their probabilities.
+
+        ``method`` is ``"factored"`` (default; exact, avoids
+        enumerating management states) or ``"enumeration"`` (the
+        paper's literal 2^N scan).
+        """
+        if method == "enumeration":
+            return enumerate_configurations(self._problem)
+        if method == "factored":
+            return factored_configurations(self._problem)
+        raise ValueError(f"unknown method {method!r}")
+
+    def performance_of(self, configuration: frozenset[str]) -> LQNResults:
+        """Step 5: solve the LQN of one configuration (cached)."""
+        cached = self._lqn_cache.get(configuration)
+        if cached is None:
+            lqn = configuration_to_lqn(self._ftlqn, configuration)
+            cached = solve_lqn(lqn)
+            self._lqn_cache[configuration] = cached
+        return cached
+
+    def solve(self, *, method: str = "factored") -> PerformabilityResult:
+        """Run the full §5 algorithm and return the result."""
+        probabilities = self.configuration_probabilities(method=method)
+
+        records: list[ConfigurationRecord] = []
+        expected = 0.0
+        reference_names = [t.name for t in self._ftlqn.reference_tasks()]
+        for configuration, probability in probabilities.items():
+            if configuration is None:
+                records.append(
+                    ConfigurationRecord(
+                        configuration=None,
+                        probability=probability,
+                        reward=0.0,
+                    )
+                )
+                continue
+            results = self.performance_of(configuration)
+            reward = self._reward(configuration, results)
+            if not math.isfinite(reward):
+                raise ModelError(
+                    f"reward function returned {reward!r} for configuration "
+                    f"{sorted(configuration)}"
+                )
+            throughputs = {
+                name: results.task_throughputs.get(name, 0.0)
+                for name in reference_names
+            }
+            records.append(
+                ConfigurationRecord(
+                    configuration=configuration,
+                    probability=probability,
+                    reward=reward,
+                    throughputs=throughputs,
+                )
+            )
+            expected += probability * reward
+
+        records.sort(
+            key=lambda r: (r.is_failed, -r.probability, r.label())
+        )
+        return PerformabilityResult(
+            records=tuple(records),
+            expected_reward=expected,
+            state_count=self._problem.state_count,
+            method=method,
+        )

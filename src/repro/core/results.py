@@ -1,0 +1,99 @@
+"""Result containers for performability analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+
+@dataclass(frozen=True)
+class ConfigurationRecord:
+    """One distinct operational configuration with its statistics.
+
+    Attributes
+    ----------
+    configuration:
+        The frozenset of in-use entry/service node names; ``None`` for
+        the system-failed configuration.
+    probability:
+        Steady-state probability of the system operating in this
+        configuration.
+    reward:
+        Reward rate assigned to the configuration (0 for failed).
+    throughputs:
+        Per-reference-task throughput in this configuration (empty for
+        failed).
+    """
+
+    configuration: frozenset[str] | None
+    probability: float
+    reward: float
+    throughputs: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def is_failed(self) -> bool:
+        return self.configuration is None
+
+    def label(self) -> str:
+        """Human-readable single-line description."""
+        if self.configuration is None:
+            return "System Failed"
+        return "{" + ", ".join(sorted(self.configuration)) + "}"
+
+
+@dataclass(frozen=True)
+class PerformabilityResult:
+    """Full output of :class:`repro.core.PerformabilityAnalyzer`.
+
+    Attributes
+    ----------
+    records:
+        One record per distinct configuration (failed included), sorted
+        by decreasing probability with the failed record last.
+    expected_reward:
+        Σ_i R_i · Prob(C_i) — the paper's performability measure.
+    state_count:
+        Size of the state space scanned (2^N for the enumerative
+        method; also 2^N for the factored method, which covers the same
+        space symbolically).
+    method:
+        ``"enumeration"`` or ``"factored"``.
+    """
+
+    records: tuple[ConfigurationRecord, ...]
+    expected_reward: float
+    state_count: int
+    method: str
+
+    @property
+    def failed_probability(self) -> float:
+        """Probability that the system is not operational."""
+        for record in self.records:
+            if record.is_failed:
+                return record.probability
+        return 0.0
+
+    @property
+    def operational_records(self) -> tuple[ConfigurationRecord, ...]:
+        return tuple(r for r in self.records if not r.is_failed)
+
+    def probability_of(self, configuration: frozenset[str] | None) -> float:
+        """Probability of one configuration (0.0 if never reached)."""
+        for record in self.records:
+            if record.configuration == configuration:
+                return record.probability
+        return 0.0
+
+    def total_probability(self) -> float:
+        """Sanity measure: should always be 1 up to rounding."""
+        return sum(record.probability for record in self.records)
+
+    def average_throughput(self, task: str) -> float:
+        """Probability-weighted mean throughput of a reference task.
+
+        Reproduces the paper's "Average UserA/UserB throughput" rows.
+        """
+        return sum(
+            record.probability * record.throughputs.get(task, 0.0)
+            for record in self.records
+        )

@@ -1,0 +1,40 @@
+"""Reward functions for performability analysis (§5 step 5, §6.3).
+
+A reward function maps ``(configuration, lqn_results)`` to a scalar
+reward rate.  ``configuration`` is the frozenset of in-use node names
+(never ``None`` — the failed configuration always has reward 0 and is
+not passed to reward functions).  ``lqn_results`` is the solved
+performance model for that configuration.
+
+The paper's §6.3 reward is the weighted sum of user-group throughputs
+R_i = Σ_j w_j · f_{i,j}; :func:`weighted_throughput_reward` builds it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.lqn.results import LQNResults
+
+RewardFunction = Callable[[frozenset[str], LQNResults], float]
+
+
+def weighted_throughput_reward(weights: Mapping[str, float]) -> RewardFunction:
+    """R_i = Σ_j w_j · f_{i,j} over the reference tasks named in ``weights``.
+
+    Reference tasks absent from a configuration (failed user groups)
+    contribute zero.
+    """
+
+    def reward(configuration: frozenset[str], results: LQNResults) -> float:
+        total = 0.0
+        for task, weight in weights.items():
+            total += weight * results.task_throughputs.get(task, 0.0)
+        return total
+
+    return reward
+
+
+def total_reference_throughput(reference_tasks: Iterable[str]) -> RewardFunction:
+    """Unweighted total throughput of the named user groups (w_j = 1)."""
+    return weighted_throughput_reward({name: 1.0 for name in reference_tasks})

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Sub-types distinguish the
+phase in which a problem was detected:
+
+* :class:`ModelError` — a model object is structurally invalid (duplicate
+  names, dangling references, forbidden connector roles, request cycles).
+* :class:`SolverError` — a numerical procedure failed (no convergence,
+  singular generator, empty customer population where one is required).
+* :class:`SerializationError` — malformed input while loading a model from
+  its JSON form.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A model is structurally invalid.
+
+    Raised by builders and validators when a model violates the
+    well-formedness rules of the paper (e.g. an FTLQN request cycle, a
+    processor connected in a role other than *monitored*, or an entry that
+    references an unknown task).
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a result."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exceeded its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last observed convergence residual.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SerializationError(ReproError):
+    """A model file or JSON document could not be parsed into a model."""

@@ -1,0 +1,48 @@
+"""Reproduction of the paper's evaluation (§6).
+
+* :mod:`repro.experiments.figure1` — the two-department client-server
+  system of Figure 1 (FTLQN model, demands, failure probabilities).
+* :mod:`repro.experiments.architectures` — the four fault-management
+  architectures of Figures 7–10 with the paper's exact component and
+  connector names, plus the perfect-knowledge baseline.
+* :mod:`repro.experiments.table1` / :mod:`~repro.experiments.table2` /
+  :mod:`~repro.experiments.figure11` / :mod:`~repro.experiments.statespace`
+  — one module per table/figure, each returning plain dataclasses.
+* :mod:`repro.experiments.reporting` — text renderings of the tables.
+"""
+
+from repro.experiments.figure1 import (
+    APPLICATION_FAILURE_PROBABILITY,
+    MANAGEMENT_FAILURE_PROBABILITY,
+    figure1_failure_probs,
+    figure1_system,
+)
+from repro.experiments.architectures import (
+    ARCHITECTURE_BUILDERS,
+    centralized_mama,
+    distributed_mama,
+    hierarchical_mama,
+    network_mama,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.statespace import run_statespace
+from repro.experiments.sensitivity import run_sensitivity
+
+__all__ = [
+    "APPLICATION_FAILURE_PROBABILITY",
+    "ARCHITECTURE_BUILDERS",
+    "MANAGEMENT_FAILURE_PROBABILITY",
+    "centralized_mama",
+    "distributed_mama",
+    "figure1_failure_probs",
+    "figure1_system",
+    "hierarchical_mama",
+    "network_mama",
+    "run_figure11",
+    "run_sensitivity",
+    "run_statespace",
+    "run_table1",
+    "run_table2",
+]

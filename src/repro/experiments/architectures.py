@@ -1,0 +1,196 @@
+"""The four MAMA architectures of Figures 7–10, reconstructed exactly.
+
+Component inventories are pinned by the paper's §6.3 state-space sizes
+(2^14, 2^16, 2^18, 2^16 for centralized/distributed/hierarchical/network
+on top of the 2^8 application states), and the centralized connector
+names c1..c16 are pinned by the worked ``know`` functions of §6.2.
+
+In every architecture each application task has a local agent
+(alive-watching it); agents report by status-watch to their manager;
+managers alive-watch the processors of their remote agents (remote-watch
+rule); reconfiguration notifications flow manager → agent → application
+task for the deciding tasks AppA and AppB.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.mama.model import MAMAModel
+
+
+def _add_application_side(model: MAMAModel) -> None:
+    """Application tasks, their processors, and the four local agents."""
+    for processor in ("proc1", "proc2", "proc3", "proc4"):
+        model.add_processor(processor)
+    model.add_application_task("AppA", processor="proc1")
+    model.add_application_task("AppB", processor="proc2")
+    model.add_application_task("Server1", processor="proc3")
+    model.add_application_task("Server2", processor="proc4")
+    model.add_agent("ag1", processor="proc1")
+    model.add_agent("ag2", processor="proc2")
+    model.add_agent("ag3", processor="proc3")
+    model.add_agent("ag4", processor="proc4")
+
+
+def centralized_mama() -> MAMAModel:
+    """Figure 7: a single central manager m1 on proc5.
+
+    Connector names follow §6.2's worked ``know`` functions: c3 is the
+    alive-watch of Server1 by ag3, c8 the status-watch of ag3 by m1,
+    c13 the notify m1 → ag1, c5 the notify ag1 → AppA, and so on.
+    """
+    model = MAMAModel(name="centralized")
+    _add_application_side(model)
+    model.add_processor("proc5")
+    model.add_manager("m1", processor="proc5")
+
+    model.add_alive_watch("c1", monitored="AppA", monitor="ag1")
+    model.add_alive_watch("c2", monitored="AppB", monitor="ag2")
+    model.add_alive_watch("c3", monitored="Server1", monitor="ag3")
+    model.add_alive_watch("c4", monitored="Server2", monitor="ag4")
+    model.add_notify("c5", notifier="ag1", subscriber="AppA")
+    model.add_notify("c6", notifier="ag2", subscriber="AppB")
+    model.add_alive_watch("c7", monitored="proc3", monitor="m1")
+    model.add_status_watch("c8", monitored="ag3", monitor="m1")
+    model.add_alive_watch("c9", monitored="proc4", monitor="m1")
+    model.add_status_watch("c10", monitored="ag4", monitor="m1")
+    model.add_alive_watch("c11", monitored="proc1", monitor="m1")
+    model.add_status_watch("c12", monitored="ag1", monitor="m1")
+    model.add_notify("c13", notifier="m1", subscriber="ag1")
+    model.add_alive_watch("c14", monitored="proc2", monitor="m1")
+    model.add_status_watch("c15", monitored="ag2", monitor="m1")
+    model.add_notify("c16", notifier="m1", subscriber="ag2")
+    return model.validated()
+
+
+def distributed_mama() -> MAMAModel:
+    """Figure 8: peer domain managers dm1 (AppA/Server1 domain, proc5)
+    and dm2 (AppB/Server2 domain, proc6), linked by notify connectors."""
+    model = MAMAModel(name="distributed")
+    _add_application_side(model)
+    model.add_processor("proc5")
+    model.add_processor("proc6")
+    model.add_manager("dm1", processor="proc5")
+    model.add_manager("dm2", processor="proc6")
+
+    model.add_alive_watch("aw.AppA", monitored="AppA", monitor="ag1")
+    model.add_alive_watch("aw.AppB", monitored="AppB", monitor="ag2")
+    model.add_alive_watch("aw.Server1", monitored="Server1", monitor="ag3")
+    model.add_alive_watch("aw.Server2", monitored="Server2", monitor="ag4")
+
+    model.add_status_watch("sw.ag1", monitored="ag1", monitor="dm1")
+    model.add_status_watch("sw.ag3", monitored="ag3", monitor="dm1")
+    model.add_status_watch("sw.ag2", monitored="ag2", monitor="dm2")
+    model.add_status_watch("sw.ag4", monitored="ag4", monitor="dm2")
+
+    model.add_alive_watch("aw.proc1", monitored="proc1", monitor="dm1")
+    model.add_alive_watch("aw.proc3", monitored="proc3", monitor="dm1")
+    model.add_alive_watch("aw.proc2", monitored="proc2", monitor="dm2")
+    model.add_alive_watch("aw.proc4", monitored="proc4", monitor="dm2")
+
+    model.add_notify("ntfy.dm1-dm2", notifier="dm1", subscriber="dm2")
+    model.add_notify("ntfy.dm2-dm1", notifier="dm2", subscriber="dm1")
+
+    model.add_notify("ntfy.dm1-ag1", notifier="dm1", subscriber="ag1")
+    model.add_notify("ntfy.ag1-AppA", notifier="ag1", subscriber="AppA")
+    model.add_notify("ntfy.dm2-ag2", notifier="dm2", subscriber="ag2")
+    model.add_notify("ntfy.ag2-AppB", notifier="ag2", subscriber="AppB")
+    return model.validated()
+
+
+def hierarchical_mama() -> MAMAModel:
+    """Figure 9: domain managers dm1 (proc5) and dm2 (proc6) coordinated
+    by the manager-of-managers mom1 (proc7); no direct dm1–dm2 link."""
+    model = MAMAModel(name="hierarchical")
+    _add_application_side(model)
+    model.add_processor("proc5")
+    model.add_processor("proc6")
+    model.add_processor("proc7")
+    model.add_manager("dm1", processor="proc5")
+    model.add_manager("dm2", processor="proc6")
+    model.add_manager("mom1", processor="proc7")
+
+    model.add_alive_watch("aw.AppA", monitored="AppA", monitor="ag1")
+    model.add_alive_watch("aw.AppB", monitored="AppB", monitor="ag2")
+    model.add_alive_watch("aw.Server1", monitored="Server1", monitor="ag3")
+    model.add_alive_watch("aw.Server2", monitored="Server2", monitor="ag4")
+
+    model.add_status_watch("sw.ag1", monitored="ag1", monitor="dm1")
+    model.add_status_watch("sw.ag3", monitored="ag3", monitor="dm1")
+    model.add_status_watch("sw.ag2", monitored="ag2", monitor="dm2")
+    model.add_status_watch("sw.ag4", monitored="ag4", monitor="dm2")
+
+    model.add_alive_watch("aw.proc1", monitored="proc1", monitor="dm1")
+    model.add_alive_watch("aw.proc3", monitored="proc3", monitor="dm1")
+    model.add_alive_watch("aw.proc2", monitored="proc2", monitor="dm2")
+    model.add_alive_watch("aw.proc4", monitored="proc4", monitor="dm2")
+
+    model.add_status_watch("sw.dm1", monitored="dm1", monitor="mom1")
+    model.add_status_watch("sw.dm2", monitored="dm2", monitor="mom1")
+    model.add_alive_watch("aw.proc5", monitored="proc5", monitor="mom1")
+    model.add_alive_watch("aw.proc6", monitored="proc6", monitor="mom1")
+    model.add_notify("ntfy.mom1-dm1", notifier="mom1", subscriber="dm1")
+    model.add_notify("ntfy.mom1-dm2", notifier="mom1", subscriber="dm2")
+
+    model.add_notify("ntfy.dm1-ag1", notifier="dm1", subscriber="ag1")
+    model.add_notify("ntfy.ag1-AppA", notifier="ag1", subscriber="AppA")
+    model.add_notify("ntfy.dm2-ag2", notifier="dm2", subscriber="ag2")
+    model.add_notify("ntfy.ag2-AppB", notifier="ag2", subscriber="AppB")
+    return model.validated()
+
+
+def network_mama() -> MAMAModel:
+    """Figure 10: server-domain managers dm1 (Server1, on proc3) and dm2
+    (Server2, on proc4) status-watched by two integrated managers im1
+    (AppA's, on proc1) and im2 (AppB's, on proc2).
+
+    The paper's figure shows no dedicated manager processors, and the
+    §6.3 state-space size (2^16) confirms the managers share the
+    application processors.
+    """
+    model = MAMAModel(name="network")
+    _add_application_side(model)
+    model.add_manager("dm1", processor="proc3")
+    model.add_manager("dm2", processor="proc4")
+    model.add_manager("im1", processor="proc1")
+    model.add_manager("im2", processor="proc2")
+
+    model.add_alive_watch("aw.AppA", monitored="AppA", monitor="ag1")
+    model.add_alive_watch("aw.AppB", monitored="AppB", monitor="ag2")
+    model.add_alive_watch("aw.Server1", monitored="Server1", monitor="ag3")
+    model.add_alive_watch("aw.Server2", monitored="Server2", monitor="ag4")
+
+    model.add_status_watch("sw.ag3", monitored="ag3", monitor="dm1")
+    model.add_status_watch("sw.ag4", monitored="ag4", monitor="dm2")
+    model.add_status_watch("sw.ag1", monitored="ag1", monitor="im1")
+    model.add_status_watch("sw.ag2", monitored="ag2", monitor="im2")
+
+    for integrated in ("im1", "im2"):
+        model.add_status_watch(
+            f"sw.dm1-{integrated}", monitored="dm1", monitor=integrated
+        )
+        model.add_status_watch(
+            f"sw.dm2-{integrated}", monitored="dm2", monitor=integrated
+        )
+        model.add_alive_watch(
+            f"aw.proc3-{integrated}", monitored="proc3", monitor=integrated
+        )
+        model.add_alive_watch(
+            f"aw.proc4-{integrated}", monitored="proc4", monitor=integrated
+        )
+
+    model.add_notify("ntfy.im1-ag1", notifier="im1", subscriber="ag1")
+    model.add_notify("ntfy.ag1-AppA", notifier="ag1", subscriber="AppA")
+    model.add_notify("ntfy.im2-ag2", notifier="im2", subscriber="ag2")
+    model.add_notify("ntfy.ag2-AppB", notifier="ag2", subscriber="AppB")
+    return model.validated()
+
+
+#: Architecture name → builder, in the paper's presentation order.
+ARCHITECTURE_BUILDERS: dict[str, Callable[[], MAMAModel]] = {
+    "centralized": centralized_mama,
+    "distributed": distributed_mama,
+    "hierarchical": hierarchical_mama,
+    "network": network_mama,
+}

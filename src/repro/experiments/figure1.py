@@ -1,0 +1,110 @@
+"""The paper's Figure 1 system.
+
+Two groups of users (50 UserA, 100 UserB) access departmental
+applications (AppA, AppB) which use an enterprise data service with a
+primary (Server1) and a backup (Server2).  Mean host demands (seconds):
+eA = 1, eB = 0.5, eA-1 = 1, eB-1 = 0.5, eA-2 = 1, eB-2 = 0.5; one
+request per invocation along every arrow.
+
+Failure probabilities (§6.1): every application task and processor has
+independent failure probability 0.1 except UserA, UserB, procA and
+procB, which are perfectly reliable; every agent and manager (and its
+processor) has probability 0.1.
+"""
+
+from __future__ import annotations
+
+from repro.ftlqn.model import FTLQNModel, Request
+from repro.mama.model import MAMAModel
+
+#: §6.1: independent failure probability of application tasks/processors.
+APPLICATION_FAILURE_PROBABILITY = 0.1
+#: §6.3: independent failure probability of agents and managers.
+MANAGEMENT_FAILURE_PROBABILITY = 0.1
+
+#: Application components that can fail (UserA/UserB/procA/procB are
+#: perfectly reliable).
+UNRELIABLE_APPLICATION_COMPONENTS = (
+    "AppA",
+    "AppB",
+    "Server1",
+    "Server2",
+    "proc1",
+    "proc2",
+    "proc3",
+    "proc4",
+)
+
+
+def figure1_system(
+    *,
+    users_a: int = 50,
+    users_b: int = 100,
+    demand_scale: float = 1.0,
+) -> FTLQNModel:
+    """Build the Figure 1 FTLQN model.
+
+    ``demand_scale`` multiplies every host demand (useful for
+    sensitivity experiments); the paper's values correspond to 1.0.
+    """
+    model = FTLQNModel(name="figure1")
+    for processor in ("procA", "procB", "proc1", "proc2", "proc3", "proc4"):
+        model.add_processor(processor)
+
+    model.add_task(
+        "UserA", processor="procA", multiplicity=users_a, is_reference=True
+    )
+    model.add_task(
+        "UserB", processor="procB", multiplicity=users_b, is_reference=True
+    )
+    model.add_task("AppA", processor="proc1")
+    model.add_task("AppB", processor="proc2")
+    model.add_task("Server1", processor="proc3")
+    model.add_task("Server2", processor="proc4")
+
+    model.add_entry("eA-1", task="Server1", demand=1.0 * demand_scale)
+    model.add_entry("eB-1", task="Server1", demand=0.5 * demand_scale)
+    model.add_entry("eA-2", task="Server2", demand=1.0 * demand_scale)
+    model.add_entry("eB-2", task="Server2", demand=0.5 * demand_scale)
+
+    model.add_service("serviceA", targets=["eA-1", "eA-2"])
+    model.add_service("serviceB", targets=["eB-1", "eB-2"])
+
+    model.add_entry(
+        "eA", task="AppA", demand=1.0 * demand_scale,
+        requests=[Request("serviceA")],
+    )
+    model.add_entry(
+        "eB", task="AppB", demand=0.5 * demand_scale,
+        requests=[Request("serviceB")],
+    )
+    model.add_entry("userA", task="UserA", requests=[Request("eA")])
+    model.add_entry("userB", task="UserB", requests=[Request("eB")])
+    return model.validated()
+
+
+def figure1_failure_probs(
+    mama: MAMAModel | None = None,
+    *,
+    application: float = APPLICATION_FAILURE_PROBABILITY,
+    management: float = MANAGEMENT_FAILURE_PROBABILITY,
+) -> dict[str, float]:
+    """Failure probabilities for the Figure 1 system (§6.1/§6.3).
+
+    When a MAMA model is given, every management-only component (agents,
+    managers and their dedicated processors) receives the management
+    probability; application tasks/processors keep the application one.
+    """
+    probs = {
+        name: application for name in UNRELIABLE_APPLICATION_COMPONENTS
+    }
+    if mama is not None:
+        for component in mama.components.values():
+            if component.name not in probs and component.name not in (
+                "UserA",
+                "UserB",
+                "procA",
+                "procB",
+            ):
+                probs[component.name] = management
+    return probs

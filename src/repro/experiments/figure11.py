@@ -1,0 +1,110 @@
+"""Figure 11 — expected steady-state reward rate versus the weight of
+UserB relative to UserA, for the four management architectures (§6.3).
+
+The reward of configuration C_i is R_i = w_A·f_{i,UserA} + w_B·f_{i,UserB};
+the figure fixes w_A = 1 and sweeps w_B.  The paper observes that the
+expected reward decreases in the order distributed, network,
+centralized, hierarchical as w_B grows (the distributed curve depends
+on the paper's anomalous distributed probability column — see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core import PerformabilityAnalyzer
+from repro.core.rewards import weighted_throughput_reward
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+
+#: Default w_B sweep (w_A is fixed at 1).
+DEFAULT_WEIGHTS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class Figure11Series:
+    """One curve: expected reward rate per w_B value."""
+
+    architecture: str
+    weights_b: tuple[float, ...]
+    expected_rewards: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class Figure11:
+    """All four curves plus the perfect-knowledge reference."""
+
+    series: tuple[Figure11Series, ...]
+
+    def series_for(self, architecture: str) -> Figure11Series:
+        for entry in self.series:
+            if entry.architecture == architecture:
+                return entry
+        raise KeyError(architecture)
+
+    def ordering_at(self, weight_b: float) -> list[str]:
+        """Architectures sorted by decreasing expected reward at w_B."""
+        values: list[tuple[float, str]] = []
+        for entry in self.series:
+            if entry.architecture == "perfect":
+                continue
+            index = entry.weights_b.index(weight_b)
+            values.append((entry.expected_rewards[index], entry.architecture))
+        values.sort(reverse=True)
+        return [name for _, name in values]
+
+
+def run_figure11(
+    *,
+    weights_b: Sequence[float] = DEFAULT_WEIGHTS,
+    method: str = "factored",
+    include_perfect: bool = True,
+) -> Figure11:
+    """Sweep w_B and compute the expected reward for each architecture.
+
+    The configuration probabilities and per-configuration throughputs
+    are computed once per architecture; only the reward weighting
+    changes along the sweep.
+    """
+    ftlqn = figure1_system()
+    series: list[Figure11Series] = []
+
+    builders: dict[str, object] = {}
+    if include_perfect:
+        builders["perfect"] = None
+    builders.update(ARCHITECTURE_BUILDERS)
+
+    for name, builder in builders.items():
+        mama = builder() if builder is not None else None
+        analyzer = PerformabilityAnalyzer(
+            ftlqn, mama, failure_probs=figure1_failure_probs(mama)
+        )
+        result = analyzer.solve(method=method)
+        rewards = []
+        for w_b in weights_b:
+            reward_fn = weighted_throughput_reward({"UserA": 1.0, "UserB": w_b})
+            expected = sum(
+                record.probability
+                * reward_fn(record.configuration, _FakeResults(record.throughputs))
+                for record in result.records
+                if record.configuration is not None
+            )
+            rewards.append(expected)
+        series.append(
+            Figure11Series(
+                architecture=name,
+                weights_b=tuple(weights_b),
+                expected_rewards=tuple(rewards),
+            )
+        )
+    return Figure11(series=tuple(series))
+
+
+class _FakeResults:
+    """Adapter presenting stored throughputs through the LQNResults
+    interface expected by reward functions."""
+
+    def __init__(self, throughputs):
+        self.task_throughputs = dict(throughputs)

@@ -1,0 +1,54 @@
+"""Fault-Tolerant Layered Queueing Networks (FTLQN).
+
+The application-side model of the paper (§2, Figure 1): layered systems
+of tasks with entries connected by blocking remote-procedure-call
+requests, where a request may target a *service* — an indirection point
+with priority-ordered alternative target entries (primary and backups).
+
+* :mod:`repro.ftlqn.model` — the entity classes and :class:`FTLQNModel`.
+* :mod:`repro.ftlqn.validation` — structural well-formedness checks.
+* :mod:`repro.ftlqn.fault_graph` — the AND-OR fault propagation graph of
+  §3 with Definition-1/Definition-2 evaluation (knowledge-gated
+  reconfiguration and operational-configuration extraction).
+* :mod:`repro.ftlqn.serialize` — JSON round-tripping.
+* :mod:`repro.ftlqn.dot` — Graphviz export for models and fault graphs.
+"""
+
+from repro.ftlqn.model import (
+    Entry,
+    FTLQNModel,
+    Link,
+    Processor,
+    Request,
+    Service,
+    Task,
+)
+from repro.ftlqn.fault_graph import (
+    Evaluation,
+    FaultNode,
+    FaultPropagationGraph,
+    NodeKind,
+    PERFECT_KNOWLEDGE,
+    build_fault_graph,
+)
+from repro.ftlqn.serialize import model_from_json, model_to_json
+from repro.ftlqn.validation import validate_model
+
+__all__ = [
+    "Entry",
+    "Evaluation",
+    "FTLQNModel",
+    "FaultNode",
+    "FaultPropagationGraph",
+    "Link",
+    "NodeKind",
+    "PERFECT_KNOWLEDGE",
+    "Processor",
+    "Request",
+    "Service",
+    "Task",
+    "build_fault_graph",
+    "model_from_json",
+    "model_to_json",
+    "validate_model",
+]

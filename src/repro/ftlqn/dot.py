@@ -1,0 +1,88 @@
+"""Graphviz (DOT) export of FTLQN models and fault propagation graphs.
+
+These functions return DOT source text; render it with any Graphviz
+installation (``dot -Tpdf``).  They exist so users can visually compare a
+model against the paper's Figure 1 and Figure 5 diagrams.
+"""
+
+from __future__ import annotations
+
+from repro.ftlqn.fault_graph import ROOT, FaultPropagationGraph, NodeKind
+from repro.ftlqn.model import FTLQNModel
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def model_to_dot(model: FTLQNModel) -> str:
+    """DOT rendering of an FTLQN model, tasks clustered by processor."""
+    lines = ["digraph ftlqn {", "  rankdir=TB;", "  node [fontsize=10];"]
+    for processor in model.processors.values():
+        lines.append(f"  subgraph cluster_{processor.name} {{")
+        lines.append(f"    label={_quote(processor.name)};")
+        for task in model.tasks.values():
+            if task.processor != processor.name:
+                continue
+            shape = "box3d" if task.is_reference else "box"
+            entry_names = ", ".join(
+                entry.name for entry in model.entries_of_task(task.name)
+            )
+            label = f"{task.name}\\n[{entry_names}]" if entry_names else task.name
+            lines.append(
+                f"    {_quote(task.name)} [shape={shape}, label={_quote(label)}];"
+            )
+        lines.append("  }")
+    for service in model.services.values():
+        lines.append(f"  {_quote(service.name)} [shape=ellipse, style=dashed];")
+    for entry in model.entries.values():
+        source_task = entry.task
+        for request in entry.requests:
+            if request.target in model.entries:
+                target = model.entries[request.target].task
+                label = f"{entry.name} -> {request.target}"
+                lines.append(
+                    f"  {_quote(source_task)} -> {_quote(target)}"
+                    f" [label={_quote(label)}];"
+                )
+            else:
+                lines.append(
+                    f"  {_quote(source_task)} -> {_quote(request.target)}"
+                    f" [label={_quote(entry.name)}];"
+                )
+    for service in model.services.values():
+        for priority, target in enumerate(service.targets, start=1):
+            target_task = model.entries[target].task
+            lines.append(
+                f"  {_quote(service.name)} -> {_quote(target_task)}"
+                f" [label={_quote(f'#{priority} {target}')}, style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_SHAPES = {
+    NodeKind.TASK: "box",
+    NodeKind.PROCESSOR: "component",
+    NodeKind.ENTRY: "ellipse",
+    NodeKind.SERVICE: "diamond",
+    NodeKind.ROOT: "point",
+}
+
+
+def fault_graph_to_dot(graph: FaultPropagationGraph) -> str:
+    """DOT rendering of a fault propagation graph (compare Figure 5)."""
+    lines = ["digraph fault_propagation {", "  rankdir=TB;", "  node [fontsize=10];"]
+    for node in graph.nodes.values():
+        label = "r" if node.name == ROOT else node.name
+        lines.append(
+            f"  {_quote(node.name)} [shape={_SHAPES[node.kind]}, label={_quote(label)}];"
+        )
+    for node in graph.nodes.values():
+        priority_labels = node.kind is NodeKind.SERVICE
+        for index, child in enumerate(node.children, start=1):
+            attrs = f" [label={_quote(f'#{index}')}]" if priority_labels else ""
+            lines.append(f"  {_quote(node.name)} -> {_quote(child)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,354 @@
+"""Fault propagation graphs (§3 of the paper).
+
+The operational dependencies of an FTLQN model form an AND-OR graph:
+
+* **leaf nodes** — one per application task and per processor;
+* **entry nodes** (AND) — an entry works iff its task, its processor and
+  everything it calls all work;
+* **service nodes** (OR with priorities) — a service works iff some
+  target entry works *and* the deciding task can actually select it
+  (Definition 1): the deciding task must know the operational state of
+  every component supporting the chosen target, and must know of the
+  failure of every higher-priority target (knowing any one failed
+  contributor of a target suffices to know that target failed);
+* a **root node** (OR) over the reference-task entries.
+
+:func:`build_fault_graph` derives the graph from a model;
+:meth:`FaultPropagationGraph.evaluate` applies Definitions 1 and 2 to a
+component up/down state under a knowledge predicate, yielding the
+operational configuration in use (or ``None`` if the system failed).
+
+The knowledge predicate has signature ``know(component, task) -> bool``
+and is evaluated *in the same system state*; pass
+:data:`PERFECT_KNOWLEDGE` to recover the idealised analysis of the
+paper's earlier work [8, 10].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ModelError
+from repro.ftlqn.model import FTLQNModel
+
+#: Name of the synthetic root node added to every fault propagation graph.
+ROOT = "__root__"
+
+#: Knowledge predicate of the idealised analysis: every task instantly
+#: knows the state of every component.
+PERFECT_KNOWLEDGE: "KnowFn" = lambda component, task: True
+
+KnowFn = Callable[[str, str], bool]
+
+
+class NodeKind(Enum):
+    """Role of a node in the AND-OR fault propagation graph."""
+
+    TASK = "task"
+    PROCESSOR = "processor"
+    LINK = "link"
+    ENTRY = "entry"
+    SERVICE = "service"
+    ROOT = "root"
+
+
+@dataclass(frozen=True)
+class FaultNode:
+    """A node of the fault propagation graph.
+
+    ``children`` are ordered; for service nodes the order is the priority
+    order of the alternative targets (index 0 = primary).  ``decider`` is
+    the task that selects among a service node's targets (t(s) in the
+    paper) and is ``None`` for other node kinds.
+    """
+
+    name: str
+    kind: NodeKind
+    children: tuple[str, ...] = ()
+    decider: str | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind in (NodeKind.TASK, NodeKind.PROCESSOR, NodeKind.LINK)
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Result of evaluating the graph in one system state.
+
+    Attributes
+    ----------
+    working:
+        Truth value of Definition 1 for every node name.
+    selected:
+        For each service node, the chosen target entry (or ``None`` when
+        the service failed or could not reconfigure).
+    configuration:
+        Definition 2 — the frozenset of working, in-use entry and service
+        node names; ``None`` when the system failed (root not working).
+    """
+
+    working: Mapping[str, bool]
+    selected: Mapping[str, str | None]
+    configuration: frozenset[str] | None
+
+    @property
+    def system_working(self) -> bool:
+        return self.configuration is not None
+
+
+class FaultPropagationGraph:
+    """An AND-OR fault propagation graph with Definition-1 evaluation."""
+
+    def __init__(self, nodes: Mapping[str, FaultNode]):
+        if ROOT not in nodes:
+            raise ModelError("fault propagation graph has no root node")
+        self._nodes = dict(nodes)
+        for node in self._nodes.values():
+            for child in node.children:
+                if child not in self._nodes:
+                    raise ModelError(
+                        f"node {node.name!r} references unknown child {child!r}"
+                    )
+        self._leaf_sets: dict[str, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Structure queries
+
+    @property
+    def nodes(self) -> Mapping[str, FaultNode]:
+        return self._nodes
+
+    @property
+    def root(self) -> FaultNode:
+        return self._nodes[ROOT]
+
+    def node(self, name: str) -> FaultNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ModelError(f"unknown fault-graph node {name!r}") from None
+
+    def leaves(self) -> list[FaultNode]:
+        """All leaf (task, processor and link) nodes."""
+        return [node for node in self._nodes.values() if node.is_leaf]
+
+    def service_nodes(self) -> list[FaultNode]:
+        """All service (OR-with-priority) nodes."""
+        return [n for n in self._nodes.values() if n.kind is NodeKind.SERVICE]
+
+    def leaf_set(self, name: str) -> frozenset[str]:
+        """L(n): the leaf nodes the named node depends on (memoised)."""
+        cached = self._leaf_sets.get(name)
+        if cached is not None:
+            return cached
+        node = self.node(name)
+        if node.is_leaf:
+            result = frozenset((name,))
+        else:
+            result = frozenset().union(
+                *(self.leaf_set(child) for child in node.children)
+            )
+        self._leaf_sets[name] = result
+        return result
+
+    def required_know_pairs(self) -> list[tuple[str, str]]:
+        """All (component, task) pairs whose ``know`` value Definition 1
+        can consult: for each service node s, each leaf of L(s) paired
+        with the deciding task t(s).  This is Step 3 of the paper's
+        performability algorithm.
+        """
+        pairs: list[tuple[str, str]] = []
+        seen: set[tuple[str, str]] = set()
+        for service in self.service_nodes():
+            assert service.decider is not None
+            for leaf in sorted(self.leaf_set(service.name)):
+                pair = (leaf, service.decider)
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Definition 1 / Definition 2 evaluation
+
+    def evaluate(self, state: Mapping[str, bool], know: KnowFn = PERFECT_KNOWLEDGE) -> Evaluation:
+        """Evaluate the graph in one up/down state of the leaf components.
+
+        Parameters
+        ----------
+        state:
+            Maps every leaf (task and processor) name to True (up) or
+            False (down).
+        know:
+            Knowledge predicate ``know(component, task)`` evaluated in
+            this same state — typically the boolean know expressions of
+            §4 partially evaluated at the state of the management
+            components.
+        """
+        working: dict[str, bool] = {}
+        selected: dict[str, str | None] = {}
+
+        def is_working(name: str) -> bool:
+            cached = working.get(name)
+            if cached is not None:
+                return cached
+            node = self._nodes[name]
+            if node.is_leaf:
+                value = bool(state[name])
+            elif node.kind is NodeKind.ENTRY:
+                value = all(is_working(child) for child in node.children)
+            elif node.kind is NodeKind.ROOT:
+                value = any(is_working(child) for child in node.children)
+            else:  # SERVICE
+                value = select_target(node)
+            working[name] = value
+            return value
+
+        def known_working(name: str, task: str) -> bool:
+            node = self._nodes[name]
+            if node.is_leaf:
+                return bool(state[name]) and know(name, task)
+            if node.kind is NodeKind.ENTRY:
+                return is_working(name) and all(
+                    known_working(child, task) for child in node.children
+                )
+            if node.kind is NodeKind.SERVICE:
+                if not is_working(name):
+                    return False
+                target = selected[name]
+                assert target is not None
+                return known_working(target, task)
+            raise ModelError(f"known_working undefined for node kind {node.kind}")
+
+        def known_failed(name: str, task: str) -> bool:
+            node = self._nodes[name]
+            if node.is_leaf:
+                return (not state[name]) and know(name, task)
+            if is_working(name):
+                return False
+            if node.kind is NodeKind.ENTRY:
+                # Knowing any one failed contributor suffices to conclude
+                # the entry (an AND) has failed.
+                return any(
+                    not is_working(child) and known_failed(child, task)
+                    for child in node.children
+                )
+            if node.kind is NodeKind.SERVICE:
+                # To know an OR failed, every alternative must be known
+                # failed.
+                return all(known_failed(child, task) for child in node.children)
+            raise ModelError(f"known_failed undefined for node kind {node.kind}")
+
+        def select_target(node: FaultNode) -> bool:
+            """Definition 1 for a service node; records the selection."""
+            assert node.decider is not None
+            decider = node.decider
+            chosen: str | None = None
+            for index, target in enumerate(node.children):
+                if not is_working(target):
+                    continue
+                # target is the highest-priority operational alternative.
+                selectable = known_working(target, decider) and all(
+                    known_failed(node.children[j], decider) for j in range(index)
+                )
+                if selectable:
+                    chosen = target
+                break  # only the first operational target can be selected
+            selected[node.name] = chosen
+            return chosen is not None
+
+        root_working = is_working(ROOT)
+        # Force evaluation of every node so `working` is total.
+        for name in self._nodes:
+            is_working(name)
+
+        configuration = self._extract_configuration(working, selected) if root_working else None
+        return Evaluation(working=working, selected=selected, configuration=configuration)
+
+    def _extract_configuration(
+        self,
+        working: Mapping[str, bool],
+        selected: Mapping[str, str | None],
+    ) -> frozenset[str]:
+        """Definition 2: working non-leaf nodes in use by the system."""
+        in_use: set[str] = set()
+        stack: list[str] = [
+            child for child in self.root.children if working[child]
+        ]
+        while stack:
+            name = stack.pop()
+            if name in in_use:
+                continue
+            node = self._nodes[name]
+            if node.is_leaf:
+                continue
+            in_use.add(name)
+            if node.kind is NodeKind.SERVICE:
+                target = selected[name]
+                if target is not None:
+                    stack.append(target)
+            else:  # ENTRY
+                for child in node.children:
+                    if not self._nodes[child].is_leaf:
+                        stack.append(child)
+        return frozenset(in_use)
+
+
+def build_fault_graph(model: FTLQNModel) -> FaultPropagationGraph:
+    """Transform an FTLQN model into its fault propagation graph (§3).
+
+    Raises
+    ------
+    ModelError
+        If a service is requested by entries of more than one task — the
+        paper's t(s) (the deciding task of a service) must be unique.
+    """
+    model.validated()
+    nodes: dict[str, FaultNode] = {}
+
+    for task in model.tasks.values():
+        nodes[task.name] = FaultNode(name=task.name, kind=NodeKind.TASK)
+    for processor in model.processors.values():
+        nodes[processor.name] = FaultNode(
+            name=processor.name, kind=NodeKind.PROCESSOR
+        )
+    for link in model.links.values():
+        nodes[link.name] = FaultNode(name=link.name, kind=NodeKind.LINK)
+
+    for entry in model.entries.values():
+        task = model.tasks[entry.task]
+        children = [task.name, task.processor]
+        children.extend(entry.depends_on)
+        children.extend(request.target for request in entry.requests)
+        nodes[entry.name] = FaultNode(
+            name=entry.name, kind=NodeKind.ENTRY, children=tuple(children)
+        )
+
+    for service in model.services.values():
+        callers = model.callers_of_service(service.name)
+        decider_tasks = {caller.task for caller in callers}
+        if not decider_tasks:
+            raise ModelError(f"service {service.name!r} has no caller")
+        if len(decider_tasks) > 1:
+            raise ModelError(
+                f"service {service.name!r} is requested by multiple tasks "
+                f"{sorted(decider_tasks)}; the deciding task t(s) must be unique"
+            )
+        nodes[service.name] = FaultNode(
+            name=service.name,
+            kind=NodeKind.SERVICE,
+            children=tuple(service.targets),
+            decider=decider_tasks.pop(),
+        )
+
+    root_children = []
+    for task in model.reference_tasks():
+        root_children.extend(entry.name for entry in model.entries_of_task(task.name))
+    if not root_children:
+        raise ModelError("model has no reference-task entries to drive the root node")
+    nodes[ROOT] = FaultNode(name=ROOT, kind=NodeKind.ROOT, children=tuple(root_children))
+
+    return FaultPropagationGraph(nodes)

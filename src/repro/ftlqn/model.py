@@ -1,0 +1,338 @@
+"""Entity classes for Fault-Tolerant Layered Queueing Network models.
+
+An :class:`FTLQNModel` is a container of named entities:
+
+* :class:`Processor` — a hardware node hosting tasks.
+* :class:`Task` — an operating-system process with one or more
+  :class:`Entry` service handlers.  *Reference* tasks model the user
+  population (the paper's ``UserA``/``UserB`` groups): their entries are
+  never called, they drive the system.
+* :class:`Entry` — a service handler with a mean host execution demand,
+  making synchronous (blocking RPC) :class:`Request`\\ s to other entries
+  or to services.
+* :class:`Service` — the paper's reconfiguration point: an abstraction
+  with priority-ordered alternative target entries (priority 1 is the
+  primary; higher numbers are backups used when earlier targets fail
+  *and* the deciding task knows it).
+
+Entities are created through the ``add_*`` methods of the model, which
+enforce name uniqueness and referential integrity eagerly; global
+properties (acyclicity, reference-task rules) are checked by
+:func:`repro.ftlqn.validation.validate_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A hardware node.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the model.
+    multiplicity:
+        Number of identical CPUs sharing the dispatch queue (≥ 1).
+    """
+
+    name: str
+    multiplicity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ModelError(f"processor {self.name!r}: multiplicity must be >= 1")
+
+
+@dataclass(frozen=True)
+class Link:
+    """A network or infrastructure element entries can depend on.
+
+    Links are pure reliability components: they carry no queueing
+    demand, but when one fails every entry that ``depends_on`` it fails
+    with it.  Use them for network segments, switches, shared volumes.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Task:
+    """An operating-system process hosted on a processor.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the model.
+    processor:
+        Name of the hosting :class:`Processor`.
+    multiplicity:
+        Number of identical threads (or, for a reference task, the user
+        population size).
+    is_reference:
+        True for user/driver tasks that originate load and are not
+        called by anyone.
+    think_time:
+        Mean delay between completing one cycle and starting the next
+        (reference tasks only; seconds).
+    """
+
+    name: str
+    processor: str
+    multiplicity: int = 1
+    is_reference: bool = False
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ModelError(f"task {self.name!r}: multiplicity must be >= 1")
+        if self.think_time < 0:
+            raise ModelError(f"task {self.name!r}: think_time must be >= 0")
+        if self.think_time > 0 and not self.is_reference:
+            raise ModelError(
+                f"task {self.name!r}: think_time is only meaningful on reference tasks"
+            )
+
+
+@dataclass(frozen=True)
+class Request:
+    """A synchronous call made by an entry.
+
+    ``target`` names either an :class:`Entry` or a :class:`Service`;
+    ``mean_calls`` is the mean number of such calls per invocation of the
+    source entry.
+    """
+
+    target: str
+    mean_calls: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_calls <= 0:
+            raise ModelError(
+                f"request to {self.target!r}: mean_calls must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A service handler embedded in a task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the model.
+    task:
+        Name of the owning :class:`Task`.
+    demand:
+        Mean total host execution demand per invocation (seconds).
+    requests:
+        Synchronous requests made per invocation.
+    depends_on:
+        Names of :class:`Link` components (network segments, shared
+        storage, …) that must be operational for this entry to work.
+        The paper notes that "network components are easily included";
+        this is how — each dependency becomes one more leaf under the
+        entry's AND node in the fault propagation graph.
+    """
+
+    name: str
+    task: str
+    demand: float = 0.0
+    requests: tuple[Request, ...] = ()
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ModelError(f"entry {self.name!r}: demand must be >= 0")
+        targets = [request.target for request in self.requests]
+        if len(set(targets)) != len(targets):
+            raise ModelError(f"entry {self.name!r}: duplicate request targets")
+        if len(set(self.depends_on)) != len(self.depends_on):
+            raise ModelError(f"entry {self.name!r}: duplicate dependencies")
+
+
+@dataclass(frozen=True)
+class Service:
+    """A reconfiguration point with priority-ordered alternative targets.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the model.
+    targets:
+        Entry names in priority order — index 0 is the ``#1`` (primary)
+        target, index 1 the ``#2`` backup, and so on.
+    """
+
+    name: str
+    targets: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ModelError(f"service {self.name!r}: needs at least one target")
+        if len(set(self.targets)) != len(self.targets):
+            raise ModelError(f"service {self.name!r}: duplicate targets")
+
+
+@dataclass
+class FTLQNModel:
+    """A Fault-Tolerant Layered Queueing Network model.
+
+    Entities are registered through the ``add_*`` methods, which validate
+    references eagerly (a task's processor must already exist, an entry's
+    task must already exist).  Requests and service targets may be
+    forward references; call
+    :func:`repro.ftlqn.validation.validate_model` (or
+    :meth:`validated`) once the model is complete.
+
+    Example
+    -------
+    >>> model = FTLQNModel(name="demo")
+    >>> _ = model.add_processor("p1")
+    >>> _ = model.add_task("client", processor="p1", is_reference=True,
+    ...                    multiplicity=10)
+    >>> _ = model.add_task("server", processor="p1")
+    >>> _ = model.add_entry("work", task="server", demand=0.01)
+    >>> _ = model.add_entry("drive", task="client",
+    ...                     requests=[Request("work")])
+    >>> model.validated() is model
+    True
+    """
+
+    name: str = "ftlqn"
+    processors: dict[str, Processor] = field(default_factory=dict)
+    links: dict[str, Link] = field(default_factory=dict)
+    tasks: dict[str, Task] = field(default_factory=dict)
+    entries: dict[str, Entry] = field(default_factory=dict)
+    services: dict[str, Service] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def _check_fresh(self, name: str) -> None:
+        for kind, table in (
+            ("processor", self.processors),
+            ("link", self.links),
+            ("task", self.tasks),
+            ("entry", self.entries),
+            ("service", self.services),
+        ):
+            if name in table:
+                raise ModelError(f"name {name!r} already used by a {kind}")
+
+    def add_processor(self, name: str, *, multiplicity: int = 1) -> Processor:
+        """Register a processor and return it."""
+        self._check_fresh(name)
+        processor = Processor(name=name, multiplicity=multiplicity)
+        self.processors[name] = processor
+        return processor
+
+    def add_link(self, name: str) -> Link:
+        """Register a network/infrastructure link component."""
+        self._check_fresh(name)
+        link = Link(name=name)
+        self.links[name] = link
+        return link
+
+    def add_task(
+        self,
+        name: str,
+        *,
+        processor: str,
+        multiplicity: int = 1,
+        is_reference: bool = False,
+        think_time: float = 0.0,
+    ) -> Task:
+        """Register a task on an existing processor and return it."""
+        self._check_fresh(name)
+        if processor not in self.processors:
+            raise ModelError(f"task {name!r}: unknown processor {processor!r}")
+        task = Task(
+            name=name,
+            processor=processor,
+            multiplicity=multiplicity,
+            is_reference=is_reference,
+            think_time=think_time,
+        )
+        self.tasks[name] = task
+        return task
+
+    def add_entry(
+        self,
+        name: str,
+        *,
+        task: str,
+        demand: float = 0.0,
+        requests: list[Request] | tuple[Request, ...] = (),
+        depends_on: list[str] | tuple[str, ...] = (),
+    ) -> Entry:
+        """Register an entry on an existing task and return it.
+
+        Request targets may reference entries or services that have not
+        been added yet; they are resolved at validation time, as are
+        the ``depends_on`` link names.
+        """
+        self._check_fresh(name)
+        if task not in self.tasks:
+            raise ModelError(f"entry {name!r}: unknown task {task!r}")
+        entry = Entry(
+            name=name,
+            task=task,
+            demand=demand,
+            requests=tuple(requests),
+            depends_on=tuple(depends_on),
+        )
+        self.entries[name] = entry
+        return entry
+
+    def add_service(self, name: str, *, targets: list[str] | tuple[str, ...]) -> Service:
+        """Register a service with priority-ordered targets and return it."""
+        self._check_fresh(name)
+        service = Service(name=name, targets=tuple(targets))
+        self.services[name] = service
+        return service
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def entries_of_task(self, task: str) -> list[Entry]:
+        """All entries owned by the named task, in insertion order."""
+        if task not in self.tasks:
+            raise ModelError(f"unknown task {task!r}")
+        return [entry for entry in self.entries.values() if entry.task == task]
+
+    def reference_tasks(self) -> list[Task]:
+        """All reference (user/driver) tasks, in insertion order."""
+        return [task for task in self.tasks.values() if task.is_reference]
+
+    def component_names(self) -> list[str]:
+        """Names of all failure-bearing entities (tasks, processors, links)."""
+        return list(self.tasks) + list(self.processors) + list(self.links)
+
+    def owner_task_of(self, entry_or_service: str) -> Task:
+        """The task hosting an entry (entries only — services have callers)."""
+        entry = self.entries.get(entry_or_service)
+        if entry is None:
+            raise ModelError(f"unknown entry {entry_or_service!r}")
+        return self.tasks[entry.task]
+
+    def callers_of_service(self, service: str) -> list[Entry]:
+        """Entries that request the named service."""
+        if service not in self.services:
+            raise ModelError(f"unknown service {service!r}")
+        return [
+            entry
+            for entry in self.entries.values()
+            if any(request.target == service for request in entry.requests)
+        ]
+
+    def validated(self) -> "FTLQNModel":
+        """Run full validation and return self (fluent helper)."""
+        from repro.ftlqn.validation import validate_model
+
+        validate_model(self)
+        return self

@@ -1,0 +1,134 @@
+"""JSON round-tripping for FTLQN models.
+
+The document layout is a direct transliteration of the entity classes:
+
+.. code-block:: json
+
+    {
+      "name": "figure1",
+      "processors": [{"name": "proc1", "multiplicity": 1}],
+      "tasks": [{"name": "AppA", "processor": "proc1", "multiplicity": 1,
+                 "is_reference": false, "think_time": 0.0}],
+      "entries": [{"name": "eA", "task": "AppA", "demand": 1.0,
+                   "requests": [{"target": "serviceA", "mean_calls": 1.0}]}],
+      "services": [{"name": "serviceA", "targets": ["eA-1", "eA-2"]}]
+    }
+
+:func:`model_from_json` validates the reconstructed model before
+returning it, so a loaded model is always well-formed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.ftlqn.model import FTLQNModel, Request
+
+
+def model_to_json(model: FTLQNModel, *, indent: int | None = 2) -> str:
+    """Serialise a model to a JSON string."""
+    document = {
+        "name": model.name,
+        "processors": [
+            {"name": p.name, "multiplicity": p.multiplicity}
+            for p in model.processors.values()
+        ],
+        "links": [{"name": link.name} for link in model.links.values()],
+        "tasks": [
+            {
+                "name": t.name,
+                "processor": t.processor,
+                "multiplicity": t.multiplicity,
+                "is_reference": t.is_reference,
+                "think_time": t.think_time,
+            }
+            for t in model.tasks.values()
+        ],
+        "entries": [
+            {
+                "name": e.name,
+                "task": e.task,
+                "demand": e.demand,
+                "requests": [
+                    {"target": r.target, "mean_calls": r.mean_calls}
+                    for r in e.requests
+                ],
+                "depends_on": list(e.depends_on),
+            }
+            for e in model.entries.values()
+        ],
+        "services": [
+            {"name": s.name, "targets": list(s.targets)}
+            for s in model.services.values()
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def _require(document: dict[str, Any], key: str, kind: type) -> Any:
+    if key not in document:
+        raise SerializationError(f"missing key {key!r} in FTLQN document")
+    value = document[key]
+    if not isinstance(value, kind):
+        raise SerializationError(
+            f"key {key!r}: expected {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def model_from_json(text: str) -> FTLQNModel:
+    """Parse and validate a model from its JSON form.
+
+    Raises
+    ------
+    SerializationError
+        On malformed JSON or schema violations.
+    ModelError
+        If the document parses but describes an invalid model.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError("top-level JSON value must be an object")
+
+    model = FTLQNModel(name=str(document.get("name", "ftlqn")))
+    for item in _require(document, "processors", list):
+        model.add_processor(
+            _require(item, "name", str),
+            multiplicity=int(item.get("multiplicity", 1)),
+        )
+    for item in document.get("links", []):
+        model.add_link(_require(item, "name", str))
+    for item in _require(document, "tasks", list):
+        model.add_task(
+            _require(item, "name", str),
+            processor=_require(item, "processor", str),
+            multiplicity=int(item.get("multiplicity", 1)),
+            is_reference=bool(item.get("is_reference", False)),
+            think_time=float(item.get("think_time", 0.0)),
+        )
+    for item in _require(document, "entries", list):
+        requests = [
+            Request(
+                target=_require(r, "target", str),
+                mean_calls=float(r.get("mean_calls", 1.0)),
+            )
+            for r in item.get("requests", [])
+        ]
+        model.add_entry(
+            _require(item, "name", str),
+            task=_require(item, "task", str),
+            demand=float(item.get("demand", 0.0)),
+            requests=requests,
+            depends_on=[str(d) for d in item.get("depends_on", [])],
+        )
+    for item in _require(document, "services", list):
+        model.add_service(
+            _require(item, "name", str),
+            targets=[str(t) for t in _require(item, "targets", list)],
+        )
+    return model.validated()

@@ -1,0 +1,137 @@
+"""Structural validation of FTLQN models.
+
+Checks the global well-formedness rules that the ``add_*`` methods cannot
+enforce locally:
+
+* every request target resolves to an entry or a service;
+* every service target resolves to an entry;
+* the request graph (entry → entry, through services) is acyclic — the
+  paper restricts the analysis to models with no cycles of requests,
+  since cycles may deadlock under blocking RPC;
+* reference tasks have at least one entry and are never called;
+* non-reference tasks with entries are reachable from some reference
+  task (dead code in the model is almost always a modelling mistake);
+* a service is not targeted by entries of the task that owns one of its
+  target entries (a server cannot arbitrate its own replacement).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.ftlqn.model import FTLQNModel
+
+
+def validate_model(model: FTLQNModel) -> None:
+    """Raise :class:`~repro.errors.ModelError` on the first violation."""
+    _check_references(model)
+    _check_reference_tasks(model)
+    _check_acyclic(model)
+    _check_reachability(model)
+
+
+def _check_references(model: FTLQNModel) -> None:
+    for entry in model.entries.values():
+        for request in entry.requests:
+            if request.target not in model.entries and request.target not in model.services:
+                raise ModelError(
+                    f"entry {entry.name!r}: request target {request.target!r} "
+                    "is neither an entry nor a service"
+                )
+            if request.target in model.entries:
+                target_task = model.entries[request.target].task
+                if target_task == entry.task:
+                    raise ModelError(
+                        f"entry {entry.name!r}: request to {request.target!r} "
+                        "would be a blocking call to its own task (deadlock)"
+                    )
+    for service in model.services.values():
+        for target in service.targets:
+            if target not in model.entries:
+                raise ModelError(
+                    f"service {service.name!r}: target {target!r} is not an entry"
+                )
+    for entry in model.entries.values():
+        for dependency in entry.depends_on:
+            if dependency not in model.links:
+                raise ModelError(
+                    f"entry {entry.name!r}: dependency {dependency!r} "
+                    "is not a registered link"
+                )
+
+
+def _check_reference_tasks(model: FTLQNModel) -> None:
+    if not model.reference_tasks():
+        raise ModelError("model has no reference (user) task to drive it")
+    called_entries = set()
+    for entry in model.entries.values():
+        for request in entry.requests:
+            if request.target in model.entries:
+                called_entries.add(request.target)
+    for service in model.services.values():
+        called_entries.update(service.targets)
+
+    for task in model.tasks.values():
+        entries = model.entries_of_task(task.name)
+        if task.is_reference:
+            if not entries:
+                raise ModelError(f"reference task {task.name!r} has no entries")
+            for entry in entries:
+                if entry.name in called_entries:
+                    raise ModelError(
+                        f"entry {entry.name!r} of reference task {task.name!r} "
+                        "must not be called by other entries"
+                    )
+
+
+def _entry_successors(model: FTLQNModel, entry_name: str) -> list[str]:
+    """Entry names directly callable from an entry (through services)."""
+    successors: list[str] = []
+    for request in model.entries[entry_name].requests:
+        if request.target in model.entries:
+            successors.append(request.target)
+        else:
+            successors.extend(model.services[request.target].targets)
+    return successors
+
+
+def _check_acyclic(model: FTLQNModel) -> None:
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in model.entries}
+
+    def visit(name: str, trail: list[str]) -> None:
+        colour[name] = GREY
+        trail.append(name)
+        for successor in _entry_successors(model, name):
+            if colour[successor] == GREY:
+                cycle = trail[trail.index(successor):] + [successor]
+                raise ModelError(
+                    "request cycle detected (may deadlock): " + " -> ".join(cycle)
+                )
+            if colour[successor] == WHITE:
+                visit(successor, trail)
+        trail.pop()
+        colour[name] = BLACK
+
+    for name in model.entries:
+        if colour[name] == WHITE:
+            visit(name, [])
+
+
+def _check_reachability(model: FTLQNModel) -> None:
+    reachable: set[str] = set()
+    frontier: list[str] = []
+    for task in model.reference_tasks():
+        for entry in model.entries_of_task(task.name):
+            frontier.append(entry.name)
+            reachable.add(entry.name)
+    while frontier:
+        name = frontier.pop()
+        for successor in _entry_successors(model, name):
+            if successor not in reachable:
+                reachable.add(successor)
+                frontier.append(successor)
+    for entry in model.entries.values():
+        if entry.name not in reachable:
+            raise ModelError(
+                f"entry {entry.name!r} is unreachable from every reference task"
+            )

@@ -1,0 +1,273 @@
+"""Entity classes for ordinary Layered Queueing Networks.
+
+An LQN here is the *resolved* form of an FTLQN configuration: services
+have been replaced by direct calls to the selected target entries, and
+failed tasks have been dropped.  Semantics follow the standard LQN
+interpretation [14]:
+
+* tasks are servers with a request queue, ``multiplicity`` parallel
+  threads, hosted on a processor;
+* an entry, when invoked, executes its host ``demand`` on the processor
+  and makes its synchronous ``calls`` (each blocking until the reply);
+* *reference* tasks own the customers: each of the ``multiplicity``
+  users repeatedly thinks for ``think_time`` then invokes the task's
+  entry cycle.
+
+The model is deliberately restricted to synchronous interactions and
+acyclic call graphs — exactly the class the paper analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class LQNProcessor:
+    """A processor with ``multiplicity`` identical CPUs (FCFS dispatch)."""
+
+    name: str
+    multiplicity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ModelError(f"processor {self.name!r}: multiplicity must be >= 1")
+
+
+@dataclass(frozen=True)
+class LQNTask:
+    """A task (process) with ``multiplicity`` threads on a processor."""
+
+    name: str
+    processor: str
+    multiplicity: int = 1
+    is_reference: bool = False
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise ModelError(f"task {self.name!r}: multiplicity must be >= 1")
+        if self.think_time < 0:
+            raise ModelError(f"task {self.name!r}: think_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class LQNCall:
+    """A synchronous call to ``target`` entry, ``mean_calls`` times per
+    invocation of the source entry."""
+
+    target: str
+    mean_calls: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_calls <= 0:
+            raise ModelError(f"call to {self.target!r}: mean_calls must be positive")
+
+
+@dataclass(frozen=True)
+class LQNEntry:
+    """An entry: host demand plus synchronous calls.
+
+    ``phase2_demand`` is the classic LQN second phase: host execution
+    performed *after* the reply has been sent.  The caller does not wait
+    for it, but it keeps the server thread (and its processor) busy and
+    therefore delays subsequent requests.
+    """
+
+    name: str
+    task: str
+    demand: float = 0.0
+    calls: tuple[LQNCall, ...] = ()
+    phase2_demand: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ModelError(f"entry {self.name!r}: demand must be >= 0")
+        if self.phase2_demand < 0:
+            raise ModelError(
+                f"entry {self.name!r}: phase2_demand must be >= 0"
+            )
+
+
+@dataclass
+class LQNModel:
+    """A complete LQN ready for solution.
+
+    Example
+    -------
+    >>> model = LQNModel(name="tandem")
+    >>> _ = model.add_processor("p_client")
+    >>> _ = model.add_processor("p_server")
+    >>> _ = model.add_task("clients", processor="p_client", multiplicity=5,
+    ...                    is_reference=True, think_time=1.0)
+    >>> _ = model.add_task("server", processor="p_server")
+    >>> _ = model.add_entry("serve", task="server", demand=0.1)
+    >>> _ = model.add_entry("cycle", task="clients",
+    ...                     calls=[LQNCall("serve")])
+    >>> model.validate()
+    """
+
+    name: str = "lqn"
+    processors: dict[str, LQNProcessor] = field(default_factory=dict)
+    tasks: dict[str, LQNTask] = field(default_factory=dict)
+    entries: dict[str, LQNEntry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_processor(self, name: str, *, multiplicity: int = 1) -> LQNProcessor:
+        """Register a processor and return it."""
+        if name in self.processors:
+            raise ModelError(f"duplicate processor {name!r}")
+        processor = LQNProcessor(name=name, multiplicity=multiplicity)
+        self.processors[name] = processor
+        return processor
+
+    def add_task(
+        self,
+        name: str,
+        *,
+        processor: str,
+        multiplicity: int = 1,
+        is_reference: bool = False,
+        think_time: float = 0.0,
+    ) -> LQNTask:
+        """Register a task on an existing processor and return it."""
+        if name in self.tasks:
+            raise ModelError(f"duplicate task {name!r}")
+        if processor not in self.processors:
+            raise ModelError(f"task {name!r}: unknown processor {processor!r}")
+        task = LQNTask(
+            name=name,
+            processor=processor,
+            multiplicity=multiplicity,
+            is_reference=is_reference,
+            think_time=think_time,
+        )
+        self.tasks[name] = task
+        return task
+
+    def add_entry(
+        self,
+        name: str,
+        *,
+        task: str,
+        demand: float = 0.0,
+        calls: list[LQNCall] | tuple[LQNCall, ...] = (),
+        phase2_demand: float = 0.0,
+    ) -> LQNEntry:
+        """Register an entry on an existing task and return it."""
+        if name in self.entries:
+            raise ModelError(f"duplicate entry {name!r}")
+        if task not in self.tasks:
+            raise ModelError(f"entry {name!r}: unknown task {task!r}")
+        entry = LQNEntry(
+            name=name,
+            task=task,
+            demand=demand,
+            calls=tuple(calls),
+            phase2_demand=phase2_demand,
+        )
+        self.entries[name] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def entries_of_task(self, task: str) -> list[LQNEntry]:
+        """Entries owned by the named task, in insertion order."""
+        return [entry for entry in self.entries.values() if entry.task == task]
+
+    def reference_tasks(self) -> list[LQNTask]:
+        """The customer-owning tasks."""
+        return [task for task in self.tasks.values() if task.is_reference]
+
+    def server_tasks(self) -> list[LQNTask]:
+        """Tasks that accept requests (non-reference tasks)."""
+        return [task for task in self.tasks.values() if not task.is_reference]
+
+    def callers_of_task(self, task: str) -> list[str]:
+        """Names of tasks with at least one call into the named task."""
+        target_entries = {entry.name for entry in self.entries_of_task(task)}
+        callers: list[str] = []
+        for entry in self.entries.values():
+            if entry.task == task:
+                continue
+            if any(call.target in target_entries for call in entry.calls):
+                if entry.task not in callers:
+                    callers.append(entry.task)
+        return callers
+
+    # ------------------------------------------------------------------
+    # Validation and layering
+
+    def validate(self) -> None:
+        """Check referential integrity, acyclicity and customer presence.
+
+        Raises
+        ------
+        ModelError
+            On the first violation found.
+        """
+        if not self.reference_tasks():
+            raise ModelError("LQN has no reference task (no customers)")
+        for task in self.reference_tasks():
+            if not self.entries_of_task(task.name):
+                raise ModelError(f"reference task {task.name!r} has no entries")
+        for entry in self.entries.values():
+            for call in entry.calls:
+                target = self.entries.get(call.target)
+                if target is None:
+                    raise ModelError(
+                        f"entry {entry.name!r}: unknown call target {call.target!r}"
+                    )
+                if target.task == entry.task:
+                    raise ModelError(
+                        f"entry {entry.name!r}: synchronous call within task "
+                        f"{entry.task!r} would deadlock"
+                    )
+        self.task_layers()  # raises on call-graph cycles
+
+    def task_layers(self) -> list[list[str]]:
+        """Tasks grouped by call depth (layer 0 = reference tasks).
+
+        A task's layer is one more than the deepest of its callers,
+        giving the natural top-down ordering used by the layered solver.
+
+        Raises
+        ------
+        ModelError
+            If the task call graph has a cycle.
+        """
+        depends: dict[str, set[str]] = {name: set() for name in self.tasks}
+        for entry in self.entries.values():
+            for call in entry.calls:
+                target_task = self.entries[call.target].task
+                depends[target_task].add(entry.task)
+
+        depth: dict[str, int] = {}
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self.tasks}
+
+        def visit(name: str) -> int:
+            if colour[name] == GREY:
+                raise ModelError(f"task call graph has a cycle through {name!r}")
+            if colour[name] == BLACK:
+                return depth[name]
+            colour[name] = GREY
+            value = 0
+            for caller in depends[name]:
+                value = max(value, visit(caller) + 1)
+            colour[name] = BLACK
+            depth[name] = value
+            return value
+
+        for name in self.tasks:
+            visit(name)
+        layer_count = max(depth.values()) + 1 if depth else 0
+        layers: list[list[str]] = [[] for _ in range(layer_count)]
+        for name, level in depth.items():
+            layers[level].append(name)
+        return layers

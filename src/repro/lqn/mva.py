@@ -1,0 +1,398 @@
+"""Mean Value Analysis for closed multi-class queueing networks.
+
+Two solvers over the same inputs:
+
+* :func:`exact_mva` — the exact recursion over all population vectors;
+  cost grows as ∏(N_c + 1), so it is practical only for small
+  populations.  Used as the oracle in tests.
+* :func:`schweitzer_mva` — the Bard–Schweitzer approximate MVA
+  fixed point; cost independent of population sizes.  Used by the
+  layered solver.
+
+Inputs
+------
+``demands[c][k]`` is the total service demand of class *c* at station
+*k* (visit count × per-visit service time).  Stations are *queueing*
+(single queue, ``multiplicity`` servers) or *delay* (infinite server).
+Class *c* has ``populations[c]`` customers and per-cycle think time
+``think_times[c]``.
+
+Multi-server queueing stations use the Seidmann transformation: an
+m-server station with demand D behaves approximately like a single
+server with demand D/m plus a pure delay of D·(m−1)/m.  This is the
+standard approximation in layered queueing solvers.
+
+Queueing stations come in two disciplines:
+
+* ``PS`` (processor sharing / product form): residence
+  R_c = D_c · (1 + Q̂), the exact BCMP form — also what
+  :func:`exact_mva` computes;
+* ``FCFS`` with class-dependent service times: the standard
+  non-product-form heuristic R_c = v_c · (s_c + Σ_j s_j · Q̂_j), where an
+  arriving customer waits for the *actual* work in queue rather than a
+  multiple of its own service time.  This matters when a fast class and
+  a slow class share one server (the paper's Server1 serves 1 s requests
+  from AppA and 0.5 s requests from AppB); PS-style MVA systematically
+  overstates the fast class's waiting there.
+
+For FCFS stations pass ``visits`` so per-visit service times can be
+recovered from the total demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import ConvergenceError, SolverError
+
+
+class StationKind(Enum):
+    """Structural kind of a station."""
+
+    QUEUE = "queue"
+    DELAY = "delay"
+
+
+class Discipline(Enum):
+    """Queueing discipline of a QUEUE station."""
+
+    PS = "ps"
+    FCFS = "fcfs"
+
+
+@dataclass(frozen=True)
+class Station:
+    """A service station.
+
+    ``multiplicity`` is the number of identical servers for QUEUE
+    stations and ignored for DELAY stations; ``discipline`` selects the
+    residence-time formula for QUEUE stations.
+    """
+
+    name: str
+    kind: StationKind = StationKind.QUEUE
+    multiplicity: int = 1
+    discipline: Discipline = Discipline.PS
+
+    def __post_init__(self) -> None:
+        if self.multiplicity < 1:
+            raise SolverError(f"station {self.name!r}: multiplicity must be >= 1")
+
+
+@dataclass(frozen=True)
+class MVAResult:
+    """Solution of a closed multi-class network.
+
+    Attributes
+    ----------
+    throughputs:
+        Per-class cycle throughput X_c (cycles/second).
+    residence_times:
+        R[c][k] — total residence (waiting + service, all visits) of
+        class c at station k per cycle.
+    queue_lengths:
+        Q[c][k] — mean number of class-c customers at station k.
+    utilizations:
+        U[k] — total utilisation of station k (per server).
+    cycle_times:
+        Per-class mean cycle time including think time.
+    """
+
+    throughputs: np.ndarray
+    residence_times: np.ndarray
+    queue_lengths: np.ndarray
+    utilizations: np.ndarray
+    cycle_times: np.ndarray
+
+
+def _validate_inputs(
+    stations: list[Station],
+    demands: np.ndarray,
+    populations: list[int] | list[float],
+    think_times: list[float],
+) -> None:
+    classes = len(populations)
+    if demands.shape != (classes, len(stations)):
+        raise SolverError(
+            f"demands shape {demands.shape} does not match "
+            f"{classes} classes x {len(stations)} stations"
+        )
+    if len(think_times) != classes:
+        raise SolverError("think_times length must equal the number of classes")
+    if np.any(demands < 0):
+        raise SolverError("demands must be non-negative")
+    if any(n < 0 for n in populations):
+        raise SolverError("populations must be non-negative")
+    if any(z < 0 for z in think_times):
+        raise SolverError("think times must be non-negative")
+
+
+def _seidmann(stations: list[Station], demands: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split demands into a queueing part and an additive delay part."""
+    queue_demand = demands.astype(float).copy()
+    extra_delay = np.zeros_like(queue_demand)
+    for k, station in enumerate(stations):
+        if station.kind is StationKind.QUEUE and station.multiplicity > 1:
+            m = station.multiplicity
+            extra_delay[:, k] = queue_demand[:, k] * (m - 1) / m
+            queue_demand[:, k] = queue_demand[:, k] / m
+    return queue_demand, extra_delay
+
+
+def exact_mva(
+    stations: list[Station],
+    demands: np.ndarray,
+    populations: list[int],
+    think_times: list[float] | None = None,
+) -> MVAResult:
+    """Exact MVA over all population vectors (small populations only).
+
+    Raises
+    ------
+    SolverError
+        On inconsistent inputs or populations too large to enumerate
+        (product of (N_c + 1) above 2_000_000).
+    """
+    demands = np.asarray(demands, dtype=float)
+    classes = len(populations)
+    think = list(think_times) if think_times is not None else [0.0] * classes
+    _validate_inputs(stations, demands, populations, think)
+    if any(int(n) != n for n in populations):
+        raise SolverError("exact MVA requires integer populations")
+    if any(
+        s.kind is StationKind.QUEUE and s.discipline is Discipline.FCFS
+        for s in stations
+    ):
+        raise SolverError(
+            "exact MVA supports only PS queueing stations (product form); "
+            "use schweitzer_mva for the FCFS heuristic"
+        )
+
+    space = 1
+    for n in populations:
+        space *= n + 1
+    if space > 2_000_000:
+        raise SolverError(
+            f"exact MVA state space {space} too large; use schweitzer_mva"
+        )
+
+    queue_demand, extra_delay = _seidmann(stations, demands)
+    station_count = len(stations)
+    is_queue = np.array([s.kind is StationKind.QUEUE for s in stations])
+
+    # Q[population vector][k] — total queue length at station k.
+    queues: dict[tuple[int, ...], np.ndarray] = {
+        tuple([0] * classes): np.zeros(station_count)
+    }
+
+    def vectors(limits: list[int]):
+        if not limits:
+            yield ()
+            return
+        for head in range(limits[0] + 1):
+            for tail in vectors(limits[1:]):
+                yield (head, *tail)
+
+    throughput = np.zeros(classes)
+    residence = np.zeros((classes, station_count))
+    per_class_queue = np.zeros((classes, station_count))
+
+    ordered = sorted(vectors(list(populations)), key=sum)
+    for vector in ordered:
+        if sum(vector) == 0:
+            continue
+        residence_here = np.zeros((classes, station_count))
+        x_here = np.zeros(classes)
+        for c in range(classes):
+            if vector[c] == 0:
+                continue
+            lower = list(vector)
+            lower[c] -= 1
+            q_lower = queues[tuple(lower)]
+            for k in range(station_count):
+                if is_queue[k]:
+                    residence_here[c, k] = (
+                        queue_demand[c, k] * (1.0 + q_lower[k]) + extra_delay[c, k]
+                    )
+                else:
+                    residence_here[c, k] = demands[c, k]
+            denom = think[c] + residence_here[c].sum()
+            if denom <= 0:
+                raise SolverError(
+                    f"class {c} has zero demand and zero think time"
+                )
+            x_here[c] = vector[c] / denom
+        q_here = np.zeros(station_count)
+        for k in range(station_count):
+            q_here[k] = float(np.dot(x_here, residence_here[:, k]))
+        queues[vector] = q_here
+        if vector == tuple(populations):
+            throughput = x_here
+            residence = residence_here
+            for k in range(station_count):
+                per_class_queue[:, k] = x_here * residence_here[:, k]
+
+    utilization = np.zeros(station_count)
+    for k, station in enumerate(stations):
+        if station.kind is StationKind.QUEUE:
+            utilization[k] = float(
+                np.dot(throughput, demands[:, k]) / station.multiplicity
+            )
+        else:
+            utilization[k] = float(np.dot(throughput, demands[:, k]))
+    cycle = np.array(
+        [
+            think[c] + residence[c].sum() if populations[c] > 0 else 0.0
+            for c in range(classes)
+        ]
+    )
+    return MVAResult(
+        throughputs=throughput,
+        residence_times=residence,
+        queue_lengths=per_class_queue,
+        utilizations=utilization,
+        cycle_times=cycle,
+    )
+
+
+def schweitzer_mva(
+    stations: list[Station],
+    demands: np.ndarray,
+    populations: list[float],
+    think_times: list[float] | None = None,
+    *,
+    visits: np.ndarray | None = None,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> MVAResult:
+    """Bard–Schweitzer approximate MVA.
+
+    Accepts non-integer populations (useful when a caller class is a
+    fractional share of a multi-entry task).  Classes with zero
+    population are carried through with zero throughput.
+
+    Parameters
+    ----------
+    visits:
+        Per-class visit counts, same shape as ``demands``; required when
+        any station uses the FCFS discipline, so per-visit service times
+        ``demands / visits`` can be formed.  Defaults to one visit
+        wherever demand is positive.
+
+    Raises
+    ------
+    ConvergenceError
+        If the fixed point is not reached within ``max_iterations``.
+    """
+    demands = np.asarray(demands, dtype=float)
+    classes = len(populations)
+    think = list(think_times) if think_times is not None else [0.0] * classes
+    _validate_inputs(stations, demands, populations, think)
+    if visits is None:
+        visits = (demands > 0).astype(float)
+    else:
+        visits = np.asarray(visits, dtype=float)
+        if visits.shape != demands.shape:
+            raise SolverError("visits shape must match demands shape")
+        if np.any((demands > 0) & (visits <= 0)):
+            raise SolverError("positive demand requires positive visits")
+
+    # Per-visit service time; zero where a class never visits.
+    service = np.divide(
+        demands, visits, out=np.zeros_like(demands), where=visits > 0
+    )
+    queue_demand, extra_delay = _seidmann(stations, demands)
+    # Per-visit queueing service after the Seidmann split.
+    queue_service = np.divide(
+        queue_demand, visits, out=np.zeros_like(queue_demand), where=visits > 0
+    )
+
+    station_count = len(stations)
+    is_queue = np.array([s.kind is StationKind.QUEUE for s in stations])
+    is_fcfs = np.array(
+        [
+            s.kind is StationKind.QUEUE and s.discipline is Discipline.FCFS
+            for s in stations
+        ]
+    )
+    pops = np.asarray(populations, dtype=float)
+    active = pops > 0
+
+    # Initial guess: customers evenly spread over stations with demand.
+    queue = np.zeros((classes, station_count))
+    for c in range(classes):
+        positive = demands[c] > 0
+        if active[c] and positive.any():
+            queue[c, positive] = pops[c] / positive.sum()
+
+    residence = np.zeros((classes, station_count))
+    throughput = np.zeros(classes)
+    delta = 0.0
+    for iteration in range(max_iterations):
+        total_queue = queue.sum(axis=0)
+        for c in range(classes):
+            if not active[c]:
+                residence[c] = 0.0
+                continue
+            # Arrival theorem with the Schweitzer estimate: an arriving
+            # class-c customer sees the others plus a (N_c - 1)/N_c
+            # share of its own class's queue.
+            seen_per_class = queue.copy()
+            seen_per_class[c] *= max(0.0, (pops[c] - 1.0) / pops[c])
+            seen_total = seen_per_class.sum(axis=0)
+            # FCFS: wait for the actual backlogged work of each class.
+            backlog = np.einsum("jk,jk->k", queue_service, seen_per_class)
+            fcfs_residence = (
+                visits[c] * (queue_service[c] + backlog) + extra_delay[c]
+            )
+            ps_residence = queue_demand[c] * (1.0 + seen_total) + extra_delay[c]
+            residence[c] = np.where(
+                is_queue,
+                np.where(is_fcfs, fcfs_residence, ps_residence),
+                demands[c],
+            )
+        new_throughput = np.zeros(classes)
+        for c in range(classes):
+            if not active[c]:
+                continue
+            denom = think[c] + residence[c].sum()
+            if denom <= 0:
+                raise SolverError(f"class {c} has zero demand and zero think time")
+            new_throughput[c] = pops[c] / denom
+        new_queue = new_throughput[:, None] * residence
+        delta = float(np.max(np.abs(new_queue - queue))) if queue.size else 0.0
+        queue = new_queue
+        throughput = new_throughput
+        if delta < tolerance:
+            break
+    else:
+        raise ConvergenceError(
+            "Bard-Schweitzer MVA did not converge",
+            iterations=max_iterations,
+            residual=delta,
+        )
+
+    utilization = np.zeros(station_count)
+    for k, station in enumerate(stations):
+        if station.kind is StationKind.QUEUE:
+            utilization[k] = float(
+                np.dot(throughput, demands[:, k]) / station.multiplicity
+            )
+        else:
+            utilization[k] = float(np.dot(throughput, demands[:, k]))
+    cycle = np.array(
+        [
+            think[c] + residence[c].sum() if active[c] else 0.0
+            for c in range(classes)
+        ]
+    )
+    return MVAResult(
+        throughputs=throughput,
+        residence_times=residence,
+        queue_lengths=queue,
+        utilizations=utilization,
+        cycle_times=cycle,
+    )

@@ -1,0 +1,479 @@
+"""Method-of-Layers-style fixed-point solver for LQN models.
+
+The solver alternates three estimates until they agree:
+
+1. **Entry service times** — bottom-up through the (acyclic) call
+   graph: an invocation of entry *e* occupies its task thread for
+   ``S_e = d_e + W_proc(e) + Σ_f n_ef · (W_task(τ_e → τ_f) + S_f)``,
+   i.e. its processor demand plus processor queueing plus, for every
+   synchronous call, queueing at the target task plus the target's own
+   service time (blocking RPC semantics).
+2. **Software submodels** — one closed queueing network per server
+   task: the station is the task (``multiplicity`` threads, FCFS), the
+   customer classes are its direct caller tasks, each with its thread
+   population and a *surrogate think time* equal to the rest of its
+   cycle.  Solved with Bard–Schweitzer AMVA; yields the per-visit
+   waiting ``W_task``.
+3. **Hardware submodels** — one closed network per processor: the
+   station is the processor, classes are the hosted tasks, populations
+   their thread counts, think times the non-processor part of their
+   cycles; yields ``W_proc``.
+
+Waiting-time updates are damped to stabilise the fixed point.  The
+approach is the standard decomposition used by LQNS/Method of Layers
+[14] (Rolia & Sevcik's MOL; Woodside's SRVN), reimplemented from the
+published equations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lqn.model import LQNModel
+from repro.lqn.mva import Discipline, Station, StationKind, schweitzer_mva
+from repro.lqn.results import LQNResults
+
+#: Throughputs below this are treated as "task inactive".
+_EPSILON = 1e-12
+
+
+def _reference_visits(model: LQNModel) -> dict[str, dict[str, float]]:
+    """V[r][e]: invocations of entry e per cycle of reference task r."""
+    visits: dict[str, dict[str, float]] = {}
+
+    def accumulate(table: dict[str, float], entry_name: str, factor: float) -> None:
+        table[entry_name] = table.get(entry_name, 0.0) + factor
+        for call in model.entries[entry_name].calls:
+            accumulate(table, call.target, factor * call.mean_calls)
+
+    for reference in model.reference_tasks():
+        table: dict[str, float] = {}
+        for entry in model.entries_of_task(reference.name):
+            accumulate(table, entry.name, 1.0)
+        visits[reference.name] = table
+    return visits
+
+
+def solve_lqn(
+    model: LQNModel,
+    *,
+    tolerance: float = 1e-8,
+    max_iterations: int = 2000,
+    damping: float = 0.5,
+) -> LQNResults:
+    """Solve an LQN model for steady-state throughputs and delays.
+
+    Parameters
+    ----------
+    tolerance:
+        Outer fixed-point tolerance on throughputs and waiting times.
+    max_iterations:
+        Outer iteration budget; the result reports ``converged=False``
+        if exceeded (it does not raise — a slightly unconverged solution
+        is still informative for screening configurations).
+    damping:
+        Fraction of each newly solved waiting time blended into the
+        estimate per outer iteration (0 < damping ≤ 1).
+
+    Raises
+    ------
+    ModelError
+        If the model fails validation.
+    SolverError
+        If a reference class has a degenerate (zero-length) cycle.
+    """
+    model.validate()
+    if not 0 < damping <= 1:
+        raise SolverError("damping must be in (0, 1]")
+
+    references = model.reference_tasks()
+    visits = _reference_visits(model)
+    entry_names = list(model.entries)
+    entry_order = _topological_entries(model)
+
+    # Per-(caller task, server task) per-visit waiting estimates.
+    wait_task: dict[tuple[str, str], float] = {}
+    # Per-task processor waiting per invocation.
+    wait_proc: dict[str, float] = {name: 0.0 for name in model.tasks}
+
+    throughput_ref: dict[str, float] = {r.name: 0.0 for r in references}
+    service: dict[str, float] = {name: 0.0 for name in entry_names}
+    # Busy time per invocation: phase 1 (the caller-visible service)
+    # plus the post-reply second phase.
+    busy: dict[str, float] = {name: 0.0 for name in entry_names}
+    entry_rate: dict[str, float] = {name: 0.0 for name in entry_names}
+    task_rate: dict[str, float] = {name: 0.0 for name in model.tasks}
+
+    iterations_used = max_iterations
+    converged = False
+    for iteration in range(max_iterations):
+        # -- 1. entry service times, bottom-up ------------------------
+        for name in entry_order:
+            entry = model.entries[name]
+            total = entry.demand
+            if entry.demand > 0:
+                total += wait_proc[entry.task]
+            for call in entry.calls:
+                target = model.entries[call.target]
+                wait = wait_task.get((entry.task, target.task), 0.0)
+                total += call.mean_calls * (wait + service[call.target])
+            service[name] = total
+            second = entry.phase2_demand
+            if second > 0:
+                second += wait_proc[entry.task]
+            busy[name] = total + second
+
+        # -- 2. reference throughputs ---------------------------------
+        new_throughput: dict[str, float] = {}
+        for reference in references:
+            # A user's own second phase delays its next cycle.
+            cycle = reference.think_time + sum(
+                busy[entry.name]
+                for entry in model.entries_of_task(reference.name)
+            )
+            if cycle <= 0:
+                raise SolverError(
+                    f"reference task {reference.name!r} has a zero-length cycle"
+                )
+            new_throughput[reference.name] = reference.multiplicity / cycle
+
+        delta = max(
+            (
+                abs(new_throughput[name] - throughput_ref[name])
+                for name in new_throughput
+            ),
+            default=0.0,
+        )
+        throughput_ref = new_throughput
+
+        for name in entry_names:
+            entry_rate[name] = sum(
+                throughput_ref[r.name] * visits[r.name].get(name, 0.0)
+                for r in references
+            )
+        for task_name in model.tasks:
+            task_rate[task_name] = sum(
+                entry_rate[entry.name]
+                for entry in model.entries_of_task(task_name)
+            )
+
+        # -- 3. software submodels ------------------------------------
+        for server in model.server_tasks():
+            delta = max(
+                delta,
+                _solve_software_submodel(
+                    model,
+                    server.name,
+                    service,
+                    busy,
+                    entry_rate,
+                    task_rate,
+                    wait_task,
+                    damping,
+                ),
+            )
+
+        # -- 4. hardware submodels ------------------------------------
+        for processor in model.processors.values():
+            delta = max(
+                delta,
+                _solve_processor_submodel(
+                    model,
+                    processor.name,
+                    entry_rate,
+                    task_rate,
+                    wait_proc,
+                    damping,
+                ),
+            )
+
+        if delta < tolerance:
+            iterations_used = iteration + 1
+            converged = True
+            break
+
+    return _collect_results(
+        model,
+        visits,
+        throughput_ref,
+        entry_rate,
+        task_rate,
+        service,
+        busy,
+        wait_task,
+        iterations_used,
+        converged,
+    )
+
+
+def _topological_entries(model: LQNModel) -> list[str]:
+    """Entry names ordered callees-first (valid because calls are acyclic)."""
+    order: list[str] = []
+    seen: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        for call in model.entries[name].calls:
+            visit(call.target)
+        order.append(name)
+
+    for name in model.entries:
+        visit(name)
+    return order
+
+
+def _call_rate_and_service(
+    model: LQNModel,
+    caller: str,
+    server: str,
+    entry_rate: Mapping[str, float],
+    busy: Mapping[str, float],
+) -> tuple[float, float]:
+    """Total call rate caller→server and mean busy time per such call.
+
+    The busy time (phase 1 + phase 2) is what contends for the server's
+    threads; the caller itself only blocks for phase 1, which the
+    submodel accounts for when extracting waiting times.
+    """
+    rate = 0.0
+    weighted_busy = 0.0
+    for entry in model.entries_of_task(caller):
+        for call in entry.calls:
+            target = model.entries[call.target]
+            if target.task != server:
+                continue
+            stream = entry_rate[entry.name] * call.mean_calls
+            rate += stream
+            weighted_busy += stream * busy[call.target]
+    if rate <= _EPSILON:
+        return 0.0, 0.0
+    return rate, weighted_busy / rate
+
+
+def _solve_software_submodel(
+    model: LQNModel,
+    server: str,
+    service: Mapping[str, float],
+    busy: Mapping[str, float],
+    entry_rate: Mapping[str, float],
+    task_rate: Mapping[str, float],
+    wait_task: dict[tuple[str, str], float],
+    damping: float,
+) -> float:
+    """One AMVA solve of the queueing at a server task's request queue.
+
+    Returns the largest damped change applied to a waiting estimate.
+    """
+    callers: list[str] = []
+    visit_counts: list[float] = []
+    services: list[float] = []
+    populations: list[float] = []
+    thinks: list[float] = []
+    clamped_population = 0.0
+    total_population = 0.0
+
+    for caller in model.callers_of_task(server):
+        x_caller = task_rate[caller]
+        rate, per_call_service = _call_rate_and_service(
+            model, caller, server, entry_rate, busy
+        )
+        if x_caller <= _EPSILON or rate <= _EPSILON:
+            continue
+        v = rate / x_caller  # calls into `server` per caller invocation
+        cycle = model.tasks[caller].multiplicity / x_caller
+        current_wait = wait_task.get((caller, server), 0.0)
+        residence = v * (current_wait + per_call_service)
+        callers.append(caller)
+        visit_counts.append(v)
+        services.append(per_call_service)
+        populations.append(model.tasks[caller].multiplicity)
+        surrogate_think = cycle - residence
+        thinks.append(max(0.0, surrogate_think))
+        total_population += model.tasks[caller].multiplicity
+        if surrogate_think <= 0.0:
+            clamped_population += model.tasks[caller].multiplicity
+
+    if not callers:
+        return 0.0
+
+    station = Station(
+        name=server,
+        kind=StationKind.QUEUE,
+        multiplicity=model.tasks[server].multiplicity,
+        discipline=Discipline.FCFS,
+    )
+    demands = np.array([[v * s] for v, s in zip(visit_counts, services)])
+    visit_matrix = np.array([[v] for v in visit_counts])
+    result = schweitzer_mva(
+        [station], demands, populations, thinks, visits=visit_matrix
+    )
+
+    # Ghost-work correction for second phases.  When the submodel is
+    # *saturated* (caller surrogate think times clamp at zero), every
+    # service completion is immediately followed by a re-arrival, so the
+    # new request always finds the previous customer's phase-2 work
+    # still holding the thread — extra waiting the closed MVA cannot
+    # see (the owner is no longer a queued customer).  In the fully
+    # clamped limit the exact extra wait is the mean second phase; below
+    # saturation the surrogate think absorbs the leftover and no
+    # correction is due.  Scale by the clamped share of the population.
+    total_rate = sum(
+        entry_rate[entry.name] for entry in model.entries_of_task(server)
+    )
+    mean_phase2 = (
+        sum(
+            entry_rate[entry.name] * (busy[entry.name] - service[entry.name])
+            for entry in model.entries_of_task(server)
+        ) / total_rate
+        if total_rate > _EPSILON
+        else 0.0
+    )
+    clamped_share = (
+        clamped_population / total_population if total_population > 0 else 0.0
+    )
+    phase2_correction = mean_phase2 * clamped_share
+
+    max_change = 0.0
+    for index, caller in enumerate(callers):
+        v = visit_counts[index]
+        solved_wait = phase2_correction + max(
+            0.0, result.residence_times[index, 0] / v - services[index]
+        )
+        key = (caller, server)
+        old = wait_task.get(key, 0.0)
+        new = (1.0 - damping) * old + damping * solved_wait
+        wait_task[key] = new
+        max_change = max(max_change, abs(new - old))
+    return max_change
+
+
+def _solve_processor_submodel(
+    model: LQNModel,
+    processor: str,
+    entry_rate: Mapping[str, float],
+    task_rate: Mapping[str, float],
+    wait_proc: dict[str, float],
+    damping: float,
+) -> float:
+    """One AMVA solve of the contention at a processor.
+
+    Each hosted task is a customer class; its per-invocation processor
+    demand is the entry-mix-weighted host demand.  Returns the largest
+    damped change applied to a waiting estimate.
+    """
+    tasks: list[str] = []
+    demands_per_invocation: list[float] = []
+    populations: list[float] = []
+    thinks: list[float] = []
+
+    for task in model.tasks.values():
+        if task.processor != processor:
+            continue
+        x_task = task_rate[task.name]
+        if x_task <= _EPSILON:
+            continue
+        demand = sum(
+            entry_rate[entry.name] * (entry.demand + entry.phase2_demand)
+            for entry in model.entries_of_task(task.name)
+        ) / x_task
+        if demand <= _EPSILON:
+            continue
+        cycle = task.multiplicity / x_task
+        residence = wait_proc[task.name] + demand
+        tasks.append(task.name)
+        demands_per_invocation.append(demand)
+        populations.append(task.multiplicity)
+        thinks.append(max(0.0, cycle - residence))
+
+    if not tasks:
+        return 0.0
+
+    station = Station(
+        name=processor,
+        kind=StationKind.QUEUE,
+        multiplicity=model.processors[processor].multiplicity,
+        discipline=Discipline.FCFS,
+    )
+    demands = np.array([[d] for d in demands_per_invocation])
+    result = schweitzer_mva([station], demands, populations, thinks)
+
+    max_change = 0.0
+    for index, task_name in enumerate(tasks):
+        solved_wait = max(
+            0.0,
+            result.residence_times[index, 0] - demands_per_invocation[index],
+        )
+        old = wait_proc[task_name]
+        new = (1.0 - damping) * old + damping * solved_wait
+        wait_proc[task_name] = new
+        max_change = max(max_change, abs(new - old))
+    return max_change
+
+
+def _collect_results(
+    model: LQNModel,
+    visits: Mapping[str, Mapping[str, float]],
+    throughput_ref: Mapping[str, float],
+    entry_rate: Mapping[str, float],
+    task_rate: Mapping[str, float],
+    service: Mapping[str, float],
+    busy: Mapping[str, float],
+    wait_task: Mapping[tuple[str, str], float],
+    iterations: int,
+    converged: bool,
+) -> LQNResults:
+    task_throughputs = dict(task_rate)
+    for name, value in throughput_ref.items():
+        task_throughputs[name] = value
+
+    entry_waiting: dict[str, float] = {}
+    for entry in model.entries.values():
+        if model.tasks[entry.task].is_reference:
+            entry_waiting[entry.name] = 0.0
+            continue
+        # Average waiting over calling streams.
+        total_rate = 0.0
+        weighted = 0.0
+        for caller_entry in model.entries.values():
+            for call in caller_entry.calls:
+                if call.target != entry.name:
+                    continue
+                stream = entry_rate[caller_entry.name] * call.mean_calls
+                total_rate += stream
+                weighted += stream * wait_task.get(
+                    (caller_entry.task, entry.task), 0.0
+                )
+        entry_waiting[entry.name] = weighted / total_rate if total_rate > 0 else 0.0
+
+    task_utilizations: dict[str, float] = {}
+    for task in model.tasks.values():
+        occupancy = sum(
+            entry_rate[e.name] * busy[e.name]
+            for e in model.entries_of_task(task.name)
+        )
+        task_utilizations[task.name] = occupancy / task.multiplicity
+
+    processor_utilizations: dict[str, float] = {}
+    for processor in model.processors.values():
+        load = sum(
+            entry_rate[e.name] * (e.demand + e.phase2_demand)
+            for e in model.entries.values()
+            if model.tasks[e.task].processor == processor.name
+        )
+        processor_utilizations[processor.name] = load / processor.multiplicity
+
+    return LQNResults(
+        task_throughputs=task_throughputs,
+        entry_throughputs=dict(entry_rate),
+        entry_service_times=dict(service),
+        entry_waiting_times=entry_waiting,
+        task_utilizations=task_utilizations,
+        processor_utilizations=processor_utilizations,
+        iterations=iterations,
+        converged=converged,
+    )

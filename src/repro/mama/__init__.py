@@ -1,0 +1,56 @@
+"""MAMA — Model for Availability Management Architectures (§2C, §4).
+
+A MAMA model describes the fault-management side of a system: the
+application tasks being watched, the agent and manager tasks doing the
+watching and deciding, the processors they run on, and the typed
+connectors between them:
+
+* **alive-watch** — conveys only crash/alive data about the monitored
+  component to the monitor (heartbeats, pings);
+* **status-watch** — additionally propagates status data about *other*
+  components to the monitor (a node agent reporting everything it
+  knows);
+* **notify** — the notifier pushes status data it has received (but not
+  its own status) to a subscriber (manager-to-manager links and
+  reconfiguration commands).
+
+The submodules provide the model classes (:mod:`repro.mama.model`), the
+role/connection well-formedness rules (:mod:`repro.mama.validation`),
+the knowledge propagation graph and ``know`` functions of §4
+(:mod:`repro.mama.knowledge`, :mod:`repro.mama.minpaths`), generic
+builders for the four classical management organisations
+(:mod:`repro.mama.architectures`), and DOT export (:mod:`repro.mama.dot`).
+"""
+
+from repro.mama.model import (
+    Component,
+    ComponentKind,
+    Connector,
+    ConnectorKind,
+    MAMAModel,
+)
+from repro.mama.knowledge import KnowledgeGraph, KnowledgeArc
+from repro.mama.minpaths import enumerate_minpaths
+from repro.mama.validation import validate_mama
+from repro.mama.architectures import (
+    centralized_architecture,
+    distributed_architecture,
+    hierarchical_architecture,
+    network_architecture,
+)
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "Connector",
+    "ConnectorKind",
+    "KnowledgeArc",
+    "KnowledgeGraph",
+    "MAMAModel",
+    "centralized_architecture",
+    "distributed_architecture",
+    "enumerate_minpaths",
+    "hierarchical_architecture",
+    "network_architecture",
+    "validate_mama",
+]

@@ -1,0 +1,261 @@
+"""Generic factories for the four classical management organisations.
+
+§6 of the paper compares four fault-management architectures drawn from
+the manager–agent classification of network-management practice:
+
+* **centralized** — one manager handles every agent and makes all
+  decisions;
+* **distributed** — one manager per domain, peers exchanging status
+  through notify links;
+* **hierarchical** — domain managers report to a manager-of-managers
+  (MOM) and never talk to each other directly;
+* **network** — a general manager topology mixing both styles.
+
+These factories build well-formed MAMA models from a compact
+description.  Naming is systematic (``ag.<task>``, ``aw.<src>-><dst>``,
+…); the paper's exact Figures 7–10, with the paper's own component and
+connector names, are constructed in :mod:`repro.experiments.architectures`.
+
+Conventions implemented (matching the paper's figures):
+
+* every monitored application task gets a local agent on the same
+  processor, alive-watching it;
+* agents status-watch-report to their manager; the manager alive-watches
+  the processor of every remote agent (remote-watch rule);
+* reconfiguration notifications flow manager → local agent → subscriber
+  application task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.mama.model import MAMAModel
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One management domain for the multi-manager architectures.
+
+    Parameters
+    ----------
+    manager:
+        Name of the domain manager task.
+    manager_processor:
+        Processor hosting the domain manager.
+    tasks:
+        Monitored application tasks, mapping task name → processor name.
+    subscribers:
+        Application tasks (subset of ``tasks`` keys) that receive
+        reconfiguration notifications.
+    links:
+        Network links the domain manager pings directly (see
+        :func:`_wire_links`).
+    """
+
+    manager: str
+    manager_processor: str
+    tasks: Mapping[str, str]
+    subscribers: tuple[str, ...] = ()
+    links: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = [s for s in self.subscribers if s not in self.tasks]
+        if unknown:
+            raise ModelError(f"domain {self.manager!r}: subscribers {unknown} not in tasks")
+
+
+def _agent_name(task: str) -> str:
+    return f"ag.{task}"
+
+
+def _add_processor_once(model: MAMAModel, name: str) -> None:
+    if name not in model.components:
+        model.add_processor(name)
+
+
+def _wire_links(
+    model: MAMAModel, links: Iterable[str], manager: str
+) -> None:
+    """Network links pinged (alive-watched) directly by ``manager``.
+
+    Links enter MAMA as processor-kind components — like node pings,
+    they can only be connected in the monitored role of an alive-watch.
+    """
+    for link in links:
+        _add_processor_once(model, link)
+        aw_name = f"aw.{link}->{manager}"
+        if aw_name not in model.connectors:
+            model.add_alive_watch(aw_name, monitored=link, monitor=manager)
+
+
+def _wire_agents(
+    model: MAMAModel,
+    tasks: Mapping[str, str],
+    manager: str,
+    subscribers: Iterable[str],
+) -> None:
+    """Agents for each task, reporting to ``manager``; notify paths to
+    subscribers; manager alive-watches every task processor."""
+    for task, processor in tasks.items():
+        _add_processor_once(model, processor)
+        if task not in model.components:
+            model.add_application_task(task, processor=processor)
+        agent = _agent_name(task)
+        model.add_agent(agent, processor=processor)
+        model.add_alive_watch(f"aw.{task}->{agent}", monitored=task, monitor=agent)
+        model.add_status_watch(f"sw.{agent}->{manager}", monitored=agent, monitor=manager)
+        aw_name = f"aw.{processor}->{manager}"
+        if aw_name not in model.connectors:
+            model.add_alive_watch(aw_name, monitored=processor, monitor=manager)
+    for task in subscribers:
+        agent = _agent_name(task)
+        model.add_notify(f"ntfy.{manager}->{agent}", notifier=manager, subscriber=agent)
+        model.add_notify(f"ntfy.{agent}->{task}", notifier=agent, subscriber=task)
+
+
+def centralized_architecture(
+    *,
+    tasks: Mapping[str, str],
+    subscribers: Sequence[str],
+    manager: str = "m1",
+    manager_processor: str = "proc.m1",
+    links: Sequence[str] = (),
+    name: str = "centralized",
+) -> MAMAModel:
+    """One central manager handling local agents for every task.
+
+    Parameters
+    ----------
+    tasks:
+        Monitored application tasks: task name → processor name.
+    subscribers:
+        Tasks that receive reconfiguration notifications.
+    links:
+        Network links the manager pings directly (needed whenever an
+        application entry ``depends_on`` a link — the deciding task can
+        only select a target whose links it can observe).
+    """
+    model = MAMAModel(name=name)
+    _add_processor_once(model, manager_processor)
+    model.add_manager(manager, processor=manager_processor)
+    _wire_agents(model, tasks, manager, subscribers)
+    _wire_links(model, links, manager)
+    return model.validated()
+
+
+def distributed_architecture(
+    *,
+    domains: Sequence[Domain],
+    name: str = "distributed",
+) -> MAMAModel:
+    """Peer domain managers exchanging status through notify links.
+
+    Every ordered pair of domain managers gets a notify connector, so
+    any manager's knowledge reaches any other in one hop.
+    """
+    if len(domains) < 2:
+        raise ModelError("a distributed architecture needs at least two domains")
+    model = MAMAModel(name=name)
+    for domain in domains:
+        _add_processor_once(model, domain.manager_processor)
+        model.add_manager(domain.manager, processor=domain.manager_processor)
+    for domain in domains:
+        _wire_agents(model, domain.tasks, domain.manager, domain.subscribers)
+        _wire_links(model, domain.links, domain.manager)
+    for source in domains:
+        for target in domains:
+            if source.manager == target.manager:
+                continue
+            model.add_notify(
+                f"ntfy.{source.manager}->{target.manager}",
+                notifier=source.manager,
+                subscriber=target.manager,
+            )
+    return model.validated()
+
+
+def hierarchical_architecture(
+    *,
+    domains: Sequence[Domain],
+    mom: str = "mom1",
+    mom_processor: str = "proc.mom1",
+    name: str = "hierarchical",
+) -> MAMAModel:
+    """Domain managers coordinated by a manager-of-managers (MOM).
+
+    Domain managers status-watch-report to the MOM and receive
+    cross-domain knowledge from it by notify; they never talk to each
+    other directly.  The MOM alive-watches each domain manager's
+    processor (remote-watch rule).
+    """
+    if not domains:
+        raise ModelError("a hierarchical architecture needs at least one domain")
+    model = MAMAModel(name=name)
+    _add_processor_once(model, mom_processor)
+    model.add_manager(mom, processor=mom_processor)
+    for domain in domains:
+        _add_processor_once(model, domain.manager_processor)
+        model.add_manager(domain.manager, processor=domain.manager_processor)
+    for domain in domains:
+        _wire_agents(model, domain.tasks, domain.manager, domain.subscribers)
+        _wire_links(model, domain.links, domain.manager)
+        model.add_status_watch(
+            f"sw.{domain.manager}->{mom}", monitored=domain.manager, monitor=mom
+        )
+        if f"aw.{domain.manager_processor}->{mom}" not in model.connectors:
+            model.add_alive_watch(
+                f"aw.{domain.manager_processor}->{mom}",
+                monitored=domain.manager_processor,
+                monitor=mom,
+            )
+        model.add_notify(
+            f"ntfy.{mom}->{domain.manager}", notifier=mom, subscriber=domain.manager
+        )
+    return model.validated()
+
+
+def network_architecture(
+    *,
+    server_domains: Sequence[Domain],
+    integrated_domains: Sequence[Domain],
+    name: str = "network",
+) -> MAMAModel:
+    """The general "network" organisation: integrated managers sit above
+    peer domain managers in an arbitrary mesh.
+
+    Each integrated manager status-watches **every** server-domain
+    manager (and alive-watches that manager's processor), so knowledge
+    collected in any server domain reaches every integrated manager
+    directly.  Integrated managers handle their own application tasks
+    through local agents exactly like a centralized manager.
+    """
+    if not server_domains or not integrated_domains:
+        raise ModelError(
+            "a network architecture needs at least one server domain and "
+            "one integrated domain"
+        )
+    model = MAMAModel(name=name)
+    for domain in (*server_domains, *integrated_domains):
+        _add_processor_once(model, domain.manager_processor)
+        model.add_manager(domain.manager, processor=domain.manager_processor)
+    for domain in (*server_domains, *integrated_domains):
+        _wire_agents(model, domain.tasks, domain.manager, domain.subscribers)
+        _wire_links(model, domain.links, domain.manager)
+    for integrated in integrated_domains:
+        for server_domain in server_domains:
+            model.add_status_watch(
+                f"sw.{server_domain.manager}->{integrated.manager}",
+                monitored=server_domain.manager,
+                monitor=integrated.manager,
+            )
+            aw_name = f"aw.{server_domain.manager_processor}->{integrated.manager}"
+            if aw_name not in model.connectors:
+                model.add_alive_watch(
+                    aw_name,
+                    monitored=server_domain.manager_processor,
+                    monitor=integrated.manager,
+                )
+    return model.validated()

@@ -1,0 +1,76 @@
+"""Graphviz (DOT) export for MAMA models and knowledge graphs.
+
+Returns DOT source text for comparison with the paper's Figures 4 and 6.
+Watch connectors are drawn monitored → monitor (information flow);
+notify connectors notifier → subscriber.
+"""
+
+from __future__ import annotations
+
+from repro.mama.knowledge import KnowledgeGraph
+from repro.mama.model import ComponentKind, ConnectorKind, MAMAModel
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+_COMPONENT_SHAPES = {
+    ComponentKind.APPLICATION_TASK: "box",
+    ComponentKind.AGENT_TASK: "box",
+    ComponentKind.MANAGER_TASK: "box",
+    ComponentKind.PROCESSOR: "component",
+}
+
+_CONNECTOR_STYLES = {
+    ConnectorKind.ALIVE_WATCH: "solid",
+    ConnectorKind.STATUS_WATCH: "bold",
+    ConnectorKind.NOTIFY: "dashed",
+}
+
+
+def mama_to_dot(model: MAMAModel) -> str:
+    """DOT rendering of a MAMA model, tasks clustered by processor."""
+    lines = ["digraph mama {", "  rankdir=TB;", "  node [fontsize=10];"]
+    for processor in model.processors():
+        lines.append(f"  subgraph cluster_{abs(hash(processor.name))} {{")
+        lines.append(f"    label={_quote(processor.name + ':Proc')};")
+        for task in model.tasks_on(processor.name):
+            label = f"{task.name}:{task.kind.value}"
+            lines.append(
+                f"    {_quote(task.name)} "
+                f"[shape={_COMPONENT_SHAPES[task.kind]}, label={_quote(label)}];"
+            )
+        lines.append(
+            f"    {_quote(processor.name)} [shape=component, "
+            f"label={_quote(processor.name)}, style=dotted];"
+        )
+        lines.append("  }")
+    for connector in model.connectors.values():
+        style = _CONNECTOR_STYLES[connector.kind]
+        label = f"{connector.name}:{connector.kind.value}"
+        lines.append(
+            f"  {_quote(connector.source)} -> {_quote(connector.target)} "
+            f"[style={style}, label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def knowledge_graph_to_dot(graph: KnowledgeGraph) -> str:
+    """DOT rendering of a knowledge propagation graph (compare Figure 6)."""
+    lines = [
+        "digraph knowledge {",
+        "  rankdir=LR;",
+        "  node [fontsize=9, shape=point];",
+    ]
+    for arc in graph.arcs:
+        label = f"{arc.name}; {arc.kind}"
+        style = "solid" if arc.kind == "component" else "dashed"
+        lines.append(
+            f"  {_quote(str(arc.iv))} -> {_quote(str(arc.tv))} "
+            f"[style={style}, label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

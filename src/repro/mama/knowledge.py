@@ -1,0 +1,164 @@
+"""The knowledge propagation graph and ``know`` functions (§4).
+
+Transformation of a MAMA model into the flat graph *K*:
+
+* each component ``x`` becomes a **component arc** ``x.in → x.out``
+  named after the component — a component failure is an arc failure;
+* each connector ``c`` from source component ``i`` to target component
+  ``j`` becomes an arc ``i.out → j.in`` of the connector's kind, named
+  after the connector.
+
+``know[c, t]`` — task *t* can learn the operational state of component
+*c* — is the union over *augmented minpaths* from ``c.out`` to ``t.out``
+of the conjunction of arc-operational variables, where:
+
+* the first arc of a path must be alive-watch or status-watch (the
+  detection), subsequent arcs must be component, status-watch or notify
+  (the relay) — an alive-watch connector carries no third-party status,
+  so it can never appear mid-path;
+* when *c* is a processor, paths are computed on *K* minus the component
+  arcs of tasks hosted on *c* (a dead node's tasks cannot relay its
+  status);
+* each minpath is augmented with the processor component of every task
+  whose component arc appears on it (Pq⁺ in the paper) — a relay task
+  only relays while its node is up.
+
+The resulting expressions mention component *and* connector names as
+variables; connector variables default to probability-1 operational in
+the analyses (the paper ignores network failures) but are retained so
+that connector failures can be modelled without any code change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.booleans.expr import Expr, path_union
+from repro.errors import ModelError
+from repro.mama.minpaths import Arc, enumerate_minpaths, minimal_sets
+from repro.mama.model import ComponentKind, ConnectorKind, MAMAModel
+
+#: Arc-kind labels used in the knowledge propagation graph.
+COMPONENT = "component"
+ALIVE_WATCH = ConnectorKind.ALIVE_WATCH.value
+STATUS_WATCH = ConnectorKind.STATUS_WATCH.value
+NOTIFY = ConnectorKind.NOTIFY.value
+
+_FIRST_KINDS = frozenset((ALIVE_WATCH, STATUS_WATCH))
+_REST_KINDS = frozenset((COMPONENT, STATUS_WATCH, NOTIFY))
+
+
+@dataclass(frozen=True)
+class KnowledgeArc(Arc):
+    """An arc of the knowledge propagation graph (see :class:`Arc`)."""
+
+
+def _in(name: str) -> str:
+    return f"{name}.in"
+
+
+def _out(name: str) -> str:
+    return f"{name}.out"
+
+
+class KnowledgeGraph:
+    """Knowledge propagation graph *K* derived from a MAMA model."""
+
+    def __init__(self, mama: MAMAModel):
+        mama.validated()
+        self._mama = mama
+        arcs: list[KnowledgeArc] = []
+        for component in mama.components.values():
+            arcs.append(
+                KnowledgeArc(
+                    name=component.name,
+                    kind=COMPONENT,
+                    iv=_in(component.name),
+                    tv=_out(component.name),
+                )
+            )
+        for connector in mama.connectors.values():
+            arcs.append(
+                KnowledgeArc(
+                    name=connector.name,
+                    kind=connector.kind.value,
+                    iv=_out(connector.source),
+                    tv=_in(connector.target),
+                )
+            )
+        self._arcs: tuple[KnowledgeArc, ...] = tuple(arcs)
+
+    @property
+    def arcs(self) -> tuple[KnowledgeArc, ...]:
+        return self._arcs
+
+    @property
+    def mama(self) -> MAMAModel:
+        return self._mama
+
+    # ------------------------------------------------------------------
+
+    def _component(self, name: str):
+        component = self._mama.components.get(name)
+        if component is None:
+            raise ModelError(f"unknown MAMA component {name!r}")
+        return component
+
+    def minpaths(self, component: str, task: str) -> list[frozenset[str]]:
+        """Augmented minpaths Pq⁺ from ``component`` to ``task``.
+
+        Each returned set contains component and connector *names* whose
+        joint operation lets ``task`` learn the state of ``component``.
+        """
+        watched = self._component(component)
+        observer = self._component(task)
+        if not observer.kind.is_task:
+            raise ModelError(f"observer {task!r} must be a task component")
+
+        arcs: Iterable[KnowledgeArc] = self._arcs
+        if watched.kind is ComponentKind.PROCESSOR:
+            hosted = {t.name for t in self._mama.tasks_on(component)}
+            arcs = [
+                arc
+                for arc in self._arcs
+                if not (arc.kind == COMPONENT and arc.name in hosted)
+            ]
+
+        raw = enumerate_minpaths(
+            list(arcs),
+            _out(component),
+            _out(task),
+            first_kinds=_FIRST_KINDS,
+            rest_kinds=_REST_KINDS,
+        )
+        return minimal_sets(self._augment(path) for path in raw)
+
+    def _augment(self, path: frozenset[str]) -> frozenset[str]:
+        """Pq⁺: add the processor of every task whose arc is on the path."""
+        extra: set[str] = set()
+        for name in path:
+            component = self._mama.components.get(name)
+            if component is not None and component.kind.is_task:
+                assert component.processor is not None
+                extra.add(component.processor)
+        return path | extra
+
+    def know_expr(self, component: str, task: str) -> Expr:
+        """The boolean ``know[component, task]`` expression.
+
+        Variables are component and connector names, true meaning
+        operational.  FALSE when no admissible path exists (the task can
+        never learn that component's state).
+        """
+        return path_union(self.minpaths(component, task))
+
+    def know_table(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> Mapping[tuple[str, str], Expr]:
+        """``know_expr`` for many (component, task) pairs at once."""
+        return {pair: self.know_expr(*pair) for pair in pairs}
+
+    def connector_names(self) -> list[str]:
+        """Names of all connector arcs (candidate perfectly-reliable vars)."""
+        return list(self._mama.connectors)

@@ -1,0 +1,256 @@
+"""Entity classes for MAMA models.
+
+Components carry a *kind* (application task ``AT``, agent task ``AGT``,
+manager task ``MT``, processor ``Proc``); task components name their
+hosting processor.  Connectors carry a kind (alive-watch, status-watch,
+notify) and are directed **in the direction of information flow**:
+
+* watch connectors: ``source`` is the *monitored* component, ``target``
+  the *monitor*;
+* notify connectors: ``source`` is the *notifier*, ``target`` the
+  *subscriber*.
+
+Role restrictions from the paper (checked by
+:func:`repro.mama.validation.validate_mama`):
+
+* managers and agents may take any role;
+* an application task may only be *monitored* or a *subscriber*;
+* a processor may only be *monitored*, and only by an alive-watch
+  connector (a ping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ModelError
+
+
+class ComponentKind(Enum):
+    """Component types of the MAMA notation (Figure 3)."""
+
+    APPLICATION_TASK = "AT"
+    AGENT_TASK = "AGT"
+    MANAGER_TASK = "MT"
+    PROCESSOR = "Proc"
+
+    @property
+    def is_task(self) -> bool:
+        return self is not ComponentKind.PROCESSOR
+
+
+class ConnectorKind(Enum):
+    """Connector types of the MAMA notation (Figure 3)."""
+
+    ALIVE_WATCH = "AW"
+    STATUS_WATCH = "SW"
+    NOTIFY = "Ntfy"
+
+    @property
+    def is_watch(self) -> bool:
+        return self is not ConnectorKind.NOTIFY
+
+
+@dataclass(frozen=True)
+class Component:
+    """A MAMA component.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the model (shared namespace with
+        connectors).
+    kind:
+        One of the four :class:`ComponentKind` values.
+    processor:
+        For task components, the name of the hosting processor
+        component; must be ``None`` for processors.
+    """
+
+    name: str
+    kind: ComponentKind
+    processor: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ComponentKind.PROCESSOR:
+            if self.processor is not None:
+                raise ModelError(
+                    f"processor component {self.name!r} cannot itself have a processor"
+                )
+        elif self.processor is None:
+            raise ModelError(f"task component {self.name!r} needs a hosting processor")
+
+
+@dataclass(frozen=True)
+class Connector:
+    """A typed, directed connector between two components.
+
+    ``source → target`` is the direction of information flow (monitored
+    to monitor, notifier to subscriber).
+    """
+
+    name: str
+    kind: ConnectorKind
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ModelError(f"connector {self.name!r} connects a component to itself")
+
+
+@dataclass
+class MAMAModel:
+    """A Model for Availability Management Architectures.
+
+    Build with the ``add_*`` methods; they enforce name uniqueness,
+    referential integrity and the per-connection role rules eagerly.
+    Call :func:`repro.mama.validation.validate_mama` (or
+    :meth:`validated`) for the whole-model rules (remote watchers must
+    also watch the remote processor, no duplicate connectors, etc.).
+    """
+
+    name: str = "mama"
+    components: dict[str, Component] = field(default_factory=dict)
+    connectors: dict[str, Connector] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.components:
+            raise ModelError(f"name {name!r} already used by a component")
+        if name in self.connectors:
+            raise ModelError(f"name {name!r} already used by a connector")
+
+    def add_processor(self, name: str) -> Component:
+        """Register a processor component."""
+        self._check_fresh(name)
+        component = Component(name=name, kind=ComponentKind.PROCESSOR)
+        self.components[name] = component
+        return component
+
+    def _add_task(self, name: str, kind: ComponentKind, processor: str) -> Component:
+        self._check_fresh(name)
+        host = self.components.get(processor)
+        if host is None or host.kind is not ComponentKind.PROCESSOR:
+            raise ModelError(
+                f"component {name!r}: hosting processor {processor!r} "
+                "is not a registered processor component"
+            )
+        component = Component(name=name, kind=kind, processor=processor)
+        self.components[name] = component
+        return component
+
+    def add_application_task(self, name: str, *, processor: str) -> Component:
+        """Register an application task component."""
+        return self._add_task(name, ComponentKind.APPLICATION_TASK, processor)
+
+    def add_agent(self, name: str, *, processor: str) -> Component:
+        """Register an agent task component."""
+        return self._add_task(name, ComponentKind.AGENT_TASK, processor)
+
+    def add_manager(self, name: str, *, processor: str) -> Component:
+        """Register a manager task component."""
+        return self._add_task(name, ComponentKind.MANAGER_TASK, processor)
+
+    def _add_connector(
+        self, name: str, kind: ConnectorKind, source: str, target: str
+    ) -> Connector:
+        self._check_fresh(name)
+        for endpoint in (source, target):
+            if endpoint not in self.components:
+                raise ModelError(
+                    f"connector {name!r}: unknown component {endpoint!r}"
+                )
+        connector = Connector(name=name, kind=kind, source=source, target=target)
+        self._check_roles(connector)
+        self.connectors[name] = connector
+        return connector
+
+    def add_alive_watch(self, name: str, *, monitored: str, monitor: str) -> Connector:
+        """Monitor receives crash/alive data about the monitored component."""
+        return self._add_connector(name, ConnectorKind.ALIVE_WATCH, monitored, monitor)
+
+    def add_status_watch(self, name: str, *, monitored: str, monitor: str) -> Connector:
+        """Like alive-watch, but also relays status of other components."""
+        return self._add_connector(name, ConnectorKind.STATUS_WATCH, monitored, monitor)
+
+    def add_notify(self, name: str, *, notifier: str, subscriber: str) -> Connector:
+        """Notifier pushes received status data to the subscriber."""
+        return self._add_connector(name, ConnectorKind.NOTIFY, notifier, subscriber)
+
+    def _check_roles(self, connector: Connector) -> None:
+        """Per-connection role restrictions of §2C."""
+        source = self.components[connector.source]
+        target = self.components[connector.target]
+        if connector.kind.is_watch:
+            # source plays `monitored`, target plays `monitor`.
+            if target.kind is ComponentKind.PROCESSOR:
+                raise ModelError(
+                    f"connector {connector.name!r}: a processor cannot be a monitor"
+                )
+            if target.kind is ComponentKind.APPLICATION_TASK:
+                raise ModelError(
+                    f"connector {connector.name!r}: an application task can only "
+                    "be connected as monitored or subscriber, not as monitor"
+                )
+            if (
+                source.kind is ComponentKind.PROCESSOR
+                and connector.kind is not ConnectorKind.ALIVE_WATCH
+            ):
+                raise ModelError(
+                    f"connector {connector.name!r}: a processor can only be "
+                    "monitored through an alive-watch connector"
+                )
+        else:
+            # source plays `notifier`, target plays `subscriber`.
+            if ComponentKind.PROCESSOR in (source.kind, target.kind):
+                raise ModelError(
+                    f"connector {connector.name!r}: processors cannot take "
+                    "notifier or subscriber roles"
+                )
+            if source.kind is ComponentKind.APPLICATION_TASK:
+                raise ModelError(
+                    f"connector {connector.name!r}: an application task cannot "
+                    "be a notifier"
+                )
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def tasks(self) -> list[Component]:
+        """All task components (application, agent, manager)."""
+        return [c for c in self.components.values() if c.kind.is_task]
+
+    def processors(self) -> list[Component]:
+        """All processor components."""
+        return [
+            c for c in self.components.values() if c.kind is ComponentKind.PROCESSOR
+        ]
+
+    def tasks_on(self, processor: str) -> list[Component]:
+        """Task components hosted on the named processor."""
+        if processor not in self.components:
+            raise ModelError(f"unknown component {processor!r}")
+        return [c for c in self.tasks() if c.processor == processor]
+
+    def watchers_of(self, component: str) -> list[Connector]:
+        """Watch connectors whose monitored end is the named component."""
+        return [
+            c
+            for c in self.connectors.values()
+            if c.kind.is_watch and c.source == component
+        ]
+
+    def component_names(self) -> list[str]:
+        """Names of every component (tasks then processors)."""
+        return [c.name for c in self.tasks()] + [c.name for c in self.processors()]
+
+    def validated(self) -> "MAMAModel":
+        """Run full validation and return self (fluent helper)."""
+        from repro.mama.validation import validate_mama
+
+        validate_mama(self)
+        return self

@@ -1,0 +1,143 @@
+"""JSON round-tripping for MAMA models.
+
+Document layout:
+
+.. code-block:: json
+
+    {
+      "name": "centralized",
+      "components": [
+        {"name": "proc1", "kind": "Proc"},
+        {"name": "AppA", "kind": "AT", "processor": "proc1"},
+        {"name": "ag1", "kind": "AGT", "processor": "proc1"},
+        {"name": "m1", "kind": "MT", "processor": "proc5"}
+      ],
+      "connectors": [
+        {"name": "c1", "kind": "AW", "source": "AppA", "target": "ag1"}
+      ]
+    }
+
+``kind`` uses the paper's abbreviations (AT/AGT/MT/Proc and
+AW/SW/Ntfy).  Loading validates role rules eagerly and whole-model
+rules before returning.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.mama.model import ComponentKind, ConnectorKind, MAMAModel
+
+
+def mama_to_json(model: MAMAModel, *, indent: int | None = 2) -> str:
+    """Serialise a MAMA model to a JSON string."""
+    components = []
+    for component in model.components.values():
+        entry: dict[str, Any] = {
+            "name": component.name,
+            "kind": component.kind.value,
+        }
+        if component.processor is not None:
+            entry["processor"] = component.processor
+        components.append(entry)
+    connectors = [
+        {
+            "name": connector.name,
+            "kind": connector.kind.value,
+            "source": connector.source,
+            "target": connector.target,
+        }
+        for connector in model.connectors.values()
+    ]
+    return json.dumps(
+        {"name": model.name, "components": components, "connectors": connectors},
+        indent=indent,
+    )
+
+
+def _require(document: dict[str, Any], key: str, kind: type) -> Any:
+    if key not in document:
+        raise SerializationError(f"missing key {key!r} in MAMA document")
+    value = document[key]
+    if not isinstance(value, kind):
+        raise SerializationError(
+            f"key {key!r}: expected {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+_ADDERS = {
+    ComponentKind.APPLICATION_TASK: "add_application_task",
+    ComponentKind.AGENT_TASK: "add_agent",
+    ComponentKind.MANAGER_TASK: "add_manager",
+}
+
+
+def mama_from_json(text: str) -> MAMAModel:
+    """Parse and validate a MAMA model from its JSON form.
+
+    Raises
+    ------
+    SerializationError
+        On malformed JSON or schema violations.
+    ModelError
+        If the document parses but describes an invalid architecture.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SerializationError("top-level JSON value must be an object")
+
+    model = MAMAModel(name=str(document.get("name", "mama")))
+    components = _require(document, "components", list)
+    # Processors first so task components can reference them regardless
+    # of document order.
+    for item in components:
+        kind = _parse_component_kind(_require(item, "kind", str))
+        if kind is ComponentKind.PROCESSOR:
+            model.add_processor(_require(item, "name", str))
+    for item in components:
+        kind = _parse_component_kind(_require(item, "kind", str))
+        if kind is ComponentKind.PROCESSOR:
+            continue
+        adder = getattr(model, _ADDERS[kind])
+        adder(
+            _require(item, "name", str),
+            processor=_require(item, "processor", str),
+        )
+    for item in _require(document, "connectors", list):
+        kind = _parse_connector_kind(_require(item, "kind", str))
+        name = _require(item, "name", str)
+        source = _require(item, "source", str)
+        target = _require(item, "target", str)
+        if kind is ConnectorKind.ALIVE_WATCH:
+            model.add_alive_watch(name, monitored=source, monitor=target)
+        elif kind is ConnectorKind.STATUS_WATCH:
+            model.add_status_watch(name, monitored=source, monitor=target)
+        else:
+            model.add_notify(name, notifier=source, subscriber=target)
+    return model.validated()
+
+
+def _parse_component_kind(label: str) -> ComponentKind:
+    try:
+        return ComponentKind(label)
+    except ValueError:
+        raise SerializationError(
+            f"unknown component kind {label!r}; expected one of "
+            f"{[k.value for k in ComponentKind]}"
+        ) from None
+
+
+def _parse_connector_kind(label: str) -> ConnectorKind:
+    try:
+        return ConnectorKind(label)
+    except ValueError:
+        raise SerializationError(
+            f"unknown connector kind {label!r}; expected one of "
+            f"{[k.value for k in ConnectorKind]}"
+        ) from None

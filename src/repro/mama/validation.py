@@ -1,0 +1,73 @@
+"""Whole-model validation for MAMA architectures.
+
+Beyond the per-connection role rules (enforced eagerly by
+:class:`~repro.mama.model.MAMAModel`), this module checks:
+
+* no duplicate connector (same kind, source, target);
+* **remote-watch rule** (§2C): if a task watches a *remote* task (one
+  hosted on a different processor), it must also watch that task's
+  processor — otherwise a silent heartbeat cannot be attributed to task
+  crash versus node crash.
+
+Cycles in the connector graph are allowed: the paper permits them and
+assumes information flow is managed so as not to cycle; the minpath
+algorithms in :mod:`repro.mama.minpaths` only ever use simple paths.
+
+:func:`validate_mama` raises on hard violations;
+:func:`remote_watch_violations` returns the offending (monitor,
+monitored) pairs so callers can also use it as a lint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.mama.model import ConnectorKind, MAMAModel
+
+
+def remote_watch_violations(model: MAMAModel) -> list[tuple[str, str]]:
+    """(monitor, monitored-task) pairs violating the remote-watch rule."""
+    violations: list[tuple[str, str]] = []
+    for connector in model.connectors.values():
+        if not connector.kind.is_watch:
+            continue
+        monitored = model.components[connector.source]
+        monitor = model.components[connector.target]
+        if not monitored.kind.is_task:
+            continue
+        if monitored.processor == monitor.processor:
+            continue  # local watch: node death kills both, nothing to attribute
+        watches_processor = any(
+            other.kind.is_watch
+            and other.target == monitor.name
+            and other.source == monitored.processor
+            for other in model.connectors.values()
+        )
+        if not watches_processor:
+            violations.append((monitor.name, monitored.name))
+    return violations
+
+
+def validate_mama(model: MAMAModel, *, enforce_remote_watch: bool = True) -> None:
+    """Raise :class:`~repro.errors.ModelError` on the first violation."""
+    _check_duplicates(model)
+    if enforce_remote_watch:
+        violations = remote_watch_violations(model)
+        if violations:
+            monitor, monitored = violations[0]
+            raise ModelError(
+                f"{monitor!r} watches remote task {monitored!r} but not its "
+                f"processor {model.components[monitored].processor!r} "
+                "(remote-watch rule, paper §2C)"
+            )
+
+
+def _check_duplicates(model: MAMAModel) -> None:
+    seen: set[tuple[ConnectorKind, str, str]] = set()
+    for connector in model.connectors.values():
+        key = (connector.kind, connector.source, connector.target)
+        if key in seen:
+            raise ModelError(
+                f"duplicate connector {connector.kind.value} "
+                f"{connector.source!r} -> {connector.target!r}"
+            )
+        seen.add(key)

@@ -1,0 +1,152 @@
+"""Continuous-time Markov chains over hashable state labels.
+
+A :class:`CTMC` is built by adding transitions (rates); it exposes the
+infinitesimal generator, the steady-state distribution (via a dense
+linear solve with the normalisation condition), transient distributions
+(delegated to uniformization), and Markov-reward measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class CTMC:
+    """A finite CTMC assembled from labelled transitions.
+
+    Example
+    -------
+    >>> chain = CTMC()
+    >>> chain.add_transition("up", "down", rate=0.1)
+    >>> chain.add_transition("down", "up", rate=1.0)
+    >>> pi = chain.steady_state()
+    >>> round(pi["down"], 4)
+    0.0909
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[Hashable, int] = {}
+        self._states: list[Hashable] = []
+        self._transitions: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_state(self, state: Hashable) -> int:
+        """Register a state (idempotent); returns its index."""
+        index = self._index.get(state)
+        if index is None:
+            index = len(self._states)
+            self._index[state] = index
+            self._states.append(state)
+        return index
+
+    def add_transition(self, source: Hashable, target: Hashable, *, rate: float) -> None:
+        """Add (or accumulate) a transition rate between two states."""
+        if rate < 0:
+            raise SolverError(f"transition rate must be >= 0, got {rate}")
+        if source == target:
+            raise SolverError("self-transitions are meaningless in a CTMC")
+        if rate == 0:
+            self.add_state(source)
+            self.add_state(target)
+            return
+        i = self.add_state(source)
+        j = self.add_state(target)
+        self._transitions[(i, j)] = self._transitions.get((i, j), 0.0) + rate
+
+    @property
+    def states(self) -> list[Hashable]:
+        return list(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    # ------------------------------------------------------------------
+
+    def generator(self) -> np.ndarray:
+        """The infinitesimal generator Q (dense, rows sum to zero)."""
+        n = len(self._states)
+        q = np.zeros((n, n))
+        for (i, j), rate in self._transitions.items():
+            q[i, j] += rate
+        np.fill_diagonal(q, q.diagonal() - q.sum(axis=1))
+        return q
+
+    def steady_state(self) -> dict[Hashable, float]:
+        """The stationary distribution π (πQ = 0, Σπ = 1).
+
+        Raises
+        ------
+        SolverError
+            If the chain is empty or the linear system is singular
+            beyond the usual rank-1 deficiency (e.g. two closed
+            communicating classes — no unique stationary distribution).
+        """
+        n = len(self._states)
+        if n == 0:
+            raise SolverError("CTMC has no states")
+        if n == 1:
+            return {self._states[0]: 1.0}
+        q = self.generator()
+        # Replace one balance equation with the normalisation condition.
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                "stationary distribution is not unique (reducible chain?)"
+            ) from exc
+        if np.any(pi < -1e-9):
+            raise SolverError(
+                "stationary solve produced negative probabilities "
+                "(reducible chain?)"
+            )
+        pi = np.clip(pi, 0.0, None)
+        pi = pi / pi.sum()
+        return {state: float(pi[i]) for i, state in enumerate(self._states)}
+
+    def transient(
+        self,
+        initial: Mapping[Hashable, float],
+        t: float,
+        *,
+        tolerance: float = 1e-12,
+    ) -> dict[Hashable, float]:
+        """Distribution at time ``t`` from an initial distribution."""
+        from repro.markov.uniformization import transient_distribution
+
+        return transient_distribution(self, initial, t, tolerance=tolerance)
+
+    def expected_reward_rate(
+        self,
+        rewards: Mapping[Hashable, float],
+        distribution: Mapping[Hashable, float] | None = None,
+    ) -> float:
+        """Σ_s π(s) · r(s); uses the steady state when no distribution
+        is given.  States missing from ``rewards`` earn 0."""
+        if distribution is None:
+            distribution = self.steady_state()
+        return sum(
+            probability * rewards.get(state, 0.0)
+            for state, probability in distribution.items()
+        )
+
+    def initial_vector(self, initial: Mapping[Hashable, float]) -> np.ndarray:
+        """Dense probability vector in this chain's state order."""
+        vector = np.zeros(len(self._states))
+        for state, probability in initial.items():
+            index = self._index.get(state)
+            if index is None:
+                raise SolverError(f"unknown state {state!r}")
+            vector[index] = probability
+        total = vector.sum()
+        if not np.isclose(total, 1.0):
+            raise SolverError(f"initial distribution sums to {total}, not 1")
+        return vector

@@ -1,0 +1,197 @@
+"""Detection/reconfiguration delay extension (§7, following [29]).
+
+The paper's core model assumes reconfiguration is instantaneous once
+knowledge allows it; §7 sketches an extension with delays to detect a
+failure and to reconfigure, warning of state-space growth.  This module
+implements that extension as a Markov-reward model over pairs
+
+    (down-set of application components, active configuration),
+
+where component failures/repairs change the down-set at their rates
+while the *active* configuration only catches up at a finite
+``detection_rate`` (mean latency = 1/rate, pooling heartbeat interval,
+notification propagation and reconfiguration time).  While the active
+configuration is stale, a user group earns reward only if everything
+the stale configuration routes it through is still up.
+
+As ``detection_rate → ∞`` the expected reward converges to the paper's
+instantaneous model (validated in ``tests/markov``); as the rate falls,
+reward degrades — quantifying the §7 trade-off between heartbeat
+traffic and coverage.
+
+Knowledge is taken as perfect here (the architecture-coverage and the
+latency questions are orthogonal; combining both multiplies the state
+space, exactly the blow-up §7 warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.configuration import group_support
+from repro.errors import ModelError
+from repro.ftlqn.fault_graph import PERFECT_KNOWLEDGE, build_fault_graph
+from repro.ftlqn.model import FTLQNModel
+from repro.markov.availability import ComponentAvailability
+from repro.markov.ctmc import CTMC
+
+#: Marker for "no operational configuration" in chain states.
+FAILED = "__failed__"
+
+
+@dataclass(frozen=True)
+class DelayModelResult:
+    """Solution of the detection-delay Markov-reward model.
+
+    Attributes
+    ----------
+    expected_reward:
+        Steady-state expected reward rate with the given detection rate.
+    instantaneous_reward:
+        The same system with instantaneous reconfiguration (the paper's
+        base model) — the detection-rate → ∞ limit.
+    stale_probability:
+        Steady-state probability that the active configuration differs
+        from the one instantaneous reconfiguration would use.
+    state_count:
+        Number of (down-set, active configuration) states in the chain.
+    chain:
+        The underlying CTMC (for further transient analysis).
+    """
+
+    expected_reward: float
+    instantaneous_reward: float
+    stale_probability: float
+    state_count: int
+    chain: CTMC
+
+
+def detection_delay_model(
+    ftlqn: FTLQNModel,
+    rates: Mapping[str, ComponentAvailability],
+    group_rewards: Mapping[frozenset[str], Mapping[str, float]],
+    *,
+    detection_rate: float,
+) -> DelayModelResult:
+    """Build and solve the delay extension for an FTLQN system.
+
+    Parameters
+    ----------
+    rates:
+        Failure/repair rates of the unreliable application components
+        (tasks/processors absent from the mapping never fail).
+    group_rewards:
+        Per operational configuration, the reward rate earned by each
+        user group while its path is up (e.g. w_g · f_g from the LQN
+        solution of that configuration).
+    detection_rate:
+        Rate at which a pending reconfiguration completes (1 / mean
+        detection+reconfiguration latency).
+    """
+    if detection_rate <= 0:
+        raise ModelError("detection_rate must be positive")
+    component_names = ftlqn.component_names()
+    unknown = [name for name in rates if name not in component_names]
+    if unknown:
+        raise ModelError(f"rates mention unknown components: {sorted(unknown)}")
+
+    graph = build_fault_graph(ftlqn)
+    names = sorted(rates)
+
+    def target_configuration(down: frozenset[str]):
+        state = {
+            leaf.name: leaf.name not in down for leaf in graph.leaves()
+        }
+        return graph.evaluate(state, PERFECT_KNOWLEDGE).configuration
+
+    def config_key(configuration):
+        return FAILED if configuration is None else configuration
+
+    def reward_of(down: frozenset[str], active) -> float:
+        if active == FAILED:
+            return 0.0
+        rewards = group_rewards.get(active)
+        if rewards is None:
+            raise ModelError(
+                f"group_rewards missing configuration {sorted(active)}"
+            )
+        total = 0.0
+        for group, value in rewards.items():
+            support = group_support(ftlqn, active, group)
+            if not (support & down):
+                total += value
+        return total
+
+    chain = CTMC()
+    rewards_by_state: dict[object, float] = {}
+    stale_states: set[object] = set()
+    instantaneous = 0.0
+
+    start_down: frozenset[str] = frozenset()
+    start = (start_down, config_key(target_configuration(start_down)))
+    frontier = [start]
+    seen = {start}
+    down_probability_cache: dict[frozenset[str], float] = {}
+
+    while frontier:
+        state = frontier.pop()
+        down, active = state
+        chain.add_state(state)
+        rewards_by_state[state] = reward_of(down, active)
+        target = config_key(target_configuration(down))
+        if target != active:
+            stale_states.add(state)
+            successor = (down, target)
+            chain.add_transition(
+                state, successor, rate=detection_rate
+            )
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+        for name in names:
+            availability = rates[name]
+            if name in down:
+                next_down = down - {name}
+                rate = availability.repair_rate
+            else:
+                next_down = down | {name}
+                rate = availability.failure_rate
+            successor = (next_down, active)
+            chain.add_transition(state, successor, rate=rate)
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+
+    steady = chain.steady_state()
+    expected = chain.expected_reward_rate(rewards_by_state, steady)
+    stale_probability = sum(
+        probability
+        for state, probability in steady.items()
+        if state in stale_states
+    )
+
+    # Instantaneous baseline: weight each down-set by its product-form
+    # probability, reward from its own target configuration.
+    def down_probability(down: frozenset[str]) -> float:
+        cached = down_probability_cache.get(down)
+        if cached is None:
+            cached = 1.0
+            for name in names:
+                u = rates[name].unavailability
+                cached *= u if name in down else 1.0 - u
+            down_probability_cache[down] = cached
+        return cached
+
+    down_sets = {state[0] for state in steady}
+    for down in down_sets:
+        active = config_key(target_configuration(down))
+        instantaneous += down_probability(down) * reward_of(down, active)
+
+    return DelayModelResult(
+        expected_reward=expected,
+        instantaneous_reward=instantaneous,
+        stale_probability=stale_probability,
+        state_count=len(chain),
+        chain=chain,
+    )

@@ -1,0 +1,76 @@
+"""Transient CTMC solution by uniformization (Jensen's method).
+
+Given generator Q with uniformization rate Λ ≥ max |Q_ii|, the
+probability vector at time t is
+
+    p(t) = Σ_k e^{−Λt} (Λt)^k / k! · p(0) P^k,     P = I + Q/Λ.
+
+The Poisson series is truncated when the accumulated mass exceeds
+1 − tolerance.  Numerically robust for the moderate Λt values used in
+availability models; no matrix exponentials required.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.markov.ctmc import CTMC
+
+
+def transient_distribution(
+    chain: CTMC,
+    initial: Mapping[Hashable, float],
+    t: float,
+    *,
+    tolerance: float = 1e-12,
+    max_terms: int = 1_000_000,
+) -> dict[Hashable, float]:
+    """Distribution of the chain at time ``t``.
+
+    Raises
+    ------
+    SolverError
+        For negative ``t`` or if the Poisson series fails to converge
+        within ``max_terms`` (Λt too large for this method).
+    """
+    if t < 0:
+        raise SolverError("transient time must be >= 0")
+    states = chain.states
+    vector = chain.initial_vector(initial)
+    if t == 0 or len(states) == 1:
+        return {state: float(vector[i]) for i, state in enumerate(states)}
+
+    q = chain.generator()
+    lam = float(np.max(-np.diag(q)))
+    if lam == 0.0:
+        return {state: float(vector[i]) for i, state in enumerate(states)}
+    p_matrix = np.eye(len(states)) + q / lam
+
+    lt = lam * t
+    # Poisson(Λt) weights, built iteratively to avoid overflow.
+    log_weight = -lt  # log of e^{-Λt} (Λt)^0 / 0!
+    weight = np.exp(log_weight)
+    accumulated = weight
+    result = weight * vector
+    term = vector
+    k = 0
+    while accumulated < 1.0 - tolerance:
+        k += 1
+        if k > max_terms:
+            raise SolverError(
+                f"uniformization did not converge within {max_terms} terms "
+                f"(lambda*t = {lt:.3g})"
+            )
+        term = term @ p_matrix
+        log_weight += np.log(lt) - np.log(k)
+        weight = np.exp(log_weight)
+        result = result + weight * term
+        accumulated += weight
+    # Renormalise the truncation remainder onto the last computed term.
+    result = result + (1.0 - accumulated) * term
+    result = np.clip(result, 0.0, None)
+    result = result / result.sum()
+    return {state: float(result[i]) for i, state in enumerate(states)}

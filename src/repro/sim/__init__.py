@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+The paper's numbers come from analytic models; this package provides
+independent discrete-event simulators used to validate them:
+
+* :mod:`repro.sim.engine` — a minimal event-calendar simulator core.
+* :mod:`repro.sim.random_streams` — named, reproducible random streams.
+* :mod:`repro.sim.lqn_sim` — simulates LQN semantics (blocking RPC,
+  FCFS task threads and processors) to validate the analytic solver in
+  :mod:`repro.lqn.solver`.
+* :mod:`repro.sim.availability_sim` — simulates component
+  failure/repair processes with knowledge-gated reconfiguration
+  (optionally with detection/notification delays) to validate the
+  configuration probabilities of :mod:`repro.core` and to explore the
+  §7 detection-delay extension.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+from repro.sim.lqn_sim import LQNSimulationResult, simulate_lqn
+from repro.sim.availability_sim import (
+    AvailabilitySimulationResult,
+    simulate_availability,
+)
+from repro.sim.heartbeat import (
+    HeartbeatConfig,
+    detection_rate,
+    mean_detection_latency,
+    simulate_detection_latency,
+)
+
+__all__ = [
+    "AvailabilitySimulationResult",
+    "HeartbeatConfig",
+    "LQNSimulationResult",
+    "RandomStreams",
+    "Simulator",
+    "detection_rate",
+    "mean_detection_latency",
+    "simulate_availability",
+    "simulate_detection_latency",
+    "simulate_lqn",
+]

@@ -1,0 +1,319 @@
+"""Discrete-event simulation of LQN semantics.
+
+Simulates exactly the semantics the analytic solver approximates:
+
+* a task has ``multiplicity`` threads and a FIFO request queue;
+* an invocation of an entry first executes its host demand as a single
+  non-preemptive burst on the task's processor (FIFO, ``multiplicity``
+  CPUs), then performs its synchronous calls one after another, each
+  blocking the thread until the reply;
+* each user of a reference task loops: think, then invoke the task's
+  entries in order (reference entries run on the user's own thread).
+
+Service demands and think times are exponentially distributed by
+default (set ``deterministic=True`` for fixed times).  Non-integral
+``mean_calls`` values are realised as the integer part plus one
+Bernoulli extra call.  Second phases execute after the reply and hold
+the thread; on reference entries they run concurrently with the user's
+next step (model second phases on servers, where they are meaningful).
+
+The simulator exists to validate :func:`repro.lqn.solver.solve_lqn`;
+see ``tests/sim/test_lqn_sim_vs_solver.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.lqn.model import LQNEntry, LQNModel
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+
+@dataclass(frozen=True)
+class LQNSimulationResult:
+    """Estimates from one simulation run.
+
+    Attributes
+    ----------
+    task_throughputs:
+        Completed invocations per second per task (reference tasks:
+        completed user cycles per second), measured after warm-up.
+    entry_throughputs:
+        Completed invocations per second per entry.
+    processor_utilizations:
+        Busy fraction per processor (per CPU), measured after warm-up.
+    measured_time:
+        Length of the measurement window (simulated seconds).
+    """
+
+    task_throughputs: dict[str, float]
+    entry_throughputs: dict[str, float]
+    processor_utilizations: dict[str, float]
+    measured_time: float
+
+
+class _Processor:
+    def __init__(self, sim: Simulator, multiplicity: int):
+        self.sim = sim
+        self.multiplicity = multiplicity
+        self.queue: list[tuple[float, object]] = []
+        self.busy = 0
+        self.busy_time = 0.0
+
+    def execute(self, duration: float, continuation) -> None:
+        self.queue.append((duration, continuation))
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        while self.queue and self.busy < self.multiplicity:
+            duration, continuation = self.queue.pop(0)
+            self.busy += 1
+            self.busy_time += duration
+
+            def finish(cont=continuation):
+                self.busy -= 1
+                self._dispatch()
+                cont()
+
+            self.sim.schedule(duration, finish)
+
+
+class _Task:
+    def __init__(self, sim: Simulator, multiplicity: int):
+        self.sim = sim
+        self.multiplicity = multiplicity
+        self.queue: list[_Invocation] = []
+        self.busy = 0
+
+    def submit(self, invocation: "_Invocation") -> None:
+        self.queue.append(invocation)
+        self.dispatch()
+
+    def dispatch(self) -> None:
+        while self.queue and self.busy < self.multiplicity:
+            invocation = self.queue.pop(0)
+            self.busy += 1
+            invocation.start()
+
+    def release(self) -> None:
+        self.busy -= 1
+        self.dispatch()
+
+
+@dataclass
+class _Invocation:
+    """One in-flight invocation of an entry (a continuation chain)."""
+
+    runner: "_Runner"
+    entry: LQNEntry
+    on_complete: object
+    holds_thread: bool = True
+    pending_calls: list[tuple[str, int]] = field(default_factory=list)
+
+    def start(self) -> None:
+        self.runner.entry_starts[self.entry.name] += 1
+        self.pending_calls = self.runner.realize_calls(self.entry)
+        demand = self.runner.draw_service(self.entry)
+        if demand > 0:
+            processor = self.runner.processors[
+                self.runner.model.tasks[self.entry.task].processor
+            ]
+            processor.execute(demand, self._run_calls)
+        else:
+            self._run_calls()
+
+    def _run_calls(self) -> None:
+        if not self.pending_calls:
+            self._finish()
+            return
+        target_name, count = self.pending_calls[0]
+        if count <= 0:
+            self.pending_calls.pop(0)
+            self._run_calls()
+            return
+        self.pending_calls[0] = (target_name, count - 1)
+        target_entry = self.runner.model.entries[target_name]
+        child = _Invocation(
+            runner=self.runner,
+            entry=target_entry,
+            on_complete=self._run_calls,
+        )
+        self.runner.tasks[target_entry.task].submit(child)
+
+    def _finish(self) -> None:
+        # Reply first: the caller resumes while any second phase runs.
+        self.runner.entry_completions[self.entry.name] += 1
+        callback = self.on_complete
+        if callback is not None:
+            callback()
+        phase2 = self.runner.draw_phase2(self.entry)
+        if phase2 > 0:
+            processor = self.runner.processors[
+                self.runner.model.tasks[self.entry.task].processor
+            ]
+            processor.execute(phase2, self._release_thread)
+        else:
+            self._release_thread()
+
+    def _release_thread(self) -> None:
+        if self.holds_thread:
+            self.runner.tasks[self.entry.task].release()
+
+
+class _Runner:
+    """Mutable simulation state shared by all invocations."""
+
+    def __init__(
+        self,
+        model: LQNModel,
+        streams: RandomStreams,
+        deterministic: bool,
+    ):
+        self.model = model
+        self.streams = streams
+        self.deterministic = deterministic
+        self.sim = Simulator()
+        self.processors = {
+            name: _Processor(self.sim, processor.multiplicity)
+            for name, processor in model.processors.items()
+        }
+        self.tasks = {
+            name: _Task(self.sim, task.multiplicity)
+            for name, task in model.tasks.items()
+        }
+        self.entry_starts = {name: 0 for name in model.entries}
+        self.entry_completions = {name: 0 for name in model.entries}
+
+    def draw_service(self, entry: LQNEntry) -> float:
+        if entry.demand <= 0:
+            return 0.0
+        if self.deterministic:
+            return entry.demand
+        return self.streams.exponential(f"service:{entry.name}", entry.demand)
+
+    def draw_phase2(self, entry: LQNEntry) -> float:
+        if entry.phase2_demand <= 0:
+            return 0.0
+        if self.deterministic:
+            return entry.phase2_demand
+        return self.streams.exponential(
+            f"phase2:{entry.name}", entry.phase2_demand
+        )
+
+    def draw_think(self, task_name: str) -> float:
+        think = self.model.tasks[task_name].think_time
+        if think <= 0:
+            return 0.0
+        if self.deterministic:
+            return think
+        return self.streams.exponential(f"think:{task_name}", think)
+
+    def realize_calls(self, entry: LQNEntry) -> list[tuple[str, int]]:
+        realized: list[tuple[str, int]] = []
+        for call in entry.calls:
+            whole = int(call.mean_calls)
+            fraction = call.mean_calls - whole
+            count = whole
+            if fraction > 0:
+                uniform = self.streams.stream(
+                    f"calls:{entry.name}->{call.target}"
+                ).random()
+                if uniform < fraction:
+                    count += 1
+            realized.append((call.target, count))
+        return realized
+
+
+def simulate_lqn(
+    model: LQNModel,
+    *,
+    horizon: float = 20_000.0,
+    warmup_fraction: float = 0.2,
+    seed: int = 1,
+    deterministic: bool = False,
+) -> LQNSimulationResult:
+    """Simulate an LQN and estimate steady-state rates.
+
+    Parameters
+    ----------
+    horizon:
+        Total simulated time; the first ``warmup_fraction`` of it is
+        discarded from all estimates.
+    deterministic:
+        Use fixed service/think times instead of exponential draws.
+    """
+    model.validate()
+    if not 0 <= warmup_fraction < 1:
+        raise ModelError("warmup_fraction must be in [0, 1)")
+    runner = _Runner(model, RandomStreams(seed), deterministic)
+    sim = runner.sim
+
+    cycle_counts = {task.name: 0 for task in model.reference_tasks()}
+
+    def launch_user(task_name: str) -> None:
+        entries = model.entries_of_task(task_name)
+
+        def begin_cycle() -> None:
+            sim.schedule(runner.draw_think(task_name), lambda: run_entry(0))
+
+        def run_entry(index: int) -> None:
+            if index == len(entries):
+                cycle_counts[task_name] += 1
+                begin_cycle()
+                return
+            invocation = _Invocation(
+                runner=runner,
+                entry=entries[index],
+                on_complete=lambda: run_entry(index + 1),
+                holds_thread=False,
+            )
+            invocation.start()
+
+        begin_cycle()
+
+    for task in model.reference_tasks():
+        for _ in range(task.multiplicity):
+            launch_user(task.name)
+
+    warmup_end = horizon * warmup_fraction
+    sim.run(until=warmup_end)
+    baseline_cycles = dict(cycle_counts)
+    baseline_entries = dict(runner.entry_completions)
+    baseline_busy = {
+        name: processor.busy_time
+        for name, processor in runner.processors.items()
+    }
+    # busy_time is credited at dispatch; subtract the un-elapsed part of
+    # in-service bursts at both window edges is below measurement noise
+    # for the horizons used here.
+    sim.run(until=horizon)
+    window = horizon - warmup_end
+
+    entry_throughputs = {
+        name: (runner.entry_completions[name] - baseline_entries[name]) / window
+        for name in model.entries
+    }
+    task_throughputs: dict[str, float] = {}
+    for task in model.tasks.values():
+        if task.is_reference:
+            task_throughputs[task.name] = (
+                cycle_counts[task.name] - baseline_cycles[task.name]
+            ) / window
+        else:
+            task_throughputs[task.name] = sum(
+                entry_throughputs[entry.name]
+                for entry in model.entries_of_task(task.name)
+            )
+    processor_utilizations = {
+        name: (processor.busy_time - baseline_busy[name])
+        / (window * processor.multiplicity)
+        for name, processor in runner.processors.items()
+    }
+    return LQNSimulationResult(
+        task_throughputs=task_throughputs,
+        entry_throughputs=entry_throughputs,
+        processor_utilizations=processor_utilizations,
+        measured_time=window,
+    )

@@ -1,0 +1,54 @@
+"""Named, reproducible random streams for simulations.
+
+Every logical source of randomness (think times of one user group,
+service of one entry, failures of one component) draws from its own
+stream, so adding a new source never perturbs the others — the standard
+variance-reduction discipline for simulation experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """A factory of independent generators derived from one seed.
+
+    Example
+    -------
+    >>> streams = RandomStreams(seed=7)
+    >>> a = streams.stream("service:eA")
+    >>> b = streams.stream("service:eB")
+    >>> a is streams.stream("service:eA")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for a named stream (created on first use)."""
+        generator = self._streams.get(name)
+        if generator is None:
+            digest = hashlib.sha256(
+                f"{self._seed}:{name}".encode()
+            ).digest()
+            key = int.from_bytes(digest[:8], "big")
+            generator = np.random.Generator(
+                np.random.Philox(np.random.SeedSequence([self._seed, key]))
+            )
+            self._streams[name] = generator
+        return generator
+
+    def exponential(self, name: str, mean: float) -> float:
+        """One exponential draw with the given mean (0 if mean is 0)."""
+        if mean <= 0:
+            return 0.0
+        return float(self.stream(name).exponential(mean))

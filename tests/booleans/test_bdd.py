@@ -1,0 +1,97 @@
+"""Unit tests for the BDD manager."""
+
+import pytest
+
+from repro.booleans import BDD, FALSE, TRUE, Var
+from repro.booleans.bdd import ONE, ZERO
+
+
+class TestConstruction:
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(["a", "a"])
+
+    def test_unknown_variable_rejected(self):
+        manager = BDD(["a"])
+        with pytest.raises(KeyError):
+            manager.var("b")
+
+    def test_constants(self):
+        manager = BDD(["a"])
+        assert manager.from_expr(TRUE) == ONE
+        assert manager.from_expr(FALSE) == ZERO
+
+    def test_hash_consing(self):
+        manager = BDD(["a", "b"])
+        first = manager.from_expr(Var("a") | Var("b"))
+        second = manager.from_expr(Var("b") | Var("a"))
+        assert first == second
+
+    def test_tautology_collapses_to_one(self):
+        manager = BDD(["a"])
+        assert manager.from_expr(Var("a") | ~Var("a")) == ONE
+
+    def test_contradiction_collapses_to_zero(self):
+        manager = BDD(["a"])
+        assert manager.from_expr(Var("a") & ~Var("a")) == ZERO
+
+
+class TestOperations:
+    def test_negate_involution(self):
+        manager = BDD(["a", "b"])
+        node = manager.from_expr(Var("a") & Var("b"))
+        assert manager.negate(manager.negate(node)) == node
+
+    def test_de_morgan(self):
+        manager = BDD(["a", "b"])
+        left = manager.negate(
+            manager.apply_and(manager.var("a"), manager.var("b"))
+        )
+        right = manager.apply_or(
+            manager.negate(manager.var("a")), manager.negate(manager.var("b"))
+        )
+        assert left == right
+
+    def test_evaluate(self):
+        manager = BDD(["a", "b", "c"])
+        node = manager.from_expr((Var("a") & Var("b")) | Var("c"))
+        assert manager.evaluate(node, {"a": True, "b": True, "c": False})
+        assert not manager.evaluate(node, {"a": True, "b": False, "c": False})
+        assert manager.evaluate(node, {"a": False, "b": False, "c": True})
+
+
+class TestProbability:
+    def test_single_variable(self):
+        manager = BDD(["a"])
+        assert manager.probability(manager.var("a"), {"a": 0.3}) == pytest.approx(0.3)
+
+    def test_or_probability(self):
+        manager = BDD(["a", "b"])
+        node = manager.from_expr(Var("a") | Var("b"))
+        assert manager.probability(node, {"a": 0.9, "b": 0.9}) == pytest.approx(0.99)
+
+    def test_and_probability(self):
+        manager = BDD(["a", "b"])
+        node = manager.from_expr(Var("a") & Var("b"))
+        assert manager.probability(node, {"a": 0.5, "b": 0.4}) == pytest.approx(0.2)
+
+    def test_terminals(self):
+        manager = BDD(["a"])
+        assert manager.probability(ONE, {"a": 0.5}) == 1.0
+        assert manager.probability(ZERO, {"a": 0.5}) == 0.0
+
+    def test_satisfying_fraction(self):
+        manager = BDD(["a", "b"])
+        node = manager.from_expr(Var("a") & Var("b"))
+        assert manager.satisfying_fraction(node) == pytest.approx(0.25)
+
+
+class TestSupport:
+    def test_support_of_terminal_is_empty(self):
+        manager = BDD(["a", "b"])
+        assert manager.support(ONE) == frozenset()
+
+    def test_support_excludes_cancelled_variables(self):
+        manager = BDD(["a", "b"])
+        node = manager.from_expr((Var("a") & Var("b")) | (~Var("a") & Var("b")))
+        assert manager.support(node) == frozenset({"b"})

@@ -1,0 +1,186 @@
+"""Unit tests for the boolean expression AST."""
+
+import pytest
+
+from repro.booleans import FALSE, TRUE, And, Not, Or, Var, all_of, any_of, path_union
+
+
+class TestConstants:
+    def test_true_evaluates_true(self):
+        assert TRUE.evaluate({}) is True
+
+    def test_false_evaluates_false(self):
+        assert FALSE.evaluate({}) is False
+
+    def test_constants_have_no_variables(self):
+        assert TRUE.variables() == frozenset()
+        assert FALSE.variables() == frozenset()
+
+    def test_substitute_is_identity(self):
+        assert TRUE.substitute({"x": False}) == TRUE
+
+    def test_repr(self):
+        assert repr(TRUE) == "TRUE"
+        assert repr(FALSE) == "FALSE"
+
+
+class TestVar:
+    def test_evaluate_reads_assignment(self):
+        assert Var("x").evaluate({"x": True}) is True
+        assert Var("x").evaluate({"x": False}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("x").evaluate({})
+
+    def test_variables(self):
+        assert Var("x").variables() == frozenset({"x"})
+
+    def test_substitute_to_constant(self):
+        assert Var("x").substitute({"x": True}) == TRUE
+        assert Var("x").substitute({"x": False}) == FALSE
+
+    def test_substitute_unrelated_keeps_symbolic(self):
+        assert Var("x").substitute({"y": True}) == Var("x")
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var(3)
+
+
+class TestNot:
+    def test_double_negation_cancels(self):
+        assert Not.of(Not.of(Var("x"))) == Var("x")
+
+    def test_constant_folding(self):
+        assert Not.of(TRUE) == FALSE
+        assert Not.of(FALSE) == TRUE
+
+    def test_operator_syntax(self):
+        assert (~Var("x")) == Not.of(Var("x"))
+
+    def test_evaluate(self):
+        assert (~Var("x")).evaluate({"x": False}) is True
+
+    def test_substitute_folds(self):
+        assert (~Var("x")).substitute({"x": True}) == FALSE
+
+
+class TestAndOr:
+    def test_and_identity(self):
+        assert And.of([]) == TRUE
+        assert And.of([Var("x")]) == Var("x")
+
+    def test_or_identity(self):
+        assert Or.of([]) == FALSE
+        assert Or.of([Var("x")]) == Var("x")
+
+    def test_and_annihilator(self):
+        assert And.of([Var("x"), FALSE]) == FALSE
+
+    def test_or_annihilator(self):
+        assert Or.of([Var("x"), TRUE]) == TRUE
+
+    def test_and_drops_true_terms(self):
+        assert And.of([Var("x"), TRUE]) == Var("x")
+
+    def test_or_drops_false_terms(self):
+        assert Or.of([Var("x"), FALSE]) == Var("x")
+
+    def test_flattening(self):
+        nested = And.of([Var("a"), And.of([Var("b"), Var("c")])])
+        assert nested == And.of([Var("a"), Var("b"), Var("c")])
+
+    def test_duplicate_removal(self):
+        assert And.of([Var("a"), Var("a")]) == Var("a")
+        assert Or.of([Var("a"), Var("a")]) == Var("a")
+
+    def test_evaluate_and(self):
+        expr = Var("a") & Var("b")
+        assert expr.evaluate({"a": True, "b": True}) is True
+        assert expr.evaluate({"a": True, "b": False}) is False
+
+    def test_evaluate_or(self):
+        expr = Var("a") | Var("b")
+        assert expr.evaluate({"a": False, "b": True}) is True
+        assert expr.evaluate({"a": False, "b": False}) is False
+
+    def test_variables_union(self):
+        expr = (Var("a") & Var("b")) | Var("c")
+        assert expr.variables() == frozenset({"a", "b", "c"})
+
+    def test_substitute_partial(self):
+        expr = Var("a") & Var("b")
+        assert expr.substitute({"a": True}) == Var("b")
+        assert expr.substitute({"a": False}) == FALSE
+
+    def test_non_expr_term_rejected(self):
+        with pytest.raises(TypeError):
+            And.of([Var("a"), "b"])
+
+    def test_order_preserved(self):
+        expr = And.of([Var("b"), Var("a")])
+        assert [repr(t) for t in expr.terms] == ["b", "a"]
+
+
+class TestHelpers:
+    def test_all_of_any_of(self):
+        assert all_of([Var("a"), Var("b")]) == And.of([Var("a"), Var("b")])
+        assert any_of([Var("a"), Var("b")]) == Or.of([Var("a"), Var("b")])
+
+    def test_path_union_empty_is_false(self):
+        assert path_union([]) == FALSE
+
+    def test_path_union_empty_path_is_true(self):
+        assert path_union([[]]) == TRUE
+
+    def test_path_union_structure(self):
+        expr = path_union([["a", "b"], ["c"]])
+        assert expr.evaluate({"a": True, "b": True, "c": False}) is True
+        assert expr.evaluate({"a": True, "b": False, "c": False}) is False
+        assert expr.evaluate({"a": False, "b": False, "c": True}) is True
+
+
+class TestReplace:
+    def test_replace_variable_by_expression(self):
+        expr = Var("a") & Var("b")
+        replaced = expr.replace({"a": Var("a") & Var("cc")})
+        assert replaced == all_of([Var("a"), Var("cc"), Var("b")])
+
+    def test_replace_by_constant(self):
+        expr = Var("a") | Var("b")
+        assert expr.replace({"a": TRUE}) == TRUE
+        assert expr.replace({"a": FALSE}) == Var("b")
+
+    def test_replace_under_negation(self):
+        expr = ~Var("a")
+        assert expr.replace({"a": FALSE}) == TRUE
+
+    def test_replace_ignores_unmapped(self):
+        expr = Var("a") & Var("b")
+        assert expr.replace({}) == expr
+
+    def test_replace_preserves_semantics(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        mapping = {"a": Var("x") | Var("y")}
+        replaced = expr.replace(mapping)
+        for x in (False, True):
+            for y in (False, True):
+                for b in (False, True):
+                    for c in (False, True):
+                        env = {"x": x, "y": y, "b": b, "c": c}
+                        direct = expr.evaluate({"a": x or y, "b": b, "c": c})
+                        assert replaced.evaluate(env) == direct
+
+    def test_replace_constants_are_fixed_points(self):
+        assert TRUE.replace({"a": FALSE}) == TRUE
+        assert FALSE.replace({"a": TRUE}) == FALSE

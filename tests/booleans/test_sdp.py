@@ -1,0 +1,79 @@
+"""Unit tests for sum-of-disjoint-products."""
+
+import pytest
+
+from repro.booleans import (
+    disjoint_products,
+    inclusion_exclusion_probability,
+    sdp_probability,
+)
+
+
+class TestDisjointProducts:
+    def test_single_path(self):
+        products = disjoint_products([["a", "b"]])
+        assert products == [(frozenset({"a", "b"}), frozenset())]
+
+    def test_empty_paths_list(self):
+        assert disjoint_products([]) == []
+
+    def test_superset_paths_are_dropped(self):
+        products = disjoint_products([["a"], ["a", "b"]])
+        assert products == [(frozenset({"a"}), frozenset())]
+
+    def test_products_are_pairwise_disjoint(self):
+        paths = [["a", "b"], ["b", "c"], ["a", "c"]]
+        products = disjoint_products(paths)
+        names = {"a", "b", "c"}
+        # Disjointness check by brute force: no assignment satisfies two
+        # products at once.
+        import itertools
+
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(sorted(names), values))
+            satisfied = [
+                all(assignment[v] for v in pos)
+                and all(not assignment[v] for v in neg)
+                for pos, neg in products
+            ]
+            assert sum(satisfied) <= 1
+
+    def test_union_is_preserved(self):
+        import itertools
+
+        paths = [["a", "b"], ["b", "c"], ["d"]]
+        products = disjoint_products(paths)
+        names = sorted({v for p in paths for v in p})
+        for values in itertools.product([False, True], repeat=len(names)):
+            assignment = dict(zip(names, values))
+            union = any(all(assignment[v] for v in path) for path in paths)
+            covered = any(
+                all(assignment[v] for v in pos)
+                and all(not assignment[v] for v in neg)
+                for pos, neg in products
+            )
+            assert union == covered
+
+
+class TestSdpProbability:
+    def test_single_path(self):
+        assert sdp_probability([["a", "b"]], {"a": 0.9, "b": 0.8}) == pytest.approx(0.72)
+
+    def test_two_disjoint_variable_paths(self):
+        probs = {"a": 0.9, "b": 0.8}
+        expected = 0.9 + 0.8 - 0.72
+        assert sdp_probability([["a"], ["b"]], probs) == pytest.approx(expected)
+
+    def test_agrees_with_inclusion_exclusion(self):
+        paths = [["a", "b"], ["b", "c"], ["a", "c"], ["d"]]
+        probs = {"a": 0.9, "b": 0.7, "c": 0.5, "d": 0.2}
+        assert sdp_probability(paths, probs) == pytest.approx(
+            inclusion_exclusion_probability(paths, probs)
+        )
+
+    def test_no_paths_means_zero(self):
+        assert sdp_probability([], {}) == 0.0
+
+    def test_certain_path(self):
+        # An empty path is the always-true event.
+        assert sdp_probability([[]], {"a": 0.1}) == pytest.approx(1.0)

@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's Figure 1 system and architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.architectures import (
+    centralized_mama,
+    distributed_mama,
+    hierarchical_mama,
+    network_mama,
+)
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The Figure 1 FTLQN model (session-scoped; treat as read-only)."""
+    return figure1_system()
+
+
+@pytest.fixture(scope="session")
+def centralized():
+    return centralized_mama()
+
+
+@pytest.fixture(scope="session")
+def distributed():
+    return distributed_mama()
+
+
+@pytest.fixture(scope="session")
+def hierarchical():
+    return hierarchical_mama()
+
+
+@pytest.fixture(scope="session")
+def network():
+    return network_mama()
+
+
+@pytest.fixture(scope="session")
+def figure1_probs():
+    """Failure probabilities for the perfect-knowledge case."""
+    return figure1_failure_probs()

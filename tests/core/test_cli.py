@@ -1,0 +1,145 @@
+"""The ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ftlqn import model_to_json
+from repro.mama.serialize import mama_to_json
+from repro.experiments.architectures import centralized_mama
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+
+
+@pytest.fixture
+def model_files(tmp_path):
+    mama = centralized_mama()
+    ftlqn_path = tmp_path / "figure1.json"
+    mama_path = tmp_path / "centralized.json"
+    probs_path = tmp_path / "probs.json"
+    ftlqn_path.write_text(model_to_json(figure1_system()))
+    mama_path.write_text(mama_to_json(mama))
+    probs_path.write_text(json.dumps(figure1_failure_probs(mama)))
+    return str(ftlqn_path), str(mama_path), str(probs_path)
+
+
+class TestValidate:
+    def test_valid_models(self, model_files, capsys):
+        ftlqn, mama, _ = model_files
+        assert main(["validate", ftlqn, "--mama", mama]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "6 tasks" in out
+
+    def test_broken_model_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert main(["validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent/x.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def test_full_analysis(self, model_files, capsys):
+        ftlqn, mama, probs = model_files
+        code = main(["analyze", ftlqn, "--mama", mama, "--probs", probs])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state space: 16384 states" in out
+        assert "System Failed" in out
+        assert "expected steady-state reward rate" in out
+
+    def test_perfect_knowledge(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        probs_path = ftlqn.replace("figure1.json", "app_probs.json")
+        with open(probs_path, "w") as handle:
+            json.dump(figure1_failure_probs(), handle)
+        assert main(["analyze", ftlqn, "--probs", probs_path]) == 0
+        assert "state space: 256 states" in capsys.readouterr().out
+
+    def test_weights_change_reward(self, model_files, capsys):
+        ftlqn, mama, probs = model_files
+        main(["analyze", ftlqn, "--mama", mama, "--probs", probs])
+        flat = capsys.readouterr().out
+        main([
+            "analyze", ftlqn, "--mama", mama, "--probs", probs,
+            "--weights", '{"UserA": 1.0, "UserB": 5.0}',
+        ])
+        weighted = capsys.readouterr().out
+        flat_reward = float(flat.rsplit(":", 1)[1])
+        weighted_reward = float(weighted.rsplit(":", 1)[1])
+        assert weighted_reward > flat_reward
+
+    def test_structured_probs_with_common_causes(self, model_files, capsys):
+        ftlqn, mama, _ = model_files
+        structured = ftlqn.replace("figure1.json", "structured.json")
+        with open(structured, "w") as handle:
+            json.dump(
+                {
+                    "failure_probs": figure1_failure_probs(centralized_mama()),
+                    "common_causes": [
+                        {"name": "rack", "probability": 0.05,
+                         "components": ["proc3", "proc4"]}
+                    ],
+                },
+                handle,
+            )
+        code = main(["analyze", ftlqn, "--mama", mama, "--probs", structured])
+        assert code == 0
+        assert "state space: 32768 states" in capsys.readouterr().out
+
+    def test_enumeration_method(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        probs_path = ftlqn.replace("figure1.json", "p.json")
+        with open(probs_path, "w") as handle:
+            json.dump(figure1_failure_probs(), handle)
+        assert main([
+            "analyze", ftlqn, "--probs", probs_path, "--method", "enumeration"
+        ]) == 0
+        assert "enumeration evaluation" in capsys.readouterr().out
+
+
+class TestImportance:
+    def test_ranking_printed(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        probs_path = ftlqn.replace("figure1.json", "p.json")
+        with open(probs_path, "w") as handle:
+            json.dump(figure1_failure_probs(), handle)
+        assert main(["importance", ftlqn, "--probs", probs_path]) == 0
+        out = capsys.readouterr().out
+        assert "reward imp." in out
+        assert "AppB" in out
+
+
+class TestDot:
+    def test_model_dot(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        assert main(["dot", ftlqn]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_fault_graph_dot(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        assert main(["dot", "--kind", "fault-graph", ftlqn]) == 0
+        assert "__root__" in capsys.readouterr().out
+
+    def test_mama_dot(self, model_files, capsys):
+        ftlqn, mama, _ = model_files
+        assert main(["dot", "--kind", "mama", ftlqn, "--mama", mama]) == 0
+        assert "digraph mama" in capsys.readouterr().out
+
+    def test_mama_dot_requires_mama_file(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        assert main(["dot", "--kind", "mama", ftlqn]) == 2
+
+
+class TestPaper:
+    def test_unknown_artifact_rejected(self, capsys):
+        assert main(["paper", "tableX"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_table1_runs(self, capsys):
+        assert main(["paper", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out

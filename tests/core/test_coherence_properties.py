@@ -1,0 +1,104 @@
+"""Coherence properties of the full analysis pipeline (hypothesis).
+
+The modelled system is *coherent*: making any component less reliable
+can never help.  These properties exercise fault-graph evaluation,
+knowledge expressions and both probability evaluators end to end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.architectures import centralized_mama
+from repro.experiments.figure1 import figure1_system
+
+APP_COMPONENTS = (
+    "AppA", "AppB", "Server1", "Server2",
+    "proc1", "proc2", "proc3", "proc4",
+)
+MGMT_COMPONENTS = ("ag1", "ag2", "ag3", "ag4", "m1", "proc5")
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return figure1_system()
+
+
+@pytest.fixture(scope="module")
+def centralized():
+    return centralized_mama()
+
+
+def failed_probability(figure1, mama, probs) -> float:
+    analyzer = PerformabilityAnalyzer(figure1, mama, failure_probs=probs)
+    return analyzer.configuration_probabilities().get(None, 0.0)
+
+
+probs_strategy = st.fixed_dictionaries(
+    {name: st.floats(min_value=0.01, max_value=0.6) for name in APP_COMPONENTS}
+)
+
+
+@given(probs=probs_strategy, bump=st.sampled_from(APP_COMPONENTS))
+@settings(max_examples=30, deadline=None)
+def test_failure_monotone_in_application_reliability(figure1, probs, bump):
+    baseline = failed_probability(figure1, None, probs)
+    worse = dict(probs)
+    worse[bump] = min(0.95, worse[bump] + 0.3)
+    degraded = failed_probability(figure1, None, worse)
+    assert degraded >= baseline - 1e-12
+
+
+@given(
+    probs=probs_strategy,
+    mgmt=st.floats(min_value=0.01, max_value=0.5),
+    bump=st.sampled_from(MGMT_COMPONENTS),
+)
+@settings(max_examples=15, deadline=None)
+def test_failure_monotone_in_management_reliability(
+    figure1, centralized, probs, mgmt, bump
+):
+    full = dict(probs)
+    for name in MGMT_COMPONENTS:
+        full[name] = mgmt
+    baseline = failed_probability(figure1, centralized, full)
+    worse = dict(full)
+    worse[bump] = min(0.95, worse[bump] + 0.3)
+    degraded = failed_probability(figure1, centralized, worse)
+    assert degraded >= baseline - 1e-12
+
+
+@given(probs=probs_strategy, mgmt=st.floats(min_value=0.0, max_value=0.6))
+@settings(max_examples=15, deadline=None)
+def test_management_never_beats_perfect_knowledge(
+    figure1, centralized, probs, mgmt
+):
+    perfect = failed_probability(figure1, None, probs)
+    full = dict(probs)
+    for name in MGMT_COMPONENTS:
+        full[name] = mgmt
+    managed = failed_probability(figure1, centralized, full)
+    assert managed >= perfect - 1e-12
+
+
+@given(probs=probs_strategy)
+@settings(max_examples=20, deadline=None)
+def test_probabilities_total_one(figure1, probs):
+    analyzer = PerformabilityAnalyzer(figure1, None, failure_probs=probs)
+    total = sum(analyzer.configuration_probabilities().values())
+    assert total == pytest.approx(1.0, abs=1e-9)
+
+
+@given(probs=probs_strategy)
+@settings(max_examples=10, deadline=None)
+def test_zero_management_failure_equals_perfect(figure1, centralized, probs):
+    perfect = PerformabilityAnalyzer(
+        figure1, None, failure_probs=probs
+    ).configuration_probabilities()
+    managed = PerformabilityAnalyzer(
+        figure1, centralized, failure_probs=probs  # mgmt components at 0
+    ).configuration_probabilities()
+    assert set(perfect) == set(managed)
+    for configuration, probability in perfect.items():
+        assert managed[configuration] == pytest.approx(probability, abs=1e-12)

@@ -1,0 +1,86 @@
+"""Configuration → LQN resolution and group support."""
+
+import pytest
+
+from repro.core import configuration_to_lqn
+from repro.core.configuration import group_support, selected_target_of
+from repro.errors import ModelError
+
+C5 = frozenset(
+    {"userA", "userB", "eA", "eB", "serviceA", "serviceB", "eA-1", "eB-1"}
+)
+C2 = frozenset({"userA", "eA", "serviceA", "eA-2"})
+
+
+class TestSelectedTarget:
+    def test_primary(self, figure1):
+        assert selected_target_of(figure1, C5, "serviceA") == "eA-1"
+
+    def test_backup(self, figure1):
+        assert selected_target_of(figure1, C2, "serviceA") == "eA-2"
+
+    def test_ambiguous_rejected(self, figure1):
+        bad = C5 | {"eA-2"}
+        with pytest.raises(ModelError, match="unique target"):
+            selected_target_of(figure1, bad, "serviceA")
+
+
+class TestConfigurationToLqn:
+    def test_c5_structure(self, figure1):
+        lqn = configuration_to_lqn(figure1, C5)
+        assert set(lqn.tasks) == {
+            "UserA", "UserB", "AppA", "AppB", "Server1"
+        }
+        assert "Server2" not in lqn.tasks
+        targets = [c.target for c in lqn.entries["eA"].calls]
+        assert targets == ["eA-1"]
+
+    def test_c2_structure(self, figure1):
+        lqn = configuration_to_lqn(figure1, C2)
+        assert set(lqn.tasks) == {"UserA", "AppA", "Server2"}
+        assert [c.target for c in lqn.entries["eA"].calls] == ["eA-2"]
+
+    def test_attributes_carried_over(self, figure1):
+        lqn = configuration_to_lqn(figure1, C5)
+        assert lqn.tasks["UserA"].multiplicity == 50
+        assert lqn.tasks["UserA"].is_reference
+        assert lqn.entries["eB"].demand == pytest.approx(0.5)
+
+    def test_unused_processors_dropped(self, figure1):
+        lqn = configuration_to_lqn(figure1, C2)
+        assert "proc3" not in lqn.processors
+        assert "proc4" in lqn.processors
+
+    def test_unknown_node_rejected(self, figure1):
+        with pytest.raises(ModelError, match="unknown nodes"):
+            configuration_to_lqn(figure1, frozenset({"ghost"}))
+
+    def test_missing_service_rejected(self, figure1):
+        broken = frozenset({"userA", "eA"})
+        with pytest.raises(ModelError, match="service"):
+            configuration_to_lqn(figure1, broken)
+
+    def test_missing_selected_target_rejected(self, figure1):
+        broken = frozenset({"userA", "eA", "serviceA"})
+        with pytest.raises(ModelError, match="unique target"):
+            configuration_to_lqn(figure1, broken)
+
+    def test_result_is_valid_lqn(self, figure1):
+        configuration_to_lqn(figure1, C5).validate()
+
+
+class TestGroupSupport:
+    def test_c5_support_of_a(self, figure1):
+        support = group_support(figure1, C5, "UserA")
+        assert support == frozenset(
+            {"UserA", "procA", "AppA", "proc1", "Server1", "proc3"}
+        )
+
+    def test_c2_support(self, figure1):
+        support = group_support(figure1, C2, "UserA")
+        assert support == frozenset(
+            {"UserA", "procA", "AppA", "proc1", "Server2", "proc4"}
+        )
+
+    def test_absent_group_has_empty_support(self, figure1):
+        assert group_support(figure1, C2, "UserB") == frozenset()

@@ -1,0 +1,195 @@
+"""Paper-anchored integration tests: Tables 1 and 2 to three decimals.
+
+These are the headline reproduction tests (experiments E1/E2).  The
+distributed case asserts our text-faithful reconstruction rather than
+the published column, which is internally inconsistent with the paper's
+own Definition 1 — see EXPERIMENTS.md for the argument.
+"""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.experiments.table1 import classify_configuration, grouped_probabilities
+
+
+def solve(figure1, mama, method="factored"):
+    analyzer = PerformabilityAnalyzer(
+        figure1, mama, failure_probs=figure1_failure_probs(mama)
+    )
+    return analyzer.solve(method=method)
+
+
+PAPER = {
+    "perfect": {
+        "C1": 0.125, "C2": 0.024, "C3": 0.125, "C4": 0.024,
+        "C5": 0.531, "C6": 0.100, "failed": 0.071,
+    },
+    "centralized": {
+        "C1": 0.117, "C2": 0.021, "C3": 0.117, "C4": 0.021,
+        "C5": 0.314, "C6": 0.057, "failed": 0.353,
+    },
+    "hierarchical": {
+        "C1": 0.225, "C2": 0.014, "C3": 0.076, "C4": 0.014,
+        "C5": 0.206, "C6": 0.037, "failed": 0.428,
+    },
+    "network": {
+        "C1": 0.148, "C2": 0.026, "C3": 0.148, "C4": 0.026,
+        "C5": 0.282, "C6": 0.049, "failed": 0.321,
+    },
+}
+
+# Our reconstruction of Figure 8 exactly as the §6.2 text describes the
+# domains (dm1: AppA/Server1/proc1/proc3; dm2: AppB/Server2/proc2/proc4,
+# peer notify links both ways).  Regression-pinned.
+OURS_DISTRIBUTED = {
+    "C1": 0.176, "C2": 0.017, "C3": 0.094, "C4": 0.017,
+    "C5": 0.254, "C6": 0.046, "failed": 0.395,
+}
+
+
+class TestPerfectKnowledge:
+    def test_probabilities_match_paper(self, figure1):
+        result = solve(figure1, None)
+        grouped = grouped_probabilities(result)
+        for label, expected in PAPER["perfect"].items():
+            assert grouped[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_exact_closed_forms(self, figure1):
+        # Hand-derived: C5 = 0.9^6, C6 = 0.9^4 * 0.19 * 0.81.
+        result = solve(figure1, None)
+        grouped = grouped_probabilities(result)
+        assert grouped["C5"] == pytest.approx(0.9**6, abs=1e-12)
+        assert grouped["C6"] == pytest.approx(0.9**4 * 0.19 * 0.81, abs=1e-12)
+        assert grouped["C1"] == pytest.approx(0.81 * 0.81 * 0.19, abs=1e-12)
+
+    def test_state_count(self, figure1):
+        result = solve(figure1, None)
+        assert result.state_count == 256
+
+    def test_probabilities_sum_to_one(self, figure1):
+        result = solve(figure1, None)
+        assert result.total_probability() == pytest.approx(1.0, abs=1e-12)
+
+
+class TestCentralized:
+    def test_probabilities_match_paper(self, figure1, centralized):
+        result = solve(figure1, centralized)
+        grouped = grouped_probabilities(result)
+        for label, expected in PAPER["centralized"].items():
+            assert grouped[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_hand_derived_c5(self, figure1, centralized):
+        # 0.9^6 application components x 0.9^5 knowledge chain
+        # {ag3, m1, proc5, ag1, ag2}.
+        result = solve(figure1, centralized)
+        grouped = grouped_probabilities(result)
+        assert grouped["C5"] == pytest.approx(0.9**6 * 0.9**5, abs=1e-12)
+
+    def test_state_count(self, figure1, centralized):
+        assert solve(figure1, centralized).state_count == 16_384
+
+    def test_management_failures_increase_system_failure(
+        self, figure1, centralized
+    ):
+        perfect = solve(figure1, None).failed_probability
+        managed = solve(figure1, centralized).failed_probability
+        assert managed > perfect
+
+
+class TestHierarchical:
+    def test_probabilities_match_paper(self, figure1, hierarchical):
+        result = solve(figure1, hierarchical)
+        grouped = grouped_probabilities(result)
+        for label, expected in PAPER["hierarchical"].items():
+            assert grouped[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_state_count(self, figure1, hierarchical):
+        assert solve(figure1, hierarchical).state_count == 262_144
+
+    def test_asymmetry_favors_group_a(self, figure1, hierarchical):
+        # Server1 lives in AppA's domain: cross-domain knowledge is
+        # fragile, so "A alone" is much likelier than "B alone".
+        grouped = grouped_probabilities(solve(figure1, hierarchical))
+        assert grouped["C1"] > 2 * grouped["C3"]
+
+
+class TestNetwork:
+    def test_probabilities_match_paper(self, figure1, network):
+        result = solve(figure1, network)
+        grouped = grouped_probabilities(result)
+        for label, expected in PAPER["network"].items():
+            assert grouped[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_state_count(self, figure1, network):
+        assert solve(figure1, network).state_count == 65_536
+
+
+class TestDistributed:
+    def test_state_count_matches_paper(self, figure1, distributed):
+        assert solve(figure1, distributed).state_count == 65_536
+
+    def test_regression_pinned_probabilities(self, figure1, distributed):
+        grouped = grouped_probabilities(solve(figure1, distributed))
+        for label, expected in OURS_DISTRIBUTED.items():
+            assert grouped[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_asymmetry_favors_group_a(self, figure1, distributed):
+        # As in the hierarchical case, Server1 (everyone's primary)
+        # lives in AppA's domain, so AppB's knowledge of it crosses the
+        # dm1 -> dm2 peer link and is more fragile: C1 > C3.  The
+        # paper's published column has the *opposite* asymmetry
+        # (C3 = 0.307 >> C1 = 0.082), one of the reasons we conclude it
+        # cannot follow from its own §6.2 description (EXPERIMENTS.md).
+        grouped = grouped_probabilities(solve(figure1, distributed))
+        assert grouped["C1"] > grouped["C3"]
+
+    def test_peer_links_beat_hierarchy_for_cross_domain_knowledge(
+        self, figure1, distributed, hierarchical
+    ):
+        # Direct dm-dm notify is a shorter chain than dm -> mom -> dm:
+        # the distributed C3 (needs cross-domain knowledge of Server1)
+        # must exceed the hierarchical one, and overall failure must be
+        # lower.
+        dist = grouped_probabilities(solve(figure1, distributed))
+        hier = grouped_probabilities(solve(figure1, hierarchical))
+        assert dist["C3"] > hier["C3"]
+        assert dist["failed"] < hier["failed"]
+
+
+class TestAverageThroughputs:
+    def test_perfect_averages_match_paper_rows(self, figure1):
+        # Paper: avg UserA 0.352, avg UserB 0.572 (the rows that expose
+        # the C3/C4 = 1.0 throughput, not the 0.5 printed in the table).
+        result = solve(figure1, None)
+        assert result.average_throughput("UserA") == pytest.approx(0.35, abs=0.01)
+        assert result.average_throughput("UserB") == pytest.approx(0.57, abs=0.02)
+
+    def test_centralized_averages(self, figure1, centralized):
+        result = solve(figure1, centralized)
+        assert result.average_throughput("UserA") == pytest.approx(0.232, abs=0.01)
+        assert result.average_throughput("UserB") == pytest.approx(0.387, abs=0.02)
+
+
+class TestRewards:
+    def test_failed_configuration_has_zero_reward(self, figure1, centralized):
+        result = solve(figure1, centralized)
+        failed = [r for r in result.records if r.is_failed]
+        assert len(failed) == 1
+        assert failed[0].reward == 0.0
+
+    def test_expected_reward_near_paper(self, figure1, centralized):
+        # Paper: 0.55/s computed with its (0.5, 1.11) rewards; with the
+        # self-consistent f_B(C3) = 1.0 ours lands slightly higher.
+        result = solve(figure1, centralized)
+        assert result.expected_reward == pytest.approx(0.60, abs=0.03)
+
+    def test_perfect_expected_reward(self, figure1):
+        result = solve(figure1, None)
+        assert result.expected_reward == pytest.approx(0.90, abs=0.03)
+
+    def test_records_sorted_by_probability(self, figure1, centralized):
+        result = solve(figure1, centralized)
+        operational = [r.probability for r in result.operational_records]
+        assert operational == sorted(operational, reverse=True)
+        assert result.records[-1].is_failed

@@ -1,0 +1,36 @@
+"""Reward function helpers."""
+
+import pytest
+
+from repro.core.rewards import (
+    total_reference_throughput,
+    weighted_throughput_reward,
+)
+
+
+class _Results:
+    def __init__(self, throughputs):
+        self.task_throughputs = throughputs
+
+
+def test_weighted_sum():
+    reward = weighted_throughput_reward({"A": 1.0, "B": 2.0})
+    value = reward(frozenset(), _Results({"A": 0.5, "B": 0.25}))
+    assert value == pytest.approx(1.0)
+
+
+def test_missing_group_contributes_zero():
+    reward = weighted_throughput_reward({"A": 1.0, "B": 2.0})
+    assert reward(frozenset(), _Results({"A": 0.5})) == pytest.approx(0.5)
+
+
+def test_total_reference_throughput_is_unit_weights():
+    total = total_reference_throughput(["A", "B"])
+    weighted = weighted_throughput_reward({"A": 1.0, "B": 1.0})
+    results = _Results({"A": 0.3, "B": 0.4})
+    assert total(frozenset(), results) == weighted(frozenset(), results)
+
+
+def test_zero_weight_ignores_group():
+    reward = weighted_throughput_reward({"A": 0.0, "B": 1.0})
+    assert reward(frozenset(), _Results({"A": 9.0, "B": 1.0})) == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Management-reliability sensitivity sweep (E9)."""
+
+import pytest
+
+from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sensitivity(probabilities=(0.0, 0.1, 0.3))
+
+
+def test_four_architectures_swept(report):
+    assert {s.architecture for s in report.series} == {
+        "centralized", "distributed", "hierarchical", "network"
+    }
+
+
+def test_zero_probability_recovers_perfect_knowledge(report):
+    for series in report.series:
+        assert series.rewards()[0] == pytest.approx(
+            report.perfect_reward, abs=1e-9
+        ), series.architecture
+        assert series.failure_probabilities()[0] == pytest.approx(
+            report.perfect_failed, abs=1e-12
+        ), series.architecture
+
+
+def test_reward_decreases_failure_increases(report):
+    for series in report.series:
+        rewards = series.rewards()
+        failures = series.failure_probabilities()
+        assert rewards == sorted(rewards, reverse=True), series.architecture
+        assert failures == sorted(failures), series.architecture
+
+
+def test_hierarchical_most_sensitive(report):
+    # Longest knowledge chains (10 management components, dm -> MOM ->
+    # dm relays): worst degradation at the sweep's high end.
+    at_end = {s.architecture: s.rewards()[-1] for s in report.series}
+    assert min(at_end, key=at_end.get) == "hierarchical"
+
+
+def test_network_least_sensitive(report):
+    # Managers co-located with the application processors (no extra
+    # hosts) and redundant integrated managers: flattest curve.
+    at_end = {s.architecture: s.rewards()[-1] for s in report.series}
+    assert max(at_end, key=at_end.get) == "network"
+
+
+def test_format_contains_both_tables(report):
+    text = format_sensitivity(report)
+    assert "Expected reward" in text
+    assert "P(system failed)" in text
+
+
+def test_series_lookup(report):
+    assert report.series_for("network").architecture == "network"
+    with pytest.raises(KeyError):
+        report.series_for("nope")

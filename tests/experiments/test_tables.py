@@ -1,0 +1,130 @@
+"""Experiment runners: Table 1, Table 2 and the reports."""
+
+import pytest
+
+from repro.experiments.reporting import format_table1, format_table2
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    classify_configuration,
+    run_table1,
+)
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+class TestClassify:
+    def test_failed(self):
+        assert classify_configuration(None) == "failed"
+
+    def test_c5(self):
+        config = frozenset(
+            {"userA", "userB", "eA", "eB", "serviceA", "serviceB",
+             "eA-1", "eB-1"}
+        )
+        assert classify_configuration(config) == "C5"
+
+    def test_c2(self):
+        assert classify_configuration(
+            frozenset({"userA", "eA", "serviceA", "eA-2"})
+        ) == "C2"
+
+    def test_c4(self):
+        assert classify_configuration(
+            frozenset({"userB", "eB", "serviceB", "eB-2"})
+        ) == "C4"
+
+    def test_unclassifiable(self):
+        with pytest.raises(ValueError):
+            classify_configuration(frozenset({"weird"}))
+
+
+class TestTable1:
+    def test_probability_columns_match_paper(self, table1):
+        for row in table1.rows:
+            assert row.probability_perfect == pytest.approx(
+                PAPER_TABLE1["perfect"][row.label], abs=1e-3
+            ), row.label
+            assert row.probability_centralized == pytest.approx(
+                PAPER_TABLE1["centralized"][row.label], abs=1e-3
+            ), row.label
+
+    def test_row_order(self, table1):
+        assert [row.label for row in table1.rows] == [
+            "C1", "C2", "C3", "C4", "C5", "C6", "failed"
+        ]
+
+    def test_failed_reward_zero(self, table1):
+        assert table1.rows[-1].reward == 0.0
+
+    def test_expected_rewards_ordered(self, table1):
+        # Management failures can only lose reward versus perfect
+        # knowledge.
+        assert table1.expected_centralized < table1.expected_perfect
+
+    def test_expected_rewards_near_paper(self, table1):
+        # Paper: 0.85 / 0.55 with its (0.5, 1.11) reward column; our
+        # self-consistent throughputs sit slightly above.
+        assert table1.expected_perfect == pytest.approx(0.88, abs=0.04)
+        assert table1.expected_centralized == pytest.approx(0.59, abs=0.04)
+
+    def test_report_renders(self, table1):
+        text = format_table1(table1)
+        assert "Table 1" in text
+        assert "expected reward" in text
+        assert "0.314" in text  # the centralized C5 probability
+
+
+class TestTable2:
+    def test_all_five_cases_present(self, table2):
+        assert [case.name for case in table2.cases] == [
+            "perfect", "centralized", "distributed", "hierarchical",
+            "network",
+        ]
+
+    @pytest.mark.parametrize(
+        "case", ["perfect", "centralized", "hierarchical", "network"]
+    )
+    def test_reproducible_columns_match_paper(self, table2, case):
+        ours = table2.case(case).probabilities
+        for label, expected in PAPER_TABLE2[case].items():
+            assert ours[label] == pytest.approx(expected, abs=1e-3), label
+
+    def test_distributed_column_is_the_known_deviation(self, table2):
+        ours = table2.case("distributed").probabilities
+        # Documented: the published distributed column is internally
+        # inconsistent; our text-faithful model differs from it.
+        assert ours["C3"] != pytest.approx(
+            PAPER_TABLE2["distributed"]["C3"], abs=0.05
+        )
+
+    def test_probabilities_sum_to_one(self, table2):
+        for case in table2.cases:
+            assert sum(case.probabilities.values()) == pytest.approx(1.0)
+
+    def test_average_throughputs(self, table2):
+        perfect = table2.case("perfect")
+        assert perfect.average_throughput_a == pytest.approx(0.35, abs=0.01)
+        assert perfect.average_throughput_b == pytest.approx(0.57, abs=0.02)
+
+    def test_per_config_throughputs_consistent(self, table2):
+        f_a, f_b = table2.throughputs["C1"]
+        assert f_a == pytest.approx(0.5, abs=1e-6)
+        assert f_b == 0.0
+        f_a5, f_b5 = table2.throughputs["C5"]
+        assert f_a5 == pytest.approx(0.44, abs=0.03)
+        assert f_b5 == pytest.approx(0.67, abs=0.06)
+
+    def test_report_renders(self, table2):
+        text = format_table2(table2)
+        assert "Table 2" in text
+        assert "avg UserA" in text
+        assert "distributed" in text

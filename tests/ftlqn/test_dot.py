@@ -1,0 +1,32 @@
+"""DOT export smoke tests (structure, not pixels)."""
+
+from repro.experiments.figure1 import figure1_system
+from repro.ftlqn import build_fault_graph
+from repro.ftlqn.dot import fault_graph_to_dot, model_to_dot
+
+
+def test_model_dot_mentions_every_task():
+    dot = model_to_dot(figure1_system())
+    for task in ("UserA", "UserB", "AppA", "AppB", "Server1", "Server2"):
+        assert f'"{task}"' in dot
+
+
+def test_model_dot_is_digraph_with_service_edges():
+    dot = model_to_dot(figure1_system())
+    assert dot.startswith("digraph")
+    assert '"serviceA"' in dot
+    assert "#1 eA-1" in dot
+    assert "#2 eA-2" in dot
+
+
+def test_fault_graph_dot_mentions_root_and_priorities():
+    graph = build_fault_graph(figure1_system())
+    dot = fault_graph_to_dot(graph)
+    assert "digraph fault_propagation" in dot
+    assert '"__root__"' in dot
+    assert '[label="#1"]' in dot
+
+
+def test_dot_quotes_special_characters():
+    dot = fault_graph_to_dot(build_fault_graph(figure1_system()))
+    assert '"eA-1"' in dot

@@ -1,0 +1,244 @@
+"""Fault propagation graph structure and Definition-1/2 evaluation.
+
+Includes the paper's Figure 5 structure and the §6.2 partial-coverage
+story (proc3 fails while agent ag2 is down ⇒ configuration C2).
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ftlqn import (
+    FTLQNModel,
+    NodeKind,
+    PERFECT_KNOWLEDGE,
+    Request,
+    build_fault_graph,
+)
+from repro.ftlqn.fault_graph import ROOT
+
+
+@pytest.fixture(scope="module")
+def graph(request):
+    from repro.experiments.figure1 import figure1_system
+
+    return build_fault_graph(figure1_system())
+
+
+def all_up(graph):
+    return {leaf.name: True for leaf in graph.leaves()}
+
+
+class TestStructure:
+    def test_leaves_are_tasks_and_processors(self, graph):
+        names = {leaf.name for leaf in graph.leaves()}
+        assert names == {
+            "UserA", "UserB", "AppA", "AppB", "Server1", "Server2",
+            "procA", "procB", "proc1", "proc2", "proc3", "proc4",
+        }
+
+    def test_root_children_are_user_entries(self, graph):
+        assert set(graph.root.children) == {"userA", "userB"}
+
+    def test_entry_children_include_task_and_processor(self, graph):
+        node = graph.node("eA")
+        assert node.kind is NodeKind.ENTRY
+        assert set(node.children) == {"AppA", "proc1", "serviceA"}
+
+    def test_service_children_in_priority_order(self, graph):
+        node = graph.node("serviceA")
+        assert node.kind is NodeKind.SERVICE
+        assert node.children == ("eA-1", "eA-2")
+
+    def test_service_decider(self, graph):
+        assert graph.node("serviceA").decider == "AppA"
+        assert graph.node("serviceB").decider == "AppB"
+
+    def test_leaf_sets(self, graph):
+        assert graph.leaf_set("eA-1") == frozenset({"Server1", "proc3"})
+        assert graph.leaf_set("serviceA") == frozenset(
+            {"Server1", "proc3", "Server2", "proc4"}
+        )
+        assert graph.leaf_set("userA") == frozenset(
+            {"UserA", "procA", "AppA", "proc1", "Server1", "proc3",
+             "Server2", "proc4"}
+        )
+
+    def test_required_know_pairs(self, graph):
+        pairs = set(graph.required_know_pairs())
+        assert pairs == {
+            ("Server1", "AppA"), ("proc3", "AppA"),
+            ("Server2", "AppA"), ("proc4", "AppA"),
+            ("Server1", "AppB"), ("proc3", "AppB"),
+            ("Server2", "AppB"), ("proc4", "AppB"),
+        }
+
+    def test_unknown_node_raises(self, graph):
+        with pytest.raises(ModelError, match="unknown fault-graph node"):
+            graph.node("nope")
+
+    def test_service_with_multiple_decider_tasks_rejected(self):
+        m = FTLQNModel()
+        m.add_processor("p")
+        m.add_task("users", processor="p", is_reference=True)
+        m.add_task("a", processor="p")
+        m.add_task("b", processor="p")
+        m.add_task("srv", processor="p")
+        m.add_entry("es", task="srv", demand=1.0)
+        m.add_service("s", targets=["es"])
+        m.add_entry("ea", task="a", requests=[Request("s")])
+        m.add_entry("eb", task="b", requests=[Request("s")])
+        m.add_entry("u1", task="users", requests=[Request("ea")])
+        m.add_entry("u2", task="users", requests=[Request("eb")])
+        with pytest.raises(ModelError, match="deciding task"):
+            build_fault_graph(m)
+
+
+class TestPerfectKnowledgeEvaluation:
+    def test_all_up_uses_primaries(self, graph):
+        ev = graph.evaluate(all_up(graph), PERFECT_KNOWLEDGE)
+        assert ev.system_working
+        assert ev.selected["serviceA"] == "eA-1"
+        assert ev.selected["serviceB"] == "eB-1"
+        assert ev.configuration == frozenset(
+            {"userA", "userB", "eA", "eB", "serviceA", "serviceB",
+             "eA-1", "eB-1"}
+        )
+
+    def test_primary_server_down_switches_to_backup(self, graph):
+        state = all_up(graph)
+        state["Server1"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.selected["serviceA"] == "eA-2"
+        assert ev.selected["serviceB"] == "eB-2"
+        assert "eA-2" in ev.configuration and "eB-2" in ev.configuration
+
+    def test_primary_processor_down_switches_to_backup(self, graph):
+        state = all_up(graph)
+        state["proc3"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.selected["serviceA"] == "eA-2"
+
+    def test_both_servers_down_fails_system(self, graph):
+        state = all_up(graph)
+        state["Server1"] = False
+        state["Server2"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.configuration is None
+        assert not ev.system_working
+
+    def test_one_department_down_leaves_other(self, graph):
+        state = all_up(graph)
+        state["AppB"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.configuration == frozenset(
+            {"userA", "eA", "serviceA", "eA-1"}
+        )
+
+    def test_user_task_down_drops_group(self, graph):
+        state = all_up(graph)
+        state["UserA"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert "userA" not in ev.configuration
+        assert "userB" in ev.configuration
+
+    def test_working_map_is_total(self, graph):
+        ev = graph.evaluate(all_up(graph), PERFECT_KNOWLEDGE)
+        assert set(ev.working) == set(graph.nodes)
+
+
+class TestKnowledgeGatedEvaluation:
+    def test_unknown_primary_state_blocks_selection(self, graph):
+        # AppA cannot confirm Server1 is up: serviceA fails even though
+        # every application component works.
+        know = lambda c, t: not (t == "AppA" and c == "Server1")
+        ev = graph.evaluate(all_up(graph), know)
+        assert ev.selected["serviceA"] is None
+        assert "userA" not in (ev.configuration or frozenset())
+
+    def test_unknown_failure_prevents_switch(self, graph):
+        # Server1 fails but AppA does not learn of it: no reconfiguration,
+        # serviceA is lost, group A fails.
+        state = all_up(graph)
+        state["Server1"] = False
+        know = lambda c, t: not (t == "AppA" and c == "Server1")
+        ev = graph.evaluate(state, know)
+        assert ev.selected["serviceA"] is None
+        # Group B reconfigures fine.
+        assert ev.selected["serviceB"] == "eB-2"
+
+    def test_knowing_any_failed_contributor_suffices(self, graph):
+        # Both Server1 and proc3 are down; AppA only learns about proc3
+        # but that is enough to know eA-1 failed (the paper's
+        # "any failed contributor" semantics validated against Table 1).
+        state = all_up(graph)
+        state["Server1"] = False
+        state["proc3"] = False
+        know = lambda c, t: not (t == "AppA" and c == "Server1")
+        ev = graph.evaluate(state, know)
+        assert ev.selected["serviceA"] == "eA-2"
+
+    def test_backup_state_must_also_be_known(self, graph):
+        # Server1 down (known) but the backup's state is unknown: the
+        # switch cannot be made.
+        state = all_up(graph)
+        state["Server1"] = False
+        know = lambda c, t: not (t == "AppA" and c == "Server2")
+        ev = graph.evaluate(state, know)
+        assert ev.selected["serviceA"] is None
+
+    def test_partial_coverage_paper_example(self, graph):
+        # §6.2: proc3 (supporting Server1) fails while ag2 is down.
+        # AppA reconfigures to Server2 but AppB never learns of the
+        # failure: configuration C2 = {userA, eA, serviceA, eA-2}.
+        state = all_up(graph)
+        state["proc3"] = False
+        know = lambda c, t: t != "AppB"  # ag2 down severs all B knowledge
+        ev = graph.evaluate(state, know)
+        assert ev.configuration == frozenset(
+            {"userA", "eA", "serviceA", "eA-2"}
+        )
+
+
+class TestNestedServices:
+    def build_nested(self):
+        """users -> front(service) -> mid tasks -> back(service)."""
+        m = FTLQNModel()
+        m.add_processor("p0")
+        for name in ("pm1", "pm2", "pb1", "pb2"):
+            m.add_processor(name)
+        m.add_task("users", processor="p0", is_reference=True)
+        m.add_task("mid1", processor="pm1")
+        m.add_task("mid2", processor="pm2")
+        m.add_task("back1", processor="pb1")
+        m.add_task("back2", processor="pb2")
+        m.add_entry("b1", task="back1", demand=1.0)
+        m.add_entry("b2", task="back2", demand=1.0)
+        m.add_service("backsvc", targets=["b1", "b2"])
+        m.add_entry("m1", task="mid1", demand=1.0, requests=[Request("backsvc")])
+        m.add_entry("m2", task="mid2", demand=1.0)
+        m.add_service("midsvc", targets=["m1", "m2"])
+        m.add_entry("u", task="users", requests=[Request("midsvc")])
+        return m, build_fault_graph(m)
+
+    def test_nested_all_up(self):
+        model, graph = self.build_nested()
+        ev = graph.evaluate(all_up(graph), PERFECT_KNOWLEDGE)
+        assert ev.selected["midsvc"] == "m1"
+        assert ev.selected["backsvc"] == "b1"
+
+    def test_inner_failure_cascades_to_outer_choice(self):
+        model, graph = self.build_nested()
+        state = all_up(graph)
+        state["back1"] = False
+        state["back2"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        # Both backends dead: m1 unusable, outer service falls to m2.
+        assert ev.selected["midsvc"] == "m2"
+
+    def test_inner_switch_keeps_outer_primary(self):
+        model, graph = self.build_nested()
+        state = all_up(graph)
+        state["back1"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.selected["midsvc"] == "m1"
+        assert ev.selected["backsvc"] == "b2"

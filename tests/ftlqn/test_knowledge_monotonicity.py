@@ -1,0 +1,67 @@
+"""Monotonicity of Definition 1 in the knowledge predicate (hypothesis).
+
+Knowing *more* can never hurt: if the system reaches an operational
+configuration under some knowledge predicate, it still reaches one
+under any pointwise-greater predicate.  This pins the coherence of the
+knowledge-gated reconfiguration semantics independently of any MAMA
+model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.figure1 import figure1_system
+from repro.ftlqn import build_fault_graph
+
+GRAPH = build_fault_graph(figure1_system())
+LEAVES = sorted(leaf.name for leaf in GRAPH.leaves())
+PAIRS = GRAPH.required_know_pairs()
+
+state_strategy = st.fixed_dictionaries(
+    {name: st.booleans() for name in LEAVES}
+)
+known_subset = st.sets(st.sampled_from(PAIRS))
+
+
+def know_from(known: set) -> callable:
+    return lambda c, t: (c, t) in known
+
+
+@given(state=state_strategy, known=known_subset, extra=known_subset)
+@settings(max_examples=200, deadline=None)
+def test_more_knowledge_never_breaks_the_system(state, known, extra):
+    smaller = GRAPH.evaluate(state, know_from(known))
+    larger = GRAPH.evaluate(state, know_from(known | extra))
+    if smaller.system_working:
+        assert larger.system_working
+
+
+@given(state=state_strategy, known=known_subset, extra=known_subset)
+@settings(max_examples=200, deadline=None)
+def test_working_user_entries_monotone_in_knowledge(state, known, extra):
+    smaller = GRAPH.evaluate(state, know_from(known))
+    larger = GRAPH.evaluate(state, know_from(known | extra))
+    for user_entry in ("userA", "userB"):
+        if smaller.working[user_entry]:
+            assert larger.working[user_entry]
+
+
+@given(state=state_strategy, known=known_subset)
+@settings(max_examples=100, deadline=None)
+def test_full_knowledge_dominates_everything(state, known):
+    partial = GRAPH.evaluate(state, know_from(known))
+    perfect = GRAPH.evaluate(state)
+    if partial.system_working:
+        assert perfect.system_working
+
+
+@given(state=state_strategy)
+@settings(max_examples=100, deadline=None)
+def test_no_knowledge_still_serves_nothing_or_fails_cleanly(state):
+    # With zero knowledge no service can select any target, so a user
+    # entry can only work if its whole chain avoids services — which
+    # Figure 1's never does.  The evaluation must stay total and
+    # consistent regardless.
+    evaluation = GRAPH.evaluate(state, lambda c, t: False)
+    assert evaluation.configuration is None
+    assert set(evaluation.working) == set(GRAPH.nodes)

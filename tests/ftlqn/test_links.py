@@ -1,0 +1,130 @@
+"""Network/link components (the §7 "network failures" extension)."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.core.configuration import group_support
+from repro.errors import ModelError
+from repro.ftlqn import (
+    FTLQNModel,
+    NodeKind,
+    PERFECT_KNOWLEDGE,
+    Request,
+    build_fault_graph,
+    model_from_json,
+    model_to_json,
+)
+
+
+def linked_system() -> FTLQNModel:
+    """users -> app -> server, with app->server traffic crossing `wan`."""
+    m = FTLQNModel(name="linked")
+    m.add_processor("pu")
+    m.add_processor("pa")
+    m.add_processor("ps")
+    m.add_link("wan")
+    m.add_task("users", processor="pu", multiplicity=3, is_reference=True)
+    m.add_task("app", processor="pa")
+    m.add_task("server", processor="ps")
+    m.add_entry("serve", task="server", demand=1.0)
+    m.add_entry("ea", task="app", demand=0.5,
+                requests=[Request("serve")], depends_on=["wan"])
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    return m.validated()
+
+
+class TestModel:
+    def test_link_registered(self):
+        model = linked_system()
+        assert "wan" in model.links
+        assert "wan" in model.component_names()
+
+    def test_unknown_dependency_rejected(self):
+        m = FTLQNModel()
+        m.add_processor("p")
+        m.add_task("users", processor="p", is_reference=True)
+        m.add_task("a", processor="p")
+        m.add_entry("ea", task="a", depends_on=["ghost"])
+        m.add_entry("u", task="users", requests=[Request("ea")])
+        with pytest.raises(ModelError, match="not a registered link"):
+            m.validated()
+
+    def test_duplicate_dependency_rejected(self):
+        m = FTLQNModel()
+        m.add_processor("p")
+        m.add_link("l")
+        m.add_task("a", processor="p")
+        with pytest.raises(ModelError, match="duplicate dependencies"):
+            m.add_entry("e", task="a", depends_on=["l", "l"])
+
+    def test_link_name_collision_rejected(self):
+        m = FTLQNModel()
+        m.add_processor("p")
+        with pytest.raises(ModelError, match="already used"):
+            m.add_link("p")
+
+
+class TestFaultGraph:
+    def test_link_is_a_leaf(self):
+        graph = build_fault_graph(linked_system())
+        assert graph.node("wan").kind is NodeKind.LINK
+        assert graph.node("wan").is_leaf
+
+    def test_entry_depends_on_link(self):
+        graph = build_fault_graph(linked_system())
+        assert "wan" in graph.node("ea").children
+        assert "wan" in graph.leaf_set("ea")
+
+    def test_link_failure_fails_dependent_entry(self):
+        graph = build_fault_graph(linked_system())
+        state = {leaf.name: True for leaf in graph.leaves()}
+        state["wan"] = False
+        ev = graph.evaluate(state, PERFECT_KNOWLEDGE)
+        assert ev.configuration is None
+
+
+class TestAnalysis:
+    def test_link_failure_probability_counts(self):
+        model = linked_system()
+        analyzer = PerformabilityAnalyzer(
+            model, None, failure_probs={"wan": 0.2}
+        )
+        result = analyzer.solve()
+        assert result.failed_probability == pytest.approx(0.2)
+        assert result.state_count == 2
+
+    def test_group_support_includes_links(self):
+        model = linked_system()
+        config = frozenset({"u", "ea", "serve"})
+        support = group_support(model, config, "users")
+        assert "wan" in support
+
+    def test_round_trip_preserves_links(self):
+        model = linked_system()
+        restored = model_from_json(model_to_json(model))
+        assert "wan" in restored.links
+        assert restored.entries["ea"].depends_on == ("wan",)
+
+    def test_redundant_paths_over_distinct_links(self):
+        # Two servers reachable over distinct links: only the pair
+        # (link_i AND server_i) failing together kills the branch.
+        m = FTLQNModel(name="dual")
+        for p in ("pu", "pa", "p1", "p2"):
+            m.add_processor(p)
+        m.add_link("wan1")
+        m.add_link("wan2")
+        m.add_task("users", processor="pu", multiplicity=2, is_reference=True)
+        m.add_task("app", processor="pa")
+        m.add_task("s1", processor="p1")
+        m.add_task("s2", processor="p2")
+        m.add_entry("e1", task="s1", demand=1.0, depends_on=["wan1"])
+        m.add_entry("e2", task="s2", demand=1.0, depends_on=["wan2"])
+        m.add_service("svc", targets=["e1", "e2"])
+        m.add_entry("ea", task="app", demand=0.5, requests=[Request("svc")])
+        m.add_entry("u", task="users", requests=[Request("ea")])
+        analyzer = PerformabilityAnalyzer(
+            m, None, failure_probs={"wan1": 0.1, "wan2": 0.1}
+        )
+        result = analyzer.solve()
+        # Fails only when both links are down.
+        assert result.failed_probability == pytest.approx(0.01)

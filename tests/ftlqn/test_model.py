@@ -1,0 +1,121 @@
+"""Unit tests for FTLQN entity classes and model construction."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ftlqn import FTLQNModel, Request
+
+
+@pytest.fixture
+def model():
+    m = FTLQNModel(name="t")
+    m.add_processor("p1")
+    m.add_processor("p2")
+    m.add_task("users", processor="p1", multiplicity=5, is_reference=True)
+    m.add_task("server", processor="p2")
+    m.add_entry("serve", task="server", demand=0.2)
+    m.add_entry("drive", task="users", requests=[Request("serve")])
+    return m
+
+
+class TestProcessors:
+    def test_add_and_lookup(self, model):
+        assert model.processors["p1"].name == "p1"
+
+    def test_duplicate_name_rejected(self, model):
+        with pytest.raises(ModelError, match="already used"):
+            model.add_processor("p1")
+
+    def test_zero_multiplicity_rejected(self, model):
+        with pytest.raises(ModelError, match="multiplicity"):
+            model.add_processor("p3", multiplicity=0)
+
+
+class TestTasks:
+    def test_unknown_processor_rejected(self, model):
+        with pytest.raises(ModelError, match="unknown processor"):
+            model.add_task("t2", processor="nope")
+
+    def test_think_time_on_non_reference_rejected(self, model):
+        with pytest.raises(ModelError, match="think_time"):
+            model.add_task("t2", processor="p1", think_time=1.0)
+
+    def test_negative_think_time_rejected(self, model):
+        with pytest.raises(ModelError, match="think_time"):
+            model.add_task(
+                "t2", processor="p1", is_reference=True, think_time=-1.0
+            )
+
+    def test_name_collision_with_processor_rejected(self, model):
+        with pytest.raises(ModelError, match="already used"):
+            model.add_task("p1", processor="p1")
+
+    def test_reference_tasks_query(self, model):
+        assert [t.name for t in model.reference_tasks()] == ["users"]
+
+
+class TestEntries:
+    def test_unknown_task_rejected(self, model):
+        with pytest.raises(ModelError, match="unknown task"):
+            model.add_entry("e", task="nope")
+
+    def test_negative_demand_rejected(self, model):
+        with pytest.raises(ModelError, match="demand"):
+            model.add_entry("e", task="server", demand=-1)
+
+    def test_duplicate_request_targets_rejected(self, model):
+        with pytest.raises(ModelError, match="duplicate request targets"):
+            model.add_entry(
+                "e",
+                task="users",
+                requests=[Request("serve"), Request("serve")],
+            )
+
+    def test_entries_of_task(self, model):
+        assert [e.name for e in model.entries_of_task("server")] == ["serve"]
+
+    def test_entries_of_unknown_task_raises(self, model):
+        with pytest.raises(ModelError, match="unknown task"):
+            model.entries_of_task("nope")
+
+    def test_owner_task_of(self, model):
+        assert model.owner_task_of("serve").name == "server"
+
+    def test_owner_task_of_unknown_raises(self, model):
+        with pytest.raises(ModelError, match="unknown entry"):
+            model.owner_task_of("nope")
+
+
+class TestServices:
+    def test_service_needs_targets(self, model):
+        with pytest.raises(ModelError, match="at least one target"):
+            model.add_service("s", targets=[])
+
+    def test_duplicate_targets_rejected(self, model):
+        with pytest.raises(ModelError, match="duplicate targets"):
+            model.add_service("s", targets=["serve", "serve"])
+
+    def test_callers_of_service(self, model):
+        model.add_entry("backup", task="server", demand=0.2)
+        model.add_service("s", targets=["serve", "backup"])
+        model.add_task("client", processor="p1")
+        model.add_entry("call", task="client", requests=[Request("s")])
+        assert [e.name for e in model.callers_of_service("s")] == ["call"]
+
+    def test_callers_of_unknown_service_raises(self, model):
+        with pytest.raises(ModelError, match="unknown service"):
+            model.callers_of_service("nope")
+
+
+class TestRequests:
+    def test_non_positive_mean_calls_rejected(self):
+        with pytest.raises(ModelError, match="mean_calls"):
+            Request("x", mean_calls=0)
+
+
+class TestQueries:
+    def test_component_names(self, model):
+        assert set(model.component_names()) == {"users", "server", "p1", "p2"}
+
+    def test_validated_returns_self(self, model):
+        assert model.validated() is model

@@ -1,0 +1,75 @@
+"""JSON round-tripping of FTLQN models."""
+
+import pytest
+
+from repro.errors import ModelError, SerializationError
+from repro.ftlqn import model_from_json, model_to_json
+from repro.experiments.figure1 import figure1_system
+
+
+def test_round_trip_preserves_structure():
+    original = figure1_system()
+    restored = model_from_json(model_to_json(original))
+    assert set(restored.tasks) == set(original.tasks)
+    assert set(restored.entries) == set(original.entries)
+    assert set(restored.services) == set(original.services)
+    assert restored.tasks["UserA"].multiplicity == 50
+    assert restored.entries["eB"].demand == pytest.approx(0.5)
+    assert restored.services["serviceA"].targets == ("eA-1", "eA-2")
+
+
+def test_round_trip_preserves_requests():
+    original = figure1_system()
+    restored = model_from_json(model_to_json(original))
+    targets = [r.target for r in restored.entries["eA"].requests]
+    assert targets == ["serviceA"]
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(SerializationError, match="invalid JSON"):
+        model_from_json("{not json")
+
+
+def test_non_object_top_level_rejected():
+    with pytest.raises(SerializationError, match="object"):
+        model_from_json("[1, 2]")
+
+
+def test_missing_key_rejected():
+    with pytest.raises(SerializationError, match="missing key"):
+        model_from_json('{"name": "x", "tasks": [], "entries": [], "services": []}')
+
+
+def test_wrong_type_rejected():
+    with pytest.raises(SerializationError, match="expected list"):
+        model_from_json(
+            '{"name": "x", "processors": 3, "tasks": [], '
+            '"entries": [], "services": []}'
+        )
+
+
+def test_loaded_model_is_validated():
+    document = """
+    {"name": "bad", "processors": [{"name": "p"}],
+     "tasks": [{"name": "u", "processor": "p", "is_reference": true}],
+     "entries": [{"name": "e", "task": "u",
+                  "requests": [{"target": "ghost"}]}],
+     "services": []}
+    """
+    with pytest.raises(ModelError, match="neither an entry nor a service"):
+        model_from_json(document)
+
+
+def test_defaults_are_applied():
+    document = """
+    {"name": "d", "processors": [{"name": "p"}],
+     "tasks": [{"name": "u", "processor": "p", "is_reference": true},
+               {"name": "s", "processor": "p"}],
+     "entries": [{"name": "serve", "task": "s", "demand": 1.0},
+                 {"name": "go", "task": "u",
+                  "requests": [{"target": "serve"}]}],
+     "services": []}
+    """
+    model = model_from_json(document)
+    assert model.tasks["u"].multiplicity == 1
+    assert model.entries["go"].requests[0].mean_calls == 1.0

@@ -1,0 +1,115 @@
+"""Whole-model FTLQN validation rules."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ftlqn import FTLQNModel, Request, validate_model
+
+
+def base_model() -> FTLQNModel:
+    m = FTLQNModel()
+    m.add_processor("p")
+    m.add_task("users", processor="p", is_reference=True)
+    m.add_task("a", processor="p")
+    m.add_task("b", processor="p")
+    return m
+
+
+def test_valid_chain_passes():
+    m = base_model()
+    m.add_entry("eb", task="b", demand=1.0)
+    m.add_entry("ea", task="a", requests=[Request("eb")])
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    validate_model(m)
+
+
+def test_dangling_request_target():
+    m = base_model()
+    m.add_entry("ea", task="a", requests=[Request("ghost")])
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    with pytest.raises(ModelError, match="neither an entry nor a service"):
+        validate_model(m)
+
+
+def test_service_target_must_be_entry():
+    m = base_model()
+    m.add_entry("ea", task="a")
+    m.add_service("s", targets=["nope"])
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    with pytest.raises(ModelError, match="is not an entry"):
+        validate_model(m)
+
+
+def test_intra_task_call_rejected():
+    m = base_model()
+    m.add_entry("e1", task="a", demand=1.0)
+    m.add_entry("e2", task="a", requests=[Request("e1")])
+    m.add_entry("u", task="users", requests=[Request("e2")])
+    with pytest.raises(ModelError, match="own task"):
+        validate_model(m)
+
+
+def test_request_cycle_detected():
+    m = base_model()
+    m.add_task("c", processor="p")
+    m.add_entry("ea", task="a")
+    m.add_entry("eb", task="b")
+    m.add_entry("ec", task="c")
+    # Rebuild entries with a cycle a -> b -> c -> a.
+    m.entries["ea"] = m.entries["ea"].__class__(
+        name="ea", task="a", requests=(Request("eb"),)
+    )
+    m.entries["eb"] = m.entries["eb"].__class__(
+        name="eb", task="b", requests=(Request("ec"),)
+    )
+    m.entries["ec"] = m.entries["ec"].__class__(
+        name="ec", task="c", requests=(Request("ea"),)
+    )
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    with pytest.raises(ModelError, match="cycle"):
+        validate_model(m)
+
+
+def test_cycle_through_service_detected():
+    m = base_model()
+    m.add_entry("eb", task="b")
+    m.add_service("s", targets=["eb"])
+    m.entries["eb"] = m.entries["eb"].__class__(
+        name="eb", task="b", requests=(Request("ea"),)
+    )
+    m.add_entry("ea", task="a", requests=[Request("s")])
+    m.add_entry("u", task="users", requests=[Request("ea")])
+    with pytest.raises(ModelError, match="cycle"):
+        validate_model(m)
+
+
+def test_reference_task_must_have_entries():
+    m = base_model()
+    m.add_entry("ea", task="a")
+    with pytest.raises(ModelError, match="has no entries"):
+        validate_model(m)
+
+
+def test_reference_entry_must_not_be_called():
+    m = base_model()
+    m.add_entry("u", task="users")
+    m.add_entry("ea", task="a", requests=[Request("u")])
+    with pytest.raises(ModelError, match="must not be called"):
+        validate_model(m)
+
+
+def test_unreachable_entry_rejected():
+    m = base_model()
+    m.add_entry("u", task="users")
+    m.add_entry("orphan", task="a", demand=1.0)
+    with pytest.raises(ModelError, match="unreachable"):
+        validate_model(m)
+
+
+def test_no_reference_task_rejected():
+    m = FTLQNModel()
+    m.add_processor("p")
+    m.add_task("a", processor="p")
+    m.add_entry("ea", task="a")
+    with pytest.raises(ModelError, match="no entries|reference"):
+        validate_model(m)

@@ -1,0 +1,101 @@
+"""Asymptotic bounds: always above the solver and the simulator."""
+
+import pytest
+
+from repro.lqn import LQNCall, LQNModel, solve_lqn
+from repro.lqn.bounds import throughput_bounds, utilization_constraints
+from repro.sim.lqn_sim import simulate_lqn
+
+from tests.lqn.test_solver import figure1_lqn
+
+
+class TestBoundsStructure:
+    def test_population_bound_single_client(self):
+        m = LQNModel()
+        m.add_processor("pc")
+        m.add_processor("ps")
+        m.add_task("clients", processor="pc", multiplicity=3,
+                   is_reference=True, think_time=2.0)
+        m.add_task("server", processor="ps")
+        m.add_entry("serve", task="server", demand=0.5)
+        m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+        bounds = throughput_bounds(m)["clients"]
+        assert bounds.population_bound == pytest.approx(3 / 2.5)
+        assert bounds.bottlenecks["server"] == pytest.approx(2.0)
+        assert bounds.bottlenecks["ps"] == pytest.approx(2.0)
+        assert bounds.throughput == pytest.approx(3 / 2.5)
+
+    def test_phase2_counts_toward_capacity(self):
+        m = LQNModel()
+        m.add_processor("pc")
+        m.add_processor("ps")
+        m.add_task("clients", processor="pc", multiplicity=10,
+                   is_reference=True)
+        m.add_task("server", processor="ps")
+        m.add_entry("serve", task="server", demand=0.5, phase2_demand=0.5)
+        m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+        bounds = throughput_bounds(m)["clients"]
+        assert bounds.bottlenecks["server"] == pytest.approx(1.0)
+
+    def test_multi_threaded_server_scales_bound(self):
+        m = LQNModel()
+        m.add_processor("pc")
+        m.add_processor("ps", multiplicity=4)
+        m.add_task("clients", processor="pc", multiplicity=10,
+                   is_reference=True)
+        m.add_task("server", processor="ps", multiplicity=4)
+        m.add_entry("serve", task="server", demand=1.0)
+        m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+        bounds = throughput_bounds(m)["clients"]
+        assert bounds.bottlenecks["server"] == pytest.approx(4.0)
+
+
+class TestBoundsDominate:
+    @pytest.mark.parametrize("use_a,use_b", [(True, True), (True, False), (False, True)])
+    def test_solver_below_bounds_on_figure1(self, use_a, use_b):
+        model = figure1_lqn(use_a=use_a, use_b=use_b)
+        bounds = throughput_bounds(model)
+        results = solve_lqn(model)
+        for reference, bound in bounds.items():
+            assert results.task_throughputs[reference] <= bound.throughput + 1e-9
+
+    def test_simulation_below_bounds(self):
+        model = figure1_lqn()
+        bounds = throughput_bounds(model)
+        sim = simulate_lqn(model, horizon=5000, seed=6)
+        for reference, bound in bounds.items():
+            # 2% statistical slack.
+            assert sim.task_throughputs[reference] <= bound.throughput * 1.02
+
+    def test_bound_tight_when_bottlenecked(self):
+        # Single class saturating a single-threaded server: the solver
+        # must achieve the bottleneck bound.
+        m = LQNModel()
+        m.add_processor("pc")
+        m.add_processor("ps")
+        m.add_task("clients", processor="pc", multiplicity=20,
+                   is_reference=True)
+        m.add_task("server", processor="ps")
+        m.add_entry("serve", task="server", demand=0.25)
+        m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+        bound = throughput_bounds(m)["clients"].throughput
+        achieved = solve_lqn(m).task_throughputs["clients"]
+        assert achieved == pytest.approx(bound, rel=1e-3)
+
+
+class TestJointConstraints:
+    def test_shared_processor_constraint(self):
+        model = figure1_lqn()
+        constraints = utilization_constraints(model)
+        proc3 = next(c for c in constraints if c.resource == "proc3")
+        assert proc3.demand_per_class == {
+            "UserA": pytest.approx(1.0), "UserB": pytest.approx(0.5)
+        }
+        results = solve_lqn(model)
+        assert proc3.is_satisfied(results.task_throughputs)
+
+    def test_simulation_satisfies_constraints(self):
+        model = figure1_lqn()
+        sim = simulate_lqn(model, horizon=5000, seed=2)
+        for constraint in utilization_constraints(model):
+            assert constraint.is_satisfied(sim.task_throughputs, slack=0.03)

@@ -1,0 +1,118 @@
+"""LQN model construction, validation and layering."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lqn import LQNCall, LQNModel
+
+
+def tandem() -> LQNModel:
+    m = LQNModel()
+    m.add_processor("pc")
+    m.add_processor("ps")
+    m.add_task("clients", processor="pc", multiplicity=4,
+               is_reference=True, think_time=1.0)
+    m.add_task("server", processor="ps")
+    m.add_entry("serve", task="server", demand=0.1)
+    m.add_entry("cycle", task="clients", calls=[LQNCall("serve")])
+    return m
+
+
+class TestConstruction:
+    def test_duplicate_processor(self):
+        m = LQNModel()
+        m.add_processor("p")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_processor("p")
+
+    def test_duplicate_task(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("t", processor="p")
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_task("t", processor="p")
+
+    def test_duplicate_entry(self):
+        m = tandem()
+        with pytest.raises(ModelError, match="duplicate"):
+            m.add_entry("serve", task="server")
+
+    def test_unknown_processor(self):
+        m = LQNModel()
+        with pytest.raises(ModelError, match="unknown processor"):
+            m.add_task("t", processor="ghost")
+
+    def test_unknown_task(self):
+        m = LQNModel()
+        with pytest.raises(ModelError, match="unknown task"):
+            m.add_entry("e", task="ghost")
+
+    def test_invalid_call(self):
+        with pytest.raises(ModelError, match="mean_calls"):
+            LQNCall("x", mean_calls=-1)
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        tandem().validate()
+
+    def test_no_reference_task(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("t", processor="p")
+        m.add_entry("e", task="t")
+        with pytest.raises(ModelError, match="no reference task"):
+            m.validate()
+
+    def test_reference_without_entries(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("r", processor="p", is_reference=True)
+        with pytest.raises(ModelError, match="has no entries"):
+            m.validate()
+
+    def test_unknown_call_target(self):
+        m = tandem()
+        m.add_entry("bad", task="server", calls=[LQNCall("ghost")])
+        with pytest.raises(ModelError, match="unknown call target"):
+            m.validate()
+
+    def test_intra_task_call_rejected(self):
+        m = tandem()
+        m.add_entry("other", task="server", calls=[LQNCall("serve")])
+        with pytest.raises(ModelError, match="deadlock"):
+            m.validate()
+
+    def test_call_cycle_rejected(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("r", processor="p", is_reference=True)
+        m.add_task("a", processor="p")
+        m.add_task("b", processor="p")
+        m.add_entry("ea", task="a", calls=[LQNCall("eb")])
+        m.add_entry("eb", task="b", calls=[LQNCall("ea")])
+        m.add_entry("u", task="r", calls=[LQNCall("ea")])
+        with pytest.raises(ModelError, match="cycle"):
+            m.validate()
+
+
+class TestLayers:
+    def test_two_layers(self):
+        layers = tandem().task_layers()
+        assert layers == [["clients"], ["server"]]
+
+    def test_three_layer_chain(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("r", processor="p", is_reference=True)
+        m.add_task("mid", processor="p")
+        m.add_task("back", processor="p")
+        m.add_entry("eb", task="back", demand=0.1)
+        m.add_entry("em", task="mid", demand=0.1, calls=[LQNCall("eb")])
+        m.add_entry("u", task="r", calls=[LQNCall("em")])
+        assert m.task_layers() == [["r"], ["mid"], ["back"]]
+
+    def test_callers_of_task(self):
+        m = tandem()
+        assert m.callers_of_task("server") == ["clients"]
+        assert m.callers_of_task("clients") == []

@@ -1,0 +1,183 @@
+"""MVA solvers against closed-form results and each other."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lqn.mva import (
+    Discipline,
+    Station,
+    StationKind,
+    exact_mva,
+    schweitzer_mva,
+)
+
+
+def queue(name="q", multiplicity=1, discipline=Discipline.PS):
+    return Station(
+        name=name,
+        kind=StationKind.QUEUE,
+        multiplicity=multiplicity,
+        discipline=discipline,
+    )
+
+
+def delay(name="d"):
+    return Station(name=name, kind=StationKind.DELAY)
+
+
+class TestExactMVA:
+    def test_single_customer_no_queueing(self):
+        result = exact_mva([queue()], np.array([[2.0]]), [1])
+        assert result.throughputs[0] == pytest.approx(0.5)
+        assert result.residence_times[0, 0] == pytest.approx(2.0)
+
+    def test_machine_repairman_closed_form(self):
+        # N customers, one PS queue (demand D), think Z: classic exact
+        # MVA recursion cross-checked against hand values for N=2:
+        # R(1) = D; X(1) = 1/(Z+D); Q(1) = X D.
+        # R(2) = D (1 + Q(1)); X(2) = 2/(Z+R(2)).
+        d, z = 1.0, 3.0
+        result = exact_mva([queue()], np.array([[d]]), [2], [z])
+        q1 = (1 / (z + d)) * d
+        r2 = d * (1 + q1)
+        assert result.throughputs[0] == pytest.approx(2 / (z + r2))
+
+    def test_delay_station_never_queues(self):
+        result = exact_mva([delay()], np.array([[2.0]]), [10])
+        assert result.throughputs[0] == pytest.approx(5.0)
+        assert result.residence_times[0, 0] == pytest.approx(2.0)
+
+    def test_bottleneck_saturation(self):
+        # Many customers: throughput approaches 1/D at the queue.
+        result = exact_mva([queue()], np.array([[0.5]]), [50])
+        assert result.throughputs[0] == pytest.approx(2.0, rel=1e-3)
+        assert result.utilizations[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_two_classes_symmetric(self):
+        demands = np.array([[1.0], [1.0]])
+        result = exact_mva([queue()], demands, [1, 1])
+        assert result.throughputs[0] == pytest.approx(result.throughputs[1])
+        # Two customers, one server, both always there: X_total = U <= 1.
+        assert result.utilizations[0] <= 1.0 + 1e-12
+
+    def test_population_zero_class(self):
+        result = exact_mva([queue()], np.array([[1.0], [1.0]]), [2, 0])
+        assert result.throughputs[1] == 0.0
+        assert result.throughputs[0] > 0
+
+    def test_multiserver_seidmann(self):
+        # Two servers, one customer: no queueing, residence = D.
+        result = exact_mva(
+            [queue(multiplicity=2)], np.array([[1.0]]), [1]
+        )
+        assert result.residence_times[0, 0] == pytest.approx(1.0)
+
+    def test_state_space_guard(self):
+        with pytest.raises(SolverError, match="too large"):
+            exact_mva([queue()], np.array([[1.0], [1.0]]), [2000, 2000])
+
+    def test_fcfs_discipline_rejected(self):
+        with pytest.raises(SolverError, match="PS"):
+            exact_mva(
+                [queue(discipline=Discipline.FCFS)], np.array([[1.0]]), [1]
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError, match="shape"):
+            exact_mva([queue()], np.array([[1.0, 2.0]]), [1])
+
+    def test_zero_cycle_rejected(self):
+        with pytest.raises(SolverError, match="zero demand"):
+            exact_mva([queue()], np.array([[0.0]]), [1], [0.0])
+
+
+class TestSchweitzer:
+    def test_matches_exact_single_class(self):
+        demands = np.array([[1.0, 0.5]])
+        stations = [queue("a"), queue("b")]
+        for n in (1, 2, 5, 10):
+            exact = exact_mva(stations, demands, [n], [1.0])
+            approx = schweitzer_mva(stations, demands, [n], [1.0])
+            assert approx.throughputs[0] == pytest.approx(
+                exact.throughputs[0], rel=0.05
+            )
+
+    def test_exact_at_population_one(self):
+        # With one customer there is no queueing; both are exact.
+        demands = np.array([[1.0, 0.5]])
+        stations = [queue("a"), queue("b")]
+        exact = exact_mva(stations, demands, [1])
+        approx = schweitzer_mva(stations, demands, [1])
+        assert approx.throughputs[0] == pytest.approx(
+            exact.throughputs[0], rel=1e-9
+        )
+
+    def test_multi_class_close_to_exact(self):
+        demands = np.array([[1.0, 0.2], [0.3, 0.8]])
+        stations = [queue("a"), queue("b")]
+        exact = exact_mva(stations, demands, [3, 4], [1.0, 0.5])
+        approx = schweitzer_mva(stations, demands, [3, 4], [1.0, 0.5])
+        np.testing.assert_allclose(
+            approx.throughputs, exact.throughputs, rtol=0.08
+        )
+
+    def test_accepts_fractional_population(self):
+        result = schweitzer_mva([queue()], np.array([[1.0]]), [0.5])
+        assert 0 < result.throughputs[0] < 1
+
+    def test_fcfs_fast_class_waits_for_slow_work(self):
+        # One fast class (s=0.1), one slow (s=1.0), same station.  Under
+        # FCFS the fast class's waiting is dominated by the slow class's
+        # service time, so its residence must exceed the PS estimate
+        # based on its own tiny service time.
+        stations_fcfs = [queue(discipline=Discipline.FCFS)]
+        stations_ps = [queue(discipline=Discipline.PS)]
+        demands = np.array([[0.1], [1.0]])
+        visits = np.array([[1.0], [1.0]])
+        fcfs = schweitzer_mva(
+            stations_fcfs, demands, [1, 1], [1.0, 1.0], visits=visits
+        )
+        ps = schweitzer_mva(stations_ps, demands, [1, 1], [1.0, 1.0])
+        assert fcfs.residence_times[0, 0] > ps.residence_times[0, 0]
+
+    def test_fcfs_equal_demands_matches_ps(self):
+        # With identical per-visit service everywhere, the FCFS formula
+        # reduces to the PS one.
+        stations_fcfs = [queue(discipline=Discipline.FCFS)]
+        stations_ps = [queue(discipline=Discipline.PS)]
+        demands = np.array([[0.7], [0.7]])
+        visits = np.ones_like(demands)
+        fcfs = schweitzer_mva(
+            stations_fcfs, demands, [2, 3], visits=visits
+        )
+        ps = schweitzer_mva(stations_ps, demands, [2, 3])
+        np.testing.assert_allclose(
+            fcfs.throughputs, ps.throughputs, rtol=1e-6
+        )
+
+    def test_visits_shape_validated(self):
+        with pytest.raises(SolverError, match="visits shape"):
+            schweitzer_mva(
+                [queue()], np.array([[1.0]]), [1], visits=np.ones((2, 1))
+            )
+
+    def test_positive_demand_needs_positive_visits(self):
+        with pytest.raises(SolverError, match="positive visits"):
+            schweitzer_mva(
+                [queue()], np.array([[1.0]]), [1], visits=np.zeros((1, 1))
+            )
+
+    def test_utilization_below_capacity(self):
+        result = schweitzer_mva(
+            [queue(multiplicity=2)], np.array([[1.0]]), [20]
+        )
+        assert result.utilizations[0] <= 1.0 + 1e-9
+
+    def test_throughput_monotone_in_population(self):
+        demands = np.array([[1.0]])
+        previous = 0.0
+        for n in (1, 2, 4, 8, 16):
+            x = schweitzer_mva([queue()], demands, [n]).throughputs[0]
+            assert x >= previous - 1e-12
+            previous = x

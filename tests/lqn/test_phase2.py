@@ -1,0 +1,99 @@
+"""Second-phase (post-reply) service: solver semantics and DES agreement."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lqn import LQNCall, LQNModel, solve_lqn
+from repro.sim.lqn_sim import simulate_lqn
+
+
+def tandem(demand=0.5, phase2=0.0, clients=1, think=0.0):
+    m = LQNModel()
+    m.add_processor("pc")
+    m.add_processor("ps")
+    m.add_task("clients", processor="pc", multiplicity=clients,
+               is_reference=True, think_time=think)
+    m.add_task("server", processor="ps")
+    m.add_entry("serve", task="server", demand=demand,
+                phase2_demand=phase2)
+    m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+    return m
+
+
+class TestModel:
+    def test_negative_phase2_rejected(self):
+        m = LQNModel()
+        m.add_processor("p")
+        m.add_task("t", processor="p")
+        with pytest.raises(ModelError, match="phase2"):
+            m.add_entry("e", task="t", phase2_demand=-1.0)
+
+
+class TestSolver:
+    def test_single_client_sees_only_phase1(self):
+        # One client, plenty of slack: response time is phase 1 only, so
+        # the cycle is think + demand, unaffected by phase 2.
+        fast = solve_lqn(tandem(demand=0.5, phase2=0.0, think=10.0))
+        with_p2 = solve_lqn(tandem(demand=0.5, phase2=0.4, think=10.0))
+        assert with_p2.task_throughputs["clients"] == pytest.approx(
+            fast.task_throughputs["clients"], rel=0.02
+        )
+
+    def test_saturated_server_limited_by_total_busy_time(self):
+        # Many clients, zero think: the server can complete at most
+        # 1 / (phase1 + phase2) invocations per second.
+        results = solve_lqn(tandem(demand=0.5, phase2=0.5, clients=8))
+        assert results.task_throughputs["clients"] == pytest.approx(
+            1.0, rel=0.02
+        )
+
+    def test_task_utilization_includes_phase2(self):
+        results = solve_lqn(tandem(demand=0.5, phase2=0.5, clients=1,
+                                   think=1.0))
+        x = results.task_throughputs["clients"]
+        assert results.task_utilizations["server"] == pytest.approx(
+            x * 1.0, rel=1e-6
+        )
+
+    def test_processor_utilization_includes_phase2(self):
+        results = solve_lqn(tandem(demand=0.5, phase2=0.5, clients=1,
+                                   think=1.0))
+        x = results.task_throughputs["clients"]
+        assert results.processor_utilizations["ps"] == pytest.approx(
+            x * 1.0, rel=1e-6
+        )
+
+    def test_phase2_increases_waiting_under_contention(self):
+        base = solve_lqn(tandem(demand=0.5, phase2=0.0, clients=4))
+        loaded = solve_lqn(tandem(demand=0.5, phase2=0.5, clients=4))
+        assert (
+            loaded.task_throughputs["clients"]
+            < base.task_throughputs["clients"]
+        )
+
+
+class TestAgainstSimulation:
+    def test_saturated_deterministic(self):
+        model = tandem(demand=0.4, phase2=0.6, clients=6)
+        sim = simulate_lqn(model, horizon=2000, deterministic=True,
+                           warmup_fraction=0.1)
+        assert sim.task_throughputs["clients"] == pytest.approx(1.0, rel=0.01)
+
+    def test_solver_tracks_simulation_with_contention(self):
+        model = tandem(demand=0.5, phase2=0.3, clients=3, think=1.0)
+        sim = simulate_lqn(model, horizon=20_000, seed=8)
+        ana = solve_lqn(model)
+        assert ana.task_throughputs["clients"] == pytest.approx(
+            sim.task_throughputs["clients"], rel=0.10
+        )
+
+    def test_light_load_response_excludes_phase2(self):
+        model = tandem(demand=0.5, phase2=1.0, clients=1, think=10.0)
+        sim = simulate_lqn(model, horizon=30_000, seed=9)
+        # Cycle ~ think + phase1 (+ tiny chance of queueing behind own
+        # phase 2): throughput close to 1/10.5, well above 1/11.5.
+        assert sim.task_throughputs["clients"] > 1 / 11.0
+        ana = solve_lqn(model)
+        assert ana.task_throughputs["clients"] == pytest.approx(
+            sim.task_throughputs["clients"], rel=0.10
+        )

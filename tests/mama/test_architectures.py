@@ -1,0 +1,137 @@
+"""Generic architecture factories and the paper's exact Figures 7-10."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mama import (
+    ComponentKind,
+    centralized_architecture,
+    distributed_architecture,
+    hierarchical_architecture,
+    network_architecture,
+)
+from repro.mama.architectures import Domain
+
+
+TASKS = {"AppA": "proc1", "AppB": "proc2"}
+
+
+class TestGenericCentralized:
+    def test_builds_and_validates(self):
+        model = centralized_architecture(
+            tasks=TASKS, subscribers=["AppA", "AppB"]
+        )
+        assert model.components["m1"].kind is ComponentKind.MANAGER_TASK
+        assert "ag.AppA" in model.components
+
+    def test_every_task_gets_local_agent(self):
+        model = centralized_architecture(tasks=TASKS, subscribers=[])
+        for task, processor in TASKS.items():
+            agent = model.components[f"ag.{task}"]
+            assert agent.processor == processor
+
+    def test_manager_watches_remote_processors(self):
+        model = centralized_architecture(tasks=TASKS, subscribers=[])
+        assert "aw.proc1->m1" in model.connectors
+        assert "aw.proc2->m1" in model.connectors
+
+    def test_subscriber_notify_chain(self):
+        model = centralized_architecture(tasks=TASKS, subscribers=["AppA"])
+        assert "ntfy.m1->ag.AppA" in model.connectors
+        assert "ntfy.ag.AppA->AppA" in model.connectors
+        assert "ntfy.m1->ag.AppB" not in model.connectors
+
+
+class TestGenericDistributed:
+    def make_domains(self):
+        return [
+            Domain(
+                manager="dm1",
+                manager_processor="proc5",
+                tasks={"AppA": "proc1"},
+                subscribers=("AppA",),
+            ),
+            Domain(
+                manager="dm2",
+                manager_processor="proc6",
+                tasks={"AppB": "proc2"},
+                subscribers=("AppB",),
+            ),
+        ]
+
+    def test_peer_links_both_directions(self):
+        model = distributed_architecture(domains=self.make_domains())
+        assert "ntfy.dm1->dm2" in model.connectors
+        assert "ntfy.dm2->dm1" in model.connectors
+
+    def test_needs_two_domains(self):
+        with pytest.raises(ModelError, match="two domains"):
+            distributed_architecture(domains=self.make_domains()[:1])
+
+    def test_subscriber_must_be_domain_task(self):
+        with pytest.raises(ModelError, match="subscribers"):
+            Domain(
+                manager="dm1",
+                manager_processor="p",
+                tasks={"AppA": "proc1"},
+                subscribers=("ghost",),
+            )
+
+
+class TestGenericHierarchical:
+    def test_mom_coordinates_domains(self):
+        domains = [
+            Domain("dm1", "proc5", {"AppA": "proc1"}, ("AppA",)),
+            Domain("dm2", "proc6", {"AppB": "proc2"}, ("AppB",)),
+        ]
+        model = hierarchical_architecture(domains=domains)
+        assert "sw.dm1->mom1" in model.connectors
+        assert "ntfy.mom1->dm2" in model.connectors
+        # No direct peer communication in a hierarchy.
+        assert "ntfy.dm1->dm2" not in model.connectors
+
+    def test_needs_domains(self):
+        with pytest.raises(ModelError, match="at least one domain"):
+            hierarchical_architecture(domains=[])
+
+
+class TestGenericNetwork:
+    def test_integrated_managers_watch_all_server_domains(self):
+        servers = [Domain("dm1", "proc3", {"Server1": "proc3"})]
+        integrated = [
+            Domain("im1", "proc1", {"AppA": "proc1"}, ("AppA",)),
+            Domain("im2", "proc2", {"AppB": "proc2"}, ("AppB",)),
+        ]
+        model = network_architecture(
+            server_domains=servers, integrated_domains=integrated
+        )
+        assert "sw.dm1->im1" in model.connectors
+        assert "sw.dm1->im2" in model.connectors
+
+    def test_requires_both_levels(self):
+        with pytest.raises(ModelError, match="at least one"):
+            network_architecture(server_domains=[], integrated_domains=[])
+
+
+class TestPaperFigures:
+    def test_component_counts_match_state_space_sizes(
+        self, centralized, distributed, hierarchical, network
+    ):
+        # §6.3: 2^14, 2^16, 2^18, 2^16 total states with 8 application
+        # components — i.e. 6/8/10/8 management components.
+        def management_components(model):
+            app = {"AppA", "AppB", "Server1", "Server2",
+                   "proc1", "proc2", "proc3", "proc4"}
+            return [c for c in model.components if c not in app]
+
+        assert len(management_components(centralized)) == 6
+        assert len(management_components(distributed)) == 8
+        assert len(management_components(hierarchical)) == 10
+        assert len(management_components(network)) == 8
+
+    def test_centralized_has_papers_sixteen_connectors(self, centralized):
+        assert set(centralized.connectors) == {f"c{i}" for i in range(1, 17)}
+
+    def test_network_managers_live_on_application_processors(self, network):
+        assert network.components["dm1"].processor == "proc3"
+        assert network.components["im1"].processor == "proc1"

@@ -1,0 +1,150 @@
+"""Knowledge propagation graph transformation and know expressions."""
+
+import pytest
+
+from repro.booleans import FALSE
+from repro.errors import ModelError
+from repro.mama import KnowledgeGraph, MAMAModel
+
+
+@pytest.fixture
+def simple():
+    """app on p1 watched by a local agent reporting to a manager on p2,
+    which notifies a second application task back on p1."""
+    m = MAMAModel()
+    m.add_processor("p1")
+    m.add_processor("p2")
+    m.add_application_task("app", processor="p1")
+    m.add_application_task("peer", processor="p1")
+    m.add_agent("agent", processor="p1")
+    m.add_manager("mgr", processor="p2")
+    m.add_alive_watch("w", monitored="app", monitor="agent")
+    m.add_status_watch("r", monitored="agent", monitor="mgr")
+    m.add_alive_watch("pw", monitored="p1", monitor="mgr")
+    m.add_notify("n", notifier="mgr", subscriber="peer")
+    return m
+
+
+class TestTransformation:
+    def test_component_and_connector_arcs(self, simple):
+        graph = KnowledgeGraph(simple)
+        kinds = {arc.name: arc.kind for arc in graph.arcs}
+        assert kinds["app"] == "component"
+        assert kinds["w"] == "AW"
+        assert kinds["r"] == "SW"
+        assert kinds["n"] == "Ntfy"
+
+    def test_component_arc_endpoints(self, simple):
+        graph = KnowledgeGraph(simple)
+        arc = next(a for a in graph.arcs if a.name == "app")
+        assert arc.iv == "app.in" and arc.tv == "app.out"
+
+    def test_connector_arc_spans_out_to_in(self, simple):
+        graph = KnowledgeGraph(simple)
+        arc = next(a for a in graph.arcs if a.name == "w")
+        assert arc.iv == "app.out" and arc.tv == "agent.in"
+
+
+class TestMinpaths:
+    def test_task_knowledge_path(self, simple):
+        graph = KnowledgeGraph(simple)
+        paths = graph.minpaths("app", "peer")
+        assert paths == [
+            frozenset({"w", "agent", "r", "mgr", "n", "peer", "p1", "p2"})
+        ]
+
+    def test_processor_knowledge_excludes_hosted_tasks(self, simple):
+        # An observer hosted on the watched processor dies with it: the
+        # paper's reduced-graph rule removes its component arc, so no
+        # admissible path exists.
+        graph = KnowledgeGraph(simple)
+        assert graph.minpaths("p1", "peer") == []
+
+    def test_processor_knowledge_for_remote_observer(self, simple):
+        # Move the observer off p1: the direct manager ping carries the
+        # processor's state; the local agent cannot relay it.
+        simple.add_processor("p3")
+        simple.add_application_task("remote", processor="p3")
+        simple.add_notify("n2", notifier="mgr", subscriber="remote")
+        graph = KnowledgeGraph(simple)
+        paths = graph.minpaths("p1", "remote")
+        assert paths == [
+            frozenset({"pw", "mgr", "n2", "remote", "p2", "p3"})
+        ]
+
+    def test_self_knowledge_is_trivially_true(self, simple):
+        from repro.booleans import TRUE
+
+        graph = KnowledgeGraph(simple)
+        assert graph.know_expr("app", "app") == TRUE
+
+    def test_no_path_gives_false_expression(self, simple):
+        graph = KnowledgeGraph(simple)
+        # Nothing watches `peer`, so `app` can never learn its state.
+        assert graph.know_expr("peer", "app") == FALSE
+
+    def test_observer_must_be_task(self, simple):
+        graph = KnowledgeGraph(simple)
+        with pytest.raises(ModelError, match="must be a task"):
+            graph.minpaths("app", "p1")
+
+    def test_unknown_component_rejected(self, simple):
+        graph = KnowledgeGraph(simple)
+        with pytest.raises(ModelError, match="unknown MAMA component"):
+            graph.minpaths("ghost", "peer")
+
+
+class TestKnowExpr:
+    def test_know_expr_evaluates_paths(self, simple):
+        graph = KnowledgeGraph(simple)
+        expr = graph.know_expr("app", "peer")
+        everything_up = {name: True for name in expr.variables()}
+        assert expr.evaluate(everything_up) is True
+        broken = dict(everything_up)
+        broken["mgr"] = False
+        assert expr.evaluate(broken) is False
+
+    def test_know_table(self, simple):
+        graph = KnowledgeGraph(simple)
+        table = graph.know_table([("app", "peer"), ("p1", "peer")])
+        assert set(table) == {("app", "peer"), ("p1", "peer")}
+
+    def test_alive_watch_cannot_relay_mid_path(self):
+        # A second alive-watch hop must NOT extend knowledge: alive-watch
+        # conveys only the monitored component's own liveness.
+        m = MAMAModel()
+        m.add_processor("p1")
+        m.add_processor("p2")
+        m.add_processor("p3")
+        m.add_application_task("app", processor="p1")
+        m.add_application_task("peer", processor="p3")
+        m.add_agent("agent", processor="p1")
+        m.add_manager("mgr", processor="p2")
+        m.add_alive_watch("w", monitored="app", monitor="agent")
+        # mgr only alive-watches the agent: liveness of agent, nothing more.
+        m.add_alive_watch("aw2", monitored="agent", monitor="mgr")
+        m.add_alive_watch("pw", monitored="p1", monitor="mgr")
+        m.add_notify("n", notifier="mgr", subscriber="peer")
+        graph = KnowledgeGraph(m)
+        assert graph.minpaths("app", "peer") == []
+
+    def test_redundant_paths_produce_disjunction(self):
+        m = MAMAModel()
+        m.add_processor("p1")
+        m.add_processor("p2")
+        m.add_processor("p3")
+        m.add_application_task("app", processor="p1")
+        m.add_application_task("peer", processor="p3")
+        m.add_agent("agent", processor="p1")
+        m.add_manager("m1", processor="p2")
+        m.add_manager("m2", processor="p2")
+        m.add_alive_watch("w", monitored="app", monitor="agent")
+        m.add_status_watch("r1", monitored="agent", monitor="m1")
+        m.add_status_watch("r2", monitored="agent", monitor="m2")
+        m.add_alive_watch("pw1", monitored="p1", monitor="m1")
+        m.add_alive_watch("pw2", monitored="p1", monitor="m2")
+        m.add_notify("n1", notifier="m1", subscriber="peer")
+        m.add_notify("n2", notifier="m2", subscriber="peer")
+        graph = KnowledgeGraph(m)
+        paths = graph.minpaths("app", "peer")
+        assert len(paths) == 2

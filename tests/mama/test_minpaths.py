@@ -1,0 +1,119 @@
+"""Typed minpath enumeration, including a brute-force property check."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mama.minpaths import Arc, enumerate_minpaths, minimal_sets
+
+
+def arcs_of(*triples):
+    return [Arc(name=f"a{i}", kind=k, iv=u, tv=v) for i, (u, v, k) in enumerate(triples)]
+
+
+class TestMinimalSets:
+    def test_removes_supersets(self):
+        sets = [frozenset("ab"), frozenset("a"), frozenset("bc")]
+        assert minimal_sets(sets) == [frozenset("a"), frozenset("bc")]
+
+    def test_deterministic_order(self):
+        sets = [frozenset("b"), frozenset("a")]
+        assert minimal_sets(sets) == [frozenset("a"), frozenset("b")]
+
+    def test_empty(self):
+        assert minimal_sets([]) == []
+
+
+class TestEnumerate:
+    def test_single_edge(self):
+        arcs = arcs_of(("s", "t", "x"))
+        assert enumerate_minpaths(arcs, "s", "t") == [frozenset({"a0"})]
+
+    def test_two_parallel_paths(self):
+        arcs = arcs_of(("s", "t", "x"), ("s", "m", "x"), ("m", "t", "x"))
+        paths = enumerate_minpaths(arcs, "s", "t")
+        assert frozenset({"a0"}) in paths
+        assert frozenset({"a1", "a2"}) in paths
+
+    def test_source_equals_target(self):
+        assert enumerate_minpaths([], "s", "s") == [frozenset()]
+
+    def test_disconnected(self):
+        arcs = arcs_of(("s", "m", "x"))
+        assert enumerate_minpaths(arcs, "s", "t") == []
+
+    def test_first_kind_constraint(self):
+        arcs = arcs_of(("s", "m", "watch"), ("m", "t", "relay"))
+        assert enumerate_minpaths(
+            arcs, "s", "t", first_kinds={"watch"}, rest_kinds={"relay"}
+        ) == [frozenset({"a0", "a1"})]
+        assert (
+            enumerate_minpaths(
+                arcs, "s", "t", first_kinds={"relay"}, rest_kinds={"relay"}
+            )
+            == []
+        )
+
+    def test_rest_kind_constraint_blocks_mid_path_watch(self):
+        arcs = arcs_of(("s", "m", "watch"), ("m", "t", "watch"))
+        assert (
+            enumerate_minpaths(
+                arcs, "s", "t", first_kinds={"watch"}, rest_kinds={"relay"}
+            )
+            == []
+        )
+
+    def test_duplicate_arc_names_rejected(self):
+        arcs = [
+            Arc(name="a", kind="x", iv="s", tv="m"),
+            Arc(name="a", kind="x", iv="m", tv="t"),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            enumerate_minpaths(arcs, "s", "t")
+
+    def test_cycle_does_not_loop_forever(self):
+        arcs = arcs_of(("s", "m", "x"), ("m", "s", "x"), ("m", "t", "x"))
+        assert enumerate_minpaths(arcs, "s", "t") == [frozenset({"a0", "a2"})]
+
+
+def _brute_force_minpaths(arcs, source, target):
+    """Minimal arc subsets that connect source to target (untyped)."""
+    names = [arc.name for arc in arcs]
+    connected_sets = []
+    for bits in product([False, True], repeat=len(arcs)):
+        chosen = [arc for arc, bit in zip(arcs, bits) if bit]
+        # BFS over chosen arcs.
+        reach = {source}
+        changed = True
+        while changed:
+            changed = False
+            for arc in chosen:
+                if arc.iv in reach and arc.tv not in reach:
+                    reach.add(arc.tv)
+                    changed = True
+        if target in reach:
+            connected_sets.append(frozenset(a.name for a in chosen))
+    return set(minimal_sets(connected_sets))
+
+
+@given(
+    edges=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=4),
+        ).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=7,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_brute_force_on_random_graphs(edges):
+    arcs = [
+        Arc(name=f"a{i}", kind="x", iv=u, tv=v) for i, (u, v) in enumerate(edges)
+    ]
+    ours = set(enumerate_minpaths(arcs, 0, 4))
+    brute = _brute_force_minpaths(arcs, 0, 4)
+    assert ours == brute

@@ -1,0 +1,105 @@
+"""MAMA component/connector construction and role rules."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mama import ComponentKind, ConnectorKind, MAMAModel
+
+
+@pytest.fixture
+def model():
+    m = MAMAModel()
+    m.add_processor("p1")
+    m.add_processor("p2")
+    m.add_application_task("app", processor="p1")
+    m.add_agent("agent", processor="p1")
+    m.add_manager("mgr", processor="p2")
+    return m
+
+
+class TestComponents:
+    def test_kinds(self, model):
+        assert model.components["app"].kind is ComponentKind.APPLICATION_TASK
+        assert model.components["agent"].kind is ComponentKind.AGENT_TASK
+        assert model.components["mgr"].kind is ComponentKind.MANAGER_TASK
+        assert model.components["p1"].kind is ComponentKind.PROCESSOR
+
+    def test_task_needs_existing_processor(self, model):
+        with pytest.raises(ModelError, match="not a registered processor"):
+            model.add_agent("a2", processor="ghost")
+
+    def test_task_on_task_rejected(self, model):
+        with pytest.raises(ModelError, match="not a registered processor"):
+            model.add_agent("a2", processor="app")
+
+    def test_duplicate_names_rejected(self, model):
+        with pytest.raises(ModelError, match="already used"):
+            model.add_processor("app")
+
+    def test_is_task_property(self):
+        assert ComponentKind.AGENT_TASK.is_task
+        assert not ComponentKind.PROCESSOR.is_task
+
+
+class TestWatchRoles:
+    def test_agent_watches_app(self, model):
+        c = model.add_alive_watch("c", monitored="app", monitor="agent")
+        assert c.kind is ConnectorKind.ALIVE_WATCH
+
+    def test_manager_status_watches_agent(self, model):
+        c = model.add_status_watch("c", monitored="agent", monitor="mgr")
+        assert c.kind is ConnectorKind.STATUS_WATCH
+
+    def test_processor_cannot_monitor(self, model):
+        with pytest.raises(ModelError, match="cannot be a monitor"):
+            model.add_alive_watch("c", monitored="app", monitor="p2")
+
+    def test_application_task_cannot_monitor(self, model):
+        with pytest.raises(ModelError, match="monitored or subscriber"):
+            model.add_alive_watch("c", monitored="agent", monitor="app")
+
+    def test_processor_only_alive_watched(self, model):
+        with pytest.raises(ModelError, match="alive-watch"):
+            model.add_status_watch("c", monitored="p1", monitor="mgr")
+
+    def test_processor_alive_watch_ok(self, model):
+        model.add_alive_watch("c", monitored="p1", monitor="mgr")
+
+    def test_unknown_component_rejected(self, model):
+        with pytest.raises(ModelError, match="unknown component"):
+            model.add_alive_watch("c", monitored="ghost", monitor="mgr")
+
+    def test_self_connection_rejected(self, model):
+        with pytest.raises(ModelError, match="to itself"):
+            model.add_status_watch("c", monitored="mgr", monitor="mgr")
+
+
+class TestNotifyRoles:
+    def test_manager_notifies_agent(self, model):
+        c = model.add_notify("c", notifier="mgr", subscriber="agent")
+        assert c.kind is ConnectorKind.NOTIFY
+
+    def test_agent_notifies_app(self, model):
+        model.add_notify("c", notifier="agent", subscriber="app")
+
+    def test_app_cannot_notify(self, model):
+        with pytest.raises(ModelError, match="cannot be a notifier"):
+            model.add_notify("c", notifier="app", subscriber="agent")
+
+    def test_processor_cannot_subscribe(self, model):
+        with pytest.raises(ModelError, match="notifier or subscriber"):
+            model.add_notify("c", notifier="mgr", subscriber="p1")
+
+
+class TestQueries:
+    def test_tasks_on(self, model):
+        assert {c.name for c in model.tasks_on("p1")} == {"app", "agent"}
+
+    def test_watchers_of(self, model):
+        model.add_alive_watch("c", monitored="app", monitor="agent")
+        assert [w.name for w in model.watchers_of("app")] == ["c"]
+
+    def test_component_names_covers_everything(self, model):
+        assert set(model.component_names()) == {
+            "app", "agent", "mgr", "p1", "p2"
+        }

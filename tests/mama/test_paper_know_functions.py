@@ -1,0 +1,82 @@
+"""E5: the §6.2 worked know functions, asserted verbatim.
+
+The paper spells out the exact augmented minpath component sets for the
+centralized architecture of Figure 7.  These tests pin our pipeline
+(MAMA → knowledge graph → typed minpaths → augmentation) to them.
+"""
+
+import pytest
+
+from repro.booleans import probability
+from repro.mama import KnowledgeGraph
+
+
+@pytest.fixture(scope="module")
+def knowledge(request):
+    from repro.experiments.architectures import centralized_mama
+
+    return KnowledgeGraph(centralized_mama())
+
+
+PAPER_SETS = {
+    ("Server1", "AppA"): {
+        "c3", "ag3", "c8", "m1", "proc5", "c13", "ag1", "c5",
+        "AppA", "proc1", "proc3",
+    },
+    ("Server2", "AppA"): {
+        "c4", "ag4", "proc4", "c10", "m1", "proc5", "c13", "ag1", "c5",
+        "AppA", "proc1",
+    },
+    ("proc3", "AppA"): {
+        "c7", "m1", "proc5", "c13", "ag1", "c5", "AppA", "proc1",
+    },
+    ("proc4", "AppA"): {
+        "c9", "m1", "proc5", "c13", "ag1", "c5", "AppA", "proc1",
+    },
+}
+
+
+@pytest.mark.parametrize("pair", sorted(PAPER_SETS), ids=lambda p: f"{p[0]}->{p[1]}")
+def test_know_minpath_matches_paper(knowledge, pair):
+    paths = knowledge.minpaths(*pair)
+    assert len(paths) == 1, "the paper reports a single minpath"
+    assert set(paths[0]) == PAPER_SETS[pair]
+
+
+def test_appb_sets_are_symmetric(knowledge):
+    """The paper only prints the AppA sets; AppB mirrors them through
+    ag2/c6/c15/c16."""
+    paths = knowledge.minpaths("Server1", "AppB")
+    assert len(paths) == 1
+    assert set(paths[0]) == {
+        "c3", "ag3", "c8", "m1", "proc5", "c16", "ag2", "c6",
+        "AppB", "proc2", "proc3",
+    }
+
+
+def test_proc3_to_appb_uses_direct_manager_watch(knowledge):
+    paths = knowledge.minpaths("proc3", "AppB")
+    assert paths == [
+        frozenset({"c7", "m1", "proc5", "c16", "ag2", "c6", "AppB", "proc2"})
+    ]
+
+
+def test_know_probability_with_paper_failure_probs(knowledge):
+    """P(knowServer1,AppA) with every task/processor at 0.1 failure and
+    perfectly reliable connectors: 0.9^7 over the seven components
+    {ag3, m1, ag1, AppA, proc1, proc3, proc5}."""
+    expr = knowledge.know_expr("Server1", "AppA")
+    probs = {}
+    for name in expr.variables():
+        probs[name] = 1.0 if name.startswith("c") and name[1:].isdigit() else 0.9
+    assert probability(expr, probs) == pytest.approx(0.9**7)
+
+
+def test_connector_failures_are_representable(knowledge):
+    """The know expressions retain connector variables, so network
+    failures are 'easily included' exactly as §7 claims."""
+    expr = knowledge.know_expr("Server1", "AppA")
+    assert "c3" in expr.variables()
+    probs = {name: 1.0 for name in expr.variables()}
+    probs["c3"] = 0.5
+    assert probability(expr, probs) == pytest.approx(0.5)

@@ -1,0 +1,79 @@
+"""JSON round-tripping of MAMA models."""
+
+import pytest
+
+from repro.errors import ModelError, SerializationError
+from repro.mama.serialize import mama_from_json, mama_to_json
+
+
+def test_round_trip_centralized(centralized):
+    restored = mama_from_json(mama_to_json(centralized))
+    assert set(restored.components) == set(centralized.components)
+    assert set(restored.connectors) == set(centralized.connectors)
+    for name, connector in centralized.connectors.items():
+        other = restored.connectors[name]
+        assert (other.kind, other.source, other.target) == (
+            connector.kind, connector.source, connector.target
+        )
+
+
+def test_round_trip_all_architectures(
+    centralized, distributed, hierarchical, network
+):
+    for model in (centralized, distributed, hierarchical, network):
+        restored = mama_from_json(mama_to_json(model))
+        assert set(restored.components) == set(model.components)
+
+
+def test_component_order_independence():
+    # Task components may precede their processor in the document.
+    document = """
+    {"name": "x",
+     "components": [
+       {"name": "app", "kind": "AT", "processor": "p"},
+       {"name": "ag", "kind": "AGT", "processor": "p"},
+       {"name": "p", "kind": "Proc"}
+     ],
+     "connectors": [
+       {"name": "w", "kind": "AW", "source": "app", "target": "ag"}
+     ]}
+    """
+    model = mama_from_json(document)
+    assert model.components["app"].processor == "p"
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(SerializationError, match="invalid JSON"):
+        mama_from_json("{oops")
+
+
+def test_unknown_component_kind_rejected():
+    document = '{"name": "x", "components": [{"name": "a", "kind": "XX"}], "connectors": []}'
+    with pytest.raises(SerializationError, match="unknown component kind"):
+        mama_from_json(document)
+
+
+def test_unknown_connector_kind_rejected():
+    document = """
+    {"name": "x",
+     "components": [{"name": "p", "kind": "Proc"},
+                    {"name": "m", "kind": "MT", "processor": "p"},
+                    {"name": "a", "kind": "AGT", "processor": "p"}],
+     "connectors": [{"name": "c", "kind": "ZZ", "source": "a", "target": "m"}]}
+    """
+    with pytest.raises(SerializationError, match="unknown connector kind"):
+        mama_from_json(document)
+
+
+def test_loaded_model_is_validated():
+    # Remote watch without processor watch must be rejected on load.
+    document = """
+    {"name": "x",
+     "components": [{"name": "p1", "kind": "Proc"},
+                    {"name": "p2", "kind": "Proc"},
+                    {"name": "a", "kind": "AGT", "processor": "p1"},
+                    {"name": "m", "kind": "MT", "processor": "p2"}],
+     "connectors": [{"name": "c", "kind": "SW", "source": "a", "target": "m"}]}
+    """
+    with pytest.raises(ModelError, match="remote-watch"):
+        mama_from_json(document)

@@ -1,0 +1,83 @@
+"""Whole-model MAMA validation: duplicates and the remote-watch rule."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mama import MAMAModel, validate_mama
+from repro.mama.validation import remote_watch_violations
+
+
+def base() -> MAMAModel:
+    m = MAMAModel()
+    m.add_processor("p1")
+    m.add_processor("p2")
+    m.add_application_task("app", processor="p1")
+    m.add_agent("agent", processor="p1")
+    m.add_manager("mgr", processor="p2")
+    return m
+
+
+def test_duplicate_connector_rejected():
+    m = base()
+    m.add_alive_watch("c1", monitored="app", monitor="agent")
+    m.add_alive_watch("c2", monitored="app", monitor="agent")
+    with pytest.raises(ModelError, match="duplicate connector"):
+        validate_mama(m)
+
+
+def test_local_watch_needs_no_processor_watch():
+    m = base()
+    m.add_alive_watch("c1", monitored="app", monitor="agent")
+    validate_mama(m)  # agent and app share p1
+
+
+def test_remote_watch_without_processor_watch_rejected():
+    m = base()
+    m.add_status_watch("c1", monitored="agent", monitor="mgr")
+    with pytest.raises(ModelError, match="remote-watch rule"):
+        validate_mama(m)
+
+
+def test_remote_watch_with_processor_watch_passes():
+    m = base()
+    m.add_status_watch("c1", monitored="agent", monitor="mgr")
+    m.add_alive_watch("c2", monitored="p1", monitor="mgr")
+    validate_mama(m)
+
+
+def test_remote_watch_rule_can_be_disabled():
+    m = base()
+    m.add_status_watch("c1", monitored="agent", monitor="mgr")
+    validate_mama(m, enforce_remote_watch=False)
+
+
+def test_remote_watch_violations_listing():
+    m = base()
+    m.add_status_watch("c1", monitored="agent", monitor="mgr")
+    assert remote_watch_violations(m) == [("mgr", "agent")]
+
+
+def test_paper_architectures_validate(
+    centralized, distributed, hierarchical, network
+):
+    for model in (centralized, distributed, hierarchical, network):
+        validate_mama(model)
+
+
+def test_knowledge_graph_dot_renders(centralized):
+    from repro.mama.dot import knowledge_graph_to_dot
+    from repro.mama.knowledge import KnowledgeGraph
+
+    dot = knowledge_graph_to_dot(KnowledgeGraph(centralized))
+    assert dot.startswith("digraph knowledge")
+    assert "Server1.in" in dot and "Server1.out" in dot
+    assert "c3; AW" in dot
+
+
+def test_mama_dot_renders(centralized):
+    from repro.mama.dot import mama_to_dot
+
+    dot = mama_to_dot(centralized)
+    assert "digraph mama" in dot
+    assert "m1:MT" in dot
+    assert "style=dashed" in dot  # notify connectors

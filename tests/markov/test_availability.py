@@ -1,0 +1,85 @@
+"""Failure/repair component models and the bridge to static analysis."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.errors import ModelError
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.markov.availability import (
+    ComponentAvailability,
+    configuration_probabilities_from_rates,
+    independent_components_ctmc,
+    steady_state_unavailability,
+)
+
+
+class TestClosedForms:
+    def test_unavailability(self):
+        assert steady_state_unavailability(0.1, 0.9) == pytest.approx(0.1)
+
+    def test_zero_failure_rate(self):
+        assert steady_state_unavailability(0.0, 1.0) == 0.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ModelError):
+            steady_state_unavailability(-1.0, 1.0)
+        with pytest.raises(ModelError):
+            steady_state_unavailability(1.0, 0.0)
+
+    def test_from_probability_round_trips(self):
+        for p in (0.01, 0.1, 0.5, 0.9):
+            component = ComponentAvailability.from_probability(p)
+            assert component.unavailability == pytest.approx(p)
+            assert component.availability == pytest.approx(1 - p)
+
+    def test_from_probability_bounds(self):
+        with pytest.raises(ModelError):
+            ComponentAvailability.from_probability(1.0)
+
+
+class TestJointChain:
+    def test_marginals_are_product_form(self):
+        components = {
+            "a": ComponentAvailability.from_probability(0.1),
+            "b": ComponentAvailability.from_probability(0.3),
+        }
+        pi = independent_components_ctmc(components).steady_state()
+        p_a_down = sum(p for down, p in pi.items() if "a" in down)
+        p_b_down = sum(p for down, p in pi.items() if "b" in down)
+        assert p_a_down == pytest.approx(0.1)
+        assert p_b_down == pytest.approx(0.3)
+
+    def test_joint_probability_factorises(self):
+        components = {
+            "a": ComponentAvailability.from_probability(0.2),
+            "b": ComponentAvailability.from_probability(0.4),
+        }
+        pi = independent_components_ctmc(components).steady_state()
+        assert pi[frozenset({"a", "b"})] == pytest.approx(0.2 * 0.4)
+        assert pi[frozenset()] == pytest.approx(0.8 * 0.6)
+
+    def test_size_guard(self):
+        components = {
+            f"x{i}": ComponentAvailability.from_probability(0.1)
+            for i in range(25)
+        }
+        with pytest.raises(ModelError, match="too large"):
+            independent_components_ctmc(components)
+
+
+class TestBridgeToCore:
+    def test_rates_reproduce_static_analysis(self, figure1):
+        probs = figure1_failure_probs()
+        rates = {
+            name: ComponentAvailability.from_probability(p)
+            for name, p in probs.items()
+        }
+        from_rates = configuration_probabilities_from_rates(
+            figure1, None, rates
+        )
+        static = PerformabilityAnalyzer(
+            figure1, None, failure_probs=probs
+        ).configuration_probabilities()
+        assert set(from_rates) == set(static)
+        for configuration, probability in static.items():
+            assert from_rates[configuration] == pytest.approx(probability)

@@ -1,0 +1,106 @@
+"""CTMC construction, steady state and rewards."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.markov import CTMC
+
+
+def two_state(lam=0.1, mu=1.0):
+    chain = CTMC()
+    chain.add_transition("up", "down", rate=lam)
+    chain.add_transition("down", "up", rate=mu)
+    return chain
+
+
+class TestConstruction:
+    def test_negative_rate_rejected(self):
+        chain = CTMC()
+        with pytest.raises(SolverError, match="rate"):
+            chain.add_transition("a", "b", rate=-1)
+
+    def test_self_transition_rejected(self):
+        chain = CTMC()
+        with pytest.raises(SolverError, match="meaningless"):
+            chain.add_transition("a", "a", rate=1)
+
+    def test_zero_rate_registers_states_only(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", rate=0)
+        assert set(chain.states) == {"a", "b"}
+        assert np.allclose(chain.generator(), 0.0)
+
+    def test_rates_accumulate(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", rate=1)
+        chain.add_transition("a", "b", rate=2)
+        q = chain.generator()
+        assert q[0, 1] == pytest.approx(3.0)
+
+    def test_generator_rows_sum_to_zero(self):
+        q = two_state().generator()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+
+class TestSteadyState:
+    def test_two_state_closed_form(self):
+        pi = two_state(0.1, 1.0).steady_state()
+        assert pi["down"] == pytest.approx(0.1 / 1.1)
+        assert pi["up"] == pytest.approx(1.0 / 1.1)
+
+    def test_distribution_sums_to_one(self):
+        chain = CTMC()
+        chain.add_transition("a", "b", rate=1.0)
+        chain.add_transition("b", "c", rate=2.0)
+        chain.add_transition("c", "a", rate=3.0)
+        pi = chain.steady_state()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_single_state(self):
+        chain = CTMC()
+        chain.add_state("only")
+        assert chain.steady_state() == {"only": 1.0}
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(SolverError, match="no states"):
+            CTMC().steady_state()
+
+    def test_birth_death_detailed_balance(self):
+        chain = CTMC()
+        for i in range(4):
+            chain.add_transition(i, i + 1, rate=2.0)
+            chain.add_transition(i + 1, i, rate=3.0)
+        pi = chain.steady_state()
+        for i in range(4):
+            assert pi[i] * 2.0 == pytest.approx(pi[i + 1] * 3.0)
+
+
+class TestRewards:
+    def test_reward_rate(self):
+        chain = two_state()
+        value = chain.expected_reward_rate({"up": 10.0})
+        assert value == pytest.approx(10.0 / 1.1)
+
+    def test_missing_states_earn_zero(self):
+        chain = two_state()
+        assert chain.expected_reward_rate({}) == 0.0
+
+    def test_explicit_distribution(self):
+        chain = two_state()
+        value = chain.expected_reward_rate(
+            {"up": 4.0}, {"up": 0.5, "down": 0.5}
+        )
+        assert value == pytest.approx(2.0)
+
+
+class TestInitialVector:
+    def test_unknown_state_rejected(self):
+        chain = two_state()
+        with pytest.raises(SolverError, match="unknown state"):
+            chain.initial_vector({"ghost": 1.0})
+
+    def test_unnormalised_rejected(self):
+        chain = two_state()
+        with pytest.raises(SolverError, match="sums to"):
+            chain.initial_vector({"up": 0.4})

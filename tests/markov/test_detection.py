@@ -1,0 +1,80 @@
+"""The §7 detection-delay Markov-reward extension."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.errors import ModelError
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.markov.availability import ComponentAvailability
+from repro.markov.detection import detection_delay_model
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    from repro.experiments.figure1 import figure1_system
+
+    ftlqn = figure1_system()
+    probs = figure1_failure_probs()
+    analyzer = PerformabilityAnalyzer(ftlqn, None, failure_probs=probs)
+    result = analyzer.solve()
+    group_rewards = {
+        record.configuration: dict(record.throughputs)
+        for record in result.records
+        if record.configuration is not None
+    }
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in probs.items()
+    }
+    return ftlqn, rates, group_rewards, result.expected_reward
+
+
+def test_fast_detection_approaches_instantaneous(inputs):
+    ftlqn, rates, rewards, expected = inputs
+    result = detection_delay_model(
+        ftlqn, rates, rewards, detection_rate=10_000.0
+    )
+    assert result.expected_reward == pytest.approx(
+        result.instantaneous_reward, abs=1e-3
+    )
+    assert result.instantaneous_reward == pytest.approx(expected, abs=1e-6)
+
+
+def test_reward_monotone_in_detection_rate(inputs):
+    ftlqn, rates, rewards, _ = inputs
+    values = [
+        detection_delay_model(
+            ftlqn, rates, rewards, detection_rate=rate
+        ).expected_reward
+        for rate in (0.1, 1.0, 10.0, 100.0)
+    ]
+    assert values == sorted(values)
+
+
+def test_stale_probability_monotone_in_delay(inputs):
+    ftlqn, rates, rewards, _ = inputs
+    fast = detection_delay_model(ftlqn, rates, rewards, detection_rate=100.0)
+    slow = detection_delay_model(ftlqn, rates, rewards, detection_rate=0.5)
+    assert slow.stale_probability > fast.stale_probability
+
+
+def test_invalid_rate_rejected(inputs):
+    ftlqn, rates, rewards, _ = inputs
+    with pytest.raises(ModelError, match="detection_rate"):
+        detection_delay_model(ftlqn, rates, rewards, detection_rate=0.0)
+
+
+def test_unknown_component_rejected(inputs):
+    ftlqn, rates, rewards, _ = inputs
+    bad = dict(rates)
+    bad["ghost"] = ComponentAvailability.from_probability(0.1)
+    with pytest.raises(ModelError, match="unknown components"):
+        detection_delay_model(ftlqn, bad, rewards, detection_rate=1.0)
+
+
+def test_state_count_reported(inputs):
+    ftlqn, rates, rewards, _ = inputs
+    result = detection_delay_model(ftlqn, rates, rewards, detection_rate=1.0)
+    # 2^8 down-sets, each paired with at least its own target config.
+    assert result.state_count >= 256
+    assert result.state_count == len(result.chain)

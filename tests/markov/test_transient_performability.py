@@ -1,0 +1,108 @@
+"""Transient performability: product-form time-dependent analysis."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer
+from repro.errors import ModelError
+from repro.experiments.architectures import centralized_mama
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+from repro.markov import (
+    CTMC,
+    ComponentAvailability,
+    TransientPerformability,
+    transient_unavailability,
+)
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in figure1_failure_probs().items()
+    }
+
+
+@pytest.fixture(scope="module")
+def curve(rates):
+    return TransientPerformability(figure1_system(), None, rates)
+
+
+class TestComponentTransient:
+    def test_zero_time_is_up(self):
+        a = ComponentAvailability(failure_rate=0.2, repair_rate=1.0)
+        assert transient_unavailability(a, 0.0) == 0.0
+
+    def test_long_time_is_steady_state(self):
+        a = ComponentAvailability(failure_rate=0.2, repair_rate=1.0)
+        assert transient_unavailability(a, 1e6) == pytest.approx(
+            a.unavailability
+        )
+
+    def test_matches_two_state_ctmc(self):
+        a = ComponentAvailability(failure_rate=0.3, repair_rate=1.2)
+        chain = CTMC()
+        chain.add_transition("up", "down", rate=a.failure_rate)
+        chain.add_transition("down", "up", rate=a.repair_rate)
+        for t in (0.1, 0.7, 3.0):
+            reference = chain.transient({"up": 1.0}, t)["down"]
+            assert transient_unavailability(a, t) == pytest.approx(
+                reference, abs=1e-12
+            )
+
+    def test_negative_time_rejected(self):
+        a = ComponentAvailability(failure_rate=0.1, repair_rate=1.0)
+        with pytest.raises(ModelError, match=">= 0"):
+            transient_unavailability(a, -1.0)
+
+    def test_perfect_component_stays_up(self):
+        a = ComponentAvailability(failure_rate=0.0, repair_rate=1.0)
+        assert transient_unavailability(a, 100.0) == 0.0
+
+
+class TestSystemCurve:
+    def test_clean_start(self, curve):
+        point = curve.at(0.0)
+        assert point.failed_probability == 0.0
+        # All-up: single configuration, both groups on Server1.
+        assert len(point.configuration_probabilities) == 1
+
+    def test_limit_equals_static_analysis(self, curve):
+        limit = curve.steady_state()
+        static = PerformabilityAnalyzer(
+            figure1_system(), None, failure_probs=figure1_failure_probs()
+        ).solve()
+        assert limit.failed_probability == pytest.approx(
+            static.failed_probability, abs=1e-9
+        )
+        assert limit.expected_reward == pytest.approx(
+            static.expected_reward, abs=1e-6
+        )
+
+    def test_failure_probability_increases_from_clean_start(self, curve):
+        times = [0.0, 0.2, 0.5, 1.0, 3.0, 10.0]
+        failures = [p.failed_probability for p in curve.evaluate(times)]
+        assert failures == sorted(failures)
+
+    def test_reward_decreases_from_clean_start(self, curve):
+        times = [0.0, 0.5, 2.0, 20.0]
+        rewards = [p.expected_reward for p in curve.evaluate(times)]
+        assert rewards == sorted(rewards, reverse=True)
+
+    def test_with_management_architecture(self):
+        mama = centralized_mama()
+        rates = {
+            name: ComponentAvailability.from_probability(p)
+            for name, p in figure1_failure_probs(mama).items()
+        }
+        curve = TransientPerformability(figure1_system(), mama, rates)
+        start = curve.at(0.0)
+        later = curve.at(5.0)
+        assert start.failed_probability == 0.0
+        assert later.failed_probability > 0.1
+        static = PerformabilityAnalyzer(
+            figure1_system(), mama,
+            failure_probs=figure1_failure_probs(mama),
+        ).solve()
+        assert curve.steady_state().failed_probability == pytest.approx(
+            static.failed_probability, abs=1e-9
+        )

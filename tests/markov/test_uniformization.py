@@ -1,0 +1,65 @@
+"""Transient solution: uniformization vs closed forms and expm."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import SolverError
+from repro.markov import CTMC, transient_distribution
+
+
+def two_state(lam=0.1, mu=1.0):
+    chain = CTMC()
+    chain.add_transition("up", "down", rate=lam)
+    chain.add_transition("down", "up", rate=mu)
+    return chain
+
+
+def test_matches_two_state_closed_form():
+    lam, mu, t = 0.3, 1.2, 1.7
+    chain = two_state(lam, mu)
+    dist = transient_distribution(chain, {"up": 1.0}, t)
+    expected_down = lam / (lam + mu) * (1 - math.exp(-(lam + mu) * t))
+    assert dist["down"] == pytest.approx(expected_down, abs=1e-10)
+
+
+def test_matches_scipy_expm():
+    chain = CTMC()
+    chain.add_transition("a", "b", rate=0.7)
+    chain.add_transition("b", "c", rate=1.3)
+    chain.add_transition("c", "a", rate=0.2)
+    chain.add_transition("b", "a", rate=0.4)
+    t = 2.5
+    p0 = chain.initial_vector({"a": 1.0})
+    reference = p0 @ scipy.linalg.expm(chain.generator() * t)
+    dist = transient_distribution(chain, {"a": 1.0}, t)
+    for index, state in enumerate(chain.states):
+        assert dist[state] == pytest.approx(reference[index], abs=1e-9)
+
+
+def test_time_zero_returns_initial():
+    chain = two_state()
+    dist = transient_distribution(chain, {"down": 1.0}, 0.0)
+    assert dist == {"up": 0.0, "down": 1.0}
+
+
+def test_long_horizon_approaches_steady_state():
+    chain = two_state()
+    dist = transient_distribution(chain, {"up": 1.0}, 200.0)
+    steady = chain.steady_state()
+    for state in chain.states:
+        assert dist[state] == pytest.approx(steady[state], abs=1e-8)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SolverError, match=">= 0"):
+        transient_distribution(two_state(), {"up": 1.0}, -1.0)
+
+
+def test_distribution_remains_normalised():
+    chain = two_state()
+    for t in (0.1, 1.0, 10.0, 50.0):
+        dist = transient_distribution(chain, {"up": 1.0}, t)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-12)

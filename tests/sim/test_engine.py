@@ -1,0 +1,83 @@
+"""Event-calendar core."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(3.0, lambda: log.append("c"))
+    sim.schedule(1.0, lambda: log.append("a"))
+    sim.schedule(2.0, lambda: log.append("b"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_ties_break_fifo():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append(1))
+    sim.schedule(1.0, lambda: log.append(2))
+    sim.run()
+    assert log == [1, 2]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, lambda: log.append("early"))
+    sim.schedule(10.0, lambda: log.append("late"))
+    sim.run(until=5.0)
+    assert log == ["early"]
+    assert sim.now == 5.0
+    sim.run()
+    assert log == ["early", "late"]
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    log = []
+    handle = sim.schedule(1.0, lambda: log.append("x"))
+    sim.cancel(handle)
+    sim.run()
+    assert log == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="past"):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    log = []
+
+    def first():
+        log.append("first")
+        sim.schedule(1.0, lambda: log.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert log == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_pending_count():
+    sim = Simulator()
+    a = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_count() == 2
+    sim.cancel(a)
+    assert sim.pending_count() == 1

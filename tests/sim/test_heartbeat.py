@@ -1,0 +1,69 @@
+"""Heartbeat detection-latency model: simulation vs closed form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.sim.heartbeat import (
+    HeartbeatConfig,
+    detection_rate,
+    mean_detection_latency,
+    simulate_detection_latency,
+)
+
+
+class TestConfig:
+    def test_invalid_period(self):
+        with pytest.raises(ModelError, match="period"):
+            HeartbeatConfig(period=0.0)
+
+    def test_invalid_misses(self):
+        with pytest.raises(ModelError, match="misses"):
+            HeartbeatConfig(period=1.0, misses=0)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ModelError, match="hops"):
+            HeartbeatConfig(period=1.0, hops=-1)
+
+
+class TestClosedForm:
+    def test_mean(self):
+        config = HeartbeatConfig(period=2.0, misses=3, hops=2, hop_delay=0.1)
+        assert mean_detection_latency(config) == pytest.approx(
+            2.5 * 2.0 + 0.2
+        )
+
+    def test_rate_is_reciprocal(self):
+        config = HeartbeatConfig(period=1.0, misses=2)
+        assert detection_rate(config) == pytest.approx(1 / 1.5)
+
+    def test_shorter_period_detects_faster(self):
+        slow = HeartbeatConfig(period=5.0)
+        fast = HeartbeatConfig(period=0.5)
+        assert mean_detection_latency(fast) < mean_detection_latency(slow)
+
+
+class TestSimulation:
+    def test_matches_closed_form_mean(self):
+        config = HeartbeatConfig(period=1.0, misses=2, hops=3, hop_delay=0.05)
+        latencies = simulate_detection_latency(config, samples=4000, seed=3)
+        assert latencies.mean() == pytest.approx(
+            mean_detection_latency(config), rel=0.02
+        )
+
+    def test_support_bounds(self):
+        # Latency lies in [(misses-1)*P, misses*P] plus propagation.
+        config = HeartbeatConfig(period=2.0, misses=2, hops=1, hop_delay=0.1)
+        latencies = simulate_detection_latency(config, samples=500, seed=5)
+        assert np.all(latencies >= 2.0 + 0.1 - 1e-9)
+        assert np.all(latencies <= 4.0 + 0.1 + 1e-9)
+
+    def test_uniform_phase_spread(self):
+        config = HeartbeatConfig(period=1.0, misses=1)
+        latencies = simulate_detection_latency(config, samples=4000, seed=7)
+        # U ~ Uniform(0,1): variance of latency = P^2/12.
+        assert latencies.var() == pytest.approx(1 / 12, rel=0.1)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ModelError, match="samples"):
+            simulate_detection_latency(HeartbeatConfig(period=1.0), samples=0)

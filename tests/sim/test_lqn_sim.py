@@ -1,0 +1,122 @@
+"""LQN simulator semantics and cross-validation against the solver."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.lqn import LQNCall, LQNModel, solve_lqn
+from repro.sim.lqn_sim import simulate_lqn
+
+
+def tandem(think=1.0, demand=0.1, clients=4):
+    m = LQNModel()
+    m.add_processor("pc")
+    m.add_processor("ps")
+    m.add_task("clients", processor="pc", multiplicity=clients,
+               is_reference=True, think_time=think)
+    m.add_task("server", processor="ps")
+    m.add_entry("serve", task="server", demand=demand)
+    m.add_entry("go", task="clients", calls=[LQNCall("serve")])
+    return m
+
+
+class TestSemantics:
+    def test_deterministic_single_client_exact(self):
+        # One client, deterministic times: cycle = think + demand exactly.
+        model = tandem(think=1.0, demand=0.5, clients=1)
+        result = simulate_lqn(
+            model, horizon=3000, deterministic=True, warmup_fraction=0.1
+        )
+        assert result.task_throughputs["clients"] == pytest.approx(
+            1.0 / 1.5, rel=0.01
+        )
+
+    def test_single_thread_server_is_serial(self):
+        # Zero think, many clients, deterministic 1 s service: the
+        # single-threaded server caps throughput at exactly 1/s.
+        model = tandem(think=0.0, demand=1.0, clients=8)
+        result = simulate_lqn(
+            model, horizon=2000, deterministic=True, warmup_fraction=0.1
+        )
+        assert result.task_throughputs["clients"] == pytest.approx(1.0, rel=0.01)
+
+    def test_entry_and_task_throughputs_consistent(self):
+        result = simulate_lqn(tandem(), horizon=3000, seed=5)
+        assert result.task_throughputs["server"] == pytest.approx(
+            result.entry_throughputs["serve"], rel=1e-9
+        )
+
+    def test_processor_utilization_tracks_throughput(self):
+        model = tandem(think=1.0, demand=0.2, clients=2)
+        result = simulate_lqn(model, horizon=5000, seed=2)
+        expected = result.entry_throughputs["serve"] * 0.2
+        assert result.processor_utilizations["ps"] == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_fractional_mean_calls(self):
+        m = LQNModel()
+        m.add_processor("pc")
+        m.add_processor("ps")
+        m.add_task("clients", processor="pc", multiplicity=1,
+                   is_reference=True, think_time=1.0)
+        m.add_task("server", processor="ps")
+        m.add_entry("serve", task="server", demand=0.0)
+        m.add_entry("go", task="clients",
+                    calls=[LQNCall("serve", mean_calls=1.5)])
+        result = simulate_lqn(m, horizon=8000, seed=3)
+        ratio = (
+            result.entry_throughputs["serve"]
+            / result.task_throughputs["clients"]
+        )
+        assert ratio == pytest.approx(1.5, rel=0.05)
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ModelError, match="warmup_fraction"):
+            simulate_lqn(tandem(), warmup_fraction=1.0)
+
+    def test_reproducible_given_seed(self):
+        a = simulate_lqn(tandem(), horizon=1000, seed=11)
+        b = simulate_lqn(tandem(), horizon=1000, seed=11)
+        assert a.task_throughputs == b.task_throughputs
+
+
+class TestAgainstSolver:
+    def test_machine_repairman(self):
+        model = tandem(think=2.0, demand=0.5, clients=5)
+        sim = simulate_lqn(model, horizon=20_000, seed=9)
+        ana = solve_lqn(model)
+        assert sim.task_throughputs["clients"] == pytest.approx(
+            ana.task_throughputs["clients"], rel=0.05
+        )
+
+    def test_paper_c5_configuration(self):
+        m = LQNModel()
+        for p in ("procA", "procB", "proc1", "proc2", "proc3"):
+            m.add_processor(p)
+        m.add_task("UserA", processor="procA", multiplicity=50,
+                   is_reference=True)
+        m.add_task("UserB", processor="procB", multiplicity=100,
+                   is_reference=True)
+        m.add_task("AppA", processor="proc1")
+        m.add_task("AppB", processor="proc2")
+        m.add_task("Server1", processor="proc3")
+        m.add_entry("eA-1", task="Server1", demand=1.0)
+        m.add_entry("eB-1", task="Server1", demand=0.5)
+        m.add_entry("eA", task="AppA", demand=1.0, calls=[LQNCall("eA-1")])
+        m.add_entry("eB", task="AppB", demand=0.5, calls=[LQNCall("eB-1")])
+        m.add_entry("userA", task="UserA", calls=[LQNCall("eA")])
+        m.add_entry("userB", task="UserB", calls=[LQNCall("eB")])
+
+        sim = simulate_lqn(m, horizon=20_000, seed=4)
+        ana = solve_lqn(m)
+        # Simulation is the ground truth; the layered AMVA decomposition
+        # is expected to track it within ~15% on this mixed-service FCFS
+        # case (both sit near the paper's LQNS values 0.44 / 0.67).
+        assert ana.task_throughputs["UserA"] == pytest.approx(
+            sim.task_throughputs["UserA"], rel=0.15
+        )
+        assert ana.task_throughputs["UserB"] == pytest.approx(
+            sim.task_throughputs["UserB"], rel=0.15
+        )
+        assert sim.task_throughputs["UserA"] == pytest.approx(0.44, abs=0.03)
+        assert sim.task_throughputs["UserB"] == pytest.approx(0.67, abs=0.05)

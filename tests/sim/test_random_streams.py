@@ -1,0 +1,40 @@
+"""Reproducible named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.random_streams import RandomStreams
+
+
+def test_same_name_returns_same_generator():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_reproducible_across_instances():
+    first = RandomStreams(seed=42).stream("svc").random(5)
+    second = RandomStreams(seed=42).stream("svc").random(5)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(seed=42)
+    a = streams.stream("a").random(5)
+    b = streams.stream("b").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_give_different_sequences():
+    a = RandomStreams(seed=1).stream("x").random(5)
+    b = RandomStreams(seed=2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_exponential_zero_mean_is_zero():
+    assert RandomStreams(seed=0).exponential("x", 0.0) == 0.0
+
+
+def test_exponential_mean_roughly_respected():
+    streams = RandomStreams(seed=7)
+    draws = [streams.exponential("x", 2.0) for _ in range(4000)]
+    assert np.mean(draws) == pytest.approx(2.0, rel=0.1)

@@ -1,0 +1,58 @@
+"""Exception hierarchy and top-level package surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConvergenceError,
+    ModelError,
+    ReproError,
+    SerializationError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for kind in (ModelError, SolverError, SerializationError):
+            assert issubclass(kind, ReproError)
+        assert issubclass(ConvergenceError, SolverError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        error = ConvergenceError("no fixed point", iterations=42, residual=0.5)
+        assert error.iterations == 42
+        assert error.residual == 0.5
+        assert "no fixed point" in str(error)
+
+    def test_catching_base_class_works(self):
+        with pytest.raises(ReproError):
+            raise ModelError("x")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_analyzer_reachable_from_top_level(self):
+        assert repro.PerformabilityAnalyzer is not None
+
+    def test_subpackage_alls_resolve(self):
+        import repro.booleans
+        import repro.core
+        import repro.experiments
+        import repro.ftlqn
+        import repro.lqn
+        import repro.mama
+        import repro.markov
+        import repro.sim
+
+        for module in (
+            repro.booleans, repro.core, repro.experiments, repro.ftlqn,
+            repro.lqn, repro.mama, repro.markov, repro.sim,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
