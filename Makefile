@@ -1,0 +1,15 @@
+# Developer conveniences; the test suite needs src/ on PYTHONPATH.
+PY := PYTHONPATH=src python
+
+.PHONY: test bench docs-check
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Verify that every ```python block in docs/*.md and README.md parses,
+# so guide snippets cannot rot into syntax errors.
+docs-check:
+	$(PY) -m pytest tests/test_docs_snippets.py -q

@@ -37,7 +37,10 @@ from repro.core import (
     ConfigurationRecord,
     PerformabilityAnalyzer,
     PerformabilityResult,
+    ProgressEvent,
+    ScanCounters,
     configuration_to_lqn,
+    console_progress,
     total_reference_throughput,
     weighted_throughput_reward,
 )
@@ -64,12 +67,15 @@ __all__ = [
     "ModelError",
     "PerformabilityAnalyzer",
     "PerformabilityResult",
+    "ProgressEvent",
     "ReproError",
+    "ScanCounters",
     "SerializationError",
     "SolverError",
     "__version__",
     "build_fault_graph",
     "configuration_to_lqn",
+    "console_progress",
     "solve_lqn",
     "total_reference_throughput",
     "weighted_throughput_reward",

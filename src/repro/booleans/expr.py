@@ -111,6 +111,12 @@ class _Constant(Expr):
     def __hash__(self) -> int:
         return hash(("const", self._value))
 
+    def __reduce__(self):
+        # Pickle by reference to the module-level singleton so that the
+        # identity fast paths (``expr is TRUE``) survive crossing a
+        # process boundary.
+        return "TRUE" if self._value else "FALSE"
+
 
 TRUE = _Constant(True)
 FALSE = _Constant(False)

@@ -34,6 +34,7 @@ from pathlib import Path
 from repro.core import (
     CommonCause,
     PerformabilityAnalyzer,
+    console_progress,
     importance_analysis,
     weighted_throughput_reward,
 )
@@ -104,15 +105,30 @@ def _cmd_analyze(args) -> int:
         ftlqn, mama, failure_probs=probs, reward=reward,
         common_causes=causes,
     )
-    result = analyzer.solve(method=args.method)
+    progress = console_progress(sys.stderr) if args.progress else None
+    result = analyzer.solve(
+        method=args.method, jobs=args.jobs, progress=progress
+    )
     print(f"state space: {result.state_count} states "
-          f"({result.method} evaluation)")
+          f"({result.method} evaluation"
+          + (f", {result.jobs} jobs" if result.jobs != 1 else "")
+          + ")")
     print(f"{'probability':>12}  {'reward':>8}  configuration")
     for record in result.records:
         print(f"{record.probability:12.6f}  {record.reward:8.4f}  "
               f"{record.label()}")
     print(f"expected steady-state reward rate: "
           f"{result.expected_reward:.6f}")
+    if args.progress and result.counters is not None:
+        c = result.counters
+        print(
+            f"scan: {c.states_visited} states in {c.scan_seconds:.2f}s "
+            f"({c.fault_graph_evaluations} fault-graph evaluations, "
+            f"{c.knowledge_cache_hits} knowledge-cache hits); "
+            f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
+            f"in {c.lqn_seconds:.2f}s",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -182,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Coverage-aware performability of layered systems "
         "(Das & Woodside, DSN 2002 reproduction).",
+        epilog="Scaling: `analyze --jobs N` parallelises the "
+        "state-space scan over N worker processes (0 = all cores), and "
+        "`analyze --progress` streams live progress and cost counters "
+        "to stderr.  See docs/performance_guide.md for choosing "
+        "--method and --jobs.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -198,11 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(handler=_cmd_validate)
 
     analyze = commands.add_parser(
-        "analyze", help="run the performability analysis"
+        "analyze", help="run the performability analysis",
+        epilog="--jobs splits the application-state scan over worker "
+        "processes; results are exact and independent of N.  --progress "
+        "renders scan/lqn phase progress on stderr and prints the cost "
+        "counters (states visited, cache hits, per-phase seconds) "
+        "afterwards.  docs/performance_guide.md discusses when "
+        "enumeration beats factored and how --jobs scales with cores.",
     )
     add_model_args(analyze)
     analyze.add_argument(
         "--method", choices=("factored", "enumeration"), default="factored"
+    )
+    analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the state-space scan "
+        "(default 1 = sequential; 0 = all cores)",
+    )
+    analyze.add_argument(
+        "--progress", action="store_true",
+        help="stream scan/LQN progress and cost counters to stderr",
     )
     analyze.add_argument(
         "--weights",

@@ -19,6 +19,13 @@
 from repro.core.dependency import CommonCause
 from repro.core.importance import ImportanceRecord, importance_analysis
 from repro.core.performability import PerformabilityAnalyzer
+from repro.core.progress import (
+    ProgressCallback,
+    ProgressEvent,
+    ProgressReporter,
+    ScanCounters,
+    console_progress,
+)
 from repro.core.results import ConfigurationRecord, PerformabilityResult
 from repro.core.rewards import (
     total_reference_throughput,
@@ -32,7 +39,12 @@ __all__ = [
     "ImportanceRecord",
     "PerformabilityAnalyzer",
     "PerformabilityResult",
+    "ProgressCallback",
+    "ProgressEvent",
+    "ProgressReporter",
+    "ScanCounters",
     "configuration_to_lqn",
+    "console_progress",
     "group_support",
     "importance_analysis",
     "total_reference_throughput",

@@ -12,6 +12,7 @@ expected reward rate = Σ R_i · Prob(C_i) (§5 step 6)
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Mapping
 
 from repro.booleans.expr import Expr, Var, all_of
@@ -20,8 +21,14 @@ from repro.core.dependency import CommonCause
 from repro.core.enumeration import (
     StateSpaceProblem,
     enumerate_configurations,
+    resolve_jobs,
 )
 from repro.core.factored import factored_configurations
+from repro.core.progress import (
+    ProgressCallback,
+    ProgressReporter,
+    ScanCounters,
+)
 from repro.core.results import ConfigurationRecord, PerformabilityResult
 from repro.core.rewards import RewardFunction, weighted_throughput_reward
 from repro.errors import ModelError
@@ -273,18 +280,31 @@ class PerformabilityAnalyzer:
     # ------------------------------------------------------------------
 
     def configuration_probabilities(
-        self, *, method: str = "factored"
+        self,
+        *,
+        method: str = "factored",
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
+        counters: ScanCounters | None = None,
     ) -> dict[frozenset[str] | None, float]:
         """Step 4: distinct configurations and their probabilities.
 
         ``method`` is ``"factored"`` (default; exact, avoids
         enumerating management states) or ``"enumeration"`` (the
-        paper's literal 2^N scan).
+        paper's literal 2^N scan).  ``jobs`` sets the number of worker
+        processes for the application-state scan (``1`` = sequential,
+        bit-for-bit the historical behaviour; ``0`` = all cores);
+        ``progress`` receives :class:`~repro.core.progress.ProgressEvent`
+        notifications; ``counters`` collects scan statistics.
         """
         if method == "enumeration":
-            return enumerate_configurations(self._problem)
+            return enumerate_configurations(
+                self._problem, jobs=jobs, progress=progress, counters=counters
+            )
         if method == "factored":
-            return factored_configurations(self._problem)
+            return factored_configurations(
+                self._problem, jobs=jobs, progress=progress, counters=counters
+            )
         raise ValueError(f"unknown method {method!r}")
 
     def performance_of(self, configuration: frozenset[str]) -> LQNResults:
@@ -296,14 +316,37 @@ class PerformabilityAnalyzer:
             self._lqn_cache[configuration] = cached
         return cached
 
-    def solve(self, *, method: str = "factored") -> PerformabilityResult:
-        """Run the full §5 algorithm and return the result."""
-        probabilities = self.configuration_probabilities(method=method)
+    def solve(
+        self,
+        *,
+        method: str = "factored",
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
+    ) -> PerformabilityResult:
+        """Run the full §5 algorithm and return the result.
+
+        ``jobs`` and ``progress`` are forwarded to the state-space scan
+        (see :meth:`configuration_probabilities`); the per-configuration
+        LQN phase additionally reports progress under phase ``"lqn"``.
+        The returned result carries the filled
+        :class:`~repro.core.progress.ScanCounters` as ``counters`` and
+        the resolved worker count as ``jobs``.
+        """
+        jobs = resolve_jobs(jobs)
+        counters = ScanCounters()
+        reporter = ProgressReporter(progress)
+        probabilities = self.configuration_probabilities(
+            method=method, jobs=jobs, progress=progress, counters=counters
+        )
 
         records: list[ConfigurationRecord] = []
         expected = 0.0
         reference_names = [t.name for t in self._ftlqn.reference_tasks()]
+        lqn_started = time.perf_counter()
+        solved = 0
         for configuration, probability in probabilities.items():
+            solved += 1
+            reporter.emit("lqn", solved - 1, len(probabilities), counters)
             if configuration is None:
                 records.append(
                     ConfigurationRecord(
@@ -313,6 +356,10 @@ class PerformabilityAnalyzer:
                     )
                 )
                 continue
+            if configuration in self._lqn_cache:
+                counters.lqn_cache_hits += 1
+            else:
+                counters.lqn_solves += 1
             results = self.performance_of(configuration)
             reward = self._reward(configuration, results)
             if not math.isfinite(reward):
@@ -334,6 +381,11 @@ class PerformabilityAnalyzer:
             )
             expected += probability * reward
 
+        counters.lqn_seconds += time.perf_counter() - lqn_started
+        reporter.emit(
+            "lqn", len(probabilities), len(probabilities), counters,
+            force=True,
+        )
         records.sort(
             key=lambda r: (r.is_failed, -r.probability, r.label())
         )
@@ -342,4 +394,6 @@ class PerformabilityAnalyzer:
             expected_reward=expected,
             state_count=self._problem.state_count,
             method=method,
+            jobs=jobs,
+            counters=counters,
         )

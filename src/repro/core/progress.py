@@ -1,0 +1,185 @@
+"""Progress and cost instrumentation for the state-space engine.
+
+The evaluators in :mod:`repro.core.enumeration` and
+:mod:`repro.core.factored` can scan hundreds of thousands of states;
+:class:`PerformabilityAnalyzer.solve` then runs one LQN solve per
+distinct configuration.  This module gives both phases a shared,
+cheap-to-update instrumentation layer:
+
+* :class:`ScanCounters` — plain additive counters (states visited,
+  knowledge-bit cache hits, fault-graph evaluations, per-phase wall
+  time).  Workers of the parallel engine fill a private instance and
+  the parent merges them exactly with :meth:`ScanCounters.merge`.
+* :class:`ProgressEvent` / :data:`ProgressCallback` — the callback
+  protocol.  The engine invokes the callback with monotonically
+  non-decreasing ``completed`` values per phase; ``total`` is the known
+  amount of work in that phase (2^N states for the enumerative scan,
+  2^a application states for the factored scan, configuration count
+  for the LQN phase).
+* :class:`ProgressReporter` — throttles callback invocations to a
+  minimum wall-clock interval so per-state instrumentation stays cheap,
+  while guaranteeing that the final event of each phase (``completed ==
+  total``) is always delivered.
+* :func:`console_progress` — a ready-made callback rendering a
+  single-line textual progress display, used by the CLI ``--progress``
+  flag.
+
+Counters are pure data (no locks, no callbacks) so they pickle cleanly
+across :class:`concurrent.futures.ProcessPoolExecutor` boundaries;
+callbacks only ever run in the parent process.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class ScanCounters:
+    """Additive cost counters for one analysis run.
+
+    Attributes
+    ----------
+    states_visited:
+        Up/down states covered so far.  The enumerative scan counts
+        every one of the 2^N states individually; the factored scan
+        adds 2^m per application state (the management states it covers
+        symbolically), so both methods end at the same 2^N total.
+    app_states_visited:
+        Application-side (outer-loop) states processed.
+    knowledge_cache_hits:
+        Management states whose knowledge-bit pattern was already seen
+        in the current application state, so the fault graph was *not*
+        re-evaluated.  ``states_visited - knowledge_cache_hits -
+        skipped`` upper-bounds the fault-graph work; a high hit rate is
+        what keeps the literal scan tolerable.
+    fault_graph_evaluations:
+        Actual evaluations of the fault propagation graph
+        (Definition 1/2 walks).
+    decision_leaves:
+        Factored method only: leaves of the adaptive knowledge decision
+        tree, i.e. distinct (knowledge-literal conjunction →
+        configuration) cases weighed on the BDD.
+    distinct_configurations:
+        Number of distinct operational configurations found (set once
+        by the engine after merging worker results).
+    scan_seconds:
+        Wall time of the state-space scan phase.
+    lqn_seconds:
+        Wall time of the per-configuration LQN solve phase.
+    lqn_solves:
+        LQN models actually solved.
+    lqn_cache_hits:
+        Configurations whose LQN results were served from the
+        analyzer's cache.
+    """
+
+    states_visited: int = 0
+    app_states_visited: int = 0
+    knowledge_cache_hits: int = 0
+    fault_graph_evaluations: int = 0
+    decision_leaves: int = 0
+    distinct_configurations: int = 0
+    scan_seconds: float = 0.0
+    lqn_seconds: float = 0.0
+    lqn_solves: int = 0
+    lqn_cache_hits: int = 0
+
+    def merge(self, other: "ScanCounters") -> None:
+        """Add ``other``'s counts into this instance (exact: all fields
+        are additive; ``distinct_configurations`` is overwritten by the
+        engine after the final merge)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Plain-dict view, e.g. for benchmark JSON ``extra_info``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification.
+
+    ``phase`` is ``"scan"`` or ``"lqn"``; ``completed``/``total`` count
+    phase-specific work units (see the module docstring).  ``counters``
+    is the live counter object — read it, do not mutate it.
+    """
+
+    phase: str
+    completed: int
+    total: int
+    counters: ScanCounters
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+#: The callback protocol: called from the parent process only, never
+#: concurrently.  Exceptions propagate to the caller of the engine.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class ProgressReporter:
+    """Throttled dispatcher from engine to a :data:`ProgressCallback`.
+
+    A ``None`` callback makes every method a no-op, so engines can
+    instrument unconditionally.  Events closer together than
+    ``min_interval`` seconds are dropped, except forced ones (phase
+    completion), which are always delivered.
+    """
+
+    def __init__(
+        self,
+        callback: ProgressCallback | None = None,
+        *,
+        min_interval: float = 0.1,
+    ):
+        self._callback = callback
+        self._min_interval = min_interval
+        self._last_emit = float("-inf")
+
+    @property
+    def active(self) -> bool:
+        return self._callback is not None
+
+    def emit(
+        self,
+        phase: str,
+        completed: int,
+        total: int,
+        counters: ScanCounters,
+        *,
+        force: bool = False,
+    ) -> None:
+        if self._callback is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self._min_interval:
+            return
+        self._last_emit = now
+        self._callback(ProgressEvent(phase, completed, total, counters))
+
+
+def console_progress(stream=None) -> ProgressCallback:
+    """A callback rendering ``[phase] completed/total (pp.p%)`` on one
+    carriage-returned line of ``stream`` (default: ``sys.stderr``),
+    terminating the line when a phase completes."""
+    import sys
+
+    out = stream if stream is not None else sys.stderr
+
+    def callback(event: ProgressEvent) -> None:
+        unit = "states" if event.phase == "scan" else "configurations"
+        out.write(
+            f"\r[{event.phase}] {event.completed}/{event.total} {unit} "
+            f"({100.0 * event.fraction:5.1f}%)"
+        )
+        if event.completed >= event.total:
+            out.write("\n")
+        out.flush()
+
+    return callback

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Mapping
 
+from repro.core.progress import ScanCounters
+
 
 @dataclass(frozen=True)
 class ConfigurationRecord:
@@ -58,12 +60,21 @@ class PerformabilityResult:
         space symbolically).
     method:
         ``"enumeration"`` or ``"factored"``.
+    jobs:
+        Worker processes used by the state-space scan (1 = sequential).
+    counters:
+        Instrumentation filled during :meth:`PerformabilityAnalyzer
+        .solve` (states visited, cache hits, per-phase wall time); see
+        :class:`repro.core.progress.ScanCounters`.  ``None`` when the
+        result was constructed without instrumentation.
     """
 
     records: tuple[ConfigurationRecord, ...]
     expected_reward: float
     state_count: int
     method: str
+    jobs: int = 1
+    counters: ScanCounters | None = None
 
     @property
     def failed_probability(self) -> float:

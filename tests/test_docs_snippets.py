@@ -1,0 +1,74 @@
+"""Documentation code snippets must at least parse.
+
+Every fenced ``python`` code block in ``docs/*.md`` and ``README.md``
+is run through :func:`ast.parse`, so guide snippets cannot silently rot
+into syntax errors as the API evolves.  (Semantics are exercised by the
+example scripts and the test suite; this is the cheap structural
+floor — it is also what ``make docs-check`` runs.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(
+    r"^```python[ \t]*\n(.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def _documents() -> list[Path]:
+    docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    return docs + ([readme] if readme.exists() else [])
+
+
+def _snippets() -> list[tuple[str, int, str]]:
+    """(document, ordinal, source) for every fenced python block."""
+    found: list[tuple[str, int, str]] = []
+    for path in _documents():
+        text = path.read_text()
+        for ordinal, match in enumerate(_FENCE.finditer(text), start=1):
+            found.append(
+                (str(path.relative_to(REPO_ROOT)), ordinal, match.group(1))
+            )
+    return found
+
+
+_ALL = _snippets()
+
+
+def test_docs_contain_python_snippets():
+    documents = {document for document, _, _ in _ALL}
+    assert "docs/performance_guide.md" in documents
+    assert "docs/modeling_guide.md" in documents
+    assert "README.md" in documents
+
+
+@pytest.mark.parametrize(
+    "document,ordinal,source",
+    _ALL,
+    ids=[f"{document}:{ordinal}" for document, ordinal, _ in _ALL],
+)
+def test_snippet_parses(document, ordinal, source):
+    # Doctest-style snippets (>>> lines) hold statements inside a REPL
+    # transcript; extract the statements before parsing.
+    if any(line.lstrip().startswith(">>>") for line in source.splitlines()):
+        lines = []
+        for line in source.splitlines():
+            stripped = line.lstrip()
+            if stripped.startswith(">>> ") or stripped.startswith("... "):
+                lines.append(stripped[4:])
+        source = "\n".join(lines)
+    try:
+        ast.parse(source)
+    except SyntaxError as exc:
+        pytest.fail(
+            f"{document} python block #{ordinal} does not parse: {exc}"
+        )
