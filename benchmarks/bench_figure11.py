@@ -1,17 +1,80 @@
 """E3 — regenerate Figure 11: expected reward rate vs weight of UserB
-for the four management architectures (plus the perfect baseline)."""
+for the four management architectures (plus the perfect baseline).
 
-import pytest
+Runs as an (architecture × weight) grid on
+:class:`repro.core.SweepEngine` — one state-space scan per architecture
+(the other weights hit the scan cache) and one LQN solve per distinct
+configuration across the whole grid.  A per-point analyzer baseline is
+timed alongside and must agree exactly; cache-hit rate and speedup are
+recorded in ``extra_info``.
+"""
 
+import time
+
+from repro.core import PerformabilityAnalyzer, ScanCounters
+from repro.core.rewards import weighted_throughput_reward
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
 from repro.experiments.figure11 import run_figure11
+
+WEIGHTS_B = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0)
 
 
 def test_figure11_sweep(benchmark):
-    figure = benchmark.pedantic(
-        lambda: run_figure11(weights_b=(0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0)),
-        rounds=1,
-        iterations=1,
+    counters = ScanCounters()
+    timing = {}
+
+    def run():
+        start = time.perf_counter()
+        figure = run_figure11(weights_b=WEIGHTS_B, counters=counters)
+        timing["engine"] = time.perf_counter() - start
+        return figure
+
+    figure = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Per-point baseline: a fresh analyzer per (architecture, w_B).
+    start = time.perf_counter()
+    ftlqn = figure1_system()
+    builders = {"perfect": None, **ARCHITECTURE_BUILDERS}
+    baseline = {}
+    for name, builder in builders.items():
+        mama = builder() if builder is not None else None
+        probs = figure1_failure_probs(mama)
+        for w_b in WEIGHTS_B:
+            baseline[(name, w_b)] = PerformabilityAnalyzer(
+                ftlqn,
+                mama,
+                failure_probs=probs,
+                reward=weighted_throughput_reward(
+                    {"UserA": 1.0, "UserB": w_b}
+                ),
+            ).solve()
+    timing["baseline"] = time.perf_counter() - start
+
+    for series in figure.series:
+        for w_b, reward in zip(series.weights_b, series.expected_rewards):
+            reference = baseline[(series.architecture, w_b)]
+            assert reward == reference.expected_reward, (
+                series.architecture, w_b,
+            )
+
+    # 35 grid points: one scan per architecture, the rest cache hits;
+    # LQN solves collapse onto the distinct operational configurations.
+    assert counters.sweep_points == len(builders) * len(WEIGHTS_B)
+    assert counters.scan_cache_hits == counters.sweep_points - len(builders)
+    assert counters.lqn_solves == counters.distinct_configurations - 1
+    hit_total = counters.lqn_solves + counters.lqn_cache_hits
+    benchmark.extra_info["lqn_solves"] = counters.lqn_solves
+    benchmark.extra_info["lqn_cache_hits"] = counters.lqn_cache_hits
+    benchmark.extra_info["lqn_cache_hit_rate"] = (
+        counters.lqn_cache_hits / hit_total if hit_total else 0.0
     )
+    benchmark.extra_info["scan_cache_hits"] = counters.scan_cache_hits
+    benchmark.extra_info["baseline_seconds"] = timing["baseline"]
+    benchmark.extra_info["engine_seconds"] = timing["engine"]
+    benchmark.extra_info["speedup"] = timing["baseline"] / timing["engine"]
+    assert timing["baseline"] > timing["engine"]
+
     # Qualitative shape checks (the paper's Figure 11 commentary):
     # every curve rises with w_B; hierarchical is last at high weight;
     # network beats centralized there; perfect dominates all.

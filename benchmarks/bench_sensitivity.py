@@ -3,19 +3,85 @@
 Sweeps the agent/manager failure probability from 0 (ideal hardware) to
 0.3 and checks the structural expectations: every curve starts at the
 perfect-knowledge value and decreases monotonically; the hierarchical
-architecture (longest knowledge chains) degrades fastest."""
+architecture (longest knowledge chains) degrades fastest.
+
+The sweep runs through :class:`repro.core.SweepEngine`; a per-point
+``PerformabilityAnalyzer`` baseline is timed alongside and must agree
+*exactly*, with the engine's LQN cache-hit rate and the measured
+speedup recorded in ``extra_info``.
+"""
+
+import time
 
 import pytest
 
+from repro.core import PerformabilityAnalyzer, ScanCounters
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
 from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+
+PROBABILITIES = (0.0, 0.05, 0.1, 0.2, 0.3)
 
 
 def test_sensitivity_sweep(benchmark):
-    report = benchmark.pedantic(
-        lambda: run_sensitivity(probabilities=(0.0, 0.05, 0.1, 0.2, 0.3)),
-        rounds=1,
-        iterations=1,
+    counters = ScanCounters()
+    timing = {}
+
+    def run():
+        start = time.perf_counter()
+        report = run_sensitivity(
+            probabilities=PROBABILITIES, counters=counters
+        )
+        timing["engine"] = time.perf_counter() - start
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Per-point baseline: one fresh analyzer per (architecture, p),
+    # exactly what the sweep replaced.
+    start = time.perf_counter()
+    ftlqn = figure1_system()
+    baseline_perfect = PerformabilityAnalyzer(
+        ftlqn, None, failure_probs=figure1_failure_probs()
+    ).solve()
+    baseline = {}
+    for name, builder in ARCHITECTURE_BUILDERS.items():
+        mama = builder()
+        for probability in PROBABILITIES:
+            baseline[(name, probability)] = PerformabilityAnalyzer(
+                ftlqn,
+                mama,
+                failure_probs=figure1_failure_probs(
+                    mama, management=probability
+                ),
+            ).solve()
+    timing["baseline"] = time.perf_counter() - start
+
+    # The engine must reproduce the per-point numbers bit for bit.
+    assert report.perfect_reward == baseline_perfect.expected_reward
+    assert report.perfect_failed == baseline_perfect.failed_probability
+    for series in report.series:
+        for probability, point in zip(PROBABILITIES, series.points):
+            reference = baseline[(series.architecture, probability)]
+            assert point.expected_reward == reference.expected_reward
+            assert point.failed_probability == reference.failed_probability
+
+    # 21 points collapse onto the distinct-configuration count.
+    assert counters.lqn_solves == counters.distinct_configurations - 1
+    assert counters.sweep_points == 1 + len(ARCHITECTURE_BUILDERS) * len(
+        PROBABILITIES
     )
+    hit_total = counters.lqn_solves + counters.lqn_cache_hits
+    benchmark.extra_info["lqn_solves"] = counters.lqn_solves
+    benchmark.extra_info["lqn_cache_hits"] = counters.lqn_cache_hits
+    benchmark.extra_info["lqn_cache_hit_rate"] = (
+        counters.lqn_cache_hits / hit_total if hit_total else 0.0
+    )
+    benchmark.extra_info["baseline_seconds"] = timing["baseline"]
+    benchmark.extra_info["engine_seconds"] = timing["engine"]
+    benchmark.extra_info["speedup"] = timing["baseline"] / timing["engine"]
+    assert timing["baseline"] > timing["engine"]
+
     for series in report.series:
         rewards = series.rewards()
         # p = 0: exactly the perfect-knowledge analysis.

@@ -39,6 +39,9 @@ from repro.core import (
     PerformabilityResult,
     ProgressEvent,
     ScanCounters,
+    SweepEngine,
+    SweepPoint,
+    SweepResult,
     configuration_to_lqn,
     console_progress,
     total_reference_throughput,
@@ -72,6 +75,9 @@ __all__ = [
     "ScanCounters",
     "SerializationError",
     "SolverError",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepResult",
     "__version__",
     "build_fault_graph",
     "configuration_to_lqn",

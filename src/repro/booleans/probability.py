@@ -22,20 +22,24 @@ from itertools import combinations, product
 from repro.booleans.bdd import BDD
 from repro.booleans.expr import Expr
 from repro.booleans.sdp import sdp_probability
+from repro.errors import ModelError
 
 
 def probability(expr: Expr, probs: Mapping[str, float]) -> float:
     """Exact probability that ``expr`` is true.
 
     ``probs[name]`` is the independent probability that variable ``name``
-    is true; every variable of ``expr`` must be present.  Uses a BDD
+    is true; every variable of ``expr`` must be present, else
+    :class:`~repro.errors.ModelError` is raised (a
+    :class:`~repro.errors.ReproError`, so the CLI's error net turns it
+    into a one-line message rather than a traceback).  Uses a BDD
     ordered by sorted variable name, which is adequate for the small
     knowledge expressions this library produces.
     """
     names = sorted(expr.variables())
     missing = [name for name in names if name not in probs]
     if missing:
-        raise KeyError(f"missing probabilities for variables: {missing}")
+        raise ModelError(f"missing probabilities for variables: {missing}")
     manager = BDD(names)
     node = manager.from_expr(expr)
     return manager.probability(node, probs)

@@ -16,12 +16,35 @@ Commands
 ``paper``
     Regenerate the paper's evaluation artifacts (table1, table2,
     figure11, statespace).
+``sweep``
+    Evaluate a multi-scenario sweep specification over the shared-cache
+    :class:`~repro.core.sweep.SweepEngine` and export JSON/CSV
+    artifacts.
 
 Model files use the JSON formats of :mod:`repro.ftlqn.serialize` and
 :mod:`repro.mama.serialize`.  The ``--probs`` file is either a flat
-``{"component": probability}`` object or
+``{"component": probability}`` object or the structured form
 ``{"failure_probs": {...}, "common_causes": [{"name": ...,
-"probability": ..., "components": [...]}]}``.
+"probability": ..., "components": [...]}]}`` (recognised by either
+key).
+
+A sweep specification is one JSON object::
+
+    {
+      "model": "figure1.json",
+      "architectures": {"centralized": "centralized.json", ...},
+      "base": {"failure_probs": {...}, "common_causes": [...]},
+      "points": [
+        {"name": "c@0.05", "architecture": "centralized",
+         "failure_probs": {"m1": 0.05}, "weights": {"UserA": 1.0}},
+        ...
+      ]
+    }
+
+``model`` and the architecture values are file paths resolved relative
+to the spec file; every ``points`` entry overlays its optional
+``failure_probs``/``common_causes``/``weights`` on the ``base``
+scenario (see :class:`repro.core.sweep.SweepPoint`).
 """
 
 from __future__ import annotations
@@ -32,11 +55,17 @@ import sys
 from pathlib import Path
 
 from repro.core import (
-    CommonCause,
     PerformabilityAnalyzer,
+    ScanCounters,
+    SweepEngine,
     console_progress,
     importance_analysis,
     weighted_throughput_reward,
+)
+from repro.core.sweep import (
+    causes_from_documents,
+    points_from_documents,
+    probs_from_document,
 )
 from repro.errors import ReproError, SerializationError
 from repro.ftlqn import build_fault_graph, model_from_json
@@ -52,31 +81,64 @@ def _read(path: str) -> str:
         raise SerializationError(f"cannot read {path}: {exc}") from exc
 
 
+def _load_json(path: str, what: str):
+    try:
+        return json.loads(_read(path))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"{what} {path} is not valid JSON: {exc}"
+        ) from exc
+
+
 def _load_models(args):
     ftlqn = model_from_json(_read(args.model))
     mama = mama_from_json(_read(args.mama)) if args.mama else None
     return ftlqn, mama
 
 
+#: Keys that mark a --probs document as the structured form.
+_STRUCTURED_PROBS_KEYS = frozenset({"failure_probs", "common_causes"})
+
+
 def _load_probs(path: str | None):
     if path is None:
         return {}, ()
-    document = json.loads(_read(path))
+    document = _load_json(path, "--probs file")
     if not isinstance(document, dict):
         raise SerializationError("--probs file must contain a JSON object")
-    if "failure_probs" in document:
-        probs = document["failure_probs"]
-        causes = tuple(
-            CommonCause(
-                name=item["name"],
-                probability=float(item["probability"]),
-                components=tuple(item["components"]),
+    # The structured form is recognised by *either* key: a document
+    # carrying only "common_causes" must not fall through to the flat
+    # branch (where float() on the causes list used to escape as a raw
+    # TypeError).
+    if _STRUCTURED_PROBS_KEYS & set(document):
+        unknown = sorted(set(document) - _STRUCTURED_PROBS_KEYS)
+        if unknown:
+            raise SerializationError(
+                f"--probs file has unknown keys {unknown}; the structured "
+                'form allows only "failure_probs" and "common_causes"'
             )
-            for item in document.get("common_causes", [])
+        probs = probs_from_document(
+            document.get("failure_probs", {}),
+            label='--probs "failure_probs"',
         )
-    else:
-        probs, causes = document, ()
-    return {str(k): float(v) for k, v in probs.items()}, causes
+        causes = causes_from_documents(document.get("common_causes", []))
+        return probs, causes
+    return probs_from_document(document, label="--probs file"), ()
+
+
+def _parse_weights(text: str | None):
+    """``--weights`` JSON → reward function (None when absent)."""
+    if not text:
+        return None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"--weights is not valid JSON: {exc}"
+        ) from exc
+    return weighted_throughput_reward(
+        probs_from_document(document, label="--weights")
+    )
 
 
 def _cmd_validate(args) -> int:
@@ -95,12 +157,7 @@ def _cmd_validate(args) -> int:
 def _cmd_analyze(args) -> int:
     ftlqn, mama = _load_models(args)
     probs, causes = _load_probs(args.probs)
-    reward = None
-    if args.weights:
-        weights = {
-            str(k): float(v) for k, v in json.loads(args.weights).items()
-        }
-        reward = weighted_throughput_reward(weights)
+    reward = _parse_weights(args.weights)
     analyzer = PerformabilityAnalyzer(
         ftlqn, mama, failure_probs=probs, reward=reward,
         common_causes=causes,
@@ -115,18 +172,26 @@ def _cmd_analyze(args) -> int:
           + ")")
     print(f"{'probability':>12}  {'reward':>8}  configuration")
     for record in result.records:
+        marker = "" if record.converged else "  [unconverged]"
         print(f"{record.probability:12.6f}  {record.reward:8.4f}  "
-              f"{record.label()}")
+              f"{record.label()}{marker}")
     print(f"expected steady-state reward rate: "
           f"{result.expected_reward:.6f}")
+    if result.unconverged_records:
+        print(
+            f"warning: {len(result.unconverged_records)} configuration(s) "
+            "did not meet the LQN convergence tolerance; their rewards "
+            "are approximate",
+            file=sys.stderr,
+        )
     if args.progress and result.counters is not None:
         c = result.counters
         print(
             f"scan: {c.states_visited} states in {c.scan_seconds:.2f}s "
             f"({c.fault_graph_evaluations} fault-graph evaluations, "
             f"{c.knowledge_cache_hits} knowledge-cache hits); "
-            f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
-            f"in {c.lqn_seconds:.2f}s",
+            f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits, "
+            f"{c.lqn_unconverged} unconverged in {c.lqn_seconds:.2f}s",
             file=sys.stderr,
         )
     return 0
@@ -158,6 +223,98 @@ def _cmd_dot(args) -> int:
         print(model_to_dot(ftlqn))
     else:
         print(fault_graph_to_dot(build_fault_graph(ftlqn)))
+    return 0
+
+
+_SPEC_KEYS = frozenset({"model", "architectures", "base", "points"})
+
+
+def _load_sweep_spec(path: str):
+    """Parse a sweep-spec file into (engine, points)."""
+    document = _load_json(path, "sweep spec")
+    if not isinstance(document, dict):
+        raise SerializationError("sweep spec must be a JSON object")
+    unknown = sorted(set(document) - _SPEC_KEYS)
+    if unknown:
+        raise SerializationError(
+            f"sweep spec has unknown keys {unknown}; allowed: "
+            f"{sorted(_SPEC_KEYS)}"
+        )
+    if "model" not in document:
+        raise SerializationError(
+            'sweep spec needs a "model" entry (FTLQN JSON file path)'
+        )
+    base_dir = Path(path).parent
+
+    def resolve(entry: object) -> str:
+        if not isinstance(entry, str):
+            raise SerializationError(
+                f"sweep spec file paths must be strings, got {entry!r}"
+            )
+        candidate = Path(entry)
+        return str(candidate if candidate.is_absolute() else base_dir / candidate)
+
+    ftlqn = model_from_json(_read(resolve(document["model"])))
+    architectures_doc = document.get("architectures", {})
+    if not isinstance(architectures_doc, dict):
+        raise SerializationError(
+            '"architectures" must map names to MAMA JSON file paths'
+        )
+    architectures = {
+        str(name): mama_from_json(_read(resolve(entry)))
+        for name, entry in architectures_doc.items()
+    }
+    base = document.get("base", {})
+    if not isinstance(base, dict):
+        raise SerializationError('"base" must be a JSON object')
+    unknown = sorted(set(base) - {"failure_probs", "common_causes"})
+    if unknown:
+        raise SerializationError(
+            f'"base" has unknown keys {unknown}; allowed: '
+            '"failure_probs" and "common_causes"'
+        )
+    engine = SweepEngine(
+        ftlqn,
+        architectures,
+        base_failure_probs=probs_from_document(
+            base.get("failure_probs", {}), label='"base" failure_probs'
+        ),
+        base_common_causes=causes_from_documents(
+            base.get("common_causes", [])
+        ),
+    )
+    return engine, points_from_documents(document.get("points"))
+
+
+def _cmd_sweep(args) -> int:
+    engine, points = _load_sweep_spec(args.spec)
+    progress = console_progress(sys.stderr) if args.progress else None
+    counters = ScanCounters()
+    sweep = engine.run(
+        points, method=args.method, jobs=args.jobs, progress=progress,
+        counters=counters,
+    )
+    print(f"{'point':>20} {'architecture':>14} {'E[reward]':>10} "
+          f"{'P(failed)':>10}  scan")
+    for entry in sweep.points:
+        print(f"{entry.name:>20} {entry.architecture or 'perfect':>14} "
+              f"{entry.expected_reward:10.4f} "
+              f"{entry.failed_probability:10.6f}  "
+              + ("cached" if entry.scan_cached else "fresh"))
+    c = counters
+    print(
+        f"sweep: {c.sweep_points} points, {c.distinct_configurations} "
+        f"distinct configurations, {c.scan_cache_hits} scan-cache hits; "
+        f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
+        f"({100.0 * sweep.lqn_cache_hit_rate:.1f}% hit rate), "
+        f"{c.lqn_unconverged} unconverged"
+    )
+    if args.json_out:
+        Path(args.json_out).write_text(sweep.to_json())
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        Path(args.csv_out).write_text(sweep.to_csv())
+        print(f"wrote {args.csv_out}", file=sys.stderr)
     return 0
 
 
@@ -258,6 +415,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_model_args(dot, with_probs=False)
     dot.set_defaults(handler=_cmd_dot)
+
+    sweep = commands.add_parser(
+        "sweep", help="evaluate a multi-scenario sweep over shared caches",
+        epilog="The spec file names the FTLQN model, the MAMA "
+        "architecture variants, a base scenario, and the points to "
+        "evaluate (see the module docstring for the JSON shape).  The "
+        "engine shares one fault graph and know table per architecture "
+        "and one LQN solution per distinct configuration across the "
+        "whole sweep, so a probability sweep costs as many LQN solves "
+        "as there are distinct configurations.  "
+        "docs/performance_guide.md documents the spec and the caches.",
+    )
+    sweep.add_argument("spec", help="sweep specification JSON file")
+    sweep.add_argument(
+        "--method", choices=("factored", "enumeration"), default="factored"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for each point's state-space scan "
+        "(default 1 = sequential; 0 = all cores)",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="stream sweep/scan/LQN progress to stderr",
+    )
+    sweep.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the full sweep result (points, records, counters) "
+        "as JSON",
+    )
+    sweep.add_argument(
+        "--csv", dest="csv_out", metavar="FILE",
+        help="write one CSV row per point (reward, failure probability, "
+        "average throughputs)",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
 
     paper = commands.add_parser(
         "paper", help="regenerate the paper's evaluation artifacts"

@@ -18,7 +18,17 @@
 
 from repro.core.dependency import CommonCause
 from repro.core.importance import ImportanceRecord, importance_analysis
-from repro.core.performability import PerformabilityAnalyzer
+from repro.core.performability import (
+    AnalysisStructure,
+    PerformabilityAnalyzer,
+    derive_structure,
+)
+from repro.core.sweep import (
+    SweepEngine,
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+)
 from repro.core.progress import (
     ProgressCallback,
     ProgressEvent,
@@ -34,6 +44,7 @@ from repro.core.rewards import (
 from repro.core.configuration import configuration_to_lqn, group_support
 
 __all__ = [
+    "AnalysisStructure",
     "CommonCause",
     "ConfigurationRecord",
     "ImportanceRecord",
@@ -43,8 +54,13 @@ __all__ = [
     "ProgressEvent",
     "ProgressReporter",
     "ScanCounters",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
     "configuration_to_lqn",
     "console_progress",
+    "derive_structure",
     "group_support",
     "importance_analysis",
     "total_reference_throughput",

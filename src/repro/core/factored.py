@@ -133,9 +133,13 @@ def _factored_range(
                 # A pair never computed from the MAMA model: the task
                 # has no way to learn this component's state.
                 return False
-            if expr == TRUE:
+            # Identity checks, not ``==``: the constants are pickle-stable
+            # singletons (see ``_Constant.__reduce__``), and this is the
+            # same fast path ``enumeration._scan_range`` uses, so both
+            # evaluators stay in lockstep across process boundaries.
+            if expr is TRUE:
                 return True
-            if expr == FALSE:
+            if expr is FALSE:
                 return False
             raise _NeedBit(pair)
 

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import math
 import time
-from collections.abc import Mapping
+from dataclasses import dataclass
+from collections.abc import Mapping, MutableMapping
 
 from repro.booleans.expr import Expr, Var, all_of
 from repro.core.configuration import configuration_to_lqn
@@ -38,6 +39,111 @@ from repro.lqn.results import LQNResults
 from repro.lqn.solver import solve_lqn
 from repro.mama.knowledge import KnowledgeGraph
 from repro.mama.model import ComponentKind, MAMAModel
+
+
+@dataclass(frozen=True)
+class AnalysisStructure:
+    """Everything the analysis derives from the *structure* of an
+    (FTLQN, MAMA) pair alone — independent of failure probabilities,
+    common causes and rewards.
+
+    Deriving this is the expensive, probability-free part of
+    :class:`PerformabilityAnalyzer` construction (fault-graph walk plus
+    one ``know``-expression derivation per required (component, task)
+    pair).  :func:`derive_structure` builds it; a sweep over many
+    probability scenarios derives it once per architecture and passes
+    it to every per-point analyzer via the ``structure=`` argument.
+
+    Attributes
+    ----------
+    graph:
+        The fault propagation graph of the FTLQN model.
+    know_exprs:
+        Base ``know[c, t]`` expressions keyed by (component, task);
+        empty for the perfect-knowledge analysis.  Treat as immutable —
+        analyzers copy it before rewriting for common causes.
+    mama_names / connector_names:
+        Component and connector names of the MAMA model (empty sets
+        when there is none).
+    """
+
+    graph: object
+    know_exprs: Mapping[tuple[str, str], Expr]
+    mama_names: frozenset[str]
+    connector_names: frozenset[str]
+
+    @property
+    def perfect(self) -> bool:
+        """True when derived without a MAMA model."""
+        return not self.mama_names
+
+
+def derive_structure(
+    ftlqn: FTLQNModel, mama: MAMAModel | None
+) -> AnalysisStructure:
+    """Derive the probability-independent analysis structure.
+
+    Validates the FTLQN model, builds its fault propagation graph and,
+    when a MAMA model is given, checks cross-model name consistency and
+    derives the ``know`` expression table for every (component, task)
+    pair the reconfiguration decisions need.
+    """
+    ftlqn.validated()
+    graph = build_fault_graph(ftlqn)
+    ftlqn_names = set(ftlqn.component_names())
+    know_exprs: dict[tuple[str, str], Expr] = {}
+    mama_names: set[str] = set()
+    connector_names: set[str] = set()
+
+    if mama is not None:
+        _check_cross_model_names(ftlqn, mama, ftlqn_names)
+        knowledge = KnowledgeGraph(mama)
+        pairs = graph.required_know_pairs()
+        missing = sorted({c for c, _ in pairs if c not in mama.components})
+        if missing:
+            raise ModelError(
+                "the MAMA model does not cover the components "
+                f"{missing}, whose state the reconfiguration decisions "
+                "need (they support a service target).  Add them to "
+                "the architecture — links and processors as "
+                "alive-watched processor-kind components, tasks as "
+                "monitored application tasks."
+            )
+        know_exprs = dict(knowledge.know_table(pairs))
+        mama_names = set(mama.components)
+        connector_names = set(mama.connectors)
+
+    return AnalysisStructure(
+        graph=graph,
+        know_exprs=know_exprs,
+        mama_names=frozenset(mama_names),
+        connector_names=frozenset(connector_names),
+    )
+
+
+def _check_cross_model_names(
+    ftlqn: FTLQNModel, mama: MAMAModel, ftlqn_names: set[str]
+) -> None:
+    for component in mama.components.values():
+        if component.kind is ComponentKind.APPLICATION_TASK:
+            if component.name not in ftlqn.tasks:
+                raise ModelError(
+                    f"MAMA application task {component.name!r} does not "
+                    "exist in the FTLQN model"
+                )
+            expected = ftlqn.tasks[component.name].processor
+            if component.processor != expected:
+                raise ModelError(
+                    f"MAMA places {component.name!r} on "
+                    f"{component.processor!r} but the FTLQN model hosts "
+                    f"it on {expected!r}"
+                )
+    for connector in mama.connectors:
+        if connector in ftlqn_names:
+            raise ModelError(
+                f"MAMA connector name {connector!r} collides with an "
+                "FTLQN component name"
+            )
 
 
 class PerformabilityAnalyzer:
@@ -65,6 +171,20 @@ class PerformabilityAnalyzer:
         :class:`repro.core.dependency.CommonCause`): each event is an
         extra independent variable taking down all its components at
         once, in both the application and the knowledge analysis.
+    structure:
+        Optional precomputed :class:`AnalysisStructure` for this exact
+        (ftlqn, mama) pair, as returned by :func:`derive_structure`.
+        Passing it skips the fault-graph and ``know``-table derivation;
+        sweeps over many probability scenarios share one per
+        architecture.  The caller is responsible for it matching the
+        models.
+    lqn_cache:
+        Optional external configuration → :class:`LQNResults` mapping
+        used as the analyzer's LQN cache.  Sharing one mutable mapping
+        between analyzers of the *same* FTLQN model de-duplicates LQN
+        solves across them (a configuration's performance is
+        independent of failure probabilities).  Default: a private
+        per-analyzer dict.
 
     Example
     -------
@@ -80,8 +200,9 @@ class PerformabilityAnalyzer:
         failure_probs: Mapping[str, float] | None = None,
         reward: RewardFunction | None = None,
         common_causes: list[CommonCause] | tuple[CommonCause, ...] = (),
+        structure: AnalysisStructure | None = None,
+        lqn_cache: MutableMapping[frozenset[str], LQNResults] | None = None,
     ):
-        ftlqn.validated()
         self._ftlqn = ftlqn
         self._mama = mama
         self._common_causes = tuple(common_causes)
@@ -92,14 +213,17 @@ class PerformabilityAnalyzer:
                     f"failure probability of {name!r} must be in [0, 1], "
                     f"got {probability}"
                 )
-        self._graph = build_fault_graph(ftlqn)
+        if structure is None:
+            structure = derive_structure(ftlqn, mama)
+        self._structure = structure
+        self._graph = structure.graph
         if reward is None:
             reward = weighted_throughput_reward(
                 {task.name: 1.0 for task in ftlqn.reference_tasks()}
             )
         self._reward = reward
         self._problem = self._build_problem()
-        self._lqn_cache: dict[frozenset[str], LQNResults] = {}
+        self._lqn_cache = lqn_cache if lqn_cache is not None else {}
 
     # ------------------------------------------------------------------
 
@@ -113,31 +237,25 @@ class PerformabilityAnalyzer:
         """The prepared state-space problem (for inspection/testing)."""
         return self._problem
 
+    @property
+    def structure(self) -> AnalysisStructure:
+        """The probability-independent analysis structure."""
+        return self._structure
+
+    @property
+    def lqn_cache(self) -> MutableMapping[frozenset[str], LQNResults]:
+        """The configuration → LQN-results cache (shared if injected)."""
+        return self._lqn_cache
+
     def _build_problem(self) -> StateSpaceProblem:
         ftlqn_names = set(self._ftlqn.component_names())
-        know_exprs: dict[tuple[str, str], Expr] = {}
-        mama_names: set[str] = set()
-        connector_names: set[str] = set()
-
-        if self._mama is not None:
-            self._check_cross_model_names(ftlqn_names)
-            knowledge = KnowledgeGraph(self._mama)
-            pairs = self._graph.required_know_pairs()
-            missing = sorted(
-                {c for c, _ in pairs if c not in self._mama.components}
-            )
-            if missing:
-                raise ModelError(
-                    "the MAMA model does not cover the components "
-                    f"{missing}, whose state the reconfiguration decisions "
-                    "need (they support a service target).  Add them to "
-                    "the architecture — links and processors as "
-                    "alive-watched processor-kind components, tasks as "
-                    "monitored application tasks."
-                )
-            know_exprs = dict(knowledge.know_table(pairs))
-            mama_names = set(self._mama.components)
-            connector_names = set(self._mama.connectors)
+        # Copy the base table: common-cause resolution rewrites entries
+        # in place and the structure may be shared across analyzers.
+        know_exprs: dict[tuple[str, str], Expr] = dict(
+            self._structure.know_exprs
+        )
+        mama_names = set(self._structure.mama_names)
+        connector_names = set(self._structure.connector_names)
 
         universe = ftlqn_names | mama_names | connector_names
         unknown = [
@@ -254,29 +372,6 @@ class PerformabilityAnalyzer:
         }
         return cause_probability, leaf_causes, app_events, mgmt_events
 
-    def _check_cross_model_names(self, ftlqn_names: set[str]) -> None:
-        assert self._mama is not None
-        for component in self._mama.components.values():
-            if component.kind is ComponentKind.APPLICATION_TASK:
-                if component.name not in self._ftlqn.tasks:
-                    raise ModelError(
-                        f"MAMA application task {component.name!r} does not "
-                        "exist in the FTLQN model"
-                    )
-                expected = self._ftlqn.tasks[component.name].processor
-                if component.processor != expected:
-                    raise ModelError(
-                        f"MAMA places {component.name!r} on "
-                        f"{component.processor!r} but the FTLQN model hosts "
-                        f"it on {expected!r}"
-                    )
-        for connector in self._mama.connectors:
-            if connector in ftlqn_names:
-                raise ModelError(
-                    f"MAMA connector name {connector!r} collides with an "
-                    "FTLQN component name"
-                )
-
     # ------------------------------------------------------------------
 
     def configuration_probabilities(
@@ -334,10 +429,41 @@ class PerformabilityAnalyzer:
         """
         jobs = resolve_jobs(jobs)
         counters = ScanCounters()
-        reporter = ProgressReporter(progress)
         probabilities = self.configuration_probabilities(
             method=method, jobs=jobs, progress=progress, counters=counters
         )
+        return self.evaluate_probabilities(
+            probabilities, method=method, jobs=jobs, progress=progress,
+            counters=counters,
+        )
+
+    def evaluate_probabilities(
+        self,
+        probabilities: Mapping[frozenset[str] | None, float],
+        *,
+        method: str = "factored",
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
+        counters: ScanCounters | None = None,
+    ) -> PerformabilityResult:
+        """Steps 5–6 given precomputed configuration probabilities.
+
+        Runs one (cached) LQN solve per operational configuration,
+        attaches rewards and folds the expected steady-state reward
+        rate.  :meth:`solve` is ``configuration_probabilities`` followed
+        by this method; sweeps that reuse a scan result across points
+        (e.g. a pure reward-weight sweep) call it directly.
+
+        ``probabilities`` is consumed in iteration order, which fixes
+        the floating-point summation order of the expected reward —
+        feeding the same mapping twice gives bit-identical results.
+        Unconverged LQN solutions are folded in as-is, but counted in
+        ``counters.lqn_unconverged`` and flagged on their
+        :class:`~repro.core.results.ConfigurationRecord`.
+        """
+        if counters is None:
+            counters = ScanCounters()
+        reporter = ProgressReporter(progress)
 
         records: list[ConfigurationRecord] = []
         expected = 0.0
@@ -361,6 +487,8 @@ class PerformabilityAnalyzer:
             else:
                 counters.lqn_solves += 1
             results = self.performance_of(configuration)
+            if not results.converged:
+                counters.lqn_unconverged += 1
             reward = self._reward(configuration, results)
             if not math.isfinite(reward):
                 raise ModelError(
@@ -377,6 +505,7 @@ class PerformabilityAnalyzer:
                     probability=probability,
                     reward=reward,
                     throughputs=throughputs,
+                    converged=results.converged,
                 )
             )
             expected += probability * reward

@@ -73,7 +73,19 @@ class ScanCounters:
         LQN models actually solved.
     lqn_cache_hits:
         Configurations whose LQN results were served from the
-        analyzer's cache.
+        analyzer's cache.  With the sweep engine's shared cross-point
+        cache, hits span scenario points: a configuration solved for
+        one point is a hit for every later point that reaches it.
+    lqn_unconverged:
+        Configurations whose LQN solve did not meet its convergence
+        tolerance (the approximate result is still folded into the
+        expected reward, but flagged on its record).
+    sweep_points:
+        Scenario points evaluated by a
+        :class:`~repro.core.sweep.SweepEngine` run (0 outside sweeps).
+    scan_cache_hits:
+        Sweep points whose configuration probabilities were served from
+        the engine's cross-point scan cache instead of re-scanned.
     """
 
     states_visited: int = 0
@@ -86,6 +98,9 @@ class ScanCounters:
     lqn_seconds: float = 0.0
     lqn_solves: int = 0
     lqn_cache_hits: int = 0
+    lqn_unconverged: int = 0
+    sweep_points: int = 0
+    scan_cache_hits: int = 0
 
     def merge(self, other: "ScanCounters") -> None:
         """Add ``other``'s counts into this instance (exact: all fields
@@ -103,9 +118,11 @@ class ScanCounters:
 class ProgressEvent:
     """One progress notification.
 
-    ``phase`` is ``"scan"`` or ``"lqn"``; ``completed``/``total`` count
-    phase-specific work units (see the module docstring).  ``counters``
-    is the live counter object — read it, do not mutate it.
+    ``phase`` is ``"scan"``, ``"lqn"`` or ``"sweep"`` (scenario points
+    of a :class:`~repro.core.sweep.SweepEngine` run);
+    ``completed``/``total`` count phase-specific work units (see the
+    module docstring).  ``counters`` is the live counter object — read
+    it, do not mutate it.
     """
 
     phase: str
@@ -172,8 +189,10 @@ def console_progress(stream=None) -> ProgressCallback:
 
     out = stream if stream is not None else sys.stderr
 
+    units = {"scan": "states", "lqn": "configurations", "sweep": "points"}
+
     def callback(event: ProgressEvent) -> None:
-        unit = "states" if event.phase == "scan" else "configurations"
+        unit = units.get(event.phase, "units")
         out.write(
             f"\r[{event.phase}] {event.completed}/{event.total} {unit} "
             f"({100.0 * event.fraction:5.1f}%)"

@@ -25,12 +25,19 @@ class ConfigurationRecord:
     throughputs:
         Per-reference-task throughput in this configuration (empty for
         failed).
+    converged:
+        Whether the configuration's LQN solve met its tolerance.  An
+        unconverged solution still contributes its (approximate) reward
+        to the expectation, but is flagged here and counted in
+        :attr:`~repro.core.progress.ScanCounters.lqn_unconverged`.
+        Always True for the failed configuration (no solve needed).
     """
 
     configuration: frozenset[str] | None
     probability: float
     reward: float
     throughputs: Mapping[str, float] = field(default_factory=dict)
+    converged: bool = True
 
     @property
     def is_failed(self) -> bool:
@@ -87,6 +94,11 @@ class PerformabilityResult:
     @property
     def operational_records(self) -> tuple[ConfigurationRecord, ...]:
         return tuple(r for r in self.records if not r.is_failed)
+
+    @property
+    def unconverged_records(self) -> tuple[ConfigurationRecord, ...]:
+        """Records whose LQN solution did not meet its tolerance."""
+        return tuple(r for r in self.records if not r.converged)
 
     def probability_of(self, configuration: frozenset[str] | None) -> float:
         """Probability of one configuration (0.0 if never reached)."""

@@ -14,8 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.core import PerformabilityAnalyzer
-from repro.core.rewards import weighted_throughput_reward
+from repro.core import ScanCounters, SweepEngine, SweepPoint
+from repro.core.progress import ProgressCallback
 from repro.experiments.architectures import ARCHITECTURE_BUILDERS
 from repro.experiments.figure1 import figure1_failure_probs, figure1_system
 
@@ -61,50 +61,52 @@ def run_figure11(
     weights_b: Sequence[float] = DEFAULT_WEIGHTS,
     method: str = "factored",
     include_perfect: bool = True,
+    jobs: int = 1,
+    progress: ProgressCallback | None = None,
+    counters: ScanCounters | None = None,
 ) -> Figure11:
     """Sweep w_B and compute the expected reward for each architecture.
 
-    The configuration probabilities and per-configuration throughputs
-    are computed once per architecture; only the reward weighting
-    changes along the sweep.
+    Runs on :class:`~repro.core.SweepEngine` as an (architecture ×
+    weight) grid.  All the points of one architecture share the same
+    failure-probability map, so the state-space scan runs once per
+    architecture and every further weight hits the engine's scan cache;
+    the LQN solver runs once per distinct configuration across the
+    whole grid.  Pass ``counters`` to observe both effects.
     """
     ftlqn = figure1_system()
-    series: list[Figure11Series] = []
+    architectures = {
+        name: builder() for name, builder in ARCHITECTURE_BUILDERS.items()
+    }
+    engine = SweepEngine(ftlqn, architectures)
 
-    builders: dict[str, object] = {}
-    if include_perfect:
-        builders["perfect"] = None
-    builders.update(ARCHITECTURE_BUILDERS)
+    names = (["perfect"] if include_perfect else []) + list(architectures)
+    points = [
+        SweepPoint(
+            name=f"{name}@w{index}",
+            architecture=None if name == "perfect" else name,
+            failure_probs=figure1_failure_probs(
+                architectures.get(name)
+            ),
+            weights={"UserA": 1.0, "UserB": w_b},
+        )
+        for name in names
+        for index, w_b in enumerate(weights_b)
+    ]
+    sweep = engine.run(
+        points, method=method, jobs=jobs, progress=progress,
+        counters=counters,
+    )
 
-    for name, builder in builders.items():
-        mama = builder() if builder is not None else None
-        analyzer = PerformabilityAnalyzer(
-            ftlqn, mama, failure_probs=figure1_failure_probs(mama)
+    series = [
+        Figure11Series(
+            architecture=name,
+            weights_b=tuple(weights_b),
+            expected_rewards=tuple(
+                sweep.point(f"{name}@w{index}").expected_reward
+                for index in range(len(weights_b))
+            ),
         )
-        result = analyzer.solve(method=method)
-        rewards = []
-        for w_b in weights_b:
-            reward_fn = weighted_throughput_reward({"UserA": 1.0, "UserB": w_b})
-            expected = sum(
-                record.probability
-                * reward_fn(record.configuration, _FakeResults(record.throughputs))
-                for record in result.records
-                if record.configuration is not None
-            )
-            rewards.append(expected)
-        series.append(
-            Figure11Series(
-                architecture=name,
-                weights_b=tuple(weights_b),
-                expected_rewards=tuple(rewards),
-            )
-        )
+        for name in names
+    ]
     return Figure11(series=tuple(series))
-
-
-class _FakeResults:
-    """Adapter presenting stored throughputs through the LQNResults
-    interface expected by reward functions."""
-
-    def __init__(self, throughputs):
-        self.task_throughputs = dict(throughputs)

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
-from repro.core import PerformabilityAnalyzer
+from repro.core import ScanCounters, SweepEngine, SweepPoint
+from repro.core.progress import ProgressCallback
 from repro.experiments.architectures import ARCHITECTURE_BUILDERS
 from repro.experiments.figure1 import figure1_failure_probs, figure1_system
 
@@ -60,31 +61,60 @@ def run_sensitivity(
     *,
     probabilities: Sequence[float] = DEFAULT_PROBABILITIES,
     method: str = "factored",
+    jobs: int = 1,
+    progress: ProgressCallback | None = None,
+    counters: ScanCounters | None = None,
 ) -> SensitivityReport:
-    """Sweep management failure probability across the architectures."""
-    ftlqn = figure1_system()
-    perfect = PerformabilityAnalyzer(
-        ftlqn, None, failure_probs=figure1_failure_probs()
-    ).solve(method=method)
+    """Sweep management failure probability across the architectures.
 
-    series = []
-    for name, builder in ARCHITECTURE_BUILDERS.items():
-        mama = builder()
-        points = []
-        for probability in probabilities:
-            probs = figure1_failure_probs(mama, management=probability)
-            result = PerformabilityAnalyzer(
-                ftlqn, mama, failure_probs=probs
-            ).solve(method=method)
+    Runs on :class:`~repro.core.SweepEngine`, so the fault graph and
+    ``know`` table are derived once per architecture and every distinct
+    operational configuration is solved by the LQN solver exactly once
+    across the whole sweep.  Pass ``counters`` to observe the cache
+    effectiveness (``lqn_solves`` vs ``lqn_cache_hits``).
+    """
+    ftlqn = figure1_system()
+    architectures = {
+        name: builder() for name, builder in ARCHITECTURE_BUILDERS.items()
+    }
+    engine = SweepEngine(ftlqn, architectures)
+
+    points = [
+        SweepPoint(name="perfect", failure_probs=figure1_failure_probs())
+    ]
+    for name, mama in architectures.items():
+        for index, probability in enumerate(probabilities):
             points.append(
-                SensitivityPoint(
-                    management_probability=probability,
-                    expected_reward=result.expected_reward,
-                    failed_probability=result.failed_probability,
+                SweepPoint(
+                    name=f"{name}#{index}",
+                    architecture=name,
+                    failure_probs=figure1_failure_probs(
+                        mama, management=probability
+                    ),
                 )
             )
+    sweep = engine.run(
+        points, method=method, jobs=jobs, progress=progress,
+        counters=counters,
+    )
+
+    perfect = sweep.point("perfect")
+    series = []
+    for name in architectures:
         series.append(
-            SensitivitySeries(architecture=name, points=tuple(points))
+            SensitivitySeries(
+                architecture=name,
+                points=tuple(
+                    SensitivityPoint(
+                        management_probability=probability,
+                        expected_reward=entry.expected_reward,
+                        failed_probability=entry.failed_probability,
+                    )
+                    for probability, entry in zip(
+                        probabilities, sweep.series(name)
+                    )
+                ),
+            )
         )
     return SensitivityReport(
         series=tuple(series),

@@ -1,5 +1,6 @@
 """The ``python -m repro`` command-line interface."""
 
+import dataclasses
 import json
 
 import pytest
@@ -7,7 +8,7 @@ import pytest
 from repro.cli import main
 from repro.ftlqn import model_to_json
 from repro.mama.serialize import mama_to_json
-from repro.experiments.architectures import centralized_mama
+from repro.experiments.architectures import centralized_mama, network_mama
 from repro.experiments.figure1 import figure1_failure_probs, figure1_system
 
 
@@ -100,6 +101,188 @@ class TestAnalyze:
             "analyze", ftlqn, "--probs", probs_path, "--method", "enumeration"
         ]) == 0
         assert "enumeration evaluation" in capsys.readouterr().out
+
+
+class TestProbsFileShapes:
+    def test_common_causes_only_structured_file(self, model_files, capsys):
+        # Regression: the structured form used to be recognised only by
+        # its "failure_probs" key, so a causes-only file was misread as
+        # a flat component→probability map.
+        ftlqn, mama, _ = model_files
+        causes_only = ftlqn.replace("figure1.json", "causes_only.json")
+        with open(causes_only, "w") as handle:
+            json.dump(
+                {
+                    "common_causes": [
+                        {"name": "rack", "probability": 0.05,
+                         "components": ["proc3", "proc4"]}
+                    ]
+                },
+                handle,
+            )
+        code = main(["analyze", ftlqn, "--mama", mama,
+                     "--probs", causes_only])
+        assert code == 0
+        # Components without probabilities are pinned up, so only the
+        # cause variable is stochastic — and the failure probability is
+        # exactly the cause's.
+        out = capsys.readouterr().out
+        assert "state space: 2 states" in out
+        assert "0.050000" in out
+
+    def test_unknown_keys_rejected(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        bad = ftlqn.replace("figure1.json", "bad_keys.json")
+        with open(bad, "w") as handle:
+            json.dump({"failure_probs": {}, "typo_key": 1}, handle)
+        assert main(["analyze", ftlqn, "--probs", bad]) == 2
+        err = capsys.readouterr().err
+        assert "unknown keys" in err
+        assert "typo_key" in err
+
+    def test_malformed_json_is_a_one_line_error(self, model_files, capsys):
+        ftlqn, _, _ = model_files
+        broken = ftlqn.replace("figure1.json", "broken.json")
+        with open(broken, "w") as handle:
+            handle.write("{not json")
+        assert main(["analyze", ftlqn, "--probs", broken]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "not valid JSON" in err
+
+    def test_malformed_weights_exit_2(self, model_files, capsys):
+        ftlqn, mama, probs = model_files
+        code = main([
+            "analyze", ftlqn, "--mama", mama, "--probs", probs,
+            "--weights", "{not json",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--weights" in err
+
+    def test_missing_probability_is_a_repro_error(self):
+        # Regression: ``probability()`` used to leak a bare KeyError on
+        # unpriced variables; it must raise a ReproError subtype so the
+        # CLI error net turns it into a one-line exit-2 message.
+        from repro.booleans import probability
+        from repro.booleans.expr import Var
+        from repro.errors import ModelError, ReproError
+
+        with pytest.raises(ModelError, match="missing probabilities"):
+            probability(Var("a"), {})
+        assert issubclass(ModelError, ReproError)
+
+
+class TestSweep:
+    @pytest.fixture
+    def spec_files(self, tmp_path):
+        centralized = centralized_mama()
+        network = network_mama()
+        (tmp_path / "figure1.json").write_text(
+            model_to_json(figure1_system())
+        )
+        (tmp_path / "centralized.json").write_text(
+            mama_to_json(centralized)
+        )
+        (tmp_path / "network.json").write_text(mama_to_json(network))
+        spec = {
+            "model": "figure1.json",
+            "architectures": {
+                "centralized": "centralized.json",
+                "network": "network.json",
+            },
+            "base": {"failure_probs": figure1_failure_probs()},
+            "points": [
+                {"name": "perfect"},
+                {"name": "c@0.1", "architecture": "centralized",
+                 "failure_probs": figure1_failure_probs(centralized)},
+                {"name": "c@again", "architecture": "centralized",
+                 "failure_probs": figure1_failure_probs(centralized)},
+                {"name": "n@0.1", "architecture": "network",
+                 "failure_probs": figure1_failure_probs(network)},
+            ],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        return tmp_path, str(spec_path)
+
+    def test_sweep_end_to_end(self, spec_files, capsys):
+        tmp_path, spec = spec_files
+        json_out = tmp_path / "out.json"
+        csv_out = tmp_path / "out.csv"
+        code = main([
+            "sweep", spec, "--json", str(json_out), "--csv", str(csv_out),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: 4 points" in out
+        assert "cache hits" in out
+        assert "cached" in out  # the repeated centralized point
+
+        document = json.loads(json_out.read_text())
+        assert document["counters"]["lqn_solves"] == 6
+        assert document["counters"]["distinct_configurations"] == 7
+        assert document["counters"]["scan_cache_hits"] == 1
+        assert [p["name"] for p in document["points"]] == [
+            "perfect", "c@0.1", "c@again", "n@0.1",
+        ]
+        lines = csv_out.read_text().splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("name,architecture,expected_reward")
+
+    def test_sweep_progress_flag(self, spec_files, capsys):
+        _, spec = spec_files
+        assert main(["sweep", spec, "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[sweep]" in err
+        assert "points" in err
+
+    def test_sweep_missing_spec_file(self, capsys):
+        assert main(["sweep", "/nonexistent/spec.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_spec_keys(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"model": "x.json", "points": [],
+                                    "bogus": 1}))
+        assert main(["sweep", str(spec)]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_architecture_reference(
+        self, spec_files, capsys
+    ):
+        tmp_path, _ = spec_files
+        spec = {
+            "model": "figure1.json",
+            "points": [{"name": "p", "architecture": "galactic"}],
+        }
+        path = tmp_path / "spec2.json"
+        path.write_text(json.dumps(spec))
+        assert main(["sweep", str(path)]) == 2
+        assert "unknown architecture" in capsys.readouterr().err
+
+
+class TestUnconvergedReporting:
+    def test_analyze_marks_unconverged_records(
+        self, model_files, capsys, monkeypatch
+    ):
+        from repro.core import performability as mod
+
+        real = mod.solve_lqn
+        monkeypatch.setattr(
+            mod,
+            "solve_lqn",
+            lambda lqn: dataclasses.replace(real(lqn), converged=False),
+        )
+        ftlqn, mama, probs = model_files
+        code = main(["analyze", ftlqn, "--mama", mama, "--probs", probs,
+                     "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[unconverged]" in captured.out
+        assert "did not meet the LQN convergence" in captured.err
+        assert "6 unconverged" in captured.err
 
 
 class TestImportance:
