@@ -1,0 +1,104 @@
+"""Design-space search — shared caches vs per-candidate fresh analyzers.
+
+Exhaustively searches a Figure-1 design space (generated topologies ×
+styles × upgrades plus the paper's explicit architectures) through the
+shared :class:`repro.core.SweepEngine`, then re-evaluates every
+candidate with a fresh per-candidate ``PerformabilityAnalyzer`` —
+exactly what the search replaced.  The results must agree bit for bit,
+the shared-cache search must solve strictly fewer LQNs than
+candidates × configurations, and it must be measurably faster; the
+cache-hit rate and speedup land in ``extra_info``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer, ScanCounters
+from repro.experiments.architectures import centralized_mama
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+from repro.optimize import DesignSpace, DesignSpaceSearch, UpgradeOption
+
+
+def build_space() -> DesignSpace:
+    return DesignSpace(
+        figure1_system(),
+        tasks={"AppA": "proc1", "AppB": "proc2",
+               "Server1": "proc3", "Server2": "proc4"},
+        topologies=("none", "centralized", "distributed"),
+        styles=("agents-status", "direct"),
+        upgrades=(
+            UpgradeOption("Server1", 0.01, cost=3.0, name="raid1"),
+            UpgradeOption("Server2", 0.01, cost=3.0, name="raid2"),
+        ),
+        base_failure_probs=figure1_failure_probs(),
+        explicit={"figure7": centralized_mama()},
+    )
+
+
+def test_optimize_shared_cache_search(benchmark):
+    counters = ScanCounters()
+    timing = {}
+
+    def run():
+        space = build_space()
+        search = DesignSpaceSearch(space, counters=counters)
+        start = time.perf_counter()
+        result = search.exhaustive()
+        timing["engine"] = time.perf_counter() - start
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.evaluations) == result.space_size
+
+    # Per-candidate baseline: one fresh analyzer per candidate, exactly
+    # what the shared engine replaced.
+    space = build_space()
+    start = time.perf_counter()
+    baseline = {}
+    configurations_total = 0
+    for candidate in space.candidates():
+        mama = space.architectures()[candidate.architecture]
+        probs = dict(space.base_failure_probs)
+        probs.update(candidate.failure_probs)
+        solved = PerformabilityAnalyzer(
+            figure1_system(), mama, failure_probs=probs
+        ).solve()
+        baseline[candidate.name] = solved
+        # Operational configurations of this candidate = LQN solves a
+        # fresh analyzer pays for it.
+        configurations_total += sum(
+            1 for record in solved.records if record.configuration is not None
+        )
+    timing["baseline"] = time.perf_counter() - start
+
+    # Bit-for-bit agreement with the per-candidate analyzers.
+    for entry in result.evaluations:
+        reference = baseline[entry.name]
+        assert entry.expected_reward == reference.expected_reward
+        assert entry.failed_probability == reference.failed_probability
+
+    # The headline claim: the shared-cache search solves strictly fewer
+    # LQNs than candidates x configurations (the fresh-analyzer cost),
+    # collapsing onto the distinct-configuration count.
+    assert counters.lqn_solves < configurations_total
+    assert counters.lqn_solves <= counters.distinct_configurations
+    hit_total = counters.lqn_solves + counters.lqn_cache_hits
+    benchmark.extra_info["candidates"] = result.space_size
+    benchmark.extra_info["lqn_solves"] = counters.lqn_solves
+    benchmark.extra_info["lqn_cache_hits"] = counters.lqn_cache_hits
+    benchmark.extra_info["lqn_cache_hit_rate"] = (
+        counters.lqn_cache_hits / hit_total if hit_total else 0.0
+    )
+    benchmark.extra_info["fresh_analyzer_lqn_solves"] = configurations_total
+    benchmark.extra_info["baseline_seconds"] = timing["baseline"]
+    benchmark.extra_info["engine_seconds"] = timing["engine"]
+    benchmark.extra_info["speedup"] = timing["baseline"] / timing["engine"]
+    assert timing["baseline"] > timing["engine"]
+
+    # Sanity on the search outcome: some managed candidate beats the
+    # no-management baseline, which scores exactly zero.
+    best = result.best()
+    assert best is not None and best.expected_reward > 0.0
+    none_entry = result.evaluation("none")
+    assert none_entry.expected_reward == pytest.approx(0.0, abs=1e-12)

@@ -20,6 +20,11 @@ Commands
     Evaluate a multi-scenario sweep specification over the shared-cache
     :class:`~repro.core.sweep.SweepEngine` and export JSON/CSV
     artifacts.
+``optimize``
+    Search a generated design space of management architectures,
+    report the Pareto frontier over (expected reward, cost, component
+    count) and recommend the best candidate under a cost budget (see
+    :mod:`repro.optimize`).
 
 Model files use the JSON formats of :mod:`repro.ftlqn.serialize` and
 :mod:`repro.mama.serialize`.  The ``--probs`` file is either a flat
@@ -200,8 +205,11 @@ def _cmd_analyze(args) -> int:
 def _cmd_importance(args) -> int:
     ftlqn, mama = _load_models(args)
     probs, causes = _load_probs(args.probs)
+    progress = console_progress(sys.stderr) if args.progress else None
+    counters = ScanCounters()
     records = importance_analysis(
-        ftlqn, mama, probs, common_causes=causes
+        ftlqn, mama, probs, common_causes=causes, method=args.method,
+        jobs=args.jobs, progress=progress, counters=counters,
     )
     print(f"{'component':>16} {'reward imp.':>12} {'failure imp.':>13} "
           f"{'potential':>10}")
@@ -209,6 +217,28 @@ def _cmd_importance(args) -> int:
         print(f"{record.component:>16} {record.reward_importance:12.4f} "
               f"{record.failure_importance:13.4f} "
               f"{record.improvement_potential:10.4f}")
+    if args.json_out:
+        document = {
+            "method": args.method,
+            "jobs": args.jobs,
+            "counters": counters.as_dict(),
+            "records": [
+                {
+                    "component": record.component,
+                    "reward_importance": record.reward_importance,
+                    "failure_importance": record.failure_importance,
+                    "improvement_potential": record.improvement_potential,
+                    "reward_if_up": record.reward_if_up,
+                    "reward_if_down": record.reward_if_down,
+                    "failure_if_up": record.failure_if_up,
+                    "failure_if_down": record.failure_if_down,
+                    "baseline_reward": record.baseline_reward,
+                }
+                for record in records
+            ],
+        }
+        Path(args.json_out).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.json_out}", file=sys.stderr)
     return 0
 
 
@@ -318,6 +348,131 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _load_optimize_spec(path: str):
+    """Parse an optimize-spec file into (space, search spec, weights)."""
+    from repro.optimize.spec import (
+        SPEC_KEYS,
+        search_spec_from_document,
+        space_from_document,
+    )
+
+    document = _load_json(path, "optimize spec")
+    if not isinstance(document, dict):
+        raise SerializationError("optimize spec must be a JSON object")
+    unknown = sorted(set(document) - SPEC_KEYS)
+    if unknown:
+        raise SerializationError(
+            f"optimize spec has unknown keys {unknown}; allowed: "
+            f"{sorted(SPEC_KEYS)}"
+        )
+    if "model" not in document:
+        raise SerializationError(
+            'optimize spec needs a "model" entry (FTLQN JSON file path)'
+        )
+    base_dir = Path(path).parent
+
+    def resolve(entry: object) -> str:
+        if not isinstance(entry, str):
+            raise SerializationError(
+                f"optimize spec file paths must be strings, got {entry!r}"
+            )
+        candidate = Path(entry)
+        return str(candidate if candidate.is_absolute() else base_dir / candidate)
+
+    ftlqn = model_from_json(_read(resolve(document["model"])))
+    architectures_doc = document.get("architectures", {})
+    if not isinstance(architectures_doc, dict):
+        raise SerializationError(
+            '"architectures" must map names to MAMA JSON file paths'
+        )
+    explicit = {
+        str(name): mama_from_json(_read(resolve(entry)))
+        for name, entry in architectures_doc.items()
+    }
+    base = document.get("base", {})
+    if not isinstance(base, dict):
+        raise SerializationError('"base" must be a JSON object')
+    unknown = sorted(set(base) - {"failure_probs", "common_causes"})
+    if unknown:
+        raise SerializationError(
+            f'"base" has unknown keys {unknown}; allowed: '
+            '"failure_probs" and "common_causes"'
+        )
+    space = space_from_document(
+        document.get("space"),
+        ftlqn,
+        explicit=explicit or None,
+        base_failure_probs=probs_from_document(
+            base.get("failure_probs", {}), label='"base" failure_probs'
+        ),
+        common_causes=causes_from_documents(base.get("common_causes", [])),
+    )
+    weights = None
+    if "weights" in document:
+        weights = probs_from_document(document["weights"], label='"weights"')
+    return space, search_spec_from_document(document.get("search")), weights
+
+
+def _cmd_optimize(args) -> int:
+    from repro.optimize import DesignSpaceSearch, OptimizationReport
+
+    space, spec, weights = _load_optimize_spec(args.spec)
+    progress = console_progress(sys.stderr) if args.progress else None
+    budget = args.budget if args.budget is not None else spec.budget
+    strategy = args.strategy or spec.strategy
+    search = DesignSpaceSearch(
+        space, weights=weights, method=args.method, jobs=args.jobs,
+        progress=progress,
+    )
+    if strategy == "exhaustive":
+        result = search.exhaustive()
+    else:
+        result = search.greedy(
+            seed=spec.seed, restarts=spec.restarts,
+            max_rounds=spec.max_rounds, move_limit=spec.move_limit,
+        )
+    report = OptimizationReport.from_search(result, budget=budget)
+
+    print(f"space: {result.space_size} candidates, "
+          f"{len(result.evaluations)} evaluated ({result.strategy}"
+          + (f", {result.rounds} accepted moves" if result.strategy == "greedy"
+             else "")
+          + ")")
+    print(f"{'candidate':>36} {'E[reward]':>10} {'P(failed)':>10} "
+          f"{'cost':>8} {'comps':>5}  frontier")
+    for entry in result.evaluations:
+        marks = []
+        if entry in report.frontier:
+            marks.append("*")
+        if entry is report.recommended:
+            marks.append("recommended")
+        print(f"{entry.name:>36} {entry.expected_reward:10.4f} "
+              f"{entry.failed_probability:10.6f} {entry.cost:8.2f} "
+              f"{entry.component_count:5d}  {' '.join(marks)}")
+    c = result.counters
+    print(
+        f"search: {c.distinct_configurations} distinct configurations, "
+        f"{c.scan_cache_hits} scan-cache hits; "
+        f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
+        f"({100.0 * result.lqn_cache_hit_rate:.1f}% hit rate)"
+    )
+    if budget is not None:
+        if report.recommended is None:
+            print(f"no candidate fits budget {budget}")
+        else:
+            print(f"recommended under budget {budget}: "
+                  f"{report.recommended.name} "
+                  f"(E[reward] {report.recommended.expected_reward:.4f}, "
+                  f"cost {report.recommended.cost:.2f})")
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json())
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        Path(args.csv_out).write_text(report.to_csv())
+        print(f"wrote {args.csv_out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_paper(args) -> int:
     from repro.experiments.figure11 import run_figure11
     from repro.experiments.reporting import (
@@ -326,6 +481,7 @@ def _cmd_paper(args) -> int:
         format_table1,
         format_table2,
     )
+    from repro.experiments.selection import format_selection, run_selection
     from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
     from repro.experiments.statespace import run_statespace
     from repro.experiments.table1 import run_table1
@@ -337,6 +493,7 @@ def _cmd_paper(args) -> int:
         "figure11": lambda: format_figure11(run_figure11()),
         "statespace": lambda: format_statespace(run_statespace()),
         "sensitivity": lambda: format_sensitivity(run_sensitivity()),
+        "selection": lambda: format_selection(run_selection()),
     }
     names = args.artifacts or list(artifacts)
     unknown = [name for name in names if name not in artifacts]
@@ -404,9 +561,30 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(handler=_cmd_analyze)
 
     importance = commands.add_parser(
-        "importance", help="rank components by Birnbaum importance"
+        "importance", help="rank components by Birnbaum importance",
+        epilog="Each component is conditioned up and down over one "
+        "shared structure and LQN cache, so the extra cost per "
+        "component is two state-space scans.  --jobs parallelises each "
+        "scan; --json exports the full ranking with the aggregated "
+        "cost counters.",
     )
     add_model_args(importance)
+    importance.add_argument(
+        "--method", choices=("factored", "enumeration"), default="factored"
+    )
+    importance.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per conditioned state-space scan "
+        "(default 1 = sequential; 0 = all cores)",
+    )
+    importance.add_argument(
+        "--progress", action="store_true",
+        help="stream scan/LQN progress to stderr",
+    )
+    importance.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the ranking (records and counters) as JSON",
+    )
     importance.set_defaults(handler=_cmd_importance)
 
     dot = commands.add_parser("dot", help="emit Graphviz renderings")
@@ -452,12 +630,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(handler=_cmd_sweep)
 
+    optimize = commands.add_parser(
+        "optimize", help="search a design space of management architectures",
+        epilog="The spec file names the FTLQN model, a parametric "
+        "candidate space (manager topologies × monitoring styles × "
+        "reliability upgrades, each candidate costed), optional "
+        "explicit architectures, and the search strategy (see "
+        "repro/optimize/spec.py for the JSON shape).  All candidates "
+        "are evaluated over one shared sweep engine, so the search "
+        "solves one LQN per distinct configuration in the space.  The "
+        "report lists every candidate, marks the Pareto frontier over "
+        "(reward, cost, component count), and recommends the best "
+        "candidate under --budget.  docs/modeling_guide.md documents "
+        "the spec, the cost model and the frontier semantics.",
+    )
+    optimize.add_argument("spec", help="optimize specification JSON file")
+    optimize.add_argument(
+        "--strategy", choices=("exhaustive", "greedy"),
+        help="override the spec's search strategy",
+    )
+    optimize.add_argument(
+        "--budget", type=float, metavar="B",
+        help="recommend the best candidate with cost <= B "
+        "(overrides the spec's search.budget)",
+    )
+    optimize.add_argument(
+        "--method", choices=("factored", "enumeration"), default="factored"
+    )
+    optimize.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for each candidate's state-space scan "
+        "(default 1 = sequential; 0 = all cores)",
+    )
+    optimize.add_argument(
+        "--progress", action="store_true",
+        help="stream sweep/scan/LQN progress to stderr",
+    )
+    optimize.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the full report (candidates, frontier, counters) "
+        "as JSON",
+    )
+    optimize.add_argument(
+        "--csv", dest="csv_out", metavar="FILE",
+        help="write one CSV row per candidate (reward, cost, frontier "
+        "and recommendation flags)",
+    )
+    optimize.set_defaults(handler=_cmd_optimize)
+
     paper = commands.add_parser(
         "paper", help="regenerate the paper's evaluation artifacts"
     )
     paper.add_argument(
         "artifacts", nargs="*",
-        help="table1 table2 figure11 statespace sensitivity (default: all)",
+        help="table1 table2 figure11 statespace sensitivity selection "
+        "(default: all)",
     )
     paper.set_defaults(handler=_cmd_paper)
     return parser

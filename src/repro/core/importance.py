@@ -17,15 +17,30 @@ down:
 Management components participate exactly like application components,
 so the analysis directly answers the paper's motivating question of how
 much the management architecture itself matters.
+
+Every conditioned run shares one :class:`AnalysisStructure` (the fault
+graph and ``know`` table depend only on the models, not on what is
+pinned) and one LQN cache (a configuration's performance is independent
+of probabilities), so the per-component cost is two state-space scans
+and zero new LQN solves once the baseline has been evaluated.  The
+scans dispatch over the parallel engine via ``jobs=`` and report into
+``counters=``/``progress=`` like
+:meth:`~repro.core.performability.PerformabilityAnalyzer.solve`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, MutableMapping
 
 from repro.core.dependency import CommonCause
-from repro.core.performability import PerformabilityAnalyzer
+from repro.core.enumeration import resolve_jobs
+from repro.core.performability import (
+    AnalysisStructure,
+    PerformabilityAnalyzer,
+    derive_structure,
+)
+from repro.core.progress import ProgressCallback, ScanCounters
 from repro.core.rewards import RewardFunction
 from repro.errors import ModelError
 from repro.ftlqn.model import FTLQNModel
@@ -71,14 +86,27 @@ def importance_analysis(
     components: Iterable[str] | None = None,
     common_causes: tuple[CommonCause, ...] = (),
     method: str = "factored",
+    jobs: int = 1,
+    progress: ProgressCallback | None = None,
+    counters: ScanCounters | None = None,
+    structure: AnalysisStructure | None = None,
+    lqn_cache: MutableMapping[frozenset[str], LQNResults] | None = None,
 ) -> list[ImportanceRecord]:
     """Birnbaum importance of every (or the given) unreliable component.
 
     Common-cause events participate too: conditioning an event "up"
     means it never fires, "down" that it has fired.  Returns records
-    sorted by decreasing reward importance.  LQN solutions are shared
-    across all conditioned runs, so the cost is one
-    configuration-probability evaluation per component and state.
+    sorted by decreasing reward importance.
+
+    One :class:`~repro.core.performability.AnalysisStructure` and one
+    LQN cache are shared across the baseline and all conditioned runs
+    (or injected via ``structure=``/``lqn_cache=``, e.g. a
+    :class:`~repro.core.sweep.SweepEngine`'s caches during a
+    design-space search), so conditioning only re-scans the state space.
+    ``jobs`` sets the worker-process count per scan (``0`` = all
+    cores), ``progress`` receives the usual per-phase events, and
+    ``counters`` accumulates scan/LQN statistics across *all*
+    conditioned runs.
 
     Raises
     ------
@@ -88,10 +116,23 @@ def importance_analysis(
         measure.
     """
     common_causes = tuple(common_causes)
-    baseline = PerformabilityAnalyzer(
-        ftlqn, mama, failure_probs=failure_probs, reward=reward,
-        common_causes=common_causes,
-    )
+    jobs = resolve_jobs(jobs)
+    if counters is None:
+        counters = ScanCounters()
+    if structure is None:
+        structure = derive_structure(ftlqn, mama)
+    if lqn_cache is None:
+        lqn_cache = {}
+
+    def make_analyzer(
+        probs: Mapping[str, float], causes: tuple[CommonCause, ...]
+    ) -> PerformabilityAnalyzer:
+        return PerformabilityAnalyzer(
+            ftlqn, mama, failure_probs=probs, reward=reward,
+            common_causes=causes, structure=structure, lqn_cache=lqn_cache,
+        )
+
+    baseline = make_analyzer(failure_probs, common_causes)
     unreliable = set(baseline.problem.app_components) | set(
         baseline.problem.mgmt_components
     )
@@ -106,24 +147,16 @@ def importance_analysis(
                 "importance is undefined for pinned or perfect components"
             )
 
-    reward_cache: dict[frozenset[str], float] = {}
-
     def expected_metrics(analyzer: PerformabilityAnalyzer) -> tuple[float, float]:
-        """(expected reward, failure probability) reusing LQN solutions."""
-        probabilities = analyzer.configuration_probabilities(method=method)
-        total = 0.0
-        failed = 0.0
-        for configuration, probability in probabilities.items():
-            if configuration is None:
-                failed += probability
-                continue
-            value = reward_cache.get(configuration)
-            if value is None:
-                results: LQNResults = baseline.performance_of(configuration)
-                value = baseline._reward(configuration, results)
-                reward_cache[configuration] = value
-            total += probability * value
-        return total, failed
+        """(expected reward, failure probability) over shared caches."""
+        probabilities = analyzer.configuration_probabilities(
+            method=method, jobs=jobs, progress=progress, counters=counters
+        )
+        result = analyzer.evaluate_probabilities(
+            probabilities, method=method, jobs=jobs, progress=progress,
+            counters=counters,
+        )
+        return result.expected_reward, result.failed_probability
 
     baseline_reward, _ = expected_metrics(baseline)
 
@@ -137,16 +170,10 @@ def importance_analysis(
                 else c
                 for c in common_causes
             )
-            return PerformabilityAnalyzer(
-                ftlqn, mama, failure_probs=failure_probs, reward=reward,
-                common_causes=causes,
-            )
+            return make_analyzer(failure_probs, causes)
         probs = dict(failure_probs)
         probs[component] = pinned
-        return PerformabilityAnalyzer(
-            ftlqn, mama, failure_probs=probs, reward=reward,
-            common_causes=common_causes,
-        )
+        return make_analyzer(probs, common_causes)
 
     records = []
     for component in targets:

@@ -311,6 +311,22 @@ class SweepEngine:
     def architectures(self) -> Mapping[str, MAMAModel]:
         return dict(self._architectures)
 
+    def add_architecture(self, name: str, mama: MAMAModel) -> None:
+        """Register one more architecture variant after construction.
+
+        Re-registering an existing key with a different model is
+        rejected — the structure cache is keyed by name, so silently
+        swapping the model would serve stale structures.
+        """
+        if name in self._architectures:
+            if self._architectures[name] is not mama:
+                raise ModelError(
+                    f"architecture {name!r} is already registered with a "
+                    "different model"
+                )
+            return
+        self._architectures[name] = mama
+
     @property
     def lqn_cache(self) -> Mapping[frozenset[str], LQNResults]:
         """The shared cross-point configuration→LQN-results cache."""
@@ -336,6 +352,11 @@ class SweepEngine:
                 f"unknown architecture {architecture!r}; available: "
                 f"{sorted(self._architectures)} (None = perfect knowledge)"
             ) from None
+
+    def effective_failure_probs(self, point: SweepPoint) -> dict[str, float]:
+        """The base-plus-overlay failure map a point is solved with
+        (public wrapper over the internal overlay logic)."""
+        return self._effective_probs(point)
 
     def _effective_probs(self, point: SweepPoint) -> dict[str, float]:
         """Base map overlaid with the point's overrides.

@@ -29,6 +29,7 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.figure11 import run_figure11
 from repro.experiments.statespace import run_statespace
 from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.selection import run_selection
 
 __all__ = [
     "APPLICATION_FAILURE_PROBABILITY",
@@ -41,6 +42,7 @@ __all__ = [
     "hierarchical_mama",
     "network_mama",
     "run_figure11",
+    "run_selection",
     "run_sensitivity",
     "run_statespace",
     "run_table1",

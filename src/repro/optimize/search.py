@@ -1,0 +1,425 @@
+"""Search strategies over a candidate design space.
+
+Two strategies, both evaluating every candidate through one shared
+:class:`~repro.core.sweep.SweepEngine`:
+
+* :meth:`DesignSpaceSearch.exhaustive` — evaluate every candidate of
+  the space; exact, the default for small spaces;
+* :meth:`DesignSpaceSearch.greedy` — importance-guided local search
+  for spaces too large to enumerate: walk from a start candidate by
+  single moves (switch architecture, toggle one upgrade), ranking the
+  upgrade toggles by
+  :func:`~repro.core.importance.importance_analysis` reward-importance
+  so the most reward-critical components are tried first, with
+  seeded random restarts against local optima.
+
+Sharing the engine is what makes search affordable: every candidate of
+one architecture reuses that architecture's derived structure, two
+candidates with the same effective probability map share one
+state-space scan, and *all* candidates share one LQN cache — so a
+whole search solves one LQN per distinct configuration in the space,
+not per candidate × configuration (asserted by
+``benchmarks/bench_optimize.py``).  The greedy ranking plugs the same
+caches into ``importance_analysis`` via its ``structure=`` /
+``lqn_cache=`` arguments, so move ranking costs scans, never new
+solves.
+
+Both strategies record every candidate they touch; the
+:class:`SearchResult` hands the full evaluation list to
+:mod:`repro.optimize.frontier` for Pareto and budget queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.enumeration import resolve_jobs
+from repro.core.importance import importance_analysis
+from repro.core.progress import ProgressCallback, ScanCounters
+from repro.core.rewards import RewardFunction, weighted_throughput_reward
+from repro.core.sweep import SweepEngine, SweepPointResult
+from repro.errors import ModelError
+from repro.optimize.space import Candidate, DesignSpace, UpgradeOption
+
+
+@dataclass(frozen=True)
+class CandidateEvaluation:
+    """One evaluated candidate: the design-space point plus the
+    performability outcome of its sweep evaluation."""
+
+    candidate: Candidate
+    expected_reward: float
+    failed_probability: float
+    scan_cached: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+    @property
+    def architecture(self) -> str:
+        return self.candidate.architecture
+
+    @property
+    def cost(self) -> float:
+        return self.candidate.cost
+
+    @property
+    def component_count(self) -> int:
+        return self.candidate.component_count
+
+
+def _preference_key(evaluation: CandidateEvaluation) -> tuple:
+    """Total order for "best" queries: highest reward, then cheapest,
+    then fewest components, then name (a deterministic final tie-break)."""
+    return (
+        -evaluation.expected_reward,
+        evaluation.cost,
+        evaluation.component_count,
+        evaluation.name,
+    )
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """All candidates a search evaluated, plus its aggregate costs.
+
+    ``evaluations`` is in evaluation order (exhaustive: the space's
+    generation order; greedy: the order candidates were first visited).
+    ``counters`` aggregates every scan and LQN solve of the search,
+    including the importance analyses that ranked greedy moves;
+    ``counters.distinct_configurations`` counts distinct configurations
+    across *all* evaluated candidates — compare it with
+    ``counters.lqn_solves`` to see the shared-cache effect.
+    ``rounds`` counts accepted greedy moves (0 for exhaustive).
+    """
+
+    evaluations: tuple[CandidateEvaluation, ...]
+    strategy: str
+    space_size: int
+    counters: ScanCounters
+    method: str
+    jobs: int = 1
+    rounds: int = 0
+
+    def evaluation(self, name: str) -> CandidateEvaluation:
+        """Look up one evaluated candidate by name."""
+        for entry in self.evaluations:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    @property
+    def lqn_cache_hit_rate(self) -> float:
+        """Fraction of configuration evaluations served from the shared
+        LQN cache across the whole search."""
+        total = self.counters.lqn_solves + self.counters.lqn_cache_hits
+        return self.counters.lqn_cache_hits / total if total else 0.0
+
+    def best(self, budget: float | None = None) -> CandidateEvaluation | None:
+        """The preferred candidate, optionally under ``cost <= budget``.
+
+        Highest expected reward wins; ties break to lower cost, then
+        fewer components, then name.  ``None`` when no evaluated
+        candidate fits the budget.
+        """
+        feasible = [
+            entry for entry in self.evaluations
+            if budget is None or entry.cost <= budget
+        ]
+        if not feasible:
+            return None
+        return min(feasible, key=_preference_key)
+
+
+class DesignSpaceSearch:
+    """Stateful search session over one :class:`DesignSpace`.
+
+    All strategies called on one session share the engine caches and
+    the evaluation memo, so e.g. a greedy pass after an exhaustive pass
+    costs nothing, and interleaved :meth:`evaluate` calls never re-solve
+    a candidate.
+
+    Parameters
+    ----------
+    space:
+        The candidate space to search.
+    weights:
+        Optional reward weights per reference task; default is the
+        unweighted throughput sum.
+    method / jobs / progress / counters:
+        As in :meth:`~repro.core.sweep.SweepEngine.run`, applied to
+        every candidate evaluation and move-ranking importance run.
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        *,
+        weights: Mapping[str, float] | None = None,
+        method: str = "factored",
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
+        counters: ScanCounters | None = None,
+    ):
+        self.space = space
+        self.method = method
+        self.jobs = resolve_jobs(jobs)
+        self.progress = progress
+        self.counters = counters if counters is not None else ScanCounters()
+        self._reward: RewardFunction | None = (
+            weighted_throughput_reward(dict(weights))
+            if weights is not None
+            else None
+        )
+        self.engine = SweepEngine(
+            space.ftlqn,
+            space.architectures(),
+            base_failure_probs=space.base_failure_probs,
+            base_common_causes=space.common_causes,
+            base_reward=self._reward,
+        )
+        self._evaluated: dict[str, CandidateEvaluation] = {}
+        self._order: list[str] = []
+        self._distinct: set[frozenset[str] | None] = set()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def evaluations(self) -> tuple[CandidateEvaluation, ...]:
+        """Everything evaluated so far, in first-visit order."""
+        return tuple(self._evaluated[name] for name in self._order)
+
+    def evaluate(
+        self, candidates: Iterable[Candidate]
+    ) -> list[CandidateEvaluation]:
+        """Evaluate candidates (memoised) and return their evaluations.
+
+        Fresh candidates run through the shared engine in one sweep;
+        already-seen names are returned from the memo without touching
+        the engine.
+        """
+        requested = list(candidates)
+        fresh: list[Candidate] = []
+        seen: set[str] = set()
+        for candidate in requested:
+            if candidate.name in self._evaluated or candidate.name in seen:
+                continue
+            seen.add(candidate.name)
+            fresh.append(candidate)
+        if fresh:
+            run_counters = ScanCounters()
+            sweep = self.engine.run(
+                [candidate.sweep_point() for candidate in fresh],
+                method=self.method, jobs=self.jobs, progress=self.progress,
+                counters=run_counters,
+            )
+            # The engine reports per-run distinct configurations; the
+            # search tracks its own cross-run set, finalised in
+            # _finalize_counters.
+            run_counters.distinct_configurations = 0
+            self.counters.merge(run_counters)
+            for candidate, entry in zip(fresh, sweep.points):
+                self._record(candidate, entry)
+        return [self._evaluated[candidate.name] for candidate in requested]
+
+    def _record(
+        self, candidate: Candidate, entry: SweepPointResult
+    ) -> None:
+        for record in entry.result.records:
+            self._distinct.add(record.configuration)
+        self._evaluated[candidate.name] = CandidateEvaluation(
+            candidate=candidate,
+            expected_reward=entry.expected_reward,
+            failed_probability=entry.failed_probability,
+            scan_cached=entry.scan_cached,
+        )
+        self._order.append(candidate.name)
+
+    def _finalize(self, strategy: str, rounds: int) -> SearchResult:
+        self.counters.distinct_configurations = len(self._distinct)
+        return SearchResult(
+            evaluations=self.evaluations,
+            strategy=strategy,
+            space_size=self.space.size,
+            counters=self.counters,
+            method=self.method,
+            jobs=self.jobs,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------
+
+    def exhaustive(self) -> SearchResult:
+        """Evaluate every candidate of the space."""
+        self.evaluate(self.space.candidates())
+        return self._finalize("exhaustive", 0)
+
+    # ------------------------------------------------------------------
+
+    def greedy(
+        self,
+        *,
+        seed: int = 0,
+        restarts: int = 0,
+        max_rounds: int | None = None,
+        move_limit: int | None = None,
+    ) -> SearchResult:
+        """Importance-guided local search.
+
+        Starts at the cheapest candidate (no upgrades on the cheapest
+        architecture) and repeatedly takes the best strictly-improving
+        single move — switching architecture (keeping the applicable
+        upgrades) or toggling one upgrade — until none improves the
+        expected reward.  ``restarts`` extra walks start from random
+        candidates drawn with ``random.Random(seed)``; all walks share
+        the caches, and the returned result covers every candidate any
+        walk touched.
+
+        Upgrade-*adding* moves are ranked by the reward importance of
+        their component under the current candidate's scenario
+        (computed over the engine's shared structure and LQN caches);
+        ``move_limit`` keeps only the top-ranked additions per round.
+        Architecture switches and upgrade removals are always
+        considered.  Deterministic for a fixed seed: move generation,
+        ranking tie-breaks and acceptance all order by candidate name.
+
+        ``max_rounds`` caps accepted moves per walk (None = until no
+        move improves).
+        """
+        if restarts < 0:
+            raise ModelError(f"restarts must be >= 0, got {restarts}")
+        rng = random.Random(seed)
+        starts = [self._cheapest_start()]
+        for _ in range(restarts):
+            starts.append(self._random_start(rng))
+        rounds = 0
+        for start in starts:
+            rounds += self._walk(
+                start, max_rounds=max_rounds, move_limit=move_limit
+            )
+        return self._finalize("greedy", rounds)
+
+    def _cheapest_start(self) -> Candidate:
+        candidates = [
+            self.space.candidate(key) for key in self.space.architecture_keys()
+        ]
+        return min(candidates, key=lambda c: (c.cost, c.name))
+
+    def _random_start(self, rng: random.Random) -> Candidate:
+        key = rng.choice(list(self.space.architecture_keys()))
+        applicable = self.space.applicable_upgrades(key)
+        chosen = tuple(u for u in applicable if rng.random() < 0.5)
+        return self.space.candidate(key, chosen)
+
+    def _walk(
+        self,
+        start: Candidate,
+        *,
+        max_rounds: int | None,
+        move_limit: int | None,
+    ) -> int:
+        (current,) = self.evaluate([start])
+        rounds = 0
+        while max_rounds is None or rounds < max_rounds:
+            moves = self._moves(current.candidate, move_limit=move_limit)
+            if not moves:
+                break
+            evaluated = self.evaluate(moves)
+            best = min(evaluated, key=_preference_key)
+            if best.expected_reward <= current.expected_reward:
+                break
+            current = best
+            rounds += 1
+        return rounds
+
+    def _moves(
+        self, candidate: Candidate, *, move_limit: int | None
+    ) -> list[Candidate]:
+        """Single-step neighbours, deterministically ordered."""
+        moves: list[Candidate] = []
+        chosen = set(candidate.upgrades)
+
+        # Architecture switches, carrying over whatever upgrades still
+        # apply under the new architecture.
+        for key in self.space.architecture_keys():
+            if key == candidate.architecture:
+                continue
+            applicable = set(self.space.applicable_upgrades(key))
+            moves.append(self.space.candidate(key, tuple(
+                upgrade for upgrade in candidate.upgrades
+                if upgrade in applicable
+            )))
+
+        # Upgrade removals.
+        for upgrade in candidate.upgrades:
+            moves.append(self.space.candidate(
+                candidate.architecture,
+                tuple(u for u in candidate.upgrades if u is not upgrade),
+            ))
+
+        # Upgrade additions, importance-ranked.
+        additions = [
+            upgrade
+            for upgrade in self.space.applicable_upgrades(
+                candidate.architecture
+            )
+            if upgrade not in chosen
+        ]
+        for upgrade in self._rank_additions(candidate, additions, move_limit):
+            moves.append(self.space.candidate(
+                candidate.architecture, (*candidate.upgrades, upgrade)
+            ))
+        return moves
+
+    def _rank_additions(
+        self,
+        candidate: Candidate,
+        additions: Sequence[UpgradeOption],
+        move_limit: int | None,
+    ) -> list[UpgradeOption]:
+        """Order upgrade additions by the reward importance of their
+        component in the current candidate's scenario, keeping the top
+        ``move_limit``.  Components the scenario pins (probability 0 or
+        1) have no Birnbaum measure and rank last, by name."""
+        if not additions:
+            return []
+        if move_limit is None and len(additions) == 1:
+            return list(additions)
+        point = candidate.sweep_point()
+        effective = self.engine.effective_failure_probs(point)
+        measurable = sorted({
+            upgrade.component
+            for upgrade in additions
+            if 0.0 < effective.get(upgrade.component, 0.0) < 1.0
+        })
+        importance: dict[str, float] = {}
+        if measurable:
+            records = importance_analysis(
+                self.space.ftlqn,
+                self.engine.architectures.get(candidate.architecture),
+                effective,
+                reward=self._reward,
+                components=measurable,
+                common_causes=self.space.common_causes,
+                method=self.method,
+                jobs=self.jobs,
+                progress=self.progress,
+                counters=self.counters,
+                structure=self.engine.structure_for(candidate.architecture),
+                lqn_cache=self.engine.lqn_cache,
+            )
+            importance = {
+                record.component: record.reward_importance
+                for record in records
+            }
+        ranked = sorted(
+            additions,
+            key=lambda u: (-importance.get(u.component, float("-inf")),
+                           u.name),
+        )
+        if move_limit is not None:
+            ranked = ranked[:max(0, move_limit)]
+        return ranked

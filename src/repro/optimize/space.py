@@ -1,0 +1,579 @@
+"""Parametric design spaces of candidate management architectures.
+
+The paper's evaluation hand-picks four architectures (Figures 7–10) and
+compares them; this module turns that comparison into *generation*: a
+:class:`DesignSpace` enumerates MAMA candidates from building blocks —
+
+* **manager topology** — ``"none"`` (no management: the deciding tasks
+  never learn component states, so per Definition 1 they can never
+  validate a reconfiguration target), ``"centralized"`` (one manager),
+  ``"distributed"`` (peer domain managers in a full notify mesh),
+  ``"hierarchical"`` (domain managers under a manager-of-managers);
+* **monitoring style** — ``"agents-status"`` (a local agent per
+  monitored task, status-watch reporting to its manager: the paper's
+  convention), ``"agents-alive"`` (agents report by alive-watch only —
+  cheaper, but an alive-watch carries no third-party status, so the
+  manager learns agent liveness and nothing else), ``"direct"``
+  (managers alive-watch tasks and their processors themselves, no
+  agents);
+* **reliability upgrades** — optional per-component
+  :class:`UpgradeOption` purchases that pin a component to a better
+  failure probability.
+
+Every candidate carries a cost from the :class:`CostModel` (per agent,
+per manager, per dedicated management processor, per connector by kind,
+plus the chosen upgrades) and a *management footprint* (component
+count), so downstream search can trade expected reward against cost and
+complexity on a Pareto frontier.
+
+Candidates are plain (architecture key, failure-probability overlay)
+pairs: the architecture key selects a prebuilt, validated
+:class:`~repro.mama.model.MAMAModel`, and the overlay carries the
+management failure probabilities plus any upgrade pins.  This shape
+feeds straight into :class:`~repro.core.sweep.SweepEngine` points, so a
+whole-space search shares one structure derivation per architecture,
+one scan per distinct probability map, and one LQN solve per distinct
+configuration (see :mod:`repro.optimize.search`).
+
+The generators cover manager/agent topologies over *tasks*; candidates
+that must ping network links or use bespoke wiring (e.g. the paper's
+exact ``network`` organisation of Figure 10) enter through the
+``explicit`` mapping and compose with the same upgrades and cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.core.dependency import CommonCause
+from repro.core.sweep import SweepPoint
+from repro.errors import ModelError
+from repro.ftlqn.fault_graph import build_fault_graph
+from repro.ftlqn.model import FTLQNModel
+from repro.mama.model import ComponentKind, ConnectorKind, MAMAModel
+
+#: Generated manager topologies, in presentation order.
+TOPOLOGIES = ("none", "centralized", "distributed", "hierarchical")
+
+#: Generated monitoring styles (ignored by the ``"none"`` topology).
+STYLES = ("agents-status", "agents-alive", "direct")
+
+
+@dataclass(frozen=True)
+class UpgradeOption:
+    """A purchasable reliability improvement for one component.
+
+    Choosing the upgrade pins ``component`` to failure probability
+    ``probability`` (overriding the base map and any management
+    default) at ``cost``.  ``name`` labels the choice in candidate
+    names; it defaults to ``up.<component>``.
+    """
+
+    component: str
+    probability: float
+    cost: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ModelError(
+                f"upgrade of {self.component!r}: probability must be in "
+                f"[0, 1], got {self.probability}"
+            )
+        if self.cost < 0.0:
+            raise ModelError(
+                f"upgrade of {self.component!r}: cost must be >= 0, "
+                f"got {self.cost}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"up.{self.component}")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-building-block costs of a candidate architecture.
+
+    Units are whatever the study uses (dollars, rack slots, operator
+    attention); only ratios matter to the frontier.  ``processor`` is
+    charged per *dedicated* management processor — a processor in the
+    MAMA model that does not exist in the application model (managers
+    co-hosted on application processors, as in the paper's ``network``
+    organisation, add no processor cost).
+    """
+
+    agent: float = 1.0
+    manager: float = 5.0
+    processor: float = 2.0
+    alive_watch: float = 0.25
+    status_watch: float = 0.5
+    notify: float = 0.25
+
+    def connector(self, kind: ConnectorKind) -> float:
+        if kind is ConnectorKind.ALIVE_WATCH:
+            return self.alive_watch
+        if kind is ConnectorKind.STATUS_WATCH:
+            return self.status_watch
+        return self.notify
+
+    def architecture_cost(
+        self, mama: MAMAModel, *, application_names: frozenset[str]
+    ) -> float:
+        """Total cost of one architecture's management infrastructure."""
+        total = 0.0
+        for component in mama.components.values():
+            if component.name in application_names:
+                continue
+            if component.kind is ComponentKind.AGENT_TASK:
+                total += self.agent
+            elif component.kind is ComponentKind.MANAGER_TASK:
+                total += self.manager
+            elif component.kind is ComponentKind.PROCESSOR:
+                total += self.processor
+        for connector in mama.connectors.values():
+            total += self.connector(connector.kind)
+        return total
+
+    def management_footprint(
+        self, mama: MAMAModel, *, application_names: frozenset[str]
+    ) -> int:
+        """Management components added by the architecture (agents,
+        managers, dedicated processors) — the frontier's third axis."""
+        return sum(
+            1
+            for component in mama.components.values()
+            if component.name not in application_names
+        )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the design space, ready for sweep evaluation.
+
+    ``overrides`` is the failure-probability overlay the candidate adds
+    on top of the space's base map: the management failure probability
+    of every management component of its architecture, then the chosen
+    upgrade pins (upgrades win).
+    """
+
+    name: str
+    architecture: str
+    topology: str
+    style: str | None
+    upgrades: tuple[UpgradeOption, ...]
+    cost: float
+    component_count: int
+    overrides: tuple[tuple[str, float], ...]
+
+    @property
+    def failure_probs(self) -> dict[str, float]:
+        return dict(self.overrides)
+
+    def sweep_point(self) -> SweepPoint:
+        """The :class:`~repro.core.sweep.SweepPoint` evaluating this
+        candidate on a :class:`~repro.core.sweep.SweepEngine` whose
+        architectures come from the same space."""
+        return SweepPoint(
+            name=self.name,
+            architecture=self.architecture,
+            failure_probs=self.failure_probs,
+        )
+
+
+class DesignSpace:
+    """Generator of candidate (architecture, upgrade) combinations.
+
+    Parameters
+    ----------
+    ftlqn:
+        The layered application model the candidates manage.
+    tasks:
+        Monitored application tasks, task name → hosting processor.
+        Must cover every component whose state the reconfiguration
+        decisions need (the service deciders and every task supporting
+        a service target); :func:`~repro.core.performability.derive_structure`
+        rejects architectures that fall short, naming the gap.
+    subscribers:
+        Tasks that receive reconfiguration notifications (subset of
+        ``tasks``).  Defaults to the model's deciding tasks — the t(s)
+        of every service node in the fault propagation graph, exactly
+        the tasks Definition 1 requires to *know* component states.
+        Overriding is allowed (e.g. to study a deliberately blind
+        wiring) but a set missing a decider yields reward 0 under
+        every generated architecture.
+    topologies / styles:
+        Which generated building blocks to combine (defaults: all of
+        :data:`TOPOLOGIES` × :data:`STYLES`).
+    domains:
+        Task partition for the multi-manager topologies, one tuple of
+        task names per domain.  Defaults to a deterministic two-way
+        round-robin split of the sorted task names.
+    upgrades:
+        Optional :class:`UpgradeOption` purchases; every subset is a
+        candidate dimension.  An upgrade applies to a candidate only
+        when its component exists in that candidate's universe
+        (application components always do, management components only
+        under architectures that contain them).
+    management_failure_prob:
+        Failure probability assigned to every management-only component
+        (agents, managers, dedicated processors) of each candidate.
+    base_failure_probs:
+        Application-side failure probabilities, shared by every
+        candidate (the sweep engine's base map).
+    common_causes:
+        Common-cause events shared by every candidate.
+    cost_model:
+        The :class:`CostModel`; defaults to ``CostModel()``.
+    explicit:
+        Extra named architectures (already-built
+        :class:`~repro.mama.model.MAMAModel` instances) to include as
+        candidates alongside the generated ones — e.g. the paper's
+        exact Figures 7–10.  Keys must not collide with generated keys.
+    """
+
+    def __init__(
+        self,
+        ftlqn: FTLQNModel,
+        *,
+        tasks: Mapping[str, str],
+        subscribers: Sequence[str] | None = None,
+        topologies: Sequence[str] = TOPOLOGIES,
+        styles: Sequence[str] = STYLES,
+        domains: Sequence[Sequence[str]] | None = None,
+        upgrades: Sequence[UpgradeOption] = (),
+        management_failure_prob: float = 0.1,
+        base_failure_probs: Mapping[str, float] | None = None,
+        common_causes: Sequence[CommonCause] = (),
+        cost_model: CostModel | None = None,
+        explicit: Mapping[str, MAMAModel] | None = None,
+    ):
+        self.ftlqn = ftlqn.validated()
+        self._application_names = frozenset(ftlqn.component_names())
+        self.tasks = dict(tasks)
+        if not self.tasks:
+            raise ModelError("a design space needs at least one monitored task")
+        unknown = sorted(
+            name for name in self.tasks if name not in ftlqn.tasks
+        )
+        if unknown:
+            raise ModelError(
+                f"monitored tasks {unknown} do not exist in the FTLQN model"
+            )
+        for task, processor in self.tasks.items():
+            expected = ftlqn.tasks[task].processor
+            if processor != expected:
+                raise ModelError(
+                    f"monitored task {task!r} is hosted on {expected!r} "
+                    f"in the FTLQN model, not {processor!r}"
+                )
+        if subscribers is None:
+            # Default to the deciding tasks t(s) of every service node:
+            # exactly the tasks Definition 1 requires to know states.
+            pairs = build_fault_graph(self.ftlqn).required_know_pairs()
+            subscribers = sorted({task for _, task in pairs})
+        self.subscribers = tuple(subscribers)
+        missing = sorted(set(self.subscribers) - set(self.tasks))
+        if missing:
+            raise ModelError(
+                f"subscribers {missing} are not monitored tasks"
+            )
+        self.topologies = tuple(topologies)
+        unknown = sorted(set(self.topologies) - set(TOPOLOGIES))
+        if unknown:
+            raise ModelError(
+                f"unknown topologies {unknown}; choose from {list(TOPOLOGIES)}"
+            )
+        self.styles = tuple(styles)
+        unknown = sorted(set(self.styles) - set(STYLES))
+        if unknown:
+            raise ModelError(
+                f"unknown styles {unknown}; choose from {list(STYLES)}"
+            )
+        if not self.topologies and not (explicit or {}):
+            raise ModelError(
+                "a design space needs topologies or explicit architectures"
+            )
+        if not self.styles and set(self.topologies) - {"none"}:
+            raise ModelError("managed topologies need at least one style")
+        self.domains = self._resolve_domains(domains)
+        self.upgrades = tuple(upgrades)
+        names = [upgrade.name for upgrade in self.upgrades]
+        duplicated = sorted({n for n in names if names.count(n) > 1})
+        if duplicated:
+            raise ModelError(
+                f"upgrade names must be unique; duplicated: {duplicated}"
+            )
+        if not 0.0 <= management_failure_prob <= 1.0:
+            raise ModelError(
+                "management_failure_prob must be in [0, 1], got "
+                f"{management_failure_prob}"
+            )
+        self.management_failure_prob = management_failure_prob
+        self.base_failure_probs = dict(base_failure_probs or {})
+        self.common_causes = tuple(common_causes)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._architectures: dict[str, MAMAModel] = {}
+        for topology in self.topologies:
+            if topology == "none":
+                self._architectures["none"] = self._build("none", None)
+                continue
+            for style in self.styles:
+                key = f"{topology}@{style}"
+                self._architectures[key] = self._build(topology, style)
+        for key, mama in (explicit or {}).items():
+            if key in self._architectures:
+                raise ModelError(
+                    f"explicit architecture {key!r} collides with a "
+                    "generated candidate key"
+                )
+            self._architectures[str(key)] = mama.validated()
+
+    # ------------------------------------------------------------------
+    # Architecture generation
+
+    def _resolve_domains(
+        self, domains: Sequence[Sequence[str]] | None
+    ) -> tuple[tuple[str, ...], ...]:
+        if domains is None:
+            ordered = sorted(self.tasks)
+            if len(ordered) < 2:
+                return (tuple(ordered),)
+            return (tuple(ordered[0::2]), tuple(ordered[1::2]))
+        resolved = tuple(tuple(domain) for domain in domains)
+        seen: list[str] = [task for domain in resolved for task in domain]
+        duplicated = sorted({t for t in seen if seen.count(t) > 1})
+        if duplicated:
+            raise ModelError(
+                f"tasks {duplicated} appear in more than one domain"
+            )
+        missing = sorted(set(self.tasks) - set(seen))
+        extra = sorted(set(seen) - set(self.tasks))
+        if missing or extra:
+            raise ModelError(
+                "domains must partition the monitored tasks exactly "
+                f"(missing: {missing}, unknown: {extra})"
+            )
+        if any(not domain for domain in resolved):
+            raise ModelError("every domain needs at least one task")
+        return resolved
+
+    def _build(self, topology: str, style: str | None) -> MAMAModel:
+        name = "none" if topology == "none" else f"{topology}@{style}"
+        model = MAMAModel(name=name)
+        for processor in sorted(set(self.tasks.values())):
+            model.add_processor(processor)
+        for task in sorted(self.tasks):
+            model.add_application_task(task, processor=self.tasks[task])
+        if topology == "none":
+            return model.validated()
+
+        assert style is not None
+        if topology == "centralized":
+            assignments = [("m1", tuple(sorted(self.tasks)))]
+        else:
+            if topology == "distributed" and len(self.domains) < 2:
+                raise ModelError(
+                    "a distributed topology needs at least two domains"
+                )
+            assignments = [
+                (f"dm{index + 1}", domain)
+                for index, domain in enumerate(self.domains)
+            ]
+        for manager, _ in assignments:
+            model.add_processor(f"proc.{manager}")
+            model.add_manager(manager, processor=f"proc.{manager}")
+
+        for manager, domain_tasks in assignments:
+            for task in domain_tasks:
+                self._wire_monitoring(model, task, manager, style)
+            for task in domain_tasks:
+                if task in self.subscribers:
+                    self._wire_notification(model, task, manager, style)
+
+        if topology == "distributed":
+            for source, _ in assignments:
+                for target, _ in assignments:
+                    if source != target:
+                        model.add_notify(
+                            f"ntfy.{source}->{target}",
+                            notifier=source,
+                            subscriber=target,
+                        )
+        elif topology == "hierarchical":
+            model.add_processor("proc.mom1")
+            model.add_manager("mom1", processor="proc.mom1")
+            for manager, _ in assignments:
+                model.add_status_watch(
+                    f"sw.{manager}->mom1", monitored=manager, monitor="mom1"
+                )
+                model.add_alive_watch(
+                    f"aw.proc.{manager}->mom1",
+                    monitored=f"proc.{manager}",
+                    monitor="mom1",
+                )
+                model.add_notify(
+                    f"ntfy.mom1->{manager}", notifier="mom1",
+                    subscriber=manager,
+                )
+        return model.validated()
+
+    def _wire_monitoring(
+        self, model: MAMAModel, task: str, manager: str, style: str
+    ) -> None:
+        """Watch path from ``task`` (and its processor) to ``manager``."""
+        processor = self.tasks[task]
+        if style == "direct":
+            model.add_alive_watch(
+                f"aw.{task}->{manager}", monitored=task, monitor=manager
+            )
+        else:
+            agent = f"ag.{task}"
+            model.add_agent(agent, processor=processor)
+            model.add_alive_watch(
+                f"aw.{task}->{agent}", monitored=task, monitor=agent
+            )
+            if style == "agents-status":
+                model.add_status_watch(
+                    f"sw.{agent}->{manager}", monitored=agent, monitor=manager
+                )
+            else:  # agents-alive
+                model.add_alive_watch(
+                    f"aw.{agent}->{manager}", monitored=agent, monitor=manager
+                )
+        # Remote-watch rule: the manager watches a remote task, so it
+        # must also alive-watch that task's processor.
+        ping = f"aw.{processor}->{manager}"
+        if ping not in model.connectors:
+            model.add_alive_watch(
+                ping, monitored=processor, monitor=manager
+            )
+
+    def _wire_notification(
+        self, model: MAMAModel, task: str, manager: str, style: str
+    ) -> None:
+        """Reconfiguration path from ``manager`` down to ``task``."""
+        if style == "direct":
+            model.add_notify(
+                f"ntfy.{manager}->{task}", notifier=manager, subscriber=task
+            )
+        else:
+            agent = f"ag.{task}"
+            model.add_notify(
+                f"ntfy.{manager}->{agent}", notifier=manager, subscriber=agent
+            )
+            ntfy = f"ntfy.{agent}->{task}"
+            if ntfy not in model.connectors:
+                model.add_notify(ntfy, notifier=agent, subscriber=task)
+
+    # ------------------------------------------------------------------
+    # Candidate enumeration
+
+    def architectures(self) -> dict[str, MAMAModel]:
+        """Architecture key → validated MAMA model (generated and
+        explicit), ready for :class:`~repro.core.sweep.SweepEngine`."""
+        return dict(self._architectures)
+
+    def architecture_keys(self) -> tuple[str, ...]:
+        return tuple(self._architectures)
+
+    def management_components(self, key: str) -> frozenset[str]:
+        """Management-only component names of one architecture."""
+        mama = self._mama(key)
+        return frozenset(
+            name
+            for name in mama.components
+            if name not in self._application_names
+        )
+
+    def _mama(self, key: str) -> MAMAModel:
+        try:
+            return self._architectures[key]
+        except KeyError:
+            raise ModelError(
+                f"unknown architecture key {key!r}; available: "
+                f"{sorted(self._architectures)}"
+            ) from None
+
+    def applicable_upgrades(self, key: str) -> tuple[UpgradeOption, ...]:
+        """Upgrades whose component exists under this architecture."""
+        universe = self._application_names | self.management_components(key)
+        return tuple(
+            upgrade
+            for upgrade in self.upgrades
+            if upgrade.component in universe
+        )
+
+    def candidate(
+        self, key: str, upgrades: Sequence[UpgradeOption] = ()
+    ) -> Candidate:
+        """Build the candidate for one (architecture, upgrade) choice.
+
+        ``upgrades`` must be applicable to the architecture; they are
+        canonicalised to the space's declaration order, so any ordering
+        of the same set names the same candidate.
+        """
+        mama = self._mama(key)
+        applicable = set(self.applicable_upgrades(key))
+        chosen = [u for u in self.upgrades if u in set(upgrades)]
+        unknown = sorted(
+            u.name for u in set(upgrades) - set(self.upgrades)
+        )
+        if unknown:
+            raise ModelError(
+                f"upgrades {unknown} are not part of this design space"
+            )
+        inapplicable = sorted(
+            u.name for u in chosen if u not in applicable
+        )
+        if inapplicable:
+            raise ModelError(
+                f"upgrades {inapplicable} do not apply to architecture "
+                f"{key!r} (component not in its universe)"
+            )
+        overrides = {
+            name: self.management_failure_prob
+            for name in sorted(self.management_components(key))
+        }
+        for upgrade in chosen:
+            overrides[upgrade.component] = upgrade.probability
+        cost = self.cost_model.architecture_cost(
+            mama, application_names=self._application_names
+        ) + sum(u.cost for u in chosen)
+        name = key + "".join(f"+{u.name}" for u in chosen)
+        topology, _, style = key.partition("@")
+        if topology not in TOPOLOGIES:
+            topology, style = "explicit", ""
+        return Candidate(
+            name=name,
+            architecture=key,
+            topology=topology,
+            style=style or None,
+            upgrades=tuple(chosen),
+            cost=cost,
+            component_count=self.cost_model.management_footprint(
+                mama, application_names=self._application_names
+            ),
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+    def candidates(self) -> Iterator[Candidate]:
+        """All candidates, in deterministic generation order:
+        architectures in declaration order, upgrade subsets by
+        ascending bitmask over the applicable upgrades."""
+        for key in self._architectures:
+            applicable = self.applicable_upgrades(key)
+            for mask in range(2 ** len(applicable)):
+                chosen = tuple(
+                    upgrade
+                    for bit, upgrade in enumerate(applicable)
+                    if mask >> bit & 1
+                )
+                yield self.candidate(key, chosen)
+
+    @property
+    def size(self) -> int:
+        """Total candidate count, without materialising candidates."""
+        return sum(
+            2 ** len(self.applicable_upgrades(key))
+            for key in self._architectures
+        )

@@ -1,0 +1,285 @@
+"""JSON optimize-spec parsing.
+
+An optimize specification is one JSON object::
+
+    {
+      "model": "figure1.json",
+      "space": {
+        "tasks": {"AppA": "proc1", ...},
+        "subscribers": ["AppA", "AppB"],
+        "topologies": ["none", "centralized", "distributed"],
+        "styles": ["agents-status", "direct"],
+        "domains": [["AppA", "Server1"], ["AppB", "Server2"]],
+        "management_failure_prob": 0.1,
+        "costs": {"agent": 1.0, "manager": 5.0, "notify": 0.25},
+        "upgrades": [
+          {"component": "Server1", "probability": 0.01, "cost": 3.0,
+           "name": "raid"}
+        ]
+      },
+      "architectures": {"figure7": "centralized.json"},
+      "base": {"failure_probs": {...}, "common_causes": [...]},
+      "weights": {"UserA": 1.0, "UserB": 2.0},
+      "search": {"strategy": "greedy", "seed": 7, "restarts": 2,
+                 "move_limit": 3, "max_rounds": 10, "budget": 12.0}
+    }
+
+``model`` and the ``architectures`` values are file paths (the CLI
+resolves them relative to the spec file and loads the models before
+calling :func:`space_from_document`); everything else is parsed here.
+``space`` and ``architectures`` may each be omitted, not both —
+explicit architectures alone form a pure comparison space.  ``search``
+is optional (default: exhaustive, no budget).
+
+Parsing reuses the sweep-spec helpers
+(:func:`~repro.core.sweep.probs_from_document`,
+:func:`~repro.core.sweep.causes_from_documents`) and follows the same
+error discipline: any shape problem raises
+:class:`~repro.errors.SerializationError` with a one-line message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.sweep import causes_from_documents, probs_from_document
+from repro.errors import SerializationError
+from repro.ftlqn.model import FTLQNModel
+from repro.mama.model import MAMAModel
+from repro.optimize.space import (
+    STYLES,
+    TOPOLOGIES,
+    CostModel,
+    DesignSpace,
+    UpgradeOption,
+)
+
+SPEC_KEYS = frozenset(
+    {"model", "space", "architectures", "base", "weights", "search"}
+)
+
+_SPACE_KEYS = frozenset({
+    "tasks", "subscribers", "topologies", "styles", "domains",
+    "management_failure_prob", "costs", "upgrades",
+})
+
+_UPGRADE_KEYS = frozenset({"component", "probability", "cost", "name"})
+
+_COST_KEYS = frozenset({
+    "agent", "manager", "processor", "alive_watch", "status_watch", "notify",
+})
+
+_SEARCH_KEYS = frozenset({
+    "strategy", "seed", "restarts", "move_limit", "max_rounds", "budget",
+})
+
+
+def _require_object(value: object, label: str) -> dict:
+    if not isinstance(value, dict):
+        raise SerializationError(f"{label} must be a JSON object")
+    return value
+
+
+def _require_strings(value: object, label: str) -> list[str]:
+    if not isinstance(value, list):
+        raise SerializationError(f"{label} must be an array of strings")
+    return [str(item) for item in value]
+
+
+def _number(value: object, label: str) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"{label} must be a number, got {value!r}"
+        ) from exc
+
+
+def upgrades_from_documents(items: object) -> tuple[UpgradeOption, ...]:
+    """Parse a ``space.upgrades`` array into :class:`UpgradeOption`s."""
+    if not isinstance(items, list):
+        raise SerializationError(
+            '"upgrades" must be an array of '
+            "{component, probability, cost[, name]} objects"
+        )
+    upgrades = []
+    for item in items:
+        entry = _require_object(item, "upgrade entries")
+        missing = [
+            key for key in ("component", "probability", "cost")
+            if key not in entry
+        ]
+        if missing:
+            raise SerializationError(
+                f"upgrade entry is missing {missing}: {item!r}"
+            )
+        unknown = sorted(set(entry) - _UPGRADE_KEYS)
+        if unknown:
+            raise SerializationError(
+                f"upgrade entry has unknown keys {unknown}: {item!r}"
+            )
+        upgrades.append(
+            UpgradeOption(
+                component=str(entry["component"]),
+                probability=_number(
+                    entry["probability"], "upgrade probability"
+                ),
+                cost=_number(entry["cost"], "upgrade cost"),
+                name=str(entry.get("name", "")),
+            )
+        )
+    return tuple(upgrades)
+
+
+def cost_model_from_document(document: object) -> CostModel:
+    """Parse a ``space.costs`` object; absent keys keep the defaults."""
+    entry = _require_object(document, '"costs"')
+    unknown = sorted(set(entry) - _COST_KEYS)
+    if unknown:
+        raise SerializationError(
+            f'"costs" has unknown keys {unknown}; allowed: '
+            f"{sorted(_COST_KEYS)}"
+        )
+    return CostModel(**{
+        key: _number(value, f'"costs" {key}')
+        for key, value in entry.items()
+    })
+
+
+def space_from_document(
+    document: object,
+    ftlqn: FTLQNModel,
+    *,
+    explicit: Mapping[str, MAMAModel] | None = None,
+    base_failure_probs: Mapping[str, float] | None = None,
+    common_causes=(),
+) -> DesignSpace:
+    """Build the :class:`DesignSpace` of a spec's ``space`` section.
+
+    ``explicit`` carries the already-loaded ``architectures`` models;
+    when the spec has no ``space`` section (``document`` is ``None``)
+    the space consists of the explicit architectures alone.
+    """
+    if document is None:
+        document = {"topologies": []}
+        if not explicit:
+            raise SerializationError(
+                'optimize spec needs a "space" section or explicit '
+                '"architectures" (or both)'
+            )
+    entry = _require_object(document, '"space"')
+    unknown = sorted(set(entry) - _SPACE_KEYS)
+    if unknown:
+        raise SerializationError(
+            f'"space" has unknown keys {unknown}; allowed: '
+            f"{sorted(_SPACE_KEYS)}"
+        )
+    tasks_doc = entry.get("tasks")
+    if tasks_doc is None:
+        # No explicit task map: monitor every task on its hosting
+        # processor.
+        tasks = {
+            name: task.processor
+            for name, task in ftlqn.tasks.items()
+        }
+    else:
+        tasks_doc = _require_object(tasks_doc, '"tasks"')
+        tasks = {
+            str(name): str(processor)
+            for name, processor in tasks_doc.items()
+        }
+    subscribers = entry.get("subscribers")
+    if subscribers is not None:
+        subscribers = _require_strings(subscribers, '"subscribers"')
+    topologies = entry.get("topologies")
+    styles = entry.get("styles")
+    domains = entry.get("domains")
+    if domains is not None:
+        if not isinstance(domains, list):
+            raise SerializationError(
+                '"domains" must be an array of task-name arrays'
+            )
+        domains = [
+            _require_strings(domain, '"domains" entries')
+            for domain in domains
+        ]
+    return DesignSpace(
+        ftlqn,
+        tasks=tasks,
+        subscribers=subscribers,
+        topologies=(
+            _require_strings(topologies, '"topologies"')
+            if topologies is not None
+            else TOPOLOGIES
+        ),
+        styles=(
+            _require_strings(styles, '"styles"')
+            if styles is not None
+            else STYLES
+        ),
+        domains=domains,
+        upgrades=upgrades_from_documents(entry.get("upgrades", [])),
+        management_failure_prob=_number(
+            entry.get("management_failure_prob", 0.1),
+            '"management_failure_prob"',
+        ),
+        base_failure_probs=base_failure_probs,
+        common_causes=common_causes,
+        cost_model=cost_model_from_document(entry.get("costs", {})),
+        explicit=explicit,
+    )
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Parsed ``search`` section of an optimize spec."""
+
+    strategy: str = "exhaustive"
+    seed: int = 0
+    restarts: int = 0
+    move_limit: int | None = None
+    max_rounds: int | None = None
+    budget: float | None = None
+
+
+def search_spec_from_document(document: object) -> SearchSpec:
+    """Parse the optional ``search`` section."""
+    if document is None:
+        return SearchSpec()
+    entry = _require_object(document, '"search"')
+    unknown = sorted(set(entry) - _SEARCH_KEYS)
+    if unknown:
+        raise SerializationError(
+            f'"search" has unknown keys {unknown}; allowed: '
+            f"{sorted(_SEARCH_KEYS)}"
+        )
+    strategy = str(entry.get("strategy", "exhaustive"))
+    if strategy not in ("exhaustive", "greedy"):
+        raise SerializationError(
+            f'unknown search strategy {strategy!r}; choose "exhaustive" '
+            'or "greedy"'
+        )
+
+    def _int(key: str, default: int) -> int:
+        value = entry.get(key, default)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SerializationError(
+                f'"search" {key} must be an integer, got {value!r}'
+            )
+        return value
+
+    def _optional_int(key: str) -> int | None:
+        if key not in entry:
+            return None
+        return _int(key, 0)
+
+    budget = entry.get("budget")
+    return SearchSpec(
+        strategy=strategy,
+        seed=_int("seed", 0),
+        restarts=_int("restarts", 0),
+        move_limit=_optional_int("move_limit"),
+        max_rounds=_optional_int("max_rounds"),
+        budget=None if budget is None else _number(budget, '"search" budget'),
+    )

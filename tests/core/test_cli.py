@@ -296,6 +296,125 @@ class TestImportance:
         assert "reward imp." in out
         assert "AppB" in out
 
+    def test_json_export_with_jobs(self, model_files, tmp_path, capsys):
+        ftlqn, _, _ = model_files
+        probs_path = ftlqn.replace("figure1.json", "p.json")
+        with open(probs_path, "w") as handle:
+            json.dump(figure1_failure_probs(), handle)
+        json_out = tmp_path / "importance.json"
+        code = main([
+            "importance", ftlqn, "--probs", probs_path,
+            "--jobs", "2", "--json", str(json_out), "--progress",
+        ])
+        assert code == 0
+        assert "[scan]" in capsys.readouterr().err
+        document = json.loads(json_out.read_text())
+        assert document["method"] == "factored"
+        assert document["jobs"] == 2
+        assert document["counters"]["lqn_solves"] > 0
+        names = [record["component"] for record in document["records"]]
+        assert len(names) == 8 and "AppB" in names
+        top = document["records"][0]
+        for key in ("reward_importance", "failure_importance",
+                    "improvement_potential", "reward_if_up",
+                    "reward_if_down", "baseline_reward"):
+            assert key in top
+
+
+class TestOptimize:
+    @pytest.fixture
+    def optimize_spec(self, tmp_path):
+        (tmp_path / "figure1.json").write_text(
+            model_to_json(figure1_system())
+        )
+        (tmp_path / "centralized.json").write_text(
+            mama_to_json(centralized_mama())
+        )
+        spec = {
+            "model": "figure1.json",
+            "space": {
+                "tasks": {"AppA": "proc1", "AppB": "proc2",
+                          "Server1": "proc3", "Server2": "proc4"},
+                "topologies": ["none", "centralized"],
+                "styles": ["direct"],
+                "upgrades": [
+                    {"component": "Server1", "probability": 0.01,
+                     "cost": 3.0, "name": "raid"}
+                ],
+            },
+            "architectures": {"figure7": "centralized.json"},
+            "base": {"failure_probs": figure1_failure_probs()},
+            "search": {"budget": 25.0},
+        }
+        spec_path = tmp_path / "optimize.json"
+        spec_path.write_text(json.dumps(spec))
+        return tmp_path, str(spec_path)
+
+    def test_optimize_end_to_end(self, optimize_spec, capsys):
+        tmp_path, spec = optimize_spec
+        json_out = tmp_path / "report.json"
+        csv_out = tmp_path / "report.csv"
+        code = main([
+            "optimize", spec, "--json", str(json_out),
+            "--csv", str(csv_out),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # (none | centralized@direct | figure7) x (raid?) = 6 candidates
+        assert "space: 6 candidates, 6 evaluated (exhaustive)" in out
+        assert "recommended under budget 25.0:" in out
+        assert "lqn:" in out
+
+        document = json.loads(json_out.read_text())
+        assert document["strategy"] == "exhaustive"
+        assert document["space_size"] == 6
+        assert document["budget"] == 25.0
+        assert document["recommended"] is not None
+        assert document["counters"]["lqn_solves"] <= \
+            document["counters"]["distinct_configurations"]
+        by_name = {c["name"]: c for c in document["candidates"]}
+        assert by_name["none"]["expected_reward"] == 0.0
+        assert by_name["figure7"]["expected_reward"] > 0.5
+        assert by_name["figure7+raid"]["cost"] == \
+            by_name["figure7"]["cost"] + 3.0
+
+        lines = csv_out.read_text().splitlines()
+        assert len(lines) == 7
+        assert lines[0].startswith("name,architecture,topology")
+
+    def test_strategy_and_budget_overrides(self, optimize_spec, capsys):
+        _, spec = optimize_spec
+        code = main([
+            "optimize", spec, "--strategy", "greedy", "--budget", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out
+        assert "accepted moves" in out
+        # budget 0 only admits the free no-management candidate
+        assert "recommended under budget 0.0: none" in out
+
+    def test_optimize_rejects_unknown_spec_keys(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"model": "x.json", "bogus": 1}))
+        assert main(["optimize", str(spec)]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+    def test_optimize_missing_spec_file(self, capsys):
+        assert main(["optimize", "/nonexistent/spec.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_optimize_spec_needs_space_or_architectures(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "figure1.json").write_text(
+            model_to_json(figure1_system())
+        )
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"model": "figure1.json"}))
+        assert main(["optimize", str(spec)]) == 2
+        assert "explicit" in capsys.readouterr().err
+
 
 class TestDot:
     def test_model_dot(self, model_files, capsys):

@@ -86,6 +86,73 @@ class TestManagementImportance:
             )
 
 
+class TestSharedInfrastructure:
+    """jobs/counters/structure/lqn_cache must not change the numbers."""
+
+    def test_parallel_jobs_match_serial(self, figure1_records):
+        from repro.experiments.figure1 import figure1_system
+
+        parallel = importance_analysis(
+            figure1_system(), None, figure1_failure_probs(), jobs=2,
+        )
+        # Parallel chunking changes the probability fold order, so
+        # allow last-ulp float drift (which can also swap exact
+        # importance ties in the ranking, e.g. AppB vs proc2) — but the
+        # component set and every value must agree to tight tolerance.
+        by_name = {r.component: r for r in figure1_records}
+        assert {r.component for r in parallel} == set(by_name)
+        for got in parallel:
+            want = by_name[got.component]
+            assert got.reward_if_up == pytest.approx(want.reward_if_up)
+            assert got.reward_if_down == pytest.approx(want.reward_if_down)
+            assert got.failure_if_up == pytest.approx(want.failure_if_up)
+            assert got.failure_if_down == pytest.approx(want.failure_if_down)
+            assert got.baseline_reward == pytest.approx(want.baseline_reward)
+
+    def test_counters_and_progress_observe_the_scans(self, figure1_records):
+        from repro.core import ScanCounters
+        from repro.experiments.figure1 import figure1_system
+
+        counters = ScanCounters()
+        events = []
+        records = importance_analysis(
+            figure1_system(), None, figure1_failure_probs(),
+            counters=counters, progress=events.append,
+        )
+        assert records == figure1_records
+        # Two conditioned scans per component plus the baseline share
+        # one LQN cache, so solves stay far below scan count.
+        assert counters.lqn_solves > 0
+        assert counters.lqn_cache_hits > 0
+        assert counters.lqn_solves < 2 * len(records)
+        assert events
+
+    def test_injected_structure_and_cache_match_default(self,
+                                                        figure1_records):
+        from repro.core import derive_structure
+        from repro.core.progress import ScanCounters
+        from repro.experiments.figure1 import figure1_system
+
+        ftlqn = figure1_system()
+        structure = derive_structure(ftlqn, None)
+        lqn_cache = {}
+        counters = ScanCounters()
+        first = importance_analysis(
+            ftlqn, None, figure1_failure_probs(),
+            structure=structure, lqn_cache=lqn_cache, counters=counters,
+        )
+        assert first == figure1_records
+        solves_after_first = counters.lqn_solves
+        assert lqn_cache  # the shared cache got populated
+        second = importance_analysis(
+            ftlqn, None, figure1_failure_probs(),
+            structure=structure, lqn_cache=lqn_cache, counters=counters,
+        )
+        assert second == figure1_records
+        # A warm shared cache means the rerun solves nothing new.
+        assert counters.lqn_solves == solves_after_first
+
+
 class TestCommonCauseImportance:
     def test_event_can_be_ranked(self):
         model = FTLQNModel(name="tiny")

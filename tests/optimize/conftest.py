@@ -1,0 +1,49 @@
+"""Shared fixtures: a small primary/backup system for fast searches."""
+
+import pytest
+
+from repro.ftlqn import FTLQNModel, Request
+from repro.optimize import DesignSpace, UpgradeOption
+
+
+def tiny_system() -> FTLQNModel:
+    """Users -> app -> service with primary s1 and backup s2."""
+    model = FTLQNModel(name="tiny")
+    for processor in ("pu", "pa", "p1", "p2"):
+        model.add_processor(processor)
+    model.add_task("users", processor="pu", multiplicity=2,
+                   is_reference=True)
+    model.add_task("app", processor="pa")
+    model.add_task("s1", processor="p1")
+    model.add_task("s2", processor="p2")
+    model.add_entry("e1", task="s1", demand=1.0)
+    model.add_entry("e2", task="s2", demand=1.0)
+    model.add_service("svc", targets=["e1", "e2"])
+    model.add_entry("ea", task="app", demand=0.5, requests=[Request("svc")])
+    model.add_entry("u", task="users", requests=[Request("ea")])
+    return model.validated()
+
+
+TINY_TASKS = {"app": "pa", "s1": "p1", "s2": "p2"}
+
+TINY_PROBS = {"app": 0.05, "s1": 0.1, "s2": 0.1, "p1": 0.05, "p2": 0.05}
+
+TINY_UPGRADES = (
+    UpgradeOption("s1", 0.01, cost=2.0, name="fast-disk"),
+    UpgradeOption("m1", 0.02, cost=4.0, name="ha-mgr"),
+)
+
+
+@pytest.fixture(scope="module")
+def ftlqn():
+    return tiny_system()
+
+
+@pytest.fixture(scope="module")
+def space(ftlqn):
+    return DesignSpace(
+        ftlqn,
+        tasks=TINY_TASKS,
+        upgrades=TINY_UPGRADES,
+        base_failure_probs=TINY_PROBS,
+    )

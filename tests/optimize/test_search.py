@@ -1,0 +1,184 @@
+"""Search correctness: exhaustive vs brute force, greedy determinism."""
+
+import pytest
+
+from repro.core import PerformabilityAnalyzer, ScanCounters
+from repro.errors import ModelError
+from repro.optimize import (
+    DesignSpace,
+    DesignSpaceSearch,
+    pareto_frontier,
+)
+
+from tests.optimize.conftest import TINY_PROBS, TINY_TASKS, TINY_UPGRADES
+
+
+@pytest.fixture(scope="module")
+def small_space(ftlqn):
+    """A deliberately small space for exact brute-force comparison."""
+    return DesignSpace(
+        ftlqn,
+        tasks=TINY_TASKS,
+        topologies=("none", "centralized"),
+        styles=("agents-status", "agents-alive", "direct"),
+        upgrades=TINY_UPGRADES,
+        base_failure_probs=TINY_PROBS,
+    )
+
+
+@pytest.fixture(scope="module")
+def exhaustive_result(small_space):
+    counters = ScanCounters()
+    search = DesignSpaceSearch(small_space, counters=counters)
+    return search.exhaustive(), search, counters
+
+
+class TestExhaustiveMatchesBruteForce:
+    def test_every_candidate_bit_identical(self, ftlqn, small_space,
+                                           exhaustive_result):
+        result, _, _ = exhaustive_result
+        assert len(result.evaluations) == small_space.size
+        for candidate in small_space.candidates():
+            mama = small_space.architectures()[candidate.architecture]
+            probs = dict(TINY_PROBS)
+            probs.update(candidate.failure_probs)
+            reference = PerformabilityAnalyzer(
+                ftlqn, mama, failure_probs=probs
+            ).solve()
+            entry = result.evaluation(candidate.name)
+            assert entry.expected_reward == reference.expected_reward
+            assert entry.failed_probability == reference.failed_probability
+
+    def test_ranking_matches_brute_force(self, ftlqn, small_space,
+                                         exhaustive_result):
+        result, _, _ = exhaustive_result
+        brute = {}
+        for candidate in small_space.candidates():
+            mama = small_space.architectures()[candidate.architecture]
+            probs = dict(TINY_PROBS)
+            probs.update(candidate.failure_probs)
+            brute[candidate.name] = PerformabilityAnalyzer(
+                ftlqn, mama, failure_probs=probs
+            ).solve().expected_reward
+        expected_order = sorted(brute, key=lambda n: (-brute[n], n))
+        engine_order = sorted(
+            (e.name for e in result.evaluations),
+            key=lambda n: (-result.evaluation(n).expected_reward, n),
+        )
+        assert engine_order == expected_order
+
+    def test_shared_caches_collapse_lqn_solves(self, exhaustive_result):
+        result, _, counters = exhaustive_result
+        # Far fewer solves than candidates x configurations; at most
+        # one per distinct operational configuration.
+        assert counters.lqn_solves <= counters.distinct_configurations
+        assert counters.lqn_cache_hits > 0
+        assert 0.0 < result.lqn_cache_hit_rate < 1.0
+
+    def test_blind_and_unmanaged_candidates_score_zero(self,
+                                                       exhaustive_result):
+        result, _, _ = exhaustive_result
+        # No management: the decider never knows anything (Definition 1).
+        assert result.evaluation("none").expected_reward == 0.0
+        assert result.evaluation("none").failed_probability == \
+            pytest.approx(1.0)
+        # agents-alive: an alive-watch carries no third-party status, so
+        # the manager learns nothing it can forward.
+        blind = result.evaluation("centralized@agents-alive")
+        assert blind.expected_reward == 0.0
+
+    def test_memoisation_skips_re_evaluation(self, small_space):
+        counters = ScanCounters()
+        search = DesignSpaceSearch(small_space, counters=counters)
+        first = search.exhaustive()
+        points_after_first = counters.sweep_points
+        second = search.exhaustive()
+        assert counters.sweep_points == points_after_first
+        assert [e.name for e in second.evaluations] == \
+            [e.name for e in first.evaluations]
+
+    def test_best_prefers_cheaper_on_reward_ties(self, exhaustive_result):
+        result, _, _ = exhaustive_result
+        zeros = [e for e in result.evaluations if e.expected_reward == 0.0]
+        assert min(e.cost for e in zeros) == 0.0  # "none" is free
+        best = result.best(budget=0.0)
+        assert best.name == "none"
+
+
+class TestGreedy:
+    def test_deterministic_under_fixed_seed(self, ftlqn):
+        def run():
+            space = DesignSpace(
+                ftlqn, tasks=TINY_TASKS, upgrades=TINY_UPGRADES,
+                base_failure_probs=TINY_PROBS,
+            )
+            search = DesignSpaceSearch(space)
+            result = search.greedy(seed=13, restarts=2, move_limit=1)
+            return (
+                [e.name for e in result.evaluations],
+                result.best().name,
+                result.rounds,
+            )
+
+        assert run() == run()
+
+    def test_different_seeds_may_visit_differently_but_stay_valid(
+        self, ftlqn
+    ):
+        space = DesignSpace(
+            ftlqn, tasks=TINY_TASKS, upgrades=TINY_UPGRADES,
+            base_failure_probs=TINY_PROBS,
+        )
+        search = DesignSpaceSearch(space)
+        result = search.greedy(seed=1, restarts=1)
+        names = {e.name for e in result.evaluations}
+        assert len(names) == len(result.evaluations)  # no duplicates
+
+    def test_best_is_never_dominated(self, small_space):
+        for seed in (0, 7):
+            search = DesignSpaceSearch(small_space)
+            result = search.greedy(seed=seed, restarts=1)
+            best = result.best()
+            frontier = pareto_frontier(result.evaluations)
+            assert best in frontier
+
+    def test_greedy_finds_the_small_space_optimum(self, small_space,
+                                                  exhaustive_result):
+        exhaustive, _, _ = exhaustive_result
+        search = DesignSpaceSearch(small_space)
+        result = search.greedy(seed=0, restarts=2)
+        assert result.best().name == exhaustive.best().name
+        assert result.best().expected_reward == \
+            exhaustive.best().expected_reward
+
+    def test_greedy_beats_the_unmanaged_baseline(self, small_space):
+        search = DesignSpaceSearch(small_space)
+        result = search.greedy(seed=0)
+        assert result.best().expected_reward > 0.0
+        assert result.strategy == "greedy"
+        assert result.rounds >= 1
+
+    def test_negative_restarts_rejected(self, small_space):
+        search = DesignSpaceSearch(small_space)
+        with pytest.raises(ModelError, match="restarts"):
+            search.greedy(restarts=-1)
+
+    def test_max_rounds_caps_walk(self, small_space):
+        search = DesignSpaceSearch(small_space)
+        result = search.greedy(seed=0, max_rounds=1)
+        assert result.rounds <= 1
+
+
+class TestSearchResult:
+    def test_unknown_candidate_lookup(self, exhaustive_result):
+        result, _, _ = exhaustive_result
+        with pytest.raises(KeyError):
+            result.evaluation("galactic")
+
+    def test_budget_excludes_everything(self, exhaustive_result):
+        result, _, _ = exhaustive_result
+        assert result.best(budget=-1.0) is None
+
+    def test_space_size_reported(self, small_space, exhaustive_result):
+        result, _, _ = exhaustive_result
+        assert result.space_size == small_space.size

@@ -1,0 +1,237 @@
+"""Candidate generation: architectures, costs, upgrades, validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mama.model import MAMAModel
+from repro.optimize import CostModel, DesignSpace, UpgradeOption
+
+from tests.optimize.conftest import TINY_PROBS, TINY_TASKS, TINY_UPGRADES
+
+
+class TestArchitectureGeneration:
+    def test_generated_keys(self, space):
+        keys = space.architecture_keys()
+        assert keys[0] == "none"
+        assert "centralized@agents-status" in keys
+        assert "distributed@direct" in keys
+        assert "hierarchical@agents-alive" in keys
+        # none has no style axis: 1 + 3 topologies x 3 styles.
+        assert len(keys) == 10
+
+    def test_all_generated_architectures_validate(self, space):
+        # _build calls .validated(); re-validating must stay clean.
+        for mama in space.architectures().values():
+            assert mama.validated() is mama
+
+    def test_none_has_no_management(self, space):
+        assert space.management_components("none") == frozenset()
+        none = space.architectures()["none"]
+        assert not none.connectors
+
+    def test_agents_status_shape(self, space):
+        mama = space.architectures()["centralized@agents-status"]
+        # one agent per monitored task + manager + its processor
+        assert "ag.s1" in mama.components
+        assert "m1" in mama.components
+        assert "proc.m1" in mama.components
+        assert "sw.ag.s1->m1" in mama.connectors
+        # remote-watch rule: the manager pings every remote processor
+        assert "aw.p1->m1" in mama.connectors
+
+    def test_direct_style_has_no_agents(self, space):
+        mama = space.architectures()["centralized@direct"]
+        agents = [name for name in mama.components if name.startswith("ag.")]
+        assert agents == []
+        assert "aw.s1->m1" in mama.connectors
+        # the decider is notified directly
+        assert "ntfy.m1->app" in mama.connectors
+
+    def test_distributed_has_notify_mesh(self, space):
+        mama = space.architectures()["distributed@direct"]
+        assert "ntfy.dm1->dm2" in mama.connectors
+        assert "ntfy.dm2->dm1" in mama.connectors
+
+    def test_hierarchical_has_mom(self, space):
+        mama = space.architectures()["hierarchical@direct"]
+        assert "mom1" in mama.components
+        assert "sw.dm1->mom1" in mama.connectors
+        assert "ntfy.mom1->dm1" in mama.connectors
+
+    def test_default_subscribers_are_the_deciders(self, space):
+        # app decides svc; users decide nothing.
+        assert space.subscribers == ("app",)
+
+
+class TestCandidates:
+    def test_size_matches_enumeration(self, space):
+        candidates = list(space.candidates())
+        assert len(candidates) == space.size
+        assert len({c.name for c in candidates}) == len(candidates)
+
+    def test_candidates_order_is_deterministic(self, space):
+        first = [c.name for c in space.candidates()]
+        second = [c.name for c in space.candidates()]
+        assert first == second
+
+    def test_upgrade_sets_are_canonical(self, space):
+        key = "centralized@direct"
+        u1, u2 = space.applicable_upgrades(key)
+        assert space.candidate(key, (u2, u1)) == space.candidate(key, (u1, u2))
+
+    def test_management_upgrade_only_where_component_exists(self, space):
+        fast_disk, ha_mgr = TINY_UPGRADES
+        # m1 exists only under the centralized topology.
+        assert ha_mgr in space.applicable_upgrades("centralized@direct")
+        assert ha_mgr not in space.applicable_upgrades("distributed@direct")
+        assert ha_mgr not in space.applicable_upgrades("none")
+        # application upgrades apply everywhere.
+        assert fast_disk in space.applicable_upgrades("none")
+        with pytest.raises(ModelError, match="do not apply"):
+            space.candidate("distributed@direct", (ha_mgr,))
+
+    def test_overrides_carry_management_probs_and_upgrades(self, space):
+        fast_disk, ha_mgr = TINY_UPGRADES
+        candidate = space.candidate(
+            "centralized@direct", (fast_disk, ha_mgr)
+        )
+        probs = candidate.failure_probs
+        assert probs["proc.m1"] == space.management_failure_prob
+        assert probs["m1"] == 0.02  # upgrade wins over the default
+        assert probs["s1"] == 0.01
+        assert candidate.name == "centralized@direct+fast-disk+ha-mgr"
+
+    def test_sweep_point_round_trip(self, space):
+        candidate = space.candidate("centralized@direct")
+        point = candidate.sweep_point()
+        assert point.name == candidate.name
+        assert point.architecture == "centralized@direct"
+        assert point.failure_probs == candidate.failure_probs
+
+
+class TestCostModel:
+    def test_connector_and_component_costs(self, space):
+        cost_model = CostModel()
+        candidate = space.candidate("centralized@direct")
+        # direct: 1 manager + 1 dedicated processor, per monitored task
+        # one AW on the task + one AW processor ping, one notify to the
+        # deciding task.
+        expected = (
+            cost_model.manager + cost_model.processor
+            + 6 * cost_model.alive_watch + 1 * cost_model.notify
+        )
+        assert candidate.cost == pytest.approx(expected)
+        assert candidate.component_count == 2
+
+    def test_upgrade_cost_added(self, space):
+        fast_disk, _ = TINY_UPGRADES
+        base = space.candidate("none")
+        upgraded = space.candidate("none", (fast_disk,))
+        assert upgraded.cost == pytest.approx(base.cost + fast_disk.cost)
+
+    def test_custom_cost_model(self, ftlqn):
+        free_managers = DesignSpace(
+            ftlqn,
+            tasks=TINY_TASKS,
+            topologies=("centralized",),
+            styles=("direct",),
+            base_failure_probs=TINY_PROBS,
+            cost_model=CostModel(manager=0.0, processor=0.0,
+                                 alive_watch=0.0, notify=0.0),
+        )
+        assert free_managers.candidate("centralized@direct").cost == 0.0
+
+    def test_co_hosted_manager_adds_no_processor_cost(self, ftlqn):
+        # An explicit architecture whose manager lives on an
+        # application processor: only the manager + connectors count.
+        mama = MAMAModel(name="cohosted")
+        for processor in ("pa", "p1", "p2"):
+            mama.add_processor(processor)
+        mama.add_application_task("app", processor="pa")
+        mama.add_application_task("s1", processor="p1")
+        mama.add_application_task("s2", processor="p2")
+        mama.add_manager("m1", processor="pa")
+        mama.add_alive_watch("aw.s1", monitored="s1", monitor="m1")
+        mama.add_alive_watch("aw.p1", monitored="p1", monitor="m1")
+        mama.add_alive_watch("aw.s2", monitored="s2", monitor="m1")
+        mama.add_alive_watch("aw.p2", monitored="p2", monitor="m1")
+        mama.add_notify("nt.app", notifier="m1", subscriber="app")
+        space = DesignSpace(
+            ftlqn,
+            tasks=TINY_TASKS,
+            topologies=(),
+            styles=(),
+            base_failure_probs=TINY_PROBS,
+            explicit={"cohosted": mama},
+        )
+        candidate = space.candidate("cohosted")
+        model = CostModel()
+        assert candidate.component_count == 1  # just the manager
+        assert candidate.cost == pytest.approx(
+            model.manager + 4 * model.alive_watch + model.notify
+        )
+        assert candidate.topology == "explicit"
+
+
+class TestValidation:
+    def test_unknown_topology(self, ftlqn):
+        with pytest.raises(ModelError, match="unknown topologies"):
+            DesignSpace(ftlqn, tasks=TINY_TASKS, topologies=("ring",))
+
+    def test_unknown_style(self, ftlqn):
+        with pytest.raises(ModelError, match="unknown styles"):
+            DesignSpace(ftlqn, tasks=TINY_TASKS, styles=("telepathy",))
+
+    def test_unknown_monitored_task(self, ftlqn):
+        with pytest.raises(ModelError, match="do not exist"):
+            DesignSpace(ftlqn, tasks={"ghost": "pa"})
+
+    def test_wrong_processor(self, ftlqn):
+        with pytest.raises(ModelError, match="hosted on"):
+            DesignSpace(ftlqn, tasks={"app": "p1"})
+
+    def test_subscriber_must_be_monitored(self, ftlqn):
+        with pytest.raises(ModelError, match="not monitored"):
+            DesignSpace(ftlqn, tasks={"s1": "p1", "s2": "p2"},
+                        subscribers=["app"])
+
+    def test_duplicate_upgrade_names(self, ftlqn):
+        with pytest.raises(ModelError, match="unique"):
+            DesignSpace(
+                ftlqn, tasks=TINY_TASKS,
+                upgrades=(UpgradeOption("s1", 0.01, 1.0, name="x"),
+                          UpgradeOption("s2", 0.01, 1.0, name="x")),
+            )
+
+    def test_domains_must_partition(self, ftlqn):
+        with pytest.raises(ModelError, match="partition"):
+            DesignSpace(ftlqn, tasks=TINY_TASKS,
+                        domains=[["app"], ["s1"]])  # s2 missing
+        with pytest.raises(ModelError, match="more than one domain"):
+            DesignSpace(ftlqn, tasks=TINY_TASKS,
+                        domains=[["app", "s1"], ["s1", "s2"]])
+
+    def test_distributed_needs_two_domains(self, ftlqn):
+        with pytest.raises(ModelError, match="two domains"):
+            DesignSpace(ftlqn, tasks={"app": "pa"}, subscribers=["app"],
+                        topologies=("distributed",))
+
+    def test_explicit_key_collision(self, ftlqn, space):
+        with pytest.raises(ModelError, match="collides"):
+            DesignSpace(
+                ftlqn, tasks=TINY_TASKS,
+                explicit={"none": space.architectures()["none"]},
+            )
+
+    def test_unknown_architecture_key(self, space):
+        with pytest.raises(ModelError, match="unknown architecture"):
+            space.candidate("galactic")
+
+    def test_upgrade_probability_range(self):
+        with pytest.raises(ModelError, match="probability"):
+            UpgradeOption("s1", 1.5, 1.0)
+        with pytest.raises(ModelError, match="cost"):
+            UpgradeOption("s1", 0.5, -1.0)
+
+    def test_upgrade_default_name(self):
+        assert UpgradeOption("s1", 0.5, 1.0).name == "up.s1"

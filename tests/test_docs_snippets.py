@@ -51,6 +51,15 @@ def test_docs_contain_python_snippets():
     assert "README.md" in documents
 
 
+def test_optimizer_guides_present():
+    modeling = (REPO_ROOT / "docs/modeling_guide.md").read_text()
+    assert "## 8. Choosing an architecture" in modeling
+    assert "DesignSpaceSearch" in modeling
+    performance = (REPO_ROOT / "docs/performance_guide.md").read_text()
+    assert "## 7. Shared-cache design-space search" in performance
+    assert "bench_optimize" in performance
+
+
 @pytest.mark.parametrize(
     "document,ordinal,source",
     _ALL,
