@@ -1,13 +1,19 @@
 # Developer conveniences; the test suite needs src/ on PYTHONPATH.
 PY := PYTHONPATH=src python
 
-.PHONY: test bench docs-check
+.PHONY: test bench bench-snapshot docs-check
 
 test:
 	$(PY) -m pytest -x -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# Machine-readable perf trajectory: backend x case x jobs wall-clock
+# and speedup, parity-checked, written to BENCH_statespace.json (CI
+# uploads it as an artifact).
+bench-snapshot:
+	$(PY) benchmarks/snapshot.py --out BENCH_statespace.json
 
 # Verify that every ```python block in docs/*.md and README.md parses,
 # so guide snippets cannot rot into syntax errors.

@@ -1,0 +1,130 @@
+"""Write a machine-readable perf snapshot of the state-space backends.
+
+Runs each backend (interpreted enumeration, factored, bits) over the
+paper's §6.3 cases at a few ``jobs`` levels, and writes one JSON
+document mapping the perf trajectory across PRs::
+
+    python benchmarks/snapshot.py --out BENCH_statespace.json
+
+The ``make bench-snapshot`` target invokes exactly that; CI uploads the
+file as an artifact so regressions are visible between revisions.  Each
+entry records backend, case, jobs, state count, wall-clock seconds and
+speedup relative to the interpreted sequential scan of the same case;
+parity across backends is asserted (1e-12) before anything is written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+
+from repro.core import PerformabilityAnalyzer, ScanCounters
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+
+CASES = ("perfect", "centralized", "distributed", "hierarchical", "network")
+BACKENDS = ("enumeration", "factored", "bits")
+PARITY_TOLERANCE = 1e-12
+
+
+def build_cases():
+    table = {"perfect": (None, figure1_failure_probs())}
+    for name, builder in ARCHITECTURE_BUILDERS.items():
+        mama = builder()
+        table[name] = (mama, figure1_failure_probs(mama))
+    return table
+
+
+def git_revision() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def measure(analyzer, backend: str, jobs: int):
+    counters = ScanCounters()
+    started = time.perf_counter()
+    result = analyzer.configuration_probabilities(
+        method=backend, jobs=jobs, counters=counters
+    )
+    wall = time.perf_counter() - started
+    return result, wall, counters
+
+
+def snapshot(jobs_levels: tuple[int, ...]) -> dict:
+    ftlqn = figure1_system()
+    entries = []
+    for case_name, (mama, probs) in build_cases().items():
+        analyzer = PerformabilityAnalyzer(ftlqn, mama, failure_probs=probs)
+        reference, baseline_wall, _ = measure(analyzer, "enumeration", 1)
+        for backend in BACKENDS:
+            for jobs in jobs_levels:
+                if backend != "bits" and jobs != 1:
+                    continue  # parallel scaling is bench_statespace's job
+                result, wall, counters = measure(analyzer, backend, jobs)
+                worst = max(
+                    abs(result.get(k, 0.0) - reference.get(k, 0.0))
+                    for k in set(result) | set(reference)
+                )
+                if worst > PARITY_TOLERANCE:
+                    raise SystemExit(
+                        f"parity failure: {backend}/{case_name} differs "
+                        f"from interpreted scan by {worst:.3e}"
+                    )
+                entries.append({
+                    "case": case_name,
+                    "backend": backend,
+                    "jobs": jobs,
+                    "states": analyzer.problem.state_count,
+                    "configurations": len(result),
+                    "wall_seconds": wall,
+                    "speedup_vs_interp_sequential": baseline_wall / wall,
+                    "max_parity_diff": worst,
+                    "kernel_instructions": counters.kernel_instructions,
+                    "kernel_batches": counters.kernel_batches,
+                })
+                print(
+                    f"{case_name:>13} {backend:>11} jobs={jobs}  "
+                    f"{wall:8.4f}s  {baseline_wall / wall:7.1f}x",
+                    file=sys.stderr,
+                )
+    return {
+        "suite": "statespace",
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_statespace.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs-levels", default="1,2", metavar="N,M,...",
+        help="comma-separated jobs values for the bits backend "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    levels = tuple(int(item) for item in args.jobs_levels.split(","))
+    document = snapshot(levels)
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(document['entries'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

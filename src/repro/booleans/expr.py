@@ -11,6 +11,19 @@ duplicate-term removal) so that expressions produced by graph algorithms
 stay readable.  They do **not** attempt full minimisation — exact
 probability evaluation is delegated to :mod:`repro.booleans.bdd`.
 
+Nodes are **hash-consed**: constructing a node structurally equal to a
+live one returns the existing instance, so identical subtrees share one
+object and expression "trees" are really DAGs.  This makes equality a
+pointer comparison in the common case, caches each node's hash (computed
+once from the children's cached hashes), and lets consumers — the
+knowledge-bit memo of the enumerative scan, the BDD builder, and above
+all the bit-parallel compiler of :mod:`repro.core.kernel` — deduplicate
+shared subexpressions by identity.  The intern tables hold weak
+references only, so dropping every user of an expression frees it.
+Pickling reconstructs nodes through the interning constructors, so
+identity-based fast paths survive process boundaries (workers of the
+parallel scan receive structurally shared problems).
+
 Example
 -------
 >>> from repro.booleans import Var, all_of, any_of
@@ -24,6 +37,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from typing import Union
+from weakref import WeakValueDictionary
 
 
 class Expr:
@@ -33,7 +47,7 @@ class Expr:
     convenient construction syntax.
     """
 
-    __slots__ = ()
+    __slots__ = ("__weakref__",)
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         """Evaluate under a total assignment of variable names to booleans.
@@ -126,15 +140,24 @@ class Var(Expr):
     """A boolean variable identified by name.
 
     In this library a variable named after a component means "the
-    component is operational (up)".
+    component is operational (up)".  Instances are hash-consed:
+    ``Var("x") is Var("x")``.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    _interned: "WeakValueDictionary[str, Var]" = WeakValueDictionary()
+
+    def __new__(cls, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"variable name must be a non-empty string, got {name!r}")
-        object.__setattr__(self, "name", name)
+        self = cls._interned.get(name)
+        if self is None:
+            self = super().__new__(cls)
+            object.__setattr__(self, "name", name)
+            object.__setattr__(self, "_hash", hash(("var", name)))
+            cls._interned[name] = self
+        return self
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
         return bool(assignment[self.name])
@@ -154,19 +177,36 @@ class Var(Expr):
         return self.name
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Var) and other.name == self.name
+        return self is other or (isinstance(other, Var) and other.name == self.name)
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
+
+    def __reduce__(self):
+        # Rebuild through the interning constructor so structural
+        # sharing (and identity-based fast paths) survive pickling.
+        return (Var, (self.name,))
 
 
 class Not(Expr):
-    """Negation.  Use :meth:`Not.of` (or ``~expr``) to construct."""
+    """Negation.  Use :meth:`Not.of` (or ``~expr``) to construct.
 
-    __slots__ = ("operand",)
+    Instances are hash-consed: negating the same operand twice yields
+    the same object.
+    """
 
-    def __init__(self, operand: Expr):
-        object.__setattr__(self, "operand", operand)
+    __slots__ = ("operand", "_hash")
+
+    _interned: "WeakValueDictionary[Expr, Not]" = WeakValueDictionary()
+
+    def __new__(cls, operand: Expr):
+        self = cls._interned.get(operand)
+        if self is None:
+            self = super().__new__(cls)
+            object.__setattr__(self, "operand", operand)
+            object.__setattr__(self, "_hash", hash(("not", operand)))
+            cls._interned[operand] = self
+        return self
 
     @staticmethod
     def of(operand: Expr) -> Expr:
@@ -195,20 +235,36 @@ class Not(Expr):
         return f"~{self.operand!r}"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Not) and other.operand == self.operand
+        return self is other or (
+            isinstance(other, Not) and other.operand == self.operand
+        )
 
     def __hash__(self) -> int:
-        return hash(("not", self.operand))
+        return self._hash
+
+    def __reduce__(self):
+        return (Not, (self.operand,))
 
 
 class _NaryOp(Expr):
-    """Shared machinery for And/Or: a tuple of deduplicated sub-terms."""
+    """Shared machinery for And/Or: a tuple of deduplicated sub-terms.
 
-    __slots__ = ("terms",)
+    Each concrete subclass declares its own ``_interned`` table; nodes
+    with equal term tuples are hash-consed to one instance per class.
+    """
+
+    __slots__ = ("terms", "_hash")
     _symbol = "?"
+    _interned: "WeakValueDictionary[tuple[Expr, ...], _NaryOp]"
 
-    def __init__(self, terms: tuple[Expr, ...]):
-        object.__setattr__(self, "terms", terms)
+    def __new__(cls, terms: tuple[Expr, ...]):
+        self = cls._interned.get(terms)
+        if self is None:
+            self = super().__new__(cls)
+            object.__setattr__(self, "terms", terms)
+            object.__setattr__(self, "_hash", hash((cls._symbol, terms)))
+            cls._interned[terms] = self
+        return self
 
     def variables(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
@@ -221,10 +277,15 @@ class _NaryOp(Expr):
         return f"({inner})"
 
     def __eq__(self, other: object) -> bool:
-        return type(other) is type(self) and other.terms == self.terms  # type: ignore[attr-defined]
+        return self is other or (
+            type(other) is type(self) and other.terms == self.terms  # type: ignore[attr-defined]
+        )
 
     def __hash__(self) -> int:
-        return hash((self._symbol, self.terms))
+        return self._hash
+
+    def __reduce__(self):
+        return (type(self), (self.terms,))
 
 
 def _flatten(
@@ -266,6 +327,7 @@ class And(_NaryOp):
 
     __slots__ = ()
     _symbol = "&"
+    _interned: "WeakValueDictionary[tuple[Expr, ...], And]" = WeakValueDictionary()
 
     @staticmethod
     def of(terms: Iterable[Expr]) -> Expr:
@@ -298,6 +360,7 @@ class Or(_NaryOp):
 
     __slots__ = ()
     _symbol = "|"
+    _interned: "WeakValueDictionary[tuple[Expr, ...], Or]" = WeakValueDictionary()
 
     @staticmethod
     def of(terms: Iterable[Expr]) -> Expr:

@@ -65,6 +65,7 @@ from repro.core import (
     SweepEngine,
     console_progress,
     importance_analysis,
+    normalize_method,
     weighted_throughput_reward,
 )
 from repro.core.sweep import (
@@ -146,6 +147,20 @@ def _parse_weights(text: str | None):
     )
 
 
+def _resolve_method(args) -> str:
+    """The scan method a command should use.
+
+    ``--backend`` (when given) overrides ``--method``; both accept
+    ``interp`` (the interpreted enumerative scan), ``bits`` (the
+    compiled bit-parallel kernel) and ``factored``, and unknown values
+    are rejected with a :class:`~repro.errors.ModelError` so ``main``
+    renders them as a one-line ``error:`` message.
+    """
+    return normalize_method(
+        args.backend if args.backend is not None else args.method
+    )
+
+
 def _cmd_validate(args) -> int:
     ftlqn, mama = _load_models(args)
     build_fault_graph(ftlqn)  # also checks service-decider uniqueness
@@ -169,7 +184,7 @@ def _cmd_analyze(args) -> int:
     )
     progress = console_progress(sys.stderr) if args.progress else None
     result = analyzer.solve(
-        method=args.method, jobs=args.jobs, progress=progress
+        method=_resolve_method(args), jobs=args.jobs, progress=progress
     )
     print(f"state space: {result.state_count} states "
           f"({result.method} evaluation"
@@ -205,10 +220,11 @@ def _cmd_analyze(args) -> int:
 def _cmd_importance(args) -> int:
     ftlqn, mama = _load_models(args)
     probs, causes = _load_probs(args.probs)
+    method = _resolve_method(args)
     progress = console_progress(sys.stderr) if args.progress else None
     counters = ScanCounters()
     records = importance_analysis(
-        ftlqn, mama, probs, common_causes=causes, method=args.method,
+        ftlqn, mama, probs, common_causes=causes, method=method,
         jobs=args.jobs, progress=progress, counters=counters,
     )
     print(f"{'component':>16} {'reward imp.':>12} {'failure imp.':>13} "
@@ -219,7 +235,7 @@ def _cmd_importance(args) -> int:
               f"{record.improvement_potential:10.4f}")
     if args.json_out:
         document = {
-            "method": args.method,
+            "method": method,
             "jobs": args.jobs,
             "counters": counters.as_dict(),
             "records": [
@@ -321,8 +337,8 @@ def _cmd_sweep(args) -> int:
     progress = console_progress(sys.stderr) if args.progress else None
     counters = ScanCounters()
     sweep = engine.run(
-        points, method=args.method, jobs=args.jobs, progress=progress,
-        counters=counters,
+        points, method=_resolve_method(args), jobs=args.jobs,
+        progress=progress, counters=counters,
     )
     print(f"{'point':>20} {'architecture':>14} {'E[reward]':>10} "
           f"{'P(failed)':>10}  scan")
@@ -421,8 +437,8 @@ def _cmd_optimize(args) -> int:
     budget = args.budget if args.budget is not None else spec.budget
     strategy = args.strategy or spec.strategy
     search = DesignSpaceSearch(
-        space, weights=weights, method=args.method, jobs=args.jobs,
-        progress=progress,
+        space, weights=weights, method=_resolve_method(args),
+        jobs=args.jobs, progress=progress,
     )
     if strategy == "exhaustive":
         result = search.exhaustive()
@@ -526,6 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
         if with_probs:
             sub.add_argument("--probs", help="failure-probability JSON file")
 
+    def add_backend_args(sub):
+        sub.add_argument(
+            "--method",
+            choices=("factored", "enumeration", "interp", "bits"),
+            default="factored",
+            help="state-space scan method (default: factored)",
+        )
+        # No argparse choices= on purpose: unknown values are rejected
+        # by normalize_method with a ModelError, giving the same
+        # one-line `error:` rendering as every other model problem.
+        sub.add_argument(
+            "--backend", metavar="{interp,bits,factored}", default=None,
+            help="scan backend; overrides --method (interp = the "
+            "paper's literal per-state scan, bits = the compiled "
+            "bit-parallel kernel, factored = the BDD evaluator)",
+        )
+
     validate = commands.add_parser(
         "validate", help="validate model files"
     )
@@ -542,9 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
         "enumeration beats factored and how --jobs scales with cores.",
     )
     add_model_args(analyze)
-    analyze.add_argument(
-        "--method", choices=("factored", "enumeration"), default="factored"
-    )
+    add_backend_args(analyze)
     analyze.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the state-space scan "
@@ -569,9 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cost counters.",
     )
     add_model_args(importance)
-    importance.add_argument(
-        "--method", choices=("factored", "enumeration"), default="factored"
-    )
+    add_backend_args(importance)
     importance.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per conditioned state-space scan "
@@ -606,9 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
         "docs/performance_guide.md documents the spec and the caches.",
     )
     sweep.add_argument("spec", help="sweep specification JSON file")
-    sweep.add_argument(
-        "--method", choices=("factored", "enumeration"), default="factored"
-    )
+    add_backend_args(sweep)
     sweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for each point's state-space scan "
@@ -654,9 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="recommend the best candidate with cost <= B "
         "(overrides the spec's search.budget)",
     )
-    optimize.add_argument(
-        "--method", choices=("factored", "enumeration"), default="factored"
-    )
+    add_backend_args(optimize)
     optimize.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for each candidate's state-space scan "

@@ -17,7 +17,13 @@
 """
 
 from repro.core.dependency import CommonCause
+from repro.core.enumeration import normalize_method
 from repro.core.importance import ImportanceRecord, importance_analysis
+from repro.core.kernel import (
+    CompiledKernel,
+    bitset_configurations,
+    compile_problem,
+)
 from repro.core.performability import (
     AnalysisStructure,
     PerformabilityAnalyzer,
@@ -46,6 +52,7 @@ from repro.core.configuration import configuration_to_lqn, group_support
 __all__ = [
     "AnalysisStructure",
     "CommonCause",
+    "CompiledKernel",
     "ConfigurationRecord",
     "ImportanceRecord",
     "PerformabilityAnalyzer",
@@ -58,11 +65,14 @@ __all__ = [
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
+    "bitset_configurations",
+    "compile_problem",
     "configuration_to_lqn",
     "console_progress",
     "derive_structure",
     "group_support",
     "importance_analysis",
+    "normalize_method",
     "total_reference_throughput",
     "weighted_throughput_reward",
 ]

@@ -41,7 +41,33 @@ from collections.abc import Mapping
 
 from repro.booleans.expr import Expr, FALSE, TRUE
 from repro.core.progress import ProgressCallback, ProgressReporter, ScanCounters
+from repro.errors import ModelError
 from repro.ftlqn.fault_graph import FaultPropagationGraph
+
+#: Canonical scan-method names and their accepted aliases.  ``interp``
+#: is the CLI backend spelling of the interpreted enumerative scan.
+_METHOD_ALIASES = {
+    "enumeration": "enumeration",
+    "interp": "enumeration",
+    "factored": "factored",
+    "bits": "bits",
+}
+
+
+def normalize_method(method: str) -> str:
+    """Resolve a scan method/backend name to its canonical form.
+
+    Accepts ``"enumeration"`` (alias ``"interp"``), ``"factored"`` and
+    ``"bits"``; anything else raises
+    :class:`~repro.errors.ModelError`.  Every entry point that takes a
+    ``method`` argument normalises through here, so aliases behave
+    identically everywhere (including sweep scan-cache keys).
+    """
+    canonical = _METHOD_ALIASES.get(method)
+    if canonical is None:
+        known = sorted(set(_METHOD_ALIASES))
+        raise ModelError(f"unknown method {method!r}; expected one of {known}")
+    return canonical
 
 
 @dataclass(frozen=True)

@@ -22,9 +22,11 @@ from repro.core.dependency import CommonCause
 from repro.core.enumeration import (
     StateSpaceProblem,
     enumerate_configurations,
+    normalize_method,
     resolve_jobs,
 )
 from repro.core.factored import factored_configurations
+from repro.core.kernel import bitset_configurations
 from repro.core.progress import (
     ProgressCallback,
     ProgressReporter,
@@ -385,22 +387,28 @@ class PerformabilityAnalyzer:
         """Step 4: distinct configurations and their probabilities.
 
         ``method`` is ``"factored"`` (default; exact, avoids
-        enumerating management states) or ``"enumeration"`` (the
-        paper's literal 2^N scan).  ``jobs`` sets the number of worker
-        processes for the application-state scan (``1`` = sequential,
-        bit-for-bit the historical behaviour; ``0`` = all cores);
-        ``progress`` receives :class:`~repro.core.progress.ProgressEvent`
-        notifications; ``counters`` collects scan statistics.
+        enumerating management states), ``"enumeration"`` (the paper's
+        literal 2^N scan; alias ``"interp"``) or ``"bits"`` (the
+        compiled bit-parallel kernel of :mod:`repro.core.kernel`).
+        Unknown names raise :class:`~repro.errors.ModelError`.  ``jobs``
+        sets the number of worker processes for the state-space scan
+        (``1`` = sequential, bit-for-bit the historical behaviour;
+        ``0`` = all cores); ``progress`` receives
+        :class:`~repro.core.progress.ProgressEvent` notifications;
+        ``counters`` collects scan statistics.
         """
+        method = normalize_method(method)
         if method == "enumeration":
             return enumerate_configurations(
                 self._problem, jobs=jobs, progress=progress, counters=counters
             )
-        if method == "factored":
-            return factored_configurations(
+        if method == "bits":
+            return bitset_configurations(
                 self._problem, jobs=jobs, progress=progress, counters=counters
             )
-        raise ValueError(f"unknown method {method!r}")
+        return factored_configurations(
+            self._problem, jobs=jobs, progress=progress, counters=counters
+        )
 
     def performance_of(self, configuration: frozenset[str]) -> LQNResults:
         """Step 5: solve the LQN of one configuration (cached)."""
@@ -427,6 +435,7 @@ class PerformabilityAnalyzer:
         :class:`~repro.core.progress.ScanCounters` as ``counters`` and
         the resolved worker count as ``jobs``.
         """
+        method = normalize_method(method)
         jobs = resolve_jobs(jobs)
         counters = ScanCounters()
         probabilities = self.configuration_probabilities(

@@ -86,6 +86,14 @@ class ScanCounters:
     scan_cache_hits:
         Sweep points whose configuration probabilities were served from
         the engine's cross-point scan cache instead of re-scanned.
+    kernel_batches:
+        Bit-parallel backend only: evaluation batches executed by the
+        compiled kernel (each covers up to 2^batch_bits states with one
+        pass over the instruction program).
+    kernel_instructions:
+        Bit-parallel backend only: length of the compiled AND/OR/NOT
+        program after common-subexpression elimination (set once by the
+        engine, like ``distinct_configurations``).
     """
 
     states_visited: int = 0
@@ -101,6 +109,8 @@ class ScanCounters:
     lqn_unconverged: int = 0
     sweep_points: int = 0
     scan_cache_hits: int = 0
+    kernel_batches: int = 0
+    kernel_instructions: int = 0
 
     def merge(self, other: "ScanCounters") -> None:
         """Add ``other``'s counts into this instance (exact: all fields

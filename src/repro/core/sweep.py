@@ -41,7 +41,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core.dependency import CommonCause
-from repro.core.enumeration import resolve_jobs
+from repro.core.enumeration import normalize_method, resolve_jobs
 from repro.core.performability import (
     AnalysisStructure,
     PerformabilityAnalyzer,
@@ -430,6 +430,9 @@ class SweepEngine:
             raise ModelError(
                 f"sweep point names must be unique; duplicated: {duplicates}"
             )
+        # Canonicalise up front so aliases ("interp") share scan-cache
+        # entries with their canonical method across run() calls.
+        method = normalize_method(method)
         jobs = resolve_jobs(jobs)
         if counters is None:
             counters = ScanCounters()

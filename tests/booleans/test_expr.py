@@ -184,3 +184,47 @@ class TestReplace:
     def test_replace_constants_are_fixed_points(self):
         assert TRUE.replace({"a": FALSE}) == TRUE
         assert FALSE.replace({"a": TRUE}) == FALSE
+
+
+class TestHashConsing:
+    """Construction helpers intern structurally equal nodes."""
+
+    def test_vars_are_interned(self):
+        assert Var("x") is Var("x")
+        assert Var("x") is not Var("y")
+
+    def test_compound_nodes_are_interned(self):
+        a, b = Var("a"), Var("b")
+        assert (a & b) is (a & b)
+        assert (a | b) is (a | b)
+        assert ~(a & b) is ~(a & b)
+        assert (a & b) is not (b & a)  # term order is significant
+
+    def test_nested_construction_shares_subterms(self):
+        a, b, c = Var("a"), Var("b"), Var("c")
+        left = (a | b) & c
+        right = (a | b) & c
+        assert left is right
+        assert left.terms[0] is (a | b)
+
+    def test_pickle_round_trip_preserves_identity(self):
+        import pickle
+
+        for expr in (
+            Var("p"),
+            Var("p") & Var("q"),
+            Var("p") | Var("q"),
+            ~(Var("p") & Var("q")),
+            TRUE,
+            FALSE,
+        ):
+            assert pickle.loads(pickle.dumps(expr)) is expr
+
+    def test_interning_is_garbage_collectable(self):
+        import gc
+
+        name = "only-used-here-once"
+        table = Var._interned
+        Var(name)
+        gc.collect()
+        assert name not in table

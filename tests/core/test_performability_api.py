@@ -53,8 +53,16 @@ class TestConstruction:
 
     def test_unknown_method_rejected(self, figure1):
         analyzer = PerformabilityAnalyzer(figure1, None)
-        with pytest.raises(ValueError, match="unknown method"):
+        with pytest.raises(ModelError, match="unknown method"):
             analyzer.configuration_probabilities(method="magic")
+
+    def test_interp_alias_matches_enumeration(self, figure1):
+        analyzer = PerformabilityAnalyzer(
+            figure1, None, failure_probs={"Server1": 0.1, "AppA": 0.05}
+        )
+        assert analyzer.configuration_probabilities(
+            method="interp"
+        ) == analyzer.configuration_probabilities(method="enumeration")
 
 
 class TestDegenerateProbabilities:
