@@ -1,10 +1,19 @@
 # Developer conveniences; the test suite needs src/ on PYTHONPATH.
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-snapshot docs-check
+.PHONY: test bench bench-snapshot docs-check fuzz
 
 test:
 	$(PY) -m pytest -x -q
+
+# Differential fuzzing campaign: random scenarios through every
+# analytic backend (serial + parallel) with the Monte-Carlo
+# cross-check; counterexamples are shrunk and dropped into
+# fuzz-artifacts/ (see docs/testing_guide.md for triage).
+FUZZ_SEEDS ?= 200
+fuzz:
+	$(PY) -m repro verify --seeds $(FUZZ_SEEDS) --progress \
+		--json fuzz-report.json --artifacts fuzz-artifacts
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

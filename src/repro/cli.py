@@ -13,6 +13,11 @@ Commands
 ``dot``
     Emit Graphviz renderings of a model, its fault propagation graph,
     or a management architecture.
+``verify``
+    Fuzz randomly generated scenarios through every analytic backend
+    (serial and parallel) plus the Monte-Carlo simulation cross-check,
+    shrinking any disagreement to a minimal counterexample (see
+    :mod:`repro.verify`).
 ``paper``
     Regenerate the paper's evaluation artifacts (table1, table2,
     figure11, statespace).
@@ -489,6 +494,79 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import run_fuzz
+
+    def log(outcome):
+        if not args.progress:
+            return
+        status = "ok" if outcome.ok else "COUNTEREXAMPLE"
+        extras = []
+        if len(outcome.jobs_checked) > 1:
+            extras.append(f"jobs={list(outcome.jobs_checked)}")
+        if outcome.simulated:
+            extras.append("sim")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        print(
+            f"seed {outcome.seed}: {status} "
+            f"({outcome.state_count} states, "
+            f"{outcome.distinct_configurations} configurations, "
+            f"{outcome.seconds:.2f}s){suffix}",
+            file=sys.stderr,
+        )
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        seed_start=args.seed_start,
+        time_budget=args.time_budget,
+        backends=args.backends.split(",") if args.backends else None,
+        jobs=args.jobs,
+        sim_every=args.sim_every,
+        parallel_every=args.parallel_every,
+        shrink=not args.no_shrink,
+        log=log,
+    )
+
+    document = report.as_dict()
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.artifacts:
+        directory = Path(args.artifacts)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "report.json").write_text(json.dumps(document, indent=2))
+        entries = []
+        for outcome in report.failures:
+            if outcome.script is not None:
+                path = directory / f"counterexample-{outcome.seed}.py"
+                path.write_text(outcome.script)
+            if outcome.corpus is not None:
+                entries.append(outcome.corpus)
+        if entries:
+            (directory / "corpus-entries.json").write_text(
+                json.dumps({"version": 1, "entries": entries}, indent=2)
+            )
+        print(f"wrote artifacts to {directory}", file=sys.stderr)
+
+    budget_note = " (stopped by --time-budget)" if report.stopped_by_budget else ""
+    print(
+        f"verify: {len(report.outcomes)}/{report.seeds_requested} seeds, "
+        f"{document['states_covered']} states covered, "
+        f"{document['simulation_checks']} simulation checks, "
+        f"{document['parallel_checks']} parallel checks, "
+        f"{len(report.failures)} counterexample(s) in "
+        f"{report.seconds:.1f}s{budget_note}"
+    )
+    for outcome in report.failures:
+        print(f"seed {outcome.seed}: "
+              + "; ".join(d["detail"] for d in outcome.disagreements[:3]))
+        if outcome.shrunken is not None:
+            tasks = len(outcome.shrunken["ftlqn"]["tasks"])
+            print(f"  shrunk to {tasks} task(s) in "
+                  f"{len(outcome.shrink_steps)} step(s)")
+    return 0 if report.ok else 1
+
+
 def _cmd_paper(args) -> int:
     from repro.experiments.figure11 import run_figure11
     from repro.experiments.reporting import (
@@ -702,6 +780,71 @@ def build_parser() -> argparse.ArgumentParser:
         "and recommendation flags)",
     )
     optimize.set_defaults(handler=_cmd_optimize)
+
+    verify = commands.add_parser(
+        "verify", help="fuzz the analytic backends against each other",
+        epilog="Each seed draws a random layered scenario (perfect "
+        "components, shared processors, deep backup chains, unreliable "
+        "connectors, common causes) and replays it through every "
+        "selected backend, demanding 1e-12 agreement with the "
+        "interpreted reference scan.  Every --parallel-every-th seed "
+        "re-runs the backends with --jobs worker processes and every "
+        "--sim-every-th seed cross-checks availability and expected "
+        "reward against the Monte-Carlo simulation inside a Student-t "
+        "confidence interval.  Disagreements are shrunk to minimal "
+        "counterexamples; exit status is 1 when any were found (see "
+        "docs/testing_guide.md for triage).",
+    )
+    verify.add_argument(
+        "--seeds", type=int, default=100, metavar="N",
+        help="number of generator seeds to check (default 100)",
+    )
+    verify.add_argument(
+        "--seed-start", type=int, default=0, metavar="S",
+        help="first seed of the range (default 0)",
+    )
+    verify.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new seeds after this much wall-clock time",
+    )
+    verify.add_argument(
+        "--backends", metavar="LIST", default=None,
+        help="comma-separated backends to cross-check "
+        "(default: interp,factored,bits)",
+    )
+    verify.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the periodic parallel re-check "
+        "(default 2)",
+    )
+    verify.add_argument(
+        "--sim-every", type=int, default=10, metavar="K",
+        help="run the simulation cross-check every K-th seed "
+        "(default 10; 0 disables)",
+    )
+    verify.add_argument(
+        "--parallel-every", type=int, default=25, metavar="K",
+        help="re-run the backends with --jobs workers every K-th seed "
+        "(default 25; 0 disables)",
+    )
+    verify.add_argument(
+        "--no-shrink", action="store_true",
+        help="report disagreements without shrinking them",
+    )
+    verify.add_argument(
+        "--progress", action="store_true",
+        help="print one line per seed to stderr",
+    )
+    verify.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the full campaign report as JSON",
+    )
+    verify.add_argument(
+        "--artifacts", metavar="DIR",
+        help="write report.json plus repro scripts and corpus entries "
+        "for any counterexamples into DIR",
+    )
+    verify.set_defaults(handler=_cmd_verify)
 
     paper = commands.add_parser(
         "paper", help="regenerate the paper's evaluation artifacts"

@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.core.configuration import group_support
+from repro.core.dependency import CommonCause
 from repro.core.performability import PerformabilityAnalyzer
 from repro.errors import ModelError
 from repro.ftlqn.model import FTLQNModel
@@ -65,6 +66,7 @@ def simulate_availability(
     mama: MAMAModel | None,
     failure_probs: Mapping[str, float],
     *,
+    common_causes: Sequence[CommonCause] = (),
     horizon: float = 50_000.0,
     seed: int = 1,
     repair_rate: float = 1.0,
@@ -75,6 +77,11 @@ def simulate_availability(
 
     Parameters
     ----------
+    common_causes:
+        Common-cause failure events.  Each event becomes one more
+        alternating up/down process whose long-run down fraction equals
+        the event probability; while an event is down every component
+        it covers is down regardless of that component's own state.
     group_rewards:
         Optional: per configuration, the reward rate contributed by each
         operational user group (e.g. w_g · f_g from the LQN solution).
@@ -88,7 +95,9 @@ def simulate_availability(
         raise ModelError("horizon must be positive")
     if repair_rate <= 0:
         raise ModelError("repair_rate must be positive")
-    analyzer = PerformabilityAnalyzer(ftlqn, mama, failure_probs=failure_probs)
+    analyzer = PerformabilityAnalyzer(
+        ftlqn, mama, failure_probs=failure_probs, common_causes=common_causes
+    )
     problem = analyzer.problem
     components = list(problem.app_components) + list(problem.mgmt_components)
 

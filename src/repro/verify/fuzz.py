@@ -1,0 +1,233 @@
+"""The fuzzing campaign driver behind ``repro verify`` and ``make fuzz``.
+
+:func:`run_fuzz` walks a seed range through the scenario generator and
+the differential oracle, periodically widening the check (parallel
+scans every ``parallel_every`` seeds, the Monte-Carlo simulation
+cross-check every ``sim_every`` seeds), shrinks any disagreement to a
+minimal counterexample, and returns a JSON-serialisable
+:class:`FuzzReport` carrying per-seed outcomes, the shrunken
+counterexamples, their standalone repro scripts and ready-to-commit
+corpus entries.
+
+The campaign is budgeted two ways: ``seeds`` bounds the seed range and
+``time_budget`` (seconds, optional) stops early — nightly CI gives a
+wall-clock budget so the job finishes whatever the machine, while
+``repro verify --seeds N`` gives an exact, reproducible range.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.verify.generator import (
+    DEFAULT_SPACE,
+    Scenario,
+    ScenarioSpace,
+    generate_scenario,
+)
+from repro.verify.oracle import (
+    DEFAULT_ORACLE_CONFIG,
+    OracleConfig,
+    check_scenario,
+    default_backends,
+)
+from repro.verify.shrink import (
+    ShrinkResult,
+    corpus_entry,
+    repro_script,
+    shrink_scenario,
+)
+
+#: Called once per seed with the finished outcome (CLI progress line).
+FuzzLog = Callable[["SeedOutcome"], None]
+
+
+@dataclass
+class SeedOutcome:
+    """Everything the campaign learned from one seed."""
+
+    seed: int
+    ok: bool
+    seconds: float
+    state_count: int
+    distinct_configurations: int
+    simulated: bool
+    jobs_checked: tuple[int, ...]
+    disagreements: list[dict] = field(default_factory=list)
+    shrunken: dict | None = None
+    shrink_steps: list[str] = field(default_factory=list)
+    script: str | None = None
+    corpus: dict | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "seconds": round(self.seconds, 4),
+            "state_count": self.state_count,
+            "distinct_configurations": self.distinct_configurations,
+            "simulated": self.simulated,
+            "jobs_checked": list(self.jobs_checked),
+            "disagreements": self.disagreements,
+            "shrunken": self.shrunken,
+            "shrink_steps": self.shrink_steps,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Result of one fuzzing campaign."""
+
+    outcomes: list[SeedOutcome]
+    backends: tuple[str, ...]
+    seeds_requested: int
+    seconds: float
+    stopped_by_budget: bool
+
+    @property
+    def failures(self) -> list[SeedOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "backends": list(self.backends),
+            "seeds_requested": self.seeds_requested,
+            "seeds_checked": len(self.outcomes),
+            "seconds": round(self.seconds, 3),
+            "stopped_by_budget": self.stopped_by_budget,
+            "failures": len(self.failures),
+            "states_covered": sum(o.state_count for o in self.outcomes),
+            "simulation_checks": sum(1 for o in self.outcomes if o.simulated),
+            "parallel_checks": sum(
+                1 for o in self.outcomes if len(o.jobs_checked) > 1
+            ),
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def run_fuzz(
+    *,
+    seeds: int = 100,
+    seed_start: int = 0,
+    time_budget: float | None = None,
+    backends: Sequence[str] | None = None,
+    space: ScenarioSpace = DEFAULT_SPACE,
+    config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+    jobs: int = 2,
+    sim_every: int = 10,
+    parallel_every: int = 25,
+    shrink: bool = True,
+    log: FuzzLog | None = None,
+) -> FuzzReport:
+    """Run one fuzzing campaign and return its report.
+
+    Every seed runs all selected backends serially; every
+    ``parallel_every``-th seed additionally re-runs them with
+    ``jobs`` worker processes, and every ``sim_every``-th seed adds the
+    Monte-Carlo cross-check (0 disables either).  Disagreements are
+    shrunk (unless ``shrink=False``) with a predicate that replays only
+    the *analytic* part of the oracle — simulation-only disagreements
+    are reported but not shrunk, since the stochastic check is not a
+    reliable reduction predicate.
+    """
+    table = default_backends(backends)
+    started = time.perf_counter()
+    outcomes: list[SeedOutcome] = []
+    stopped = False
+
+    for index in range(seeds):
+        if time_budget is not None and time.perf_counter() - started > time_budget:
+            stopped = True
+            break
+        seed = seed_start + index
+        jobs_checked = (1,)
+        if parallel_every and jobs > 1 and index % parallel_every == 0:
+            jobs_checked = (1, jobs)
+        simulate = bool(sim_every) and index % sim_every == 0
+
+        seed_started = time.perf_counter()
+        scenario = generate_scenario(seed, space)
+        report = check_scenario(
+            scenario,
+            backends=table,
+            jobs=jobs_checked,
+            simulate=simulate,
+            config=config,
+        )
+        outcome = SeedOutcome(
+            seed=seed,
+            ok=report.ok,
+            seconds=time.perf_counter() - seed_started,
+            state_count=report.state_count,
+            distinct_configurations=report.distinct_configurations,
+            simulated=report.simulated,
+            jobs_checked=jobs_checked,
+            disagreements=[d.as_dict() for d in report.disagreements],
+        )
+
+        analytic_failure = any(
+            d.kind != "simulation" for d in report.disagreements
+        )
+        if not report.ok and shrink and analytic_failure:
+            _shrink_outcome(outcome, scenario, table, jobs_checked, config)
+        outcome.seconds = time.perf_counter() - seed_started
+        outcomes.append(outcome)
+        if log is not None:
+            log(outcome)
+
+    return FuzzReport(
+        outcomes=outcomes,
+        backends=tuple(table),
+        seeds_requested=seeds,
+        seconds=time.perf_counter() - started,
+        stopped_by_budget=stopped,
+    )
+
+
+def _shrink_outcome(
+    outcome: SeedOutcome,
+    scenario: Scenario,
+    table,
+    jobs_checked: tuple[int, ...],
+    config: OracleConfig,
+) -> None:
+    """Shrink ``scenario`` and attach the artifacts to ``outcome``."""
+
+    def predicate(candidate: Scenario) -> bool:
+        replay = check_scenario(
+            candidate, backends=table, jobs=jobs_checked, config=config
+        )
+        return any(d.kind != "simulation" for d in replay.disagreements)
+
+    result: ShrinkResult = shrink_scenario(scenario, predicate)
+    minimal = result.scenario
+    final = check_scenario(
+        minimal, backends=table, jobs=jobs_checked, config=config
+    )
+    identifier = f"fuzz-seed-{outcome.seed}"
+    note = (
+        f"Found by `repro verify` on generated seed {outcome.seed}; "
+        f"shrunk in {len(result.steps)} steps "
+        f"({result.candidates_tried} candidates tried)."
+    )
+    outcome.shrunken = minimal.to_document()
+    outcome.shrink_steps = result.steps
+    outcome.script = repro_script(
+        minimal,
+        note=note,
+        backends=tuple(table),
+        jobs=jobs_checked,
+        filename=f"counterexample-{outcome.seed}.py",
+    )
+    outcome.corpus = corpus_entry(
+        minimal,
+        identifier=identifier,
+        description=note,
+        disagreements=[d.as_dict() for d in final.disagreements],
+    )

@@ -1,0 +1,527 @@
+"""Seeded random scenario generation for differential verification.
+
+Two generators live here:
+
+* :func:`random_scenario` — the original seeded generator that backs
+  the historical cross-backend parity suite.  It is kept bit-for-bit
+  stable (same seed → same scenario, forever) so parity-test IDs and
+  old bug reports stay meaningful; ``tests/core/random_models.py``
+  re-exports it for backwards compatibility.
+* :func:`generate_scenario` — the first-class fuzzer.  Driven by a
+  :class:`ScenarioSpace`, it covers a much wider slice of the model
+  space: perfect components (absent from ``failure_probs``), explicit
+  zero and one failure probabilities, shared processors, deep backup
+  chains (up to ``max_backups`` standbys behind one service), an
+  optional second application tier, unreliable management connectors,
+  and common-cause events spanning application and management
+  components.  The number of *unreliable* variables is capped at
+  ``max_state_bits`` so the interpreted 2^N reference scan stays fast
+  — structure is unbounded, enumeration cost is not.
+
+Both produce :class:`Scenario` values: a self-contained, JSON-round-
+trippable bundle of (FTLQN model, MAMA model, failure probabilities,
+common causes) ready for :class:`repro.core.PerformabilityAnalyzer`,
+the differential oracle (:mod:`repro.verify.oracle`) and the
+counterexample shrinker (:mod:`repro.verify.shrink`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.dependency import CommonCause
+from repro.errors import SerializationError
+from repro.ftlqn import FTLQNModel, Request
+from repro.ftlqn.serialize import model_from_json, model_to_json
+from repro.mama import MAMAModel
+from repro.mama.serialize import mama_from_json, mama_to_json
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One self-contained analysis scenario.
+
+    ``seed`` records provenance (``None`` for hand-built or shrunken
+    scenarios).  :meth:`to_document`/:meth:`from_document` round-trip
+    through plain JSON objects, which is how counterexamples are
+    committed to the seed corpus and embedded in repro scripts.
+    """
+
+    ftlqn: FTLQNModel
+    mama: MAMAModel | None
+    failure_probs: dict[str, float]
+    common_causes: tuple[CommonCause, ...] = ()
+    seed: int | None = None
+
+    def analyzer(self, **kwargs):
+        """A :class:`~repro.core.PerformabilityAnalyzer` for this
+        scenario (imported lazily to keep the generator importable from
+        anywhere)."""
+        from repro.core.performability import PerformabilityAnalyzer
+
+        return PerformabilityAnalyzer(
+            self.ftlqn,
+            self.mama,
+            failure_probs=self.failure_probs,
+            common_causes=self.common_causes,
+            **kwargs,
+        )
+
+    def component_universe(self) -> set[str]:
+        """Every name a failure probability or cause may reference."""
+        names = set(self.ftlqn.component_names())
+        if self.mama is not None:
+            names |= set(self.mama.components)
+            names |= set(self.mama.connectors)
+        return names
+
+    def unreliable_count(self) -> int:
+        """Number of state-space bits: components with 0 < p < 1 plus
+        common-cause events with 0 < p < 1."""
+        count = sum(1 for p in self.failure_probs.values() if 0.0 < p < 1.0)
+        count += sum(1 for c in self.common_causes if 0.0 < c.probability < 1.0)
+        return count
+
+    def as_tuple(self):
+        """The historical ``(ftlqn, mama, failure_probs, causes)`` form."""
+        return self.ftlqn, self.mama, self.failure_probs, self.common_causes
+
+    # -- JSON round-trip ------------------------------------------------
+
+    def to_document(self) -> dict:
+        """A plain-JSON document describing this scenario."""
+        return {
+            "seed": self.seed,
+            "ftlqn": json.loads(model_to_json(self.ftlqn)),
+            "mama": (
+                None if self.mama is None
+                else json.loads(mama_to_json(self.mama))
+            ),
+            "failure_probs": dict(self.failure_probs),
+            "common_causes": [
+                {
+                    "name": cause.name,
+                    "probability": cause.probability,
+                    "components": list(cause.components),
+                }
+                for cause in self.common_causes
+            ],
+        }
+
+    @staticmethod
+    def from_document(document: Mapping) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_document` output.
+
+        Raises :class:`~repro.errors.SerializationError` /
+        :class:`~repro.errors.ModelError` on malformed documents, so
+        shrinker candidates that break model validity are rejected
+        cleanly.
+        """
+        if not isinstance(document, Mapping):
+            raise SerializationError("scenario document must be an object")
+        if "ftlqn" not in document:
+            raise SerializationError('scenario document needs an "ftlqn" key')
+        ftlqn = model_from_json(json.dumps(document["ftlqn"]))
+        mama_doc = document.get("mama")
+        mama = (
+            None if mama_doc is None else mama_from_json(json.dumps(mama_doc))
+        )
+        probs_doc = document.get("failure_probs", {})
+        if not isinstance(probs_doc, Mapping):
+            raise SerializationError('"failure_probs" must be an object')
+        failure_probs = {
+            str(name): float(value) for name, value in probs_doc.items()
+        }
+        causes = []
+        for item in document.get("common_causes", ()):
+            if not isinstance(item, Mapping):
+                raise SerializationError(
+                    f"common cause entries must be objects, got {item!r}"
+                )
+            causes.append(
+                CommonCause(
+                    name=str(item["name"]),
+                    probability=float(item["probability"]),
+                    components=tuple(str(c) for c in item["components"]),
+                )
+            )
+        seed = document.get("seed")
+        return Scenario(
+            ftlqn=ftlqn,
+            mama=mama,
+            failure_probs=failure_probs,
+            common_causes=tuple(causes),
+            seed=None if seed is None else int(seed),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpace:
+    """Knobs of the fuzzer's scenario distribution.
+
+    The defaults define the standard fuzzing space; tests narrow or
+    widen individual axes (e.g. ``max_backups=0`` for minimal systems,
+    ``p_common_cause=1.0`` to always exercise shared failure modes).
+    """
+
+    #: Deepest backup chain: a service has 1 + up to this many targets.
+    max_backups: int = 4
+    #: Cap on unreliable variables (components + cause events with
+    #: 0 < p < 1), so the interpreted 2^N reference stays fast.
+    max_state_bits: int = 13
+    #: Probability of a perfect-knowledge scenario (no MAMA model).
+    p_perfect_knowledge: float = 0.1
+    #: Probability the manager shares a host with the primary server.
+    p_shared_manager_host: float = 0.3
+    #: Probability a backup server shares a processor with an earlier
+    #: server instead of getting its own.
+    p_shared_server_processor: float = 0.3
+    #: Probability of a second application tier (a database task every
+    #: server entry calls).
+    p_second_tier: float = 0.3
+    #: Probability a candidate component is perfectly reliable (left
+    #: out of ``failure_probs`` entirely).
+    p_perfect_component: float = 0.2
+    #: Probability a candidate component gets an *explicit* 0.0.
+    p_explicit_zero: float = 0.05
+    #: Probability a candidate component is pinned down (exactly 1.0).
+    p_pinned_down: float = 0.06
+    #: Probability the reference user group / its host is unreliable.
+    p_unreliable_users: float = 0.15
+    #: Probability the scenario has unreliable management connectors.
+    p_unreliable_connector: float = 0.5
+    max_unreliable_connectors: int = 3
+    #: Probability the scenario has common-cause events.
+    p_common_cause: float = 0.5
+    max_common_causes: int = 2
+    #: Failure-probability range for ordinary unreliable components.
+    probability_low: float = 0.005
+    probability_high: float = 0.45
+
+
+DEFAULT_SPACE = ScenarioSpace()
+
+
+def generate_scenario(
+    seed: int, space: ScenarioSpace = DEFAULT_SPACE
+) -> Scenario:
+    """Deterministically generate one fuzzing scenario from ``seed``.
+
+    The topology is the paper's shape — a reference user group calling
+    an application task that reaches a primary server with backups
+    through a service — widened along every axis the
+    :class:`ScenarioSpace` names.  The same ``(seed, space)`` pair
+    always produces the same scenario.
+    """
+    rng = random.Random(f"repro-verify-{seed}")
+    backups = rng.randint(0, space.max_backups)
+    perfect_knowledge = rng.random() < space.p_perfect_knowledge
+    second_tier = rng.random() < space.p_second_tier
+    watch_style = rng.choice(("direct", "agent", "mixed"))
+    shared_manager_host = rng.random() < space.p_shared_manager_host
+
+    # -- application model ---------------------------------------------
+    ftlqn = FTLQNModel(name=f"fuzz-{seed}")
+    ftlqn.add_processor("pu")
+    ftlqn.add_processor("pa")
+    ftlqn.add_task(
+        "users",
+        processor="pu",
+        multiplicity=rng.randint(1, 4),
+        is_reference=True,
+    )
+    ftlqn.add_task("app", processor="pa")
+
+    server_processor: dict[str, str] = {}
+    targets: list[str] = []
+    previous_processors: list[str] = []
+    for index in range(backups + 1):
+        server = f"srv{index}"
+        if previous_processors and rng.random() < space.p_shared_server_processor:
+            processor = rng.choice(previous_processors)
+        else:
+            processor = f"ps{index}"
+            ftlqn.add_processor(processor)
+            previous_processors.append(processor)
+        server_processor[server] = processor
+        ftlqn.add_task(server, processor=processor)
+        targets.append(f"serve{index}")
+    ftlqn.add_service("svc", targets=targets)
+
+    tier_requests: list[Request] = []
+    if second_tier:
+        ftlqn.add_processor("pd")
+        ftlqn.add_task("db", processor="pd")
+        ftlqn.add_entry("edb", task="db", demand=round(rng.uniform(0.2, 1.5), 3))
+        tier_requests = [Request("edb")]
+    for index in range(backups + 1):
+        ftlqn.add_entry(
+            f"serve{index}",
+            task=f"srv{index}",
+            demand=round(rng.uniform(0.3, 2.0), 3),
+            requests=list(tier_requests),
+        )
+    ftlqn.add_entry("ea", task="app", demand=1.0, requests=[Request("svc")])
+    ftlqn.add_entry("u", task="users", requests=[Request("ea")])
+
+    # -- management architecture ---------------------------------------
+    mama: MAMAModel | None = None
+    agented: list[str] = []
+    if not perfect_knowledge:
+        manager_host = server_processor["srv0"] if shared_manager_host else "pm"
+        mama = MAMAModel(name=f"fuzz-mgmt-{seed}")
+        processors = {"pa", manager_host} | set(server_processor.values())
+        if second_tier:
+            processors.add("pd")
+        for processor in sorted(processors):
+            mama.add_processor(processor)
+        mama.add_application_task("app", processor="pa")
+        mama.add_manager("mgr", processor=manager_host)
+        mama.add_agent("ag.app", processor="pa")
+        mama.add_alive_watch("w.app", monitored="app", monitor="ag.app")
+        mama.add_status_watch("r.app", monitored="ag.app", monitor="mgr")
+        mama.add_alive_watch("w.pa", monitored="pa", monitor="mgr")
+
+        def watch(component: str, host: str) -> None:
+            """Monitor ``component`` directly or through a host agent."""
+            direct = watch_style == "direct" or (
+                watch_style == "mixed" and rng.random() < 0.5
+            )
+            if direct:
+                mama.add_alive_watch(
+                    f"w.{component}", monitored=component, monitor="mgr"
+                )
+            else:
+                agent = f"ag.{component}"
+                agented.append(component)
+                mama.add_agent(agent, processor=host)
+                mama.add_alive_watch(
+                    f"w.{component}", monitored=component, monitor=agent
+                )
+                mama.add_status_watch(
+                    f"r.{component}", monitored=agent, monitor="mgr"
+                )
+
+        for index in range(backups + 1):
+            server = f"srv{index}"
+            mama.add_application_task(
+                server, processor=server_processor[server]
+            )
+            watch(server, server_processor[server])
+        for processor in sorted(set(server_processor.values())):
+            mama.add_alive_watch(
+                f"w.{processor}", monitored=processor, monitor="mgr"
+            )
+        if second_tier:
+            mama.add_application_task("db", processor="pd")
+            watch("db", "pd")
+            mama.add_alive_watch("w.pd", monitored="pd", monitor="mgr")
+        mama.add_notify("n.mgr", notifier="mgr", subscriber="ag.app")
+        mama.add_notify("n.app", notifier="ag.app", subscriber="app")
+
+    # -- failure probabilities -----------------------------------------
+    def draw_probability() -> float:
+        return round(
+            rng.uniform(space.probability_low, space.probability_high), 6
+        )
+
+    failure_probs: dict[str, float] = {}
+
+    def assign(name: str, *, pin_allowed: bool = True) -> None:
+        roll = rng.random()
+        if roll < space.p_perfect_component:
+            return  # perfect: absent from the mapping entirely
+        if roll < space.p_perfect_component + space.p_explicit_zero:
+            failure_probs[name] = 0.0
+            return
+        if (
+            pin_allowed
+            and roll
+            < space.p_perfect_component
+            + space.p_explicit_zero
+            + space.p_pinned_down
+        ):
+            failure_probs[name] = 1.0
+            return
+        failure_probs[name] = draw_probability()
+
+    candidates = ["app", "pa"]
+    candidates.extend(f"srv{i}" for i in range(backups + 1))
+    candidates.extend(sorted(set(server_processor.values())))
+    if second_tier:
+        candidates.extend(["db", "pd"])
+    # The single app task and the second tier sit on every service
+    # path: pinning them down collapses the scenario to certain
+    # failure, which wastes fuzzing effort on a constant.  Pinning a
+    # backup server or a management component stays allowed.
+    serial_path = {"app", "pa", "db", "pd"}
+    for name in candidates:
+        assign(name, pin_allowed=name not in serial_path)
+    if rng.random() < space.p_unreliable_users:
+        # Never pin the whole user group down: the scenario would
+        # degenerate to a certain system failure.
+        assign(rng.choice(("users", "pu")), pin_allowed=False)
+
+    if mama is not None:
+        assign("mgr")
+        if not shared_manager_host:
+            assign("pm")
+        assign("ag.app")
+        for component in agented:
+            assign(f"ag.{component}")
+        if rng.random() < space.p_unreliable_connector:
+            connectors = sorted(mama.connectors)
+            count = rng.randint(
+                1, min(space.max_unreliable_connectors, len(connectors))
+            )
+            for connector in rng.sample(connectors, count):
+                failure_probs[connector] = draw_probability()
+
+    # -- common causes --------------------------------------------------
+    universe = sorted(
+        set(ftlqn.component_names())
+        | (set(mama.components) | set(mama.connectors) if mama else set())
+    )
+    causes: list[CommonCause] = []
+    if rng.random() < space.p_common_cause:
+        for index in range(rng.randint(1, space.max_common_causes)):
+            members = tuple(rng.sample(universe, rng.randint(2, 3)))
+            probability = (
+                0.0 if rng.random() < 0.05
+                else round(rng.uniform(0.01, 0.2), 6)
+            )
+            causes.append(
+                CommonCause(
+                    name=f"cause{index}",
+                    probability=probability,
+                    components=members,
+                )
+            )
+
+    scenario = Scenario(
+        ftlqn=ftlqn,
+        mama=mama,
+        failure_probs=failure_probs,
+        common_causes=tuple(causes),
+        seed=seed,
+    )
+
+    # -- state-space cap ------------------------------------------------
+    # Drop random unreliable components back to perfect until the
+    # interpreted reference scan is bounded by 2^max_state_bits.
+    overweight = scenario.unreliable_count() - space.max_state_bits
+    if overweight > 0:
+        unreliable = sorted(
+            name for name, p in failure_probs.items() if 0.0 < p < 1.0
+        )
+        for name in rng.sample(unreliable, overweight):
+            del failure_probs[name]
+
+    return scenario
+
+
+def random_scenario(
+    seed: int,
+) -> tuple[FTLQNModel, MAMAModel, dict[str, float], tuple[CommonCause, ...]]:
+    """The original seeded generator (kept bit-for-bit stable).
+
+    Returns the historical ``(ftlqn, mama, failure_probs,
+    common_causes)`` tuple ready for
+    :class:`repro.core.PerformabilityAnalyzer`.  New code should prefer
+    :func:`generate_scenario`, which covers a wider space and returns a
+    :class:`Scenario`.
+    """
+    rng = random.Random(seed)
+    backups = rng.randint(1, 2)
+    watch_style = rng.choice(("direct", "agent", "mixed"))
+    shared_manager_host = rng.random() < 0.3
+
+    ftlqn = FTLQNModel(name=f"rnd-{seed}")
+    ftlqn.add_processor("pu")
+    ftlqn.add_processor("pa")
+    ftlqn.add_task("users", processor="pu", multiplicity=3, is_reference=True)
+    ftlqn.add_task("app", processor="pa")
+    targets = []
+    for index in range(backups + 1):
+        ftlqn.add_processor(f"ps{index}")
+        ftlqn.add_task(f"srv{index}", processor=f"ps{index}")
+        ftlqn.add_entry(f"serve{index}", task=f"srv{index}", demand=1.0)
+        targets.append(f"serve{index}")
+    ftlqn.add_service("svc", targets=targets)
+    ftlqn.add_entry("ea", task="app", demand=1.0, requests=[Request("svc")])
+    ftlqn.add_entry("u", task="users", requests=[Request("ea")])
+
+    manager_host = "ps0" if shared_manager_host else "pm"
+    mama = MAMAModel(name=f"rnd-mgmt-{seed}")
+    processors = {"pa", manager_host} | {f"ps{i}" for i in range(backups + 1)}
+    for processor in sorted(processors):
+        mama.add_processor(processor)
+    mama.add_application_task("app", processor="pa")
+    mama.add_manager("mgr", processor=manager_host)
+    mama.add_agent("ag.app", processor="pa")
+    mama.add_alive_watch("w.app", monitored="app", monitor="ag.app")
+    mama.add_status_watch("r.app", monitored="ag.app", monitor="mgr")
+    mama.add_alive_watch("w.pa", monitored="pa", monitor="mgr")
+
+    agented: list[str] = []
+    for index in range(backups + 1):
+        server = f"srv{index}"
+        direct = watch_style == "direct" or (
+            watch_style == "mixed" and rng.random() < 0.5
+        )
+        mama.add_application_task(server, processor=f"ps{index}")
+        if direct:
+            mama.add_alive_watch(f"w.{server}", monitored=server, monitor="mgr")
+        else:
+            agented.append(server)
+            mama.add_agent(f"ag.{server}", processor=f"ps{index}")
+            mama.add_alive_watch(
+                f"w.{server}", monitored=server, monitor=f"ag.{server}"
+            )
+            mama.add_status_watch(
+                f"r.{server}", monitored=f"ag.{server}", monitor="mgr"
+            )
+        mama.add_alive_watch(
+            f"w.ps{index}", monitored=f"ps{index}", monitor="mgr"
+        )
+    mama.add_notify("n.mgr", notifier="mgr", subscriber="ag.app")
+    mama.add_notify("n.app", notifier="ag.app", subscriber="app")
+
+    def p() -> float:
+        return round(rng.uniform(0.02, 0.4), 6)
+
+    failure_probs = {"app": p(), "pa": p(), "mgr": p()}
+    if not shared_manager_host:
+        failure_probs["pm"] = p()
+    for index in range(backups + 1):
+        failure_probs[f"srv{index}"] = p()
+        # Some server processors stay perfectly reliable (exercises the
+        # fixed_up path in every backend).
+        if rng.random() < 0.8:
+            failure_probs[f"ps{index}"] = p()
+    for server in agented:
+        failure_probs[f"ag.{server}"] = p()
+    failure_probs["ag.app"] = p()
+
+    # Occasionally pin one backup server down outright (fixed_down).
+    if rng.random() < 0.2:
+        failure_probs[f"srv{backups}"] = 1.0
+    # Occasionally make a management connector unreliable.
+    if rng.random() < 0.4:
+        failure_probs[rng.choice(["w.app", "r.app", "n.mgr", "n.app"])] = p()
+
+    causes: tuple[CommonCause, ...] = ()
+    if rng.random() < 0.4:
+        members = ["pa", "ps0"] if rng.random() < 0.5 else ["app", "mgr"]
+        causes = (
+            CommonCause(
+                name="shared_fault",
+                probability=round(rng.uniform(0.01, 0.1), 6),
+                components=tuple(members),
+            ),
+        )
+
+    return ftlqn, mama, failure_probs, causes

@@ -1,0 +1,387 @@
+"""The differential oracle: three analytic backends and one simulator.
+
+A scenario passes the oracle when
+
+1. every backend (interpreted enumeration, factored BDD evaluation,
+   compiled bit-parallel kernel), serial and parallel alike, produces
+   the *same configuration set* with probabilities agreeing to
+   ``tolerance`` (1e-12) against the interpreted reference;
+2. the reference probabilities sum to 1 within ``total_tolerance``;
+3. optionally, the analytic system availability and expected reward
+   fall inside a confidence interval computed from independent
+   replications of the Monte-Carlo failure/repair simulation
+   (:func:`repro.sim.simulate_availability`) — an *independent
+   semantics* cross-check: the simulator re-implements Definition 1
+   reconfiguration event-by-event instead of scanning the state space.
+
+The backend set is injectable (``backends=`` maps names to callables
+with the ``(problem, *, jobs, progress, counters)`` engine signature),
+which is how the mutation self-test proves the oracle catches a
+deliberately broken kernel, and how future backends join the parity
+net without touching this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.core.enumeration import (
+    StateSpaceProblem,
+    enumerate_configurations,
+    normalize_method,
+)
+from repro.core.factored import factored_configurations
+from repro.core.kernel import bitset_configurations
+from repro.core.progress import ScanCounters
+from repro.errors import ModelError
+from repro.verify.generator import Scenario
+
+#: Engine-signature backend callable.
+BackendFn = Callable[..., dict[frozenset[str] | None, float]]
+
+#: Canonical oracle backend names, in reference-preference order
+#: (``interp`` is the paper's literal scan and serves as reference).
+BACKEND_NAMES = ("interp", "factored", "bits")
+
+_BACKEND_FNS: dict[str, BackendFn] = {
+    "interp": enumerate_configurations,
+    "factored": factored_configurations,
+    "bits": bitset_configurations,
+}
+
+#: Oracle name per canonical scan-method name.
+_CANONICAL_TO_ORACLE = {"enumeration": "interp", "factored": "factored", "bits": "bits"}
+
+
+def default_backends(
+    names: Sequence[str] | None = None,
+) -> dict[str, BackendFn]:
+    """The standard backend table, optionally restricted to ``names``.
+
+    Accepts the CLI spellings (``interp``/``enumeration``, ``factored``,
+    ``bits``); unknown names raise :class:`~repro.errors.ModelError`.
+    """
+    if names is None:
+        return dict(_BACKEND_FNS)
+    selected: dict[str, BackendFn] = {}
+    for name in names:
+        oracle_name = _CANONICAL_TO_ORACLE[normalize_method(name)]
+        selected[oracle_name] = _BACKEND_FNS[oracle_name]
+    if not selected:
+        raise ModelError("the oracle needs at least one backend")
+    return selected
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Tolerances and simulation settings of the oracle.
+
+    The analytic tolerances are absolute: the backends implement one
+    exact computation three ways, so they must agree to summation
+    reordering (≲ 1e-15 relative); 1e-12 leaves two orders of headroom.
+
+    The simulation check compares the analytic value against the mean
+    of ``sim_replications`` independent runs, inside a two-sided
+    Student-t interval at ``sim_confidence`` plus a bias allowance of
+    ``sim_bias_allowance / sim_horizon`` (the simulator starts all-up,
+    so finite-horizon occupancies are biased towards availability by
+    O(relaxation time / horizon)).
+    """
+
+    tolerance: float = 1e-12
+    total_tolerance: float = 1e-9
+    sim_replications: int = 5
+    sim_horizon: float = 3000.0
+    sim_confidence: float = 0.999
+    sim_floor: float = 1e-9
+    sim_bias_allowance: float = 25.0
+
+
+DEFAULT_ORACLE_CONFIG = OracleConfig()
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One oracle finding.
+
+    ``kind`` is ``"configuration-set"`` (a backend found different
+    configurations), ``"probability"`` (same set, probability off by
+    more than the tolerance), ``"total-mass"`` (reference probabilities
+    do not sum to 1) or ``"simulation"`` (analytic value outside the
+    simulation confidence interval).  ``backend`` is ``"<name>@jobs=N"``
+    or ``"sim"``; ``magnitude`` is the observed absolute error.
+    """
+
+    kind: str
+    backend: str
+    detail: str
+    magnitude: float
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "detail": self.detail,
+            "magnitude": self.magnitude,
+        }
+
+
+@dataclass
+class OracleReport:
+    """The outcome of one differential check."""
+
+    scenario: Scenario
+    reference_backend: str
+    backends_checked: tuple[str, ...]
+    jobs_checked: tuple[int, ...]
+    disagreements: list[Disagreement] = field(default_factory=list)
+    simulated: bool = False
+    state_count: int = 0
+    distinct_configurations: int = 0
+    expected_reward: float | None = None
+    failed_probability: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        """One human-readable line per disagreement (or ``"ok"``)."""
+        if self.ok:
+            return (
+                f"ok: {len(self.backends_checked)} backends x jobs "
+                f"{list(self.jobs_checked)} agree on "
+                f"{self.distinct_configurations} configurations "
+                f"({self.state_count} states)"
+            )
+        lines = [
+            f"{d.kind} [{d.backend}] {d.detail} (|err| = {d.magnitude:.3e})"
+            for d in self.disagreements
+        ]
+        return "\n".join(lines)
+
+
+def _label(configuration: frozenset[str] | None) -> str:
+    return "FAILED" if configuration is None else "{%s}" % ", ".join(
+        sorted(configuration)
+    )
+
+
+def _compare_maps(
+    name: str,
+    reference: Mapping[frozenset[str] | None, float],
+    candidate: Mapping[frozenset[str] | None, float],
+    tolerance: float,
+    disagreements: list[Disagreement],
+) -> None:
+    missing = set(reference) - set(candidate)
+    extra = set(candidate) - set(reference)
+    for configuration in sorted(missing, key=_label):
+        disagreements.append(
+            Disagreement(
+                kind="configuration-set",
+                backend=name,
+                detail=f"missing configuration {_label(configuration)} "
+                f"(reference probability "
+                f"{reference[configuration]:.6g})",
+                magnitude=abs(reference[configuration]),
+            )
+        )
+    for configuration in sorted(extra, key=_label):
+        disagreements.append(
+            Disagreement(
+                kind="configuration-set",
+                backend=name,
+                detail=f"extra configuration {_label(configuration)} "
+                f"(probability {candidate[configuration]:.6g})",
+                magnitude=abs(candidate[configuration]),
+            )
+        )
+    for configuration in sorted(set(reference) & set(candidate), key=_label):
+        delta = abs(reference[configuration] - candidate[configuration])
+        if delta > tolerance:
+            disagreements.append(
+                Disagreement(
+                    kind="probability",
+                    backend=name,
+                    detail=f"probability of {_label(configuration)} is "
+                    f"{candidate[configuration]:.15g}, reference "
+                    f"{reference[configuration]:.15g}",
+                    magnitude=delta,
+                )
+            )
+
+
+def _confidence_interval(
+    samples: Sequence[float], config: OracleConfig, scale: float
+) -> tuple[float, float]:
+    """(mean, half-width) of the replication confidence interval.
+
+    Half-width is the two-sided Student-t interval at
+    ``config.sim_confidence`` plus the floor and the horizon-scaled
+    bias allowance (multiplied by ``scale`` so reward-valued checks get
+    tolerances proportional to their magnitude).
+    """
+    n = len(samples)
+    mean = sum(samples) / n
+    half = 0.0
+    if n >= 2:
+        variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+        sem = math.sqrt(variance / n)
+        from scipy.stats import t as student_t
+
+        quantile = float(
+            student_t.ppf(1.0 - (1.0 - config.sim_confidence) / 2.0, n - 1)
+        )
+        half = quantile * sem
+    half += config.sim_floor
+    half += config.sim_bias_allowance / config.sim_horizon * scale
+    return mean, half
+
+
+def _simulation_check(
+    scenario: Scenario,
+    reference: Mapping[frozenset[str] | None, float],
+    expected_reward: float,
+    group_rewards: Mapping[frozenset[str], Mapping[str, float]],
+    config: OracleConfig,
+    disagreements: list[Disagreement],
+) -> None:
+    from repro.sim.availability_sim import simulate_availability
+
+    base_seed = 1 if scenario.seed is None else scenario.seed * 1000 + 1
+    availabilities: list[float] = []
+    rewards: list[float] = []
+    for replication in range(config.sim_replications):
+        result = simulate_availability(
+            scenario.ftlqn,
+            scenario.mama,
+            scenario.failure_probs,
+            common_causes=scenario.common_causes,
+            horizon=config.sim_horizon,
+            seed=base_seed + replication,
+            group_rewards=group_rewards,
+        )
+        availabilities.append(
+            1.0 - result.configuration_fractions.get(None, 0.0)
+        )
+        rewards.append(result.average_reward)
+
+    analytic_availability = 1.0 - reference.get(None, 0.0)
+    checks = (
+        ("availability", availabilities, analytic_availability, 1.0),
+        (
+            "expected reward",
+            rewards,
+            expected_reward,
+            max(1.0, abs(expected_reward)),
+        ),
+    )
+    for label, samples, analytic, scale in checks:
+        mean, half = _confidence_interval(samples, config, scale)
+        if abs(mean - analytic) > half:
+            disagreements.append(
+                Disagreement(
+                    kind="simulation",
+                    backend="sim",
+                    detail=f"analytic {label} {analytic:.6g} outside the "
+                    f"simulation interval {mean:.6g} ± {half:.3g} "
+                    f"({config.sim_replications} replications, horizon "
+                    f"{config.sim_horizon:g})",
+                    magnitude=abs(mean - analytic),
+                )
+            )
+
+
+def check_scenario(
+    scenario: Scenario,
+    *,
+    backends: Mapping[str, BackendFn] | None = None,
+    jobs: Sequence[int] = (1,),
+    simulate: bool = False,
+    config: OracleConfig = DEFAULT_ORACLE_CONFIG,
+) -> OracleReport:
+    """Run one scenario through every backend and compare the results.
+
+    The first backend in ``backends`` at ``jobs[0]`` is the reference;
+    with the default table that is the interpreted enumerative scan,
+    the most literal rendering of the paper's semantics.  ``simulate``
+    additionally runs the LQN phase on the reference probabilities and
+    cross-checks availability and expected reward against the
+    Monte-Carlo simulation (see :class:`OracleConfig`).
+
+    Raises :class:`~repro.errors.ReproError` when the scenario itself
+    is invalid — callers that probe candidate scenarios (the shrinker)
+    treat that as "does not reproduce".
+    """
+    table = dict(backends) if backends is not None else default_backends()
+    if not table:
+        raise ModelError("the oracle needs at least one backend")
+    jobs = tuple(jobs) or (1,)
+
+    analyzer = scenario.analyzer()
+    problem: StateSpaceProblem = analyzer.problem
+    reference_backend = next(iter(table))
+
+    disagreements: list[Disagreement] = []
+    results: dict[tuple[str, int], dict[frozenset[str] | None, float]] = {}
+    for name, backend in table.items():
+        for job_count in jobs:
+            results[(name, job_count)] = backend(
+                problem, jobs=job_count, counters=ScanCounters()
+            )
+
+    reference = results[(reference_backend, jobs[0])]
+    total = sum(reference.values())
+    if abs(total - 1.0) > config.total_tolerance:
+        disagreements.append(
+            Disagreement(
+                kind="total-mass",
+                backend=f"{reference_backend}@jobs={jobs[0]}",
+                detail=f"probabilities sum to {total:.15g}, not 1",
+                magnitude=abs(total - 1.0),
+            )
+        )
+    for (name, job_count), candidate in results.items():
+        if (name, job_count) == (reference_backend, jobs[0]):
+            continue
+        _compare_maps(
+            f"{name}@jobs={job_count}",
+            reference,
+            candidate,
+            config.tolerance,
+            disagreements,
+        )
+
+    report = OracleReport(
+        scenario=scenario,
+        reference_backend=reference_backend,
+        backends_checked=tuple(table),
+        jobs_checked=jobs,
+        disagreements=disagreements,
+        state_count=problem.state_count,
+        distinct_configurations=len(reference),
+    )
+
+    if simulate:
+        result = analyzer.evaluate_probabilities(reference)
+        report.expected_reward = result.expected_reward
+        report.failed_probability = result.failed_probability
+        group_rewards = {
+            record.configuration: dict(record.throughputs)
+            for record in result.records
+            if record.configuration is not None
+        }
+        _simulation_check(
+            scenario,
+            reference,
+            result.expected_reward,
+            group_rewards,
+            config,
+            disagreements,
+        )
+        report.simulated = True
+
+    return report

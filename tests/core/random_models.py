@@ -1,123 +1,13 @@
-"""Seeded random (FTLQN, MAMA, probabilities) scenario generator.
+"""Compatibility shim: the generator lives in :mod:`repro.verify`.
 
-Backs the cross-backend parity suite: given an integer seed it
-deterministically produces a small layered system, a management
-architecture wired in one of several styles, failure probabilities and
-(sometimes) common-cause events — small enough that the interpreted
-2^N enumeration stays fast, varied enough to exercise priority
-reconfiguration, knowledge gating, pinned components, unreliable
-connectors and shared failure modes.
-
-Unlike the hypothesis strategy in ``test_enumeration_vs_factored``,
-this generator is plain ``random.Random`` so individual seeds can be
-named in test IDs, re-run in isolation, and referenced in bug reports.
+The seeded random scenario generator was promoted into the
+differential-verification subsystem (``src/repro/verify/generator.py``)
+where it backs the fuzzer as well as the parity suite.  Import
+:func:`repro.verify.generator.random_scenario` (or the wider
+:func:`~repro.verify.generator.generate_scenario`) directly in new
+code; this module only keeps old imports working.
 """
 
-from __future__ import annotations
+from repro.verify.generator import random_scenario
 
-import random
-
-from repro.core.dependency import CommonCause
-from repro.ftlqn import FTLQNModel, Request
-from repro.mama import MAMAModel
-
-
-def random_scenario(
-    seed: int,
-) -> tuple[FTLQNModel, MAMAModel, dict[str, float], tuple[CommonCause, ...]]:
-    """Deterministically generate one analysis scenario from ``seed``.
-
-    Returns ``(ftlqn, mama, failure_probs, common_causes)`` ready for
-    :class:`repro.core.PerformabilityAnalyzer`.
-    """
-    rng = random.Random(seed)
-    backups = rng.randint(1, 2)
-    watch_style = rng.choice(("direct", "agent", "mixed"))
-    shared_manager_host = rng.random() < 0.3
-
-    ftlqn = FTLQNModel(name=f"rnd-{seed}")
-    ftlqn.add_processor("pu")
-    ftlqn.add_processor("pa")
-    ftlqn.add_task("users", processor="pu", multiplicity=3, is_reference=True)
-    ftlqn.add_task("app", processor="pa")
-    targets = []
-    for index in range(backups + 1):
-        ftlqn.add_processor(f"ps{index}")
-        ftlqn.add_task(f"srv{index}", processor=f"ps{index}")
-        ftlqn.add_entry(f"serve{index}", task=f"srv{index}", demand=1.0)
-        targets.append(f"serve{index}")
-    ftlqn.add_service("svc", targets=targets)
-    ftlqn.add_entry("ea", task="app", demand=1.0, requests=[Request("svc")])
-    ftlqn.add_entry("u", task="users", requests=[Request("ea")])
-
-    manager_host = "ps0" if shared_manager_host else "pm"
-    mama = MAMAModel(name=f"rnd-mgmt-{seed}")
-    processors = {"pa", manager_host} | {f"ps{i}" for i in range(backups + 1)}
-    for processor in sorted(processors):
-        mama.add_processor(processor)
-    mama.add_application_task("app", processor="pa")
-    mama.add_manager("mgr", processor=manager_host)
-    mama.add_agent("ag.app", processor="pa")
-    mama.add_alive_watch("w.app", monitored="app", monitor="ag.app")
-    mama.add_status_watch("r.app", monitored="ag.app", monitor="mgr")
-    mama.add_alive_watch("w.pa", monitored="pa", monitor="mgr")
-
-    agented: list[str] = []
-    for index in range(backups + 1):
-        server = f"srv{index}"
-        direct = watch_style == "direct" or (
-            watch_style == "mixed" and rng.random() < 0.5
-        )
-        mama.add_application_task(server, processor=f"ps{index}")
-        if direct:
-            mama.add_alive_watch(f"w.{server}", monitored=server, monitor="mgr")
-        else:
-            agented.append(server)
-            mama.add_agent(f"ag.{server}", processor=f"ps{index}")
-            mama.add_alive_watch(
-                f"w.{server}", monitored=server, monitor=f"ag.{server}"
-            )
-            mama.add_status_watch(
-                f"r.{server}", monitored=f"ag.{server}", monitor="mgr"
-            )
-        mama.add_alive_watch(
-            f"w.ps{index}", monitored=f"ps{index}", monitor="mgr"
-        )
-    mama.add_notify("n.mgr", notifier="mgr", subscriber="ag.app")
-    mama.add_notify("n.app", notifier="ag.app", subscriber="app")
-
-    def p() -> float:
-        return round(rng.uniform(0.02, 0.4), 6)
-
-    failure_probs = {"app": p(), "pa": p(), "mgr": p()}
-    if not shared_manager_host:
-        failure_probs["pm"] = p()
-    for index in range(backups + 1):
-        failure_probs[f"srv{index}"] = p()
-        # Some server processors stay perfectly reliable (exercises the
-        # fixed_up path in every backend).
-        if rng.random() < 0.8:
-            failure_probs[f"ps{index}"] = p()
-    for server in agented:
-        failure_probs[f"ag.{server}"] = p()
-    failure_probs["ag.app"] = p()
-
-    # Occasionally pin one backup server down outright (fixed_down).
-    if rng.random() < 0.2:
-        failure_probs[f"srv{backups}"] = 1.0
-    # Occasionally make a management connector unreliable.
-    if rng.random() < 0.4:
-        failure_probs[rng.choice(["w.app", "r.app", "n.mgr", "n.app"])] = p()
-
-    causes: tuple[CommonCause, ...] = ()
-    if rng.random() < 0.4:
-        members = ["pa", "ps0"] if rng.random() < 0.5 else ["app", "mgr"]
-        causes = (
-            CommonCause(
-                name="shared_fault",
-                probability=round(rng.uniform(0.01, 0.1), 6),
-                components=tuple(members),
-            ),
-        )
-
-    return ftlqn, mama, failure_probs, causes
+__all__ = ["random_scenario"]

@@ -64,3 +64,20 @@ def test_generator_is_deterministic():
     assert first[2] == second[2]
     assert first[3] == second[3]
     assert first[0].name == second[0].name
+
+
+# The widened fuzzer space: perfect components, explicit zero/pinned
+# probabilities, shared processors, second-tier chains, unreliable
+# connectors and common causes.  The oracle applies the same 1e-12
+# parity demand as the hand-rolled assertions above, over every
+# backend at once.
+WIDE_SEEDS = list(range(24))
+
+
+@pytest.mark.parametrize("seed", WIDE_SEEDS)
+def test_backends_agree_on_widened_generator_space(seed):
+    from repro.verify import check_scenario, generate_scenario
+
+    report = check_scenario(generate_scenario(seed))
+    assert report.ok, report.summary()
+    assert report.backends_checked == ("interp", "factored", "bits")

@@ -445,3 +445,66 @@ class TestPaper:
     def test_table1_runs(self, capsys):
         assert main(["paper", "table1"]) == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_small_campaign_passes(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "verify", "--seeds", "6", "--sim-every", "0",
+            "--parallel-every", "0", "--json", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6/6 seeds" in out
+        assert "0 counterexample(s)" in out
+        document = json.loads(report_path.read_text())
+        assert document["failures"] == 0
+        assert document["seeds_checked"] == 6
+        assert document["backends"] == ["interp", "factored", "bits"]
+        assert len(document["outcomes"]) == 6
+
+    def test_backend_selection_and_progress(self, capsys):
+        code = main([
+            "verify", "--seeds", "2", "--sim-every", "0",
+            "--parallel-every", "0", "--backends", "interp,bits",
+            "--progress",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "seed 0: ok" in captured.err
+        assert "seed 1: ok" in captured.err
+
+    def test_unknown_backend_rejected(self, capsys):
+        assert main(["verify", "--seeds", "1", "--backends", "quantum"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_artifacts_directory(self, tmp_path, capsys):
+        artifacts = tmp_path / "artifacts"
+        code = main([
+            "verify", "--seeds", "2", "--sim-every", "0",
+            "--parallel-every", "0", "--artifacts", str(artifacts),
+        ])
+        assert code == 0
+        report = json.loads((artifacts / "report.json").read_text())
+        assert report["failures"] == 0
+        # No counterexamples on a healthy tree: no scripts, no corpus.
+        assert not list(artifacts.glob("counterexample-*.py"))
+        assert not (artifacts / "corpus-entries.json").exists()
+
+    def test_time_budget_stops_early(self, capsys):
+        code = main([
+            "verify", "--seeds", "500", "--time-budget", "0.0",
+            "--sim-every", "0", "--parallel-every", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped by --time-budget" in out
+
+    def test_help_mentions_testing_guide(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--help"])
+        helptext = capsys.readouterr().out
+        assert "--seeds" in helptext
+        assert "--time-budget" in helptext
+        assert "testing_guide" in helptext

@@ -171,6 +171,74 @@ class TestProgressInstrumentation:
         assert "states_visited" in left.as_dict()
 
 
+class TestBitsParallelProgress:
+    """``backend="bits"`` with ``jobs>1`` and ``progress=`` callbacks.
+
+    The compiled kernel batches states, so its progress/counters path
+    is distinct from the interpreted scan; this pins its parallel +
+    instrumented combination to the serial interp reference.
+    """
+
+    @pytest.mark.parametrize("mama_fixture", ["centralized", "distributed"])
+    def test_bits_parallel_matches_serial_interp(
+        self, figure1, mama_fixture, request
+    ):
+        mama = request.getfixturevalue(mama_fixture)
+        analyzer = _analyzer(figure1, mama)
+        reference = analyzer.configuration_probabilities(
+            method="enumeration", jobs=1
+        )
+        counters = ScanCounters()
+        events = []
+        parallel = analyzer.configuration_probabilities(
+            method="bits", jobs=4, counters=counters,
+            progress=events.append,
+        )
+        assert set(parallel) == set(reference)
+        for configuration, probability in reference.items():
+            assert parallel[configuration] == pytest.approx(
+                probability, abs=1e-12
+            ), configuration
+        # Counters must cover the serial interp scan's state space
+        # (the kernel scans a flat index space, so it reports no
+        # app/mgmt split).
+        assert counters.states_visited == analyzer.problem.state_count
+        assert counters.distinct_configurations == len(reference)
+        assert counters.kernel_batches > 0
+        # Progress is monotone and ends exactly at completion.
+        assert events, "no progress events delivered"
+        completed = [e.completed for e in events]
+        assert completed == sorted(completed)
+        assert events[-1].completed == events[-1].total
+        assert events[-1].total == analyzer.problem.state_count
+        assert all(e.phase == "scan" for e in events)
+
+    def test_bits_parallel_on_generated_scenarios(self):
+        from repro.verify import generate_scenario
+
+        for seed in (1, 4, 7):
+            analyzer = generate_scenario(seed).analyzer()
+            reference = analyzer.configuration_probabilities(
+                method="enumeration", jobs=1
+            )
+            serial_counters = ScanCounters()
+            analyzer.configuration_probabilities(
+                method="enumeration", jobs=1, counters=serial_counters
+            )
+            counters = ScanCounters()
+            parallel = analyzer.configuration_probabilities(
+                method="bits", jobs=2, counters=counters
+            )
+            assert set(parallel) == set(reference), seed
+            for configuration, probability in reference.items():
+                assert parallel[configuration] == pytest.approx(
+                    probability, abs=1e-12
+                ), (seed, configuration)
+            assert (
+                counters.states_visited == serial_counters.states_visited
+            ), seed
+
+
 class TestEngineHelpers:
     def test_app_bits_match_product_order(self):
         from itertools import product

@@ -47,6 +47,28 @@ class TestOccupancy:
         )
         assert result.event_count > 100
 
+    def test_matches_analytic_with_common_causes(self, figure1):
+        from repro.core.dependency import CommonCause
+
+        probs = figure1_failure_probs()
+        causes = (
+            CommonCause(
+                name="rack",
+                probability=0.05,
+                components=("proc1", "proc2"),
+            ),
+        )
+        analytic = PerformabilityAnalyzer(
+            figure1, None, failure_probs=probs, common_causes=causes
+        ).configuration_probabilities()
+        sim = simulate_availability(
+            figure1, None, probs, common_causes=causes,
+            horizon=60_000, seed=9,
+        )
+        for configuration, expected in analytic.items():
+            observed = sim.configuration_fractions.get(configuration, 0.0)
+            assert observed == pytest.approx(expected, abs=0.02), configuration
+
 
 class TestRewardsAndDelay:
     def make_group_rewards(self, figure1, probs):

@@ -1,0 +1,43 @@
+"""Replay the committed counterexample corpus through the oracle.
+
+Every scenario that ever broke backend agreement is committed to
+``tests/corpus/counterexamples.json`` by the triage workflow
+(docs/testing_guide.md) and replayed here forever: entries must load,
+rebuild into valid scenarios, and — since corpus entries are committed
+together with their fix — pass the full analytic oracle.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import Scenario, check_scenario, load_corpus
+
+CORPUS_PATH = (
+    Path(__file__).resolve().parents[1] / "corpus" / "counterexamples.json"
+)
+
+
+def test_corpus_file_is_well_formed():
+    entries = load_corpus(CORPUS_PATH)
+    assert isinstance(entries, list)
+
+
+def _entries():
+    entries = load_corpus(CORPUS_PATH)
+    if not entries:
+        pytest.skip("counterexample corpus is empty (no bugs found yet)")
+    return entries
+
+
+@pytest.mark.parametrize(
+    "entry",
+    load_corpus(CORPUS_PATH) or [None],
+    ids=lambda e: "empty-corpus" if e is None else e["id"],
+)
+def test_corpus_entries_pass_the_oracle(entry):
+    if entry is None:
+        pytest.skip("counterexample corpus is empty (no bugs found yet)")
+    scenario = Scenario.from_document(entry["scenario"])
+    report = check_scenario(scenario)
+    assert report.ok, f"corpus entry {entry['id']} regressed:\n{report.summary()}"

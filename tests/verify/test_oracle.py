@@ -1,0 +1,174 @@
+"""The differential oracle: agreement, injected faults, sim cross-check.
+
+Healthy backends must pass; a backend returning perturbed
+probabilities, a missing/extra configuration, or non-unit total mass
+must be flagged with the right ``Disagreement.kind``; and the
+Monte-Carlo cross-check must accept the analytic answer on a healthy
+scenario while rejecting a deliberately wrong one.
+"""
+
+import pytest
+
+from repro.core.enumeration import enumerate_configurations
+from repro.errors import ModelError
+from repro.verify import (
+    OracleConfig,
+    check_scenario,
+    default_backends,
+    generate_scenario,
+)
+
+#: Fast simulation settings for tests (the default horizon is sized
+#: for fuzzing campaigns, not unit tests).
+FAST_SIM = OracleConfig(
+    sim_replications=3, sim_horizon=800.0, sim_bias_allowance=30.0
+)
+
+
+def test_default_backend_table():
+    table = default_backends()
+    assert tuple(table) == ("interp", "factored", "bits")
+    restricted = default_backends(["interp", "bits"])
+    assert tuple(restricted) == ("interp", "bits")
+    # CLI spellings normalise onto the oracle names.
+    assert tuple(default_backends(["enumeration"])) == ("interp",)
+    with pytest.raises(ModelError):
+        default_backends(["quantum"])
+    with pytest.raises(ModelError):
+        default_backends([])
+
+
+def test_healthy_scenarios_pass():
+    for seed in (2, 5, 11):
+        scenario = generate_scenario(seed)
+        report = check_scenario(scenario)
+        assert report.ok, report.summary()
+        assert report.reference_backend == "interp"
+        assert report.state_count == scenario.analyzer().problem.state_count
+        assert report.distinct_configurations >= 1
+        assert "agree" in report.summary()
+
+
+def test_parallel_jobs_are_checked():
+    report = check_scenario(generate_scenario(3), jobs=(1, 2))
+    assert report.ok, report.summary()
+    assert report.jobs_checked == (1, 2)
+
+
+def _broken(perturb):
+    """A backend that post-processes the interpreted scan's output."""
+
+    def backend(problem, *, jobs=1, progress=None, counters=None):
+        return perturb(
+            enumerate_configurations(
+                problem, jobs=jobs, progress=progress, counters=counters
+            )
+        )
+
+    return backend
+
+
+def test_probability_perturbation_is_detected():
+    scenario = generate_scenario(5)
+
+    def nudge(result):
+        key = next(iter(result))
+        result = dict(result)
+        result[key] += 1e-9
+        return result
+
+    table = {"interp": enumerate_configurations, "bad": _broken(nudge)}
+    report = check_scenario(scenario, backends=table)
+    assert not report.ok
+    kinds = {d.kind for d in report.disagreements}
+    assert "probability" in kinds
+    assert any(d.backend == "bad@jobs=1" for d in report.disagreements)
+    assert all(d.magnitude >= 9e-10 for d in report.disagreements
+               if d.kind == "probability")
+
+
+def test_missing_and_extra_configurations_are_detected():
+    scenario = generate_scenario(1)
+
+    def drop_and_add(result):
+        result = dict(result)
+        dropped = next(iter(result))
+        del result[dropped]
+        result[frozenset({"phantom"})] = 0.25
+        return result
+
+    table = {"interp": enumerate_configurations, "bad": _broken(drop_and_add)}
+    report = check_scenario(scenario, backends=table)
+    kinds = [d.kind for d in report.disagreements]
+    assert kinds.count("configuration-set") == 2
+    details = " ".join(d.detail for d in report.disagreements)
+    assert "missing configuration" in details
+    assert "extra configuration" in details
+
+
+def test_total_mass_violation_is_detected():
+    scenario = generate_scenario(2)
+
+    def scale(result):
+        return {key: value * 1.5 for key, value in result.items()}
+
+    # The *reference* backend itself leaks mass.
+    table = {"bad": _broken(scale)}
+    report = check_scenario(scenario, backends=table)
+    assert [d.kind for d in report.disagreements] == ["total-mass"]
+    assert report.disagreements[0].magnitude == pytest.approx(0.5, abs=1e-6)
+
+
+def test_simulation_cross_check_accepts_healthy_scenario():
+    report = check_scenario(
+        generate_scenario(0), simulate=True, config=FAST_SIM
+    )
+    assert report.simulated
+    assert report.ok, report.summary()
+    assert report.expected_reward is not None
+    assert report.failed_probability is not None
+
+
+def test_simulation_cross_check_rejects_wrong_analytics():
+    # Feed the sim phase reference probabilities that are badly wrong:
+    # every backend consistently claims the system never fails by
+    # piling all failure mass onto the all-up configuration.
+
+    def deny_failure(result):
+        result = dict(result)
+        failed = result.pop(None, 0.0)
+        best = max(result, key=result.get)
+        result[best] += failed
+        return result
+
+    # Pick a scenario that can fail *and* can survive, else moving the
+    # failure mass is impossible or vacuous.
+    scenario = None
+    for seed in range(20):
+        candidate = generate_scenario(seed)
+        probabilities = candidate.analyzer().configuration_probabilities(
+            method="factored"
+        )
+        if 0.05 < probabilities.get(None, 0.0) < 0.95 and len(probabilities) > 1:
+            scenario = candidate
+            break
+    assert scenario is not None, "no suitable scenario in seed range"
+
+    table = {"lying": _broken(deny_failure)}
+    report = check_scenario(
+        scenario, backends=table, simulate=True, config=FAST_SIM
+    )
+    assert not report.ok
+    assert any(d.kind == "simulation" for d in report.disagreements)
+
+
+def test_invalid_scenario_raises():
+    scenario = generate_scenario(6)
+    broken = type(scenario)(
+        ftlqn=scenario.ftlqn,
+        mama=scenario.mama,
+        failure_probs={"no-such-component": 0.5},
+        common_causes=(),
+    )
+    with pytest.raises(ModelError):
+        check_scenario(broken)

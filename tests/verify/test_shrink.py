@@ -1,0 +1,150 @@
+"""The delta-debugging shrinker and its counterexample artifacts.
+
+Shrinking must preserve the predicate, terminate within its budget,
+reach a 1-minimal document (no single listed reduction still
+reproduces), garbage-collect unreachable model elements, and emit
+runnable repro scripts and well-formed corpus entries.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError, SerializationError
+from repro.verify import (
+    Scenario,
+    corpus_entry,
+    generate_scenario,
+    load_corpus,
+    repro_script,
+    shrink_scenario,
+)
+from repro.verify.shrink import _candidates, _gc_document
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def unreliable_server_predicate(scenario: Scenario) -> bool:
+    """A stand-in bug that needs srv0 to be unreliable."""
+    return 0.0 < scenario.failure_probs.get("srv0", 0.0) < 1.0
+
+
+def test_shrink_reaches_minimal_core():
+    scenario = generate_scenario(4)
+    assert unreliable_server_predicate(scenario)
+    result = shrink_scenario(scenario, unreliable_server_predicate)
+    minimal = result.scenario
+    assert unreliable_server_predicate(minimal)
+    # The three-task serial core: users -> app -> srv0.
+    assert set(minimal.ftlqn.tasks) == {"users", "app", "srv0"}
+    assert minimal.mama is None
+    assert minimal.common_causes == ()
+    assert set(minimal.failure_probs) == {"srv0"}
+    assert minimal.failure_probs["srv0"] == 0.5
+    assert result.steps, "no reductions recorded"
+    assert result.candidates_tried >= len(result.steps)
+    assert result.minimal is minimal
+
+
+def test_shrink_result_is_one_minimal():
+    scenario = generate_scenario(4)
+    result = shrink_scenario(scenario, unreliable_server_predicate)
+    document = result.scenario.to_document()
+    for description, candidate_doc in _candidates(document):
+        try:
+            candidate = Scenario.from_document(candidate_doc)
+        except ReproError:
+            continue
+        assert not unreliable_server_predicate(candidate), description
+
+
+def test_shrink_respects_budget():
+    scenario = generate_scenario(4)
+    result = shrink_scenario(scenario, unreliable_server_predicate, budget=3)
+    assert result.candidates_tried <= 3
+
+
+def test_predicate_errors_count_as_not_reproducing():
+    scenario = generate_scenario(4)
+
+    def fussy(candidate: Scenario) -> bool:
+        if candidate.mama is None:
+            raise SerializationError("cannot judge without management")
+        return True
+
+    result = shrink_scenario(scenario, fussy, budget=50)
+    # The mama-dropping reduction raised, so management survives.
+    assert result.scenario.mama is not None
+
+
+def test_gc_removes_unreachable_elements():
+    document = generate_scenario(4).to_document()
+    # Emptying the app entry's requests strands the whole server tier.
+    for entry in document["ftlqn"]["entries"]:
+        if entry["name"] == "ea":
+            entry["requests"] = []
+    _gc_document(document)
+    names = {t["name"] for t in document["ftlqn"]["tasks"]}
+    assert names == {"users", "app"}
+    assert document["ftlqn"]["services"] == []
+    assert all(
+        not name.startswith("srv") for name in document["failure_probs"]
+    )
+
+
+def test_repro_script_runs_standalone(tmp_path):
+    scenario = shrink_scenario(
+        generate_scenario(4), unreliable_server_predicate
+    ).scenario
+    script = repro_script(
+        scenario, note="unit-test artifact", filename="ce.py"
+    )
+    assert "unit-test artifact" in script
+    path = tmp_path / "ce.py"
+    path.write_text(script)
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    # Healthy backends agree, so the script reports the bug as gone.
+    assert proc.returncode == 0, proc.stderr
+    assert "ok:" in proc.stdout
+
+
+def test_corpus_entry_shape_and_loader(tmp_path):
+    scenario = generate_scenario(4)
+    entry = corpus_entry(
+        scenario,
+        identifier="unit-1",
+        description="unit-test entry",
+        disagreements=[{"kind": "probability"}],
+    )
+    assert entry["id"] == "unit-1"
+    Scenario.from_document(entry["scenario"])  # round-trips
+
+    path = tmp_path / "corpus.json"
+    path.write_text(json.dumps({"version": 1, "entries": [entry]}))
+    entries = load_corpus(path)
+    assert [e["id"] for e in entries] == ["unit-1"]
+
+
+def test_load_corpus_rejects_malformed_documents(tmp_path):
+    path = tmp_path / "corpus.json"
+    path.write_text("not json")
+    with pytest.raises(SerializationError):
+        load_corpus(path)
+    path.write_text(json.dumps(["entry"]))
+    with pytest.raises(SerializationError):
+        load_corpus(path)
+    path.write_text(json.dumps({"entries": [{"id": "x"}]}))
+    with pytest.raises(SerializationError):
+        load_corpus(path)
+    entry = {"id": "x", "description": "d", "scenario": {}}
+    path.write_text(json.dumps({"entries": [entry, entry]}))
+    with pytest.raises(SerializationError):
+        load_corpus(path)
