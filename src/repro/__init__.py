@@ -34,6 +34,7 @@ Quickstart
 """
 
 from repro.core import (
+    DEFAULT_EPSILON,
     ConfigurationRecord,
     PerformabilityAnalyzer,
     PerformabilityResult,
@@ -44,6 +45,7 @@ from repro.core import (
     SweepResult,
     configuration_to_lqn,
     console_progress,
+    method_choices,
     total_reference_throughput,
     weighted_throughput_reward,
 )
@@ -63,6 +65,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ConfigurationRecord",
     "ConvergenceError",
+    "DEFAULT_EPSILON",
     "FTLQNModel",
     "KnowledgeGraph",
     "LQNModel",
@@ -82,6 +85,7 @@ __all__ = [
     "build_fault_graph",
     "configuration_to_lqn",
     "console_progress",
+    "method_choices",
     "solve_lqn",
     "total_reference_throughput",
     "weighted_throughput_reward",

@@ -55,6 +55,10 @@ class BDD:
         self._unique: dict[tuple[int, int, int], int] = {}
         self._apply_cache: dict[tuple[str, int, int], int] = {}
         self._not_cache: dict[int, int] = {}
+        # Hash-consed Expr -> node memo for from_expr: shared DAG nodes
+        # convert exactly once per manager.
+        self._expr_cache: dict[Expr, int] = {}
+        self.apply_cache_hits = 0
 
     @property
     def order(self) -> tuple[str, ...]:
@@ -135,6 +139,7 @@ class BDD:
         key = (op, u, v)
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.apply_cache_hits += 1
             return cached
         u_level = self._nodes[u][0]
         v_level = self._nodes[v][0]
@@ -153,30 +158,45 @@ class BDD:
     # Conversion and queries
 
     def from_expr(self, expr: Expr) -> int:
-        """Convert an expression AST into a node of this manager."""
+        """Convert an expression AST into a node of this manager.
+
+        Conversions are memoised per manager, keyed by the hash-consed
+        expression node: a shared DAG subterm is converted exactly once
+        however many indicator expressions reference it.  (Without the
+        memo, converting the symbolic-indicator DAGs of
+        :func:`repro.core.kernel.derive_indicators` — where a service's
+        ``working`` condition is shared by dozens of parents — would
+        redo the same apply work once per reference.)
+        """
+        cached = self._expr_cache.get(expr)
+        if cached is not None:
+            return cached
         if expr == TRUE:
-            return ONE
-        if expr == FALSE:
-            return ZERO
-        if isinstance(expr, Var):
-            return self.var(expr.name)
-        if isinstance(expr, Not):
-            return self.negate(self.from_expr(expr.operand))
-        if isinstance(expr, And):
+            node = ONE
+        elif expr == FALSE:
+            node = ZERO
+        elif isinstance(expr, Var):
+            node = self.var(expr.name)
+        elif isinstance(expr, Not):
+            node = self.negate(self.from_expr(expr.operand))
+        elif isinstance(expr, And):
             node = ONE
             for term in expr.terms:
                 node = self.apply_and(node, self.from_expr(term))
                 if node == ZERO:
                     break
-            return node
-        if isinstance(expr, Or):
+        elif isinstance(expr, Or):
             node = ZERO
             for term in expr.terms:
                 node = self.apply_or(node, self.from_expr(term))
                 if node == ONE:
                     break
-            return node
-        raise TypeError(f"cannot convert {type(expr).__name__} to a BDD node")
+        else:
+            raise TypeError(
+                f"cannot convert {type(expr).__name__} to a BDD node"
+            )
+        self._expr_cache[expr] = node
+        return node
 
     def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
         """Evaluate a node under a total variable assignment."""
@@ -225,3 +245,38 @@ class BDD:
     def satisfying_fraction(self, node: int) -> float:
         """Fraction of the 2^n assignments that satisfy the function."""
         return self.probability(node, {name: 0.5 for name in self._order})
+
+    def signature_masses(
+        self, outputs: Sequence[int], probs: Mapping[str, float]
+    ) -> dict[tuple[bool, ...], float]:
+        """Joint distribution of several functions' truth values.
+
+        Returns ``{(b_0, ..., b_{k-1}): probability}`` over the
+        signatures actually reachable — the probability that output
+        ``i`` evaluates to ``b_i`` for all ``i`` simultaneously, under
+        independent per-variable truth probabilities ``probs``.
+
+        The computation splits a constraint BDD on one output at a
+        time, pruning empty branches immediately, so the work is
+        proportional to the number of *reachable* signatures (distinct
+        configurations, in the performability reading) times the apply
+        cost — never to the 2^k signature space, and never to the 2^n
+        variable space.  Each leaf's probability is one weighted
+        traversal, linear in its diagram size.
+        """
+        branches: list[tuple[tuple[bool, ...], int]] = [((), ONE)]
+        for output in outputs:
+            negated = self.negate(output)
+            split: list[tuple[tuple[bool, ...], int]] = []
+            for signature, constraint in branches:
+                high = self.apply_and(constraint, output)
+                if high != ZERO:
+                    split.append((signature + (True,), high))
+                low = self.apply_and(constraint, negated)
+                if low != ZERO:
+                    split.append((signature + (False,), low))
+            branches = split
+        return {
+            signature: self.probability(constraint, probs)
+            for signature, constraint in branches
+        }

@@ -65,11 +65,13 @@ import sys
 from pathlib import Path
 
 from repro.core import (
+    DEFAULT_EPSILON,
     PerformabilityAnalyzer,
     ScanCounters,
     SweepEngine,
     console_progress,
     importance_analysis,
+    method_choices,
     normalize_method,
     weighted_throughput_reward,
 )
@@ -156,10 +158,12 @@ def _resolve_method(args) -> str:
     """The scan method a command should use.
 
     ``--backend`` (when given) overrides ``--method``; both accept
-    ``interp`` (the interpreted enumerative scan), ``bits`` (the
-    compiled bit-parallel kernel) and ``factored``, and unknown values
-    are rejected with a :class:`~repro.errors.ModelError` so ``main``
-    renders them as a one-line ``error:`` message.
+    every name in :func:`repro.core.method_choices` (``interp``,
+    ``enumeration``, ``factored``, ``bits``, ``bdd``, ``bounded``),
+    and unknown values are rejected with a
+    :class:`~repro.errors.ModelError` — whose message lists the valid
+    names dynamically — so ``main`` renders them as a one-line
+    ``error:`` message.
     """
     return normalize_method(
         args.backend if args.backend is not None else args.method
@@ -189,7 +193,8 @@ def _cmd_analyze(args) -> int:
     )
     progress = console_progress(sys.stderr) if args.progress else None
     result = analyzer.solve(
-        method=_resolve_method(args), jobs=args.jobs, progress=progress
+        method=_resolve_method(args), jobs=args.jobs,
+        epsilon=getattr(args, "epsilon", DEFAULT_EPSILON), progress=progress,
     )
     print(f"state space: {result.state_count} states "
           f"({result.method} evaluation"
@@ -202,6 +207,10 @@ def _cmd_analyze(args) -> int:
               f"{record.label()}{marker}")
     print(f"expected steady-state reward rate: "
           f"{result.expected_reward:.6f}")
+    if result.reward_lower is not None:
+        lower, upper = result.reward_interval
+        print(f"rigorous reward interval: [{lower:.6f}, {upper:.6f}] "
+              f"(unexplored probability {result.unexplored_probability:.3e})")
     if result.unconverged_records:
         print(
             f"warning: {len(result.unconverged_records)} configuration(s) "
@@ -343,6 +352,7 @@ def _cmd_sweep(args) -> int:
     counters = ScanCounters()
     sweep = engine.run(
         points, method=_resolve_method(args), jobs=args.jobs,
+        epsilon=getattr(args, "epsilon", DEFAULT_EPSILON),
         progress=progress, counters=counters,
     )
     print(f"{'point':>20} {'architecture':>14} {'E[reward]':>10} "
@@ -620,22 +630,35 @@ def build_parser() -> argparse.ArgumentParser:
         if with_probs:
             sub.add_argument("--probs", help="failure-probability JSON file")
 
-    def add_backend_args(sub):
+    def add_backend_args(sub, with_epsilon=False):
         sub.add_argument(
             "--method",
-            choices=("factored", "enumeration", "interp", "bits"),
+            choices=method_choices(),
             default="factored",
             help="state-space scan method (default: factored)",
         )
         # No argparse choices= on purpose: unknown values are rejected
         # by normalize_method with a ModelError, giving the same
-        # one-line `error:` rendering as every other model problem.
+        # one-line `error:` rendering as every other model problem —
+        # and the same dynamically derived list of valid names.
         sub.add_argument(
-            "--backend", metavar="{interp,bits,factored}", default=None,
+            "--backend",
+            metavar="{" + ",".join(method_choices()) + "}",
+            default=None,
             help="scan backend; overrides --method (interp = the "
             "paper's literal per-state scan, bits = the compiled "
-            "bit-parallel kernel, factored = the BDD evaluator)",
+            "bit-parallel kernel, factored = the app/mgmt-factored "
+            "evaluator, bdd = exact symbolic evaluation for large N, "
+            "bounded = most-probable states first with a rigorous "
+            "reward interval)",
         )
+        if with_epsilon:
+            sub.add_argument(
+                "--epsilon", type=float, default=DEFAULT_EPSILON,
+                metavar="E",
+                help="bounded backend only: stop once the unexplored "
+                f"probability mass is at most E (default {DEFAULT_EPSILON})",
+            )
 
     validate = commands.add_parser(
         "validate", help="validate model files"
@@ -653,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
         "enumeration beats factored and how --jobs scales with cores.",
     )
     add_model_args(analyze)
-    add_backend_args(analyze)
+    add_backend_args(analyze, with_epsilon=True)
     analyze.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the state-space scan "
@@ -713,7 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
         "docs/performance_guide.md documents the spec and the caches.",
     )
     sweep.add_argument("spec", help="sweep specification JSON file")
-    add_backend_args(sweep)
+    add_backend_args(sweep, with_epsilon=True)
     sweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for each point's state-space scan "

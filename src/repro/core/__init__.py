@@ -8,22 +8,31 @@
 3. scan the space of component up/down states, evaluating
    knowledge-gated reconfiguration (Definition 1) in each, to find the
    distinct operational configurations and their probabilities (§5,
-   steps 1–4) — either by the paper's literal 2^N enumeration
-   (:mod:`repro.core.enumeration`) or by the factored evaluator
+   steps 1–4) — by the paper's literal 2^N enumeration
+   (:mod:`repro.core.enumeration`), the factored evaluator
    (:mod:`repro.core.factored`) that realises the §7 conjecture of a
-   non-state-space-based computation;
+   non-state-space-based computation, the compiled bit-parallel kernel
+   (:mod:`repro.core.kernel`), the fully symbolic ROBDD backend
+   (:mod:`repro.core.symbolic`) or the bounded most-probable-first
+   enumerator (:mod:`repro.core.bounded`);
 4. solve one LQN per configuration and attach rewards (§5, step 5);
 5. report the expected steady-state reward rate (§5, step 6).
 """
 
+from repro.core.bounded import (
+    DEFAULT_EPSILON,
+    bounded_configurations,
+    nominal_configuration,
+)
 from repro.core.dependency import CommonCause
-from repro.core.enumeration import normalize_method
+from repro.core.enumeration import method_choices, normalize_method
 from repro.core.importance import ImportanceRecord, importance_analysis
 from repro.core.kernel import (
     CompiledKernel,
     bitset_configurations,
     compile_problem,
 )
+from repro.core.symbolic import bdd_configurations, build_indicator_bdd
 from repro.core.performability import (
     AnalysisStructure,
     PerformabilityAnalyzer,
@@ -53,6 +62,7 @@ __all__ = [
     "AnalysisStructure",
     "CommonCause",
     "CompiledKernel",
+    "DEFAULT_EPSILON",
     "ConfigurationRecord",
     "ImportanceRecord",
     "PerformabilityAnalyzer",
@@ -65,13 +75,18 @@ __all__ = [
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
+    "bdd_configurations",
     "bitset_configurations",
+    "bounded_configurations",
+    "build_indicator_bdd",
     "compile_problem",
     "configuration_to_lqn",
     "console_progress",
     "derive_structure",
     "group_support",
     "importance_analysis",
+    "method_choices",
+    "nominal_configuration",
     "normalize_method",
     "total_reference_throughput",
     "weighted_throughput_reward",

@@ -51,21 +51,33 @@ _METHOD_ALIASES = {
     "interp": "enumeration",
     "factored": "factored",
     "bits": "bits",
+    "bdd": "bdd",
+    "bounded": "bounded",
 }
+
+
+def method_choices() -> tuple[str, ...]:
+    """Every accepted scan method/backend spelling, sorted.
+
+    The single source of truth for CLI ``choices=`` lists and error
+    messages: adding a backend to :data:`_METHOD_ALIASES` updates every
+    user-facing enumeration of valid names automatically.
+    """
+    return tuple(sorted(_METHOD_ALIASES))
 
 
 def normalize_method(method: str) -> str:
     """Resolve a scan method/backend name to its canonical form.
 
-    Accepts ``"enumeration"`` (alias ``"interp"``), ``"factored"`` and
-    ``"bits"``; anything else raises
+    Accepts ``"enumeration"`` (alias ``"interp"``), ``"factored"``,
+    ``"bits"``, ``"bdd"`` and ``"bounded"``; anything else raises
     :class:`~repro.errors.ModelError`.  Every entry point that takes a
     ``method`` argument normalises through here, so aliases behave
     identically everywhere (including sweep scan-cache keys).
     """
     canonical = _METHOD_ALIASES.get(method)
     if canonical is None:
-        known = sorted(set(_METHOD_ALIASES))
+        known = list(method_choices())
         raise ModelError(f"unknown method {method!r}; expected one of {known}")
     return canonical
 

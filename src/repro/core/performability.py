@@ -25,8 +25,14 @@ from repro.core.enumeration import (
     normalize_method,
     resolve_jobs,
 )
+from repro.core.bounded import (
+    DEFAULT_EPSILON,
+    bounded_configurations,
+    nominal_configuration,
+)
 from repro.core.factored import factored_configurations
 from repro.core.kernel import bitset_configurations
+from repro.core.symbolic import bdd_configurations
 from repro.core.progress import (
     ProgressCallback,
     ProgressReporter,
@@ -381,6 +387,7 @@ class PerformabilityAnalyzer:
         *,
         method: str = "factored",
         jobs: int = 1,
+        epsilon: float = DEFAULT_EPSILON,
         progress: ProgressCallback | None = None,
         counters: ScanCounters | None = None,
     ) -> dict[frozenset[str] | None, float]:
@@ -388,12 +395,18 @@ class PerformabilityAnalyzer:
 
         ``method`` is ``"factored"`` (default; exact, avoids
         enumerating management states), ``"enumeration"`` (the paper's
-        literal 2^N scan; alias ``"interp"``) or ``"bits"`` (the
-        compiled bit-parallel kernel of :mod:`repro.core.kernel`).
-        Unknown names raise :class:`~repro.errors.ModelError`.  ``jobs``
-        sets the number of worker processes for the state-space scan
-        (``1`` = sequential, bit-for-bit the historical behaviour;
-        ``0`` = all cores); ``progress`` receives
+        literal 2^N scan; alias ``"interp"``), ``"bits"`` (the compiled
+        bit-parallel kernel of :mod:`repro.core.kernel`), ``"bdd"``
+        (exact symbolic evaluation, polynomial in diagram size — see
+        :mod:`repro.core.symbolic`) or ``"bounded"`` (most-probable
+        states first until leftover mass ≤ ``epsilon`` — see
+        :mod:`repro.core.bounded`; the returned probabilities then sum
+        to less than one and downstream reward evaluation reports a
+        rigorous interval).  Unknown names raise
+        :class:`~repro.errors.ModelError`.  ``jobs`` sets the number of
+        worker processes for the scanning backends (``1`` = sequential,
+        bit-for-bit the historical behaviour; ``0`` = all cores);
+        ``epsilon`` is only read by ``"bounded"``; ``progress`` receives
         :class:`~repro.core.progress.ProgressEvent` notifications;
         ``counters`` collects scan statistics.
         """
@@ -405,6 +418,15 @@ class PerformabilityAnalyzer:
         if method == "bits":
             return bitset_configurations(
                 self._problem, jobs=jobs, progress=progress, counters=counters
+            )
+        if method == "bdd":
+            return bdd_configurations(
+                self._problem, jobs=jobs, progress=progress, counters=counters
+            )
+        if method == "bounded":
+            return bounded_configurations(
+                self._problem, epsilon=epsilon, jobs=jobs, progress=progress,
+                counters=counters,
             )
         return factored_configurations(
             self._problem, jobs=jobs, progress=progress, counters=counters
@@ -424,22 +446,27 @@ class PerformabilityAnalyzer:
         *,
         method: str = "factored",
         jobs: int = 1,
+        epsilon: float = DEFAULT_EPSILON,
         progress: ProgressCallback | None = None,
     ) -> PerformabilityResult:
         """Run the full §5 algorithm and return the result.
 
-        ``jobs`` and ``progress`` are forwarded to the state-space scan
-        (see :meth:`configuration_probabilities`); the per-configuration
-        LQN phase additionally reports progress under phase ``"lqn"``.
-        The returned result carries the filled
+        ``jobs``, ``epsilon`` and ``progress`` are forwarded to the
+        state-space scan (see :meth:`configuration_probabilities`); the
+        per-configuration LQN phase additionally reports progress under
+        phase ``"lqn"``.  The returned result carries the filled
         :class:`~repro.core.progress.ScanCounters` as ``counters`` and
-        the resolved worker count as ``jobs``.
+        the resolved worker count as ``jobs``.  With
+        ``method="bounded"`` the result additionally carries the
+        rigorous reward interval (``reward_interval``,
+        ``unexplored_probability``).
         """
         method = normalize_method(method)
         jobs = resolve_jobs(jobs)
         counters = ScanCounters()
         probabilities = self.configuration_probabilities(
-            method=method, jobs=jobs, progress=progress, counters=counters
+            method=method, jobs=jobs, epsilon=epsilon, progress=progress,
+            counters=counters,
         )
         return self.evaluate_probabilities(
             probabilities, method=method, jobs=jobs, progress=progress,
@@ -469,7 +496,18 @@ class PerformabilityAnalyzer:
         Unconverged LQN solutions are folded in as-is, but counted in
         ``counters.lqn_unconverged`` and flagged on their
         :class:`~repro.core.results.ConfigurationRecord`.
+
+        With ``method="bounded"`` the probabilities are allowed to sum
+        to less than one; the deficit is reported as
+        ``unexplored_probability`` and the result carries a rigorous
+        reward interval: the lower bound counts every unexplored state
+        at reward 0, the upper bound at ``R_max = max(rewards seen,
+        nominal all-up configuration's reward)``.  Both bounds assume
+        the reward function is non-negative and maximised by the
+        nominal configuration — true of the default throughput-weighted
+        rewards, where degraded configurations can only lose capacity.
         """
+        method = normalize_method(method)
         if counters is None:
             counters = ScanCounters()
         reporter = ProgressReporter(progress)
@@ -519,6 +557,27 @@ class PerformabilityAnalyzer:
             )
             expected += probability * reward
 
+        unexplored = 0.0
+        reward_lower: float | None = None
+        reward_upper: float | None = None
+        if method == "bounded":
+            unexplored = max(0.0, 1.0 - sum(probabilities.values()))
+            reward_ceiling = max(
+                (record.reward for record in records), default=0.0
+            )
+            nominal = nominal_configuration(self._problem)
+            if nominal is not None:
+                if nominal in self._lqn_cache:
+                    counters.lqn_cache_hits += 1
+                else:
+                    counters.lqn_solves += 1
+                reward_ceiling = max(
+                    reward_ceiling,
+                    self._reward(nominal, self.performance_of(nominal)),
+                )
+            reward_lower = expected
+            reward_upper = expected + unexplored * reward_ceiling
+
         counters.lqn_seconds += time.perf_counter() - lqn_started
         reporter.emit(
             "lqn", len(probabilities), len(probabilities), counters,
@@ -534,4 +593,7 @@ class PerformabilityAnalyzer:
             method=method,
             jobs=jobs,
             counters=counters,
+            unexplored_probability=unexplored,
+            reward_lower=reward_lower,
+            reward_upper=reward_upper,
         )

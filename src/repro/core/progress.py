@@ -87,13 +87,27 @@ class ScanCounters:
         Sweep points whose configuration probabilities were served from
         the engine's cross-point scan cache instead of re-scanned.
     kernel_batches:
-        Bit-parallel backend only: evaluation batches executed by the
-        compiled kernel (each covers up to 2^batch_bits states with one
+        Bit-parallel and bounded backends: evaluation batches executed
+        by the compiled kernel (each covers up to 2^batch_bits scanned
+        states, or up to one heap flush of enumerated states, with one
         pass over the instruction program).
     kernel_instructions:
-        Bit-parallel backend only: length of the compiled AND/OR/NOT
-        program after common-subexpression elimination (set once by the
-        engine, like ``distinct_configurations``).
+        Bit-parallel and bounded backends: length of the compiled
+        AND/OR/NOT program after common-subexpression elimination (set
+        once by the engine, like ``distinct_configurations``).
+    bdd_nodes:
+        Symbolic (``bdd``) backend only: nodes allocated by the shared
+        ROBDD manager after compiling every indicator and splitting the
+        configuration signatures — the quantity the backend's cost is
+        polynomial in (instead of 2^N).
+    bdd_cache_hits:
+        Symbolic backend only: apply-cache hits of the ROBDD manager
+        (how often a Boolean combination was already computed; the
+        memoisation that keeps the symbolic build subexponential).
+    enumerated_mass:
+        Bounded backend only: total probability mass of the states
+        actually enumerated.  ``1 - enumerated_mass`` is the rigorous
+        leftover bound the reward interval is built from.
     """
 
     states_visited: int = 0
@@ -111,6 +125,9 @@ class ScanCounters:
     scan_cache_hits: int = 0
     kernel_batches: int = 0
     kernel_instructions: int = 0
+    bdd_nodes: int = 0
+    bdd_cache_hits: int = 0
+    enumerated_mass: float = 0.0
 
     def merge(self, other: "ScanCounters") -> None:
         """Add ``other``'s counts into this instance (exact: all fields

@@ -74,6 +74,18 @@ class PerformabilityResult:
         .solve` (states visited, cache hits, per-phase wall time); see
         :class:`repro.core.progress.ScanCounters`.  ``None`` when the
         result was constructed without instrumentation.
+    unexplored_probability:
+        Probability mass of states the scan did not visit — 0.0 for
+        every exact backend, and the rigorous leftover bound for the
+        ``bounded`` backend (at most its ε).
+    reward_lower / reward_upper:
+        Rigorous bounds on the exact expected reward.  Exact backends
+        report the point value for both; the ``bounded`` backend
+        reports ``expected_reward`` (the enumerated-mass contribution;
+        unexplored states counted as reward 0) as the lower bound and
+        ``expected_reward + unexplored_probability · R_max`` as the
+        upper, where ``R_max`` bounds any single configuration's reward
+        (see ``PerformabilityAnalyzer.evaluate_probabilities``).
     """
 
     records: tuple[ConfigurationRecord, ...]
@@ -82,6 +94,22 @@ class PerformabilityResult:
     method: str
     jobs: int = 1
     counters: ScanCounters | None = None
+    unexplored_probability: float = 0.0
+    reward_lower: float | None = None
+    reward_upper: float | None = None
+
+    @property
+    def reward_interval(self) -> tuple[float, float]:
+        """``[lower, upper]`` bounds on the exact expected reward.
+
+        Collapses to ``(expected_reward, expected_reward)`` for exact
+        backends; for the ``bounded`` backend the exact value is
+        guaranteed to lie inside, and the width shrinks monotonically
+        with the backend's ε.
+        """
+        if self.reward_lower is None or self.reward_upper is None:
+            return (self.expected_reward, self.expected_reward)
+        return (self.reward_lower, self.reward_upper)
 
     @property
     def failed_probability(self) -> float:
@@ -108,7 +136,8 @@ class PerformabilityResult:
         return 0.0
 
     def total_probability(self) -> float:
-        """Sanity measure: should always be 1 up to rounding."""
+        """Sanity measure: 1 up to rounding for exact backends, and
+        ``1 - unexplored_probability`` for the ``bounded`` backend."""
         return sum(record.probability for record in self.records)
 
     def average_throughput(self, task: str) -> float:

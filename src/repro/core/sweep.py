@@ -40,6 +40,7 @@ import json
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.core.bounded import DEFAULT_EPSILON
 from repro.core.dependency import CommonCause
 from repro.core.enumeration import normalize_method, resolve_jobs
 from repro.core.performability import (
@@ -59,13 +60,17 @@ from repro.ftlqn.model import FTLQNModel
 from repro.lqn.results import LQNResults
 from repro.mama.model import MAMAModel
 
-#: Scan-cache key: (architecture key, method, sorted failure-prob
+#: Scan-cache key: (architecture key, method, ε, sorted failure-prob
 #: items, common-cause events).  Everything the configuration
 #: probabilities depend on besides structure, which the key's
-#: architecture entry stands in for.
+#: architecture entry stands in for.  ε is pinned to 0.0 for every
+#: exact method (which ignores it), so exact runs share cache entries
+#: across differing ``epsilon`` arguments while ``bounded`` runs with
+#: different targets stay distinct.
 _ScanKey = tuple[
     str | None,
     str,
+    float,
     tuple[tuple[str, float], ...],
     tuple[CommonCause, ...],
 ]
@@ -412,12 +417,13 @@ class SweepEngine:
         *,
         method: str = "factored",
         jobs: int = 1,
+        epsilon: float = DEFAULT_EPSILON,
         progress: ProgressCallback | None = None,
         counters: ScanCounters | None = None,
     ) -> SweepResult:
         """Evaluate every point and return the aggregated result.
 
-        ``method``, ``jobs`` and ``progress`` behave as in
+        ``method``, ``jobs``, ``epsilon`` and ``progress`` behave as in
         :meth:`PerformabilityAnalyzer.solve` and apply to each point's
         scan/LQN phases; between points the callback additionally
         receives coarse phase-``"sweep"`` events.  ``counters``
@@ -447,6 +453,7 @@ class SweepEngine:
             key: _ScanKey = (
                 point.architecture,
                 method,
+                epsilon if method == "bounded" else 0.0,
                 tuple(sorted(self._effective_probs(point).items())),
                 (
                     point.common_causes
@@ -458,8 +465,8 @@ class SweepEngine:
             scan_cached = probabilities is not None
             if probabilities is None:
                 probabilities = analyzer.configuration_probabilities(
-                    method=method, jobs=jobs, progress=progress,
-                    counters=point_counters,
+                    method=method, jobs=jobs, epsilon=epsilon,
+                    progress=progress, counters=point_counters,
                 )
                 self._scan_cache[key] = probabilities
             else:

@@ -9,6 +9,9 @@
   :mod:`~repro.experiments.figure11` / :mod:`~repro.experiments.statespace`
   — one module per table/figure, each returning plain dataclasses.
 * :mod:`repro.experiments.reporting` — text renderings of the tables.
+* :mod:`repro.experiments.largescale` — synthetic large-N topologies
+  (beyond the paper's N = 16) solvable only by the symbolic and
+  bounded backends.
 """
 
 from repro.experiments.figure1 import (
@@ -24,6 +27,11 @@ from repro.experiments.architectures import (
     hierarchical_mama,
     network_mama,
 )
+from repro.experiments.largescale import (
+    LargeScaleCase,
+    replicated_service_model,
+    run_largescale,
+)
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.figure11 import run_figure11
@@ -34,6 +42,7 @@ from repro.experiments.selection import run_selection
 __all__ = [
     "APPLICATION_FAILURE_PROBABILITY",
     "ARCHITECTURE_BUILDERS",
+    "LargeScaleCase",
     "MANAGEMENT_FAILURE_PROBABILITY",
     "centralized_mama",
     "distributed_mama",
@@ -41,7 +50,9 @@ __all__ = [
     "figure1_system",
     "hierarchical_mama",
     "network_mama",
+    "replicated_service_model",
     "run_figure11",
+    "run_largescale",
     "run_selection",
     "run_sensitivity",
     "run_statespace",

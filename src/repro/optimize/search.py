@@ -35,6 +35,7 @@ import random
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
+from repro.core.bounded import DEFAULT_EPSILON
 from repro.core.enumeration import resolve_jobs
 from repro.core.importance import importance_analysis
 from repro.core.progress import ProgressCallback, ScanCounters
@@ -149,9 +150,10 @@ class DesignSpaceSearch:
     weights:
         Optional reward weights per reference task; default is the
         unweighted throughput sum.
-    method / jobs / progress / counters:
+    method / jobs / epsilon / progress / counters:
         As in :meth:`~repro.core.sweep.SweepEngine.run`, applied to
-        every candidate evaluation and move-ranking importance run.
+        every candidate evaluation and move-ranking importance run
+        (``epsilon`` is only read by the ``bounded`` backend).
     """
 
     def __init__(
@@ -161,11 +163,13 @@ class DesignSpaceSearch:
         weights: Mapping[str, float] | None = None,
         method: str = "factored",
         jobs: int = 1,
+        epsilon: float = DEFAULT_EPSILON,
         progress: ProgressCallback | None = None,
         counters: ScanCounters | None = None,
     ):
         self.space = space
         self.method = method
+        self.epsilon = epsilon
         self.jobs = resolve_jobs(jobs)
         self.progress = progress
         self.counters = counters if counters is not None else ScanCounters()
@@ -213,8 +217,8 @@ class DesignSpaceSearch:
             run_counters = ScanCounters()
             sweep = self.engine.run(
                 [candidate.sweep_point() for candidate in fresh],
-                method=self.method, jobs=self.jobs, progress=self.progress,
-                counters=run_counters,
+                method=self.method, jobs=self.jobs, epsilon=self.epsilon,
+                progress=self.progress, counters=run_counters,
             )
             # The engine reports per-run distinct configurations; the
             # search tracks its own cross-run set, finalised in

@@ -1,13 +1,20 @@
-"""The differential oracle: three analytic backends and one simulator.
+"""The differential oracle: four analytic backends and one simulator.
 
 A scenario passes the oracle when
 
-1. every backend (interpreted enumeration, factored BDD evaluation,
-   compiled bit-parallel kernel), serial and parallel alike, produces
-   the *same configuration set* with probabilities agreeing to
-   ``tolerance`` (1e-12) against the interpreted reference;
+1. every exact backend (interpreted enumeration, factored BDD
+   evaluation, compiled bit-parallel kernel, fully symbolic ROBDD
+   traversal), serial and parallel alike, produces the *same
+   configuration set* with probabilities agreeing to ``tolerance``
+   (1e-12) against the interpreted reference;
 2. the reference probabilities sum to 1 within ``total_tolerance``;
-3. optionally, the analytic system availability and expected reward
+3. the bounded most-probable-first enumerator, run at
+   ``bounded_epsilon``, is *contained* in the reference: every
+   configuration it reports exists in the reference with at least the
+   reported probability, and the unexplored deficit is at most ε —
+   parity is the wrong check for an interval-valued backend, so the
+   oracle verifies its rigorous-underapproximation contract instead;
+4. optionally, the analytic system availability and expected reward
    fall inside a confidence interval computed from independent
    replications of the Monte-Carlo failure/repair simulation
    (:func:`repro.sim.simulate_availability`) — an *independent
@@ -32,8 +39,10 @@ from repro.core.enumeration import (
     enumerate_configurations,
     normalize_method,
 )
+from repro.core.bounded import bounded_configurations
 from repro.core.factored import factored_configurations
 from repro.core.kernel import bitset_configurations
+from repro.core.symbolic import bdd_configurations
 from repro.core.progress import ScanCounters
 from repro.errors import ModelError
 from repro.verify.generator import Scenario
@@ -43,16 +52,24 @@ BackendFn = Callable[..., dict[frozenset[str] | None, float]]
 
 #: Canonical oracle backend names, in reference-preference order
 #: (``interp`` is the paper's literal scan and serves as reference).
-BACKEND_NAMES = ("interp", "factored", "bits")
+BACKEND_NAMES = ("interp", "factored", "bits", "bdd")
 
 _BACKEND_FNS: dict[str, BackendFn] = {
     "interp": enumerate_configurations,
     "factored": factored_configurations,
     "bits": bitset_configurations,
+    "bdd": bdd_configurations,
 }
 
-#: Oracle name per canonical scan-method name.
-_CANONICAL_TO_ORACLE = {"enumeration": "interp", "factored": "factored", "bits": "bits"}
+#: Oracle name per canonical scan-method name.  ``bounded`` is absent
+#: deliberately: it is interval-valued, so the oracle checks it by
+#: containment (see :func:`check_scenario`), never by parity.
+_CANONICAL_TO_ORACLE = {
+    "enumeration": "interp",
+    "factored": "factored",
+    "bits": "bits",
+    "bdd": "bdd",
+}
 
 
 def default_backends(
@@ -61,13 +78,22 @@ def default_backends(
     """The standard backend table, optionally restricted to ``names``.
 
     Accepts the CLI spellings (``interp``/``enumeration``, ``factored``,
-    ``bits``); unknown names raise :class:`~repro.errors.ModelError`.
+    ``bits``, ``bdd``); unknown names raise
+    :class:`~repro.errors.ModelError`.  ``bounded`` is rejected here:
+    parity against an interval-valued backend is meaningless, so the
+    oracle exercises it through the containment check instead.
     """
     if names is None:
         return dict(_BACKEND_FNS)
     selected: dict[str, BackendFn] = {}
     for name in names:
-        oracle_name = _CANONICAL_TO_ORACLE[normalize_method(name)]
+        canonical = normalize_method(name)
+        if canonical not in _CANONICAL_TO_ORACLE:
+            raise ModelError(
+                f"backend {name!r} is interval-valued and cannot join the "
+                "parity net; the oracle checks it by containment instead"
+            )
+        oracle_name = _CANONICAL_TO_ORACLE[canonical]
         selected[oracle_name] = _BACKEND_FNS[oracle_name]
     if not selected:
         raise ModelError("the oracle needs at least one backend")
@@ -88,10 +114,15 @@ class OracleConfig:
     ``sim_bias_allowance / sim_horizon`` (the simulator starts all-up,
     so finite-horizon occupancies are biased towards availability by
     O(relaxation time / horizon)).
+
+    ``bounded_epsilon`` is the mass tolerance handed to the bounded
+    enumerator for its containment check; set it to ``None`` to skip
+    that check entirely.
     """
 
     tolerance: float = 1e-12
     total_tolerance: float = 1e-9
+    bounded_epsilon: float | None = 1e-6
     sim_replications: int = 5
     sim_horizon: float = 3000.0
     sim_confidence: float = 0.999
@@ -109,9 +140,12 @@ class Disagreement:
     ``kind`` is ``"configuration-set"`` (a backend found different
     configurations), ``"probability"`` (same set, probability off by
     more than the tolerance), ``"total-mass"`` (reference probabilities
-    do not sum to 1) or ``"simulation"`` (analytic value outside the
-    simulation confidence interval).  ``backend`` is ``"<name>@jobs=N"``
-    or ``"sim"``; ``magnitude`` is the observed absolute error.
+    do not sum to 1), ``"bounded-containment"`` (the bounded enumerator
+    reported a configuration, probability or unexplored deficit that
+    violates its rigorous-underapproximation contract) or
+    ``"simulation"`` (analytic value outside the simulation confidence
+    interval).  ``backend`` is ``"<name>@jobs=N"``, ``"bounded"`` or
+    ``"sim"``; ``magnitude`` is the observed absolute error.
     """
 
     kind: str
@@ -138,6 +172,7 @@ class OracleReport:
     jobs_checked: tuple[int, ...]
     disagreements: list[Disagreement] = field(default_factory=list)
     simulated: bool = False
+    bounded_checked: bool = False
     state_count: int = 0
     distinct_configurations: int = 0
     expected_reward: float | None = None
@@ -212,6 +247,62 @@ def _compare_maps(
                     magnitude=delta,
                 )
             )
+
+
+def _bounded_check(
+    problem: StateSpaceProblem,
+    reference: Mapping[frozenset[str] | None, float],
+    config: OracleConfig,
+    disagreements: list[Disagreement],
+) -> None:
+    """Verify the bounded enumerator's underapproximation contract.
+
+    Three obligations, all against the interpreted reference: the
+    configuration set is a subset of the exact one, every reported
+    probability is at most the exact probability (to ``tolerance``),
+    and the unexplored deficit ``1 - Σp`` is non-negative and at most
+    the requested ε (to ``total_tolerance``).
+    """
+    epsilon = config.bounded_epsilon
+    assert epsilon is not None
+    partial = bounded_configurations(
+        problem, epsilon=epsilon, counters=ScanCounters()
+    )
+    for configuration in sorted(set(partial) - set(reference), key=_label):
+        disagreements.append(
+            Disagreement(
+                kind="bounded-containment",
+                backend="bounded",
+                detail=f"phantom configuration {_label(configuration)} "
+                f"(probability {partial[configuration]:.6g}) not in the "
+                "exact configuration set",
+                magnitude=abs(partial[configuration]),
+            )
+        )
+    for configuration in sorted(set(partial) & set(reference), key=_label):
+        excess = partial[configuration] - reference[configuration]
+        if excess > config.tolerance:
+            disagreements.append(
+                Disagreement(
+                    kind="bounded-containment",
+                    backend="bounded",
+                    detail=f"probability of {_label(configuration)} is "
+                    f"{partial[configuration]:.15g}, above the exact "
+                    f"{reference[configuration]:.15g}",
+                    magnitude=excess,
+                )
+            )
+    deficit = 1.0 - sum(partial.values())
+    if deficit < -config.total_tolerance or deficit > epsilon + config.total_tolerance:
+        disagreements.append(
+            Disagreement(
+                kind="bounded-containment",
+                backend="bounded",
+                detail=f"unexplored deficit {deficit:.6g} outside "
+                f"[0, ε = {epsilon:g}]",
+                magnitude=max(-deficit, deficit - epsilon),
+            )
+        )
 
 
 def _confidence_interval(
@@ -307,7 +398,10 @@ def check_scenario(
 
     The first backend in ``backends`` at ``jobs[0]`` is the reference;
     with the default table that is the interpreted enumerative scan,
-    the most literal rendering of the paper's semantics.  ``simulate``
+    the most literal rendering of the paper's semantics.  Unless
+    ``config.bounded_epsilon`` is ``None``, the bounded enumerator is
+    additionally run at that ε and checked for containment in the
+    reference (subset, pointwise ≤, deficit ≤ ε).  ``simulate``
     additionally runs the LQN phase on the reference probabilities and
     cross-checks availability and expected reward against the
     Monte-Carlo simulation (see :class:`OracleConfig`).
@@ -364,6 +458,10 @@ def check_scenario(
         state_count=problem.state_count,
         distinct_configurations=len(reference),
     )
+
+    if config.bounded_epsilon is not None:
+        _bounded_check(problem, reference, config, disagreements)
+        report.bounded_checked = True
 
     if simulate:
         result = analyzer.evaluate_probabilities(reference)

@@ -1,9 +1,13 @@
-"""All three scan backends agree on seeded random scenarios.
+"""All exact backends agree on seeded random scenarios; bounded is contained.
 
-The enumerative scan, the factored (BDD) evaluator and the compiled
-bit-parallel kernel implement the same §5 step-4 semantics three
-different ways; on every generated scenario they must produce the same
-configuration set with probabilities equal to 1e-12.
+The enumerative scan, the factored (BDD) evaluator, the compiled
+bit-parallel kernel and the fully symbolic ROBDD backend implement the
+same §5 step-4 semantics four different ways; on every generated
+scenario they must produce the same configuration set with
+probabilities equal to 1e-12.  The bounded most-probable-first
+enumerator is interval-valued, so it is held to a different contract:
+containment in the exact answer, a deficit at most ε, and intervals
+that tighten monotonically as ε shrinks.
 """
 
 import pytest
@@ -13,7 +17,7 @@ from tests.core.random_models import random_scenario
 
 SEEDS = list(range(12))
 
-BACKENDS = ("enumeration", "factored", "bits")
+BACKENDS = ("enumeration", "factored", "bits", "bdd")
 
 
 def probability_maps(analyzer):
@@ -80,4 +84,89 @@ def test_backends_agree_on_widened_generator_space(seed):
 
     report = check_scenario(generate_scenario(seed))
     assert report.ok, report.summary()
-    assert report.backends_checked == ("interp", "factored", "bits")
+    assert report.backends_checked == ("interp", "factored", "bits", "bdd")
+    assert report.bounded_checked
+
+
+# -- the bounded enumerator's interval contract ------------------------
+
+#: ε values in tightening order; 0.0 demands exhaustive enumeration.
+EPSILONS = (0.3, 0.05, 1e-3, 1e-7, 0.0)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_bounded_is_contained_and_tightens(seed):
+    ftlqn, mama, failure_probs, causes = random_scenario(seed)
+    analyzer = PerformabilityAnalyzer(
+        ftlqn, mama, failure_probs=failure_probs, common_causes=causes
+    )
+    exact = analyzer.configuration_probabilities(method="enumeration")
+    previous_deficit = None
+    for epsilon in EPSILONS:
+        partial = analyzer.configuration_probabilities(
+            method="bounded", epsilon=epsilon
+        )
+        assert set(partial) <= set(exact), epsilon
+        for configuration, probability in partial.items():
+            assert probability <= exact[configuration] + 1e-12, epsilon
+        deficit = 1.0 - sum(partial.values())
+        assert -1e-9 <= deficit <= epsilon + 1e-9, epsilon
+        # Monotone tightening: smaller ε never explores less mass.
+        if previous_deficit is not None:
+            assert deficit <= previous_deficit + 1e-12, epsilon
+        previous_deficit = deficit
+    # ε = 0 is exhaustive, hence exact parity.
+    assert partial == pytest.approx(exact, abs=1e-10)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_bounded_reward_interval_contains_exact(seed):
+    ftlqn, mama, failure_probs, causes = random_scenario(seed)
+    analyzer = PerformabilityAnalyzer(
+        ftlqn, mama, failure_probs=failure_probs, common_causes=causes
+    )
+    exact = analyzer.solve(method="enumeration")
+    assert exact.reward_interval == (
+        exact.expected_reward, exact.expected_reward
+    )
+    previous_width = None
+    for epsilon in (0.3, 1e-2, 0.0):
+        bounded = analyzer.solve(method="bounded", epsilon=epsilon)
+        lower, upper = bounded.reward_interval
+        assert lower <= exact.expected_reward + 1e-9, epsilon
+        assert upper >= exact.expected_reward - 1e-9, epsilon
+        width = upper - lower
+        if previous_width is not None:
+            assert width <= previous_width + 1e-12, epsilon
+        previous_width = width
+    assert bounded.expected_reward == pytest.approx(
+        exact.expected_reward, abs=1e-9
+    )
+
+
+# -- beyond the 2^N wall ----------------------------------------------
+
+def test_large_n_only_symbolic_backends_finish():
+    """A 60-server replicated service: 2^60 states, exact answer anyway.
+
+    Any scanning backend would need ~1.15e18 state visits here; the
+    symbolic backend solves it exactly and the bounded backend brackets
+    the same reward with a rigorous interval.
+    """
+    from repro.experiments import run_largescale
+
+    exact = run_largescale(60, method="bdd", failure_probability=1e-3)
+    assert exact.state_count == 2 ** 60
+    assert exact.distinct_configurations == 61
+    assert exact.counters.bdd_nodes > 0
+    assert exact.reward_interval == (
+        exact.expected_reward, exact.expected_reward
+    )
+
+    bounded = run_largescale(
+        60, method="bounded", epsilon=1e-4, failure_probability=1e-3
+    )
+    lower, upper = bounded.reward_interval
+    assert lower <= exact.expected_reward <= upper
+    assert upper - lower <= 1e-4 * max(1.0, upper)
+    assert 0.0 < bounded.counters.enumerated_mass <= 1.0 + 1e-12

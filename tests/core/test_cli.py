@@ -461,7 +461,7 @@ class TestVerify:
         document = json.loads(report_path.read_text())
         assert document["failures"] == 0
         assert document["seeds_checked"] == 6
-        assert document["backends"] == ["interp", "factored", "bits"]
+        assert document["backends"] == ["interp", "factored", "bits", "bdd"]
         assert len(document["outcomes"]) == 6
 
     def test_backend_selection_and_progress(self, capsys):

@@ -56,6 +56,17 @@ class TestConstruction:
         with pytest.raises(ModelError, match="unknown method"):
             analyzer.configuration_probabilities(method="magic")
 
+    def test_unknown_method_error_lists_every_backend(self, figure1):
+        from repro.core import method_choices
+
+        analyzer = PerformabilityAnalyzer(figure1, None)
+        with pytest.raises(ModelError) as excinfo:
+            analyzer.configuration_probabilities(method="magic")
+        message = str(excinfo.value)
+        for name in method_choices():
+            assert name in message
+        assert {"bdd", "bounded", "bits", "factored"} <= set(method_choices())
+
     def test_interp_alias_matches_enumeration(self, figure1):
         analyzer = PerformabilityAnalyzer(
             figure1, None, failure_probs={"Server1": 0.1, "AppA": 0.05}

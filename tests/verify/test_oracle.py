@@ -27,15 +27,19 @@ FAST_SIM = OracleConfig(
 
 def test_default_backend_table():
     table = default_backends()
-    assert tuple(table) == ("interp", "factored", "bits")
+    assert tuple(table) == ("interp", "factored", "bits", "bdd")
     restricted = default_backends(["interp", "bits"])
     assert tuple(restricted) == ("interp", "bits")
     # CLI spellings normalise onto the oracle names.
     assert tuple(default_backends(["enumeration"])) == ("interp",)
+    assert tuple(default_backends(["bdd"])) == ("bdd",)
     with pytest.raises(ModelError):
         default_backends(["quantum"])
     with pytest.raises(ModelError):
         default_backends([])
+    # Interval-valued: containment-checked, never parity-checked.
+    with pytest.raises(ModelError):
+        default_backends(["bounded"])
 
 
 def test_healthy_scenarios_pass():
@@ -160,6 +164,45 @@ def test_simulation_cross_check_rejects_wrong_analytics():
     )
     assert not report.ok
     assert any(d.kind == "simulation" for d in report.disagreements)
+
+
+def test_bounded_containment_runs_by_default():
+    report = check_scenario(generate_scenario(4))
+    assert report.bounded_checked
+    assert report.ok, report.summary()
+    skipped = check_scenario(
+        generate_scenario(4), config=OracleConfig(bounded_epsilon=None)
+    )
+    assert not skipped.bounded_checked
+    assert skipped.ok, skipped.summary()
+
+
+def test_bounded_violation_is_detected(monkeypatch):
+    from repro.core.bounded import bounded_configurations
+    from repro.verify import oracle as oracle_module
+
+    def inflated(problem, *, epsilon, jobs=1, progress=None, counters=None):
+        result = dict(
+            bounded_configurations(
+                problem, epsilon=epsilon, jobs=jobs, counters=counters
+            )
+        )
+        key = max(result, key=result.get)
+        result[key] += 1e-6
+        result[frozenset({"phantom"})] = 0.125
+        return result
+
+    monkeypatch.setattr(
+        oracle_module, "bounded_configurations", inflated
+    )
+    report = check_scenario(generate_scenario(4))
+    assert report.bounded_checked
+    assert not report.ok
+    kinds = {d.kind for d in report.disagreements}
+    assert kinds == {"bounded-containment"}
+    details = " ".join(d.detail for d in report.disagreements)
+    assert "phantom configuration" in details
+    assert "above the exact" in details
 
 
 def test_invalid_scenario_raises():
