@@ -1,7 +1,7 @@
 # Developer conveniences; the test suite needs src/ on PYTHONPATH.
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-snapshot docs-check fuzz
+.PHONY: test bench bench-snapshot bench-snapshot-lqn docs-check fuzz
 
 test:
 	$(PY) -m pytest -x -q
@@ -23,6 +23,12 @@ bench:
 # uploads it as an artifact).
 bench-snapshot:
 	$(PY) benchmarks/snapshot.py --out BENCH_statespace.json
+
+# Same idea for the LQN layer: batched solver, shared caches, warm
+# starts and the optimizer's bounds fast path, parity- and
+# speedup-gated, written to BENCH_lqn.json (CI artifact).
+bench-snapshot-lqn:
+	$(PY) benchmarks/snapshot_lqn.py --out BENCH_lqn.json
 
 # Verify that every ```python block in docs/*.md and README.md parses,
 # so guide snippets cannot rot into syntax errors.

@@ -289,7 +289,7 @@ def _cmd_dot(args) -> int:
 _SPEC_KEYS = frozenset({"model", "architectures", "base", "points"})
 
 
-def _load_sweep_spec(path: str):
+def _load_sweep_spec(path: str, *, lqn_warm_start: bool = False):
     """Parse a sweep-spec file into (engine, points)."""
     document = _load_json(path, "sweep spec")
     if not isinstance(document, dict):
@@ -342,12 +342,15 @@ def _load_sweep_spec(path: str):
         base_common_causes=causes_from_documents(
             base.get("common_causes", [])
         ),
+        lqn_warm_start=lqn_warm_start,
     )
     return engine, points_from_documents(document.get("points"))
 
 
 def _cmd_sweep(args) -> int:
-    engine, points = _load_sweep_spec(args.spec)
+    engine, points = _load_sweep_spec(
+        args.spec, lqn_warm_start=args.warm_start
+    )
     progress = console_progress(sys.stderr) if args.progress else None
     counters = ScanCounters()
     sweep = engine.run(
@@ -363,12 +366,20 @@ def _cmd_sweep(args) -> int:
               f"{entry.failed_probability:10.6f}  "
               + ("cached" if entry.scan_cached else "fresh"))
     c = counters
+    warm = ""
+    if c.lqn_warm_starts:
+        mean_distance = c.lqn_warm_distance / c.lqn_warm_starts
+        warm = (
+            f", {c.lqn_warm_starts} warm starts "
+            f"(mean distance {mean_distance:.1f})"
+        )
     print(
         f"sweep: {c.sweep_points} points, {c.distinct_configurations} "
         f"distinct configurations, {c.scan_cache_hits} scan-cache hits; "
         f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
         f"({100.0 * sweep.lqn_cache_hit_rate:.1f}% hit rate), "
-        f"{c.lqn_unconverged} unconverged"
+        f"{c.lqn_unconverged} unconverged, "
+        f"max batch {c.lqn_batch_max}{warm}"
     )
     if args.json_out:
         Path(args.json_out).write_text(sweep.to_json())
@@ -454,6 +465,8 @@ def _cmd_optimize(args) -> int:
     search = DesignSpaceSearch(
         space, weights=weights, method=_resolve_method(args),
         jobs=args.jobs, progress=progress,
+        warm_start=args.warm_start,
+        bounds_fast_path=not args.no_bounds,
     )
     if strategy == "exhaustive":
         result = search.exhaustive()
@@ -481,11 +494,19 @@ def _cmd_optimize(args) -> int:
               f"{entry.failed_probability:10.6f} {entry.cost:8.2f} "
               f"{entry.component_count:5d}  {' '.join(marks)}")
     c = result.counters
+    warm = ""
+    if c.lqn_warm_starts:
+        mean_distance = c.lqn_warm_distance / c.lqn_warm_starts
+        warm = (
+            f", {c.lqn_warm_starts} warm starts "
+            f"(mean distance {mean_distance:.1f})"
+        )
     print(
         f"search: {c.distinct_configurations} distinct configurations, "
-        f"{c.scan_cache_hits} scan-cache hits; "
+        f"{c.scan_cache_hits} scan-cache hits, "
+        f"{c.lqn_bounds_skips} bounds skips; "
         f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
-        f"({100.0 * result.lqn_cache_hit_rate:.1f}% hit rate)"
+        f"({100.0 * result.lqn_cache_hit_rate:.1f}% hit rate){warm}"
     )
     if budget is not None:
         if report.recommended is None:
@@ -743,6 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 1 = sequential; 0 = all cores)",
     )
     sweep.add_argument(
+        "--warm-start", action="store_true",
+        help="seed each new configuration's LQN solve from its nearest "
+        "already-solved neighbour (same fixed points within the solver "
+        "tolerance, but results are no longer bit-identical to cold "
+        "per-point runs)",
+    )
+    sweep.add_argument(
         "--progress", action="store_true",
         help="stream sweep/scan/LQN progress to stderr",
     )
@@ -787,6 +815,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for each candidate's state-space scan "
         "(default 1 = sequential; 0 = all cores)",
+    )
+    optimize.add_argument(
+        "--warm-start", action="store_true",
+        help="seed each new configuration's LQN solve from its nearest "
+        "already-solved neighbour (faster, not bit-identical to cold "
+        "solves)",
+    )
+    optimize.add_argument(
+        "--no-bounds", action="store_true",
+        help="disable the greedy bounds fast path (by default, "
+        "candidate moves whose guaranteed throughput upper bound "
+        "cannot beat the incumbent are skipped without solving)",
     )
     optimize.add_argument(
         "--progress", action="store_true",

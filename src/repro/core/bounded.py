@@ -271,7 +271,7 @@ def bounded_configurations(
     started = time.perf_counter()
 
     kernel = compile_problem(problem)
-    counters.kernel_instructions = len(kernel.program)
+    counters.record_level("kernel_instructions", len(kernel.program))
 
     likely_up: list[bool] = []
     base_probability = 1.0
@@ -340,7 +340,7 @@ def bounded_configurations(
     flush()
 
     counters.enumerated_mass += enumerated_mass
-    counters.distinct_configurations = len(accumulator)
+    counters.record_level("distinct_configurations", len(accumulator))
     counters.scan_seconds += time.perf_counter() - started
     reporter.emit("scan", popped, total_states, counters, force=True)
     return accumulator

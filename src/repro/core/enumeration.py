@@ -423,7 +423,7 @@ def enumerate_configurations(
         )
         accumulator = merge_accumulators(parts)
 
-    counters.distinct_configurations = len(accumulator)
+    counters.record_level("distinct_configurations", len(accumulator))
     counters.scan_seconds += time.perf_counter() - started
     reporter.emit(
         "scan", counters.states_visited, total_states, counters, force=True

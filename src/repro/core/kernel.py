@@ -653,7 +653,7 @@ def bitset_configurations(
 
     kernel = compile_problem(problem)
     run = _KernelRun(kernel, batch_bits)
-    counters.kernel_instructions = len(kernel.program)
+    counters.record_level("kernel_instructions", len(kernel.program))
 
     if jobs == 1 or run.total_batches < 2:
         accumulator: dict[frozenset[str] | None, float] = {}
@@ -673,7 +673,7 @@ def bitset_configurations(
         )
         accumulator = merge_accumulators(parts)
 
-    counters.distinct_configurations = len(accumulator)
+    counters.record_level("distinct_configurations", len(accumulator))
     counters.scan_seconds += time.perf_counter() - started
     reporter.emit(
         "scan", counters.states_visited, total_states, counters, force=True

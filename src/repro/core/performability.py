@@ -43,10 +43,55 @@ from repro.core.rewards import RewardFunction, weighted_throughput_reward
 from repro.errors import ModelError
 from repro.ftlqn.fault_graph import build_fault_graph
 from repro.ftlqn.model import FTLQNModel
-from repro.lqn.results import LQNResults
-from repro.lqn.solver import solve_lqn
+from repro.lqn.results import LQNResults, WarmStart
+from repro.lqn.solver import solve_lqn, solve_lqn_batch
 from repro.mama.knowledge import KnowledgeGraph
 from repro.mama.model import ComponentKind, MAMAModel
+
+
+class WarmStartIndex:
+    """Nearest-neighbour warm-start index over an LQN cache.
+
+    Wraps a configuration → :class:`~repro.lqn.results.LQNResults`
+    mapping (typically a :class:`~repro.core.sweep.SweepEngine`'s
+    shared cache) and serves, for a configuration about to be solved,
+    the waiting-time estimates of the *closest already-solved*
+    configuration — closest by Hamming distance, i.e. the number of
+    components present in one configuration but not the other.  Ties
+    break on the sorted component tuple so the answer is independent
+    of cache insertion order.
+
+    Warm starts trade bit-reproducibility for speed: the solver still
+    converges to the same fixed point within its tolerance, but the
+    iterate path (and the last ~1e-8 of the result) depends on which
+    configurations happen to be cached.  They are therefore strictly
+    opt-in (``SweepEngine(lqn_warm_start=True)`` / ``--warm-start``).
+    """
+
+    def __init__(
+        self, cache: Mapping[frozenset[str], LQNResults]
+    ) -> None:
+        self._cache = cache
+
+    def nearest(
+        self, configuration: frozenset[str]
+    ) -> tuple[WarmStart | None, int]:
+        """The best available seed and its Hamming distance.
+
+        Returns ``(None, 0)`` when the cache holds no reusable entry.
+        """
+        best: WarmStart | None = None
+        best_key: tuple[int, tuple[str, ...]] | None = None
+        for cached, results in self._cache.items():
+            if results.warm_start is None:
+                continue
+            key = (len(configuration ^ cached), tuple(sorted(cached)))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = results.warm_start
+        if best is None or best_key is None:
+            return None, 0
+        return best, best_key[0]
 
 
 @dataclass(frozen=True)
@@ -193,6 +238,12 @@ class PerformabilityAnalyzer:
         solves across them (a configuration's performance is
         independent of failure probabilities).  Default: a private
         per-analyzer dict.
+    warm_index:
+        Optional :class:`WarmStartIndex` consulted for waiting-time
+        seeds before solving uncached configurations.  Opt-in: warm
+        starts make the last ~1e-8 of each solve depend on cache
+        history (see the class docstring), so sweeps only pass one
+        when explicitly enabled.
 
     Example
     -------
@@ -210,6 +261,7 @@ class PerformabilityAnalyzer:
         common_causes: list[CommonCause] | tuple[CommonCause, ...] = (),
         structure: AnalysisStructure | None = None,
         lqn_cache: MutableMapping[frozenset[str], LQNResults] | None = None,
+        warm_index: WarmStartIndex | None = None,
     ):
         self._ftlqn = ftlqn
         self._mama = mama
@@ -232,6 +284,7 @@ class PerformabilityAnalyzer:
         self._reward = reward
         self._problem = self._build_problem()
         self._lqn_cache = lqn_cache if lqn_cache is not None else {}
+        self._warm_index = warm_index
 
     # ------------------------------------------------------------------
 
@@ -516,6 +569,37 @@ class PerformabilityAnalyzer:
         expected = 0.0
         reference_names = [t.name for t in self._ftlqn.reference_tasks()]
         lqn_started = time.perf_counter()
+        # Solve every uncached configuration in one batched layered
+        # solve (bit-identical to sequential per-configuration solves;
+        # see solve_lqn_batch).  Cache hits are counted against the
+        # cache state *before* this call.
+        missing = [
+            configuration
+            for configuration in probabilities
+            if configuration is not None
+            and configuration not in self._lqn_cache
+        ]
+        solved_now = set(missing)
+        if missing:
+            seeds: list[WarmStart | None] | None = None
+            if self._warm_index is not None:
+                seeds = []
+                for configuration in missing:
+                    seed, distance = self._warm_index.nearest(configuration)
+                    if seed is not None:
+                        counters.lqn_warm_starts += 1
+                        counters.lqn_warm_distance += distance
+                    seeds.append(seed)
+            batch = solve_lqn_batch(
+                [
+                    configuration_to_lqn(self._ftlqn, configuration)
+                    for configuration in missing
+                ],
+                warm_starts=seeds,
+            )
+            for configuration, results in zip(missing, batch):
+                self._lqn_cache[configuration] = results
+            counters.record_level("lqn_batch_max", len(missing))
         solved = 0
         for configuration, probability in probabilities.items():
             solved += 1
@@ -529,10 +613,10 @@ class PerformabilityAnalyzer:
                     )
                 )
                 continue
-            if configuration in self._lqn_cache:
-                counters.lqn_cache_hits += 1
-            else:
+            if configuration in solved_now:
                 counters.lqn_solves += 1
+            else:
+                counters.lqn_cache_hits += 1
             results = self.performance_of(configuration)
             if not results.converged:
                 counters.lqn_unconverged += 1

@@ -63,8 +63,11 @@ class ScanCounters:
         tree, i.e. distinct (knowledge-literal conjunction →
         configuration) cases weighed on the BDD.
     distinct_configurations:
-        Number of distinct operational configurations found (set once
-        by the engine after merging worker results).
+        Number of distinct operational configurations found.  A *level*
+        field: engines assign their snapshot with
+        :meth:`record_level` and :meth:`merge` keeps the maximum, so
+        repeated scans over one counters object report the size of the
+        largest scan rather than a meaningless sum.
     scan_seconds:
         Wall time of the state-space scan phase.
     lqn_seconds:
@@ -80,6 +83,22 @@ class ScanCounters:
         Configurations whose LQN solve did not meet its convergence
         tolerance (the approximate result is still folded into the
         expected reward, but flagged on its record).
+    lqn_batch_max:
+        Largest number of configurations solved in one batched LQN
+        call (:func:`~repro.lqn.solver.solve_lqn_batch`).  A level
+        field (merged by max).
+    lqn_warm_starts:
+        LQN solves seeded from a previously solved neighbouring
+        configuration (the sweep engine's opt-in warm-start index).
+    lqn_warm_distance:
+        Total Hamming distance (components differing between the
+        seeded configuration and its donor) over all warm starts;
+        ``lqn_warm_distance / lqn_warm_starts`` is the mean hit
+        distance.
+    lqn_bounds_skips:
+        Optimizer candidates whose full evaluation was skipped because
+        a guaranteed throughput upper bound already proved them no
+        better than the incumbent.
     sweep_points:
         Scenario points evaluated by a
         :class:`~repro.core.sweep.SweepEngine` run (0 outside sweeps).
@@ -93,8 +112,10 @@ class ScanCounters:
         pass over the instruction program).
     kernel_instructions:
         Bit-parallel and bounded backends: length of the compiled
-        AND/OR/NOT program after common-subexpression elimination (set
-        once by the engine, like ``distinct_configurations``).
+        AND/OR/NOT program after common-subexpression elimination.  A
+        level field like ``distinct_configurations``: merged by max,
+        so a multi-point sweep reports the (shared) program length
+        instead of multiplying it by the number of points.
     bdd_nodes:
         Symbolic (``bdd``) backend only: nodes allocated by the shared
         ROBDD manager after compiling every indicator and splitting the
@@ -121,6 +142,10 @@ class ScanCounters:
     lqn_solves: int = 0
     lqn_cache_hits: int = 0
     lqn_unconverged: int = 0
+    lqn_batch_max: int = 0
+    lqn_warm_starts: int = 0
+    lqn_warm_distance: int = 0
+    lqn_bounds_skips: int = 0
     sweep_points: int = 0
     scan_cache_hits: int = 0
     kernel_batches: int = 0
@@ -129,12 +154,37 @@ class ScanCounters:
     bdd_cache_hits: int = 0
     enumerated_mass: float = 0.0
 
+    #: Fields that are snapshots of a shared artefact (a compiled
+    #: program, a distinct-configuration set, a batch-size watermark)
+    #: rather than per-run work.  They merge by max, never by addition.
+    _LEVEL_FIELDS = frozenset(
+        {"distinct_configurations", "kernel_instructions", "lqn_batch_max"}
+    )
+
+    def record_level(self, name: str, value: int) -> None:
+        """Raise the level field ``name`` to at least ``value``.
+
+        Backends use this instead of plain assignment so that a shared
+        counters object threaded through several scans keeps the
+        maximum snapshot instead of whichever scan happened to run
+        last."""
+        setattr(self, name, max(getattr(self, name), value))
+
     def merge(self, other: "ScanCounters") -> None:
-        """Add ``other``'s counts into this instance (exact: all fields
-        are additive; ``distinct_configurations`` is overwritten by the
-        engine after the final merge)."""
+        """Fold ``other`` into this instance: additive fields are
+        summed exactly; level fields (see ``_LEVEL_FIELDS``) keep the
+        maximum of the two sides."""
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            if f.name in self._LEVEL_FIELDS:
+                setattr(
+                    self,
+                    f.name,
+                    max(getattr(self, f.name), getattr(other, f.name)),
+                )
+            else:
+                setattr(
+                    self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                )
 
     def as_dict(self) -> dict[str, int | float]:
         """Plain-dict view, e.g. for benchmark JSON ``extra_info``."""

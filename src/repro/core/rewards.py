@@ -32,6 +32,10 @@ def weighted_throughput_reward(weights: Mapping[str, float]) -> RewardFunction:
             total += weight * results.task_throughputs.get(task, 0.0)
         return total
 
+    # Expose the weight map so consumers that can bound throughputs can
+    # bound the reward too (the optimizer's bounds fast path reads this;
+    # an opaque RewardFunction without ``.weights`` disables it).
+    reward.weights = dict(weights)
     return reward
 
 

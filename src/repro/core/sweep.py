@@ -46,6 +46,7 @@ from repro.core.enumeration import normalize_method, resolve_jobs
 from repro.core.performability import (
     AnalysisStructure,
     PerformabilityAnalyzer,
+    WarmStartIndex,
     derive_structure,
 )
 from repro.core.progress import (
@@ -279,6 +280,15 @@ class SweepEngine:
     base_common_causes / base_reward:
         Baseline common-cause events and reward function, used by
         points that do not override them.
+    lqn_warm_start:
+        Opt-in: seed each uncached configuration's layered solve from
+        the cached result of its nearest already-solved configuration
+        (Hamming distance over component sets).  The fixed point
+        reached is the same up to the solver tolerance, but not
+        bit-identical to a cold solve — and it depends on cache
+        history, i.e. on point order — so the default (``False``)
+        preserves the engine's bit-exact equivalence with per-point
+        analyzers.
 
     The engine owns three caches, all keyed only by what the cached
     value actually depends on:
@@ -299,6 +309,7 @@ class SweepEngine:
         base_failure_probs: Mapping[str, float] | None = None,
         base_common_causes: Sequence[CommonCause] = (),
         base_reward: RewardFunction | None = None,
+        lqn_warm_start: bool = False,
     ):
         self._ftlqn = ftlqn.validated()
         self._ftlqn_names = frozenset(ftlqn.component_names())
@@ -311,6 +322,9 @@ class SweepEngine:
             _ScanKey, dict[frozenset[str] | None, float]
         ] = {}
         self._lqn_cache: dict[frozenset[str], LQNResults] = {}
+        self._warm_index = (
+            WarmStartIndex(self._lqn_cache) if lqn_warm_start else None
+        )
 
     @property
     def architectures(self) -> Mapping[str, MAMAModel]:
@@ -409,7 +423,53 @@ class SweepEngine:
             common_causes=causes,
             structure=self.structure_for(point.architecture),
             lqn_cache=self._lqn_cache,
+            warm_index=self._warm_index,
         )
+
+    def scan_for(
+        self,
+        point: SweepPoint,
+        *,
+        method: str = "factored",
+        jobs: int = 1,
+        epsilon: float = DEFAULT_EPSILON,
+        progress: ProgressCallback | None = None,
+        counters: ScanCounters | None = None,
+    ) -> tuple[dict[frozenset[str] | None, float], bool]:
+        """The configuration→probability map of one point, via the
+        engine's cross-point scan cache.
+
+        Returns ``(probabilities, scan_cached)`` where ``scan_cached``
+        says whether the map came from the cache (in which case
+        ``counters.scan_cache_hits`` is incremented) rather than a
+        fresh state-space scan.  Used by :meth:`run` for each point and
+        by the optimizer's bounds fast path, which needs a candidate's
+        configuration support without paying for its LQN solves.
+        """
+        method = normalize_method(method)
+        if counters is None:
+            counters = ScanCounters()
+        key: _ScanKey = (
+            point.architecture,
+            method,
+            epsilon if method == "bounded" else 0.0,
+            tuple(sorted(self._effective_probs(point).items())),
+            (
+                point.common_causes
+                if point.common_causes is not None
+                else self._base_common_causes
+            ),
+        )
+        probabilities = self._scan_cache.get(key)
+        if probabilities is not None:
+            counters.scan_cache_hits += 1
+            return probabilities, True
+        probabilities = self.analyzer_for(point).configuration_probabilities(
+            method=method, jobs=jobs, epsilon=epsilon,
+            progress=progress, counters=counters,
+        )
+        self._scan_cache[key] = probabilities
+        return probabilities, False
 
     def run(
         self,
@@ -450,27 +510,10 @@ class SweepEngine:
             reporter.emit("sweep", index, len(points), counters, force=True)
             analyzer = self.analyzer_for(point)
             point_counters = ScanCounters()
-            key: _ScanKey = (
-                point.architecture,
-                method,
-                epsilon if method == "bounded" else 0.0,
-                tuple(sorted(self._effective_probs(point).items())),
-                (
-                    point.common_causes
-                    if point.common_causes is not None
-                    else self._base_common_causes
-                ),
+            probabilities, scan_cached = self.scan_for(
+                point, method=method, jobs=jobs, epsilon=epsilon,
+                progress=progress, counters=point_counters,
             )
-            probabilities = self._scan_cache.get(key)
-            scan_cached = probabilities is not None
-            if probabilities is None:
-                probabilities = analyzer.configuration_probabilities(
-                    method=method, jobs=jobs, epsilon=epsilon,
-                    progress=progress, counters=point_counters,
-                )
-                self._scan_cache[key] = probabilities
-            else:
-                point_counters.scan_cache_hits += 1
             result = analyzer.evaluate_probabilities(
                 probabilities, method=method, jobs=jobs, progress=progress,
                 counters=point_counters,
@@ -487,7 +530,7 @@ class SweepEngine:
                 )
             )
 
-        counters.distinct_configurations = len(distinct)
+        counters.record_level("distinct_configurations", len(distinct))
         reporter.emit(
             "sweep", len(points), len(points), counters, force=True
         )

@@ -135,7 +135,7 @@ def bdd_configurations(
     counters.states_visited += total_states
     counters.bdd_nodes += len(manager)
     counters.bdd_cache_hits += manager.apply_cache_hits
-    counters.distinct_configurations = len(accumulator)
+    counters.record_level("distinct_configurations", len(accumulator))
     counters.scan_seconds += time.perf_counter() - started
     reporter.emit(
         "scan", counters.states_visited, total_states, counters, force=True

@@ -26,17 +26,20 @@ from repro.lqn.bounds import (
 )
 from repro.lqn.model import LQNCall, LQNEntry, LQNModel, LQNProcessor, LQNTask
 from repro.lqn.mva import (
+    BatchMVAResult,
     Discipline,
     MVAResult,
     Station,
     StationKind,
     exact_mva,
     schweitzer_mva,
+    schweitzer_mva_batch,
 )
-from repro.lqn.results import LQNResults
-from repro.lqn.solver import solve_lqn
+from repro.lqn.results import LQNResults, WarmStart
+from repro.lqn.solver import solve_lqn, solve_lqn_batch
 
 __all__ = [
+    "BatchMVAResult",
     "ClassBounds",
     "Discipline",
     "LQNCall",
@@ -49,9 +52,12 @@ __all__ = [
     "Station",
     "StationKind",
     "UtilizationConstraint",
+    "WarmStart",
     "exact_mva",
     "schweitzer_mva",
+    "schweitzer_mva_batch",
     "solve_lqn",
+    "solve_lqn_batch",
     "throughput_bounds",
     "utilization_constraints",
 ]

@@ -122,6 +122,12 @@ def _validate_inputs(
         )
     if len(think_times) != classes:
         raise SolverError("think_times length must equal the number of classes")
+    if not np.all(np.isfinite(demands)):
+        raise SolverError("demands must be finite")
+    if not np.all(np.isfinite(np.asarray(populations, dtype=float))):
+        raise SolverError("populations must be finite")
+    if not np.all(np.isfinite(np.asarray(think_times, dtype=float))):
+        raise SolverError("think times must be finite")
     if np.any(demands < 0):
         raise SolverError("demands must be non-negative")
     if any(n < 0 for n in populations):
@@ -258,6 +264,335 @@ def exact_mva(
     )
 
 
+@dataclass(frozen=True)
+class BatchMVAResult:
+    """Solutions of a batch of closed networks sharing one topology.
+
+    Every per-network array gains a leading batch axis relative to
+    :class:`MVAResult`; ``iterations`` counts fixed-point updates per
+    element and ``converged`` flags which elements met the tolerance.
+    Each element is bit-identical to an independent
+    :func:`schweitzer_mva` solve of the same inputs.
+    """
+
+    throughputs: np.ndarray
+    residence_times: np.ndarray
+    queue_lengths: np.ndarray
+    utilizations: np.ndarray
+    cycle_times: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+    def element(self, index: int) -> MVAResult:
+        """The ``index``-th element as a plain :class:`MVAResult`."""
+        return MVAResult(
+            throughputs=self.throughputs[index],
+            residence_times=self.residence_times[index],
+            queue_lengths=self.queue_lengths[index],
+            utilizations=self.utilizations[index],
+            cycle_times=self.cycle_times[index],
+        )
+
+
+def default_initial_queue(
+    demands: np.ndarray, populations: np.ndarray
+) -> np.ndarray:
+    """The cold-start queue guess: customers spread over demanded stations.
+
+    ``demands`` is ``(batch, classes, stations)``, ``populations``
+    ``(batch, classes)``; the result matches ``demands`` in shape.
+    """
+    positive = demands > 0
+    count = positive.sum(axis=2)
+    active = (populations > 0) & (count > 0)
+    share = np.divide(
+        populations, count, out=np.zeros_like(populations, dtype=float),
+        where=active,
+    )
+    return positive * share[:, :, None]
+
+
+def _validate_batch(
+    stations: list[Station],
+    demands: np.ndarray,
+    populations: np.ndarray,
+    think_times: np.ndarray,
+) -> None:
+    if demands.ndim != 3 or demands.shape[2] != len(stations):
+        raise SolverError(
+            f"batch demands shape {demands.shape} does not match "
+            f"(batch, classes, {len(stations)} stations)"
+        )
+    if populations.shape != demands.shape[:2]:
+        raise SolverError(
+            f"populations shape {populations.shape} does not match "
+            f"demands shape {demands.shape}"
+        )
+    if think_times.shape != demands.shape[:2]:
+        raise SolverError(
+            f"think_times shape {think_times.shape} does not match "
+            f"demands shape {demands.shape}"
+        )
+    if not np.all(np.isfinite(demands)):
+        raise SolverError("demands must be finite")
+    if not np.all(np.isfinite(populations)):
+        raise SolverError("populations must be finite")
+    if not np.all(np.isfinite(think_times)):
+        raise SolverError("think times must be finite")
+    if np.any(demands < 0):
+        raise SolverError("demands must be non-negative")
+    if np.any(populations < 0):
+        raise SolverError("populations must be non-negative")
+    if np.any(think_times < 0):
+        raise SolverError("think times must be non-negative")
+
+
+def schweitzer_mva_batch(
+    stations: list[Station],
+    demands: np.ndarray,
+    populations: np.ndarray,
+    think_times: np.ndarray,
+    *,
+    visits: np.ndarray | None = None,
+    multiplicities: np.ndarray | None = None,
+    initial_queues: np.ndarray | None = None,
+    tolerance: float = 1e-10,
+    max_iterations: int = 100_000,
+    raise_on_failure: bool = True,
+) -> BatchMVAResult:
+    """Bard–Schweitzer AMVA over a batch of networks at once.
+
+    All elements share the station topology (kinds and disciplines of
+    ``stations``) but carry their own demands, populations, think times
+    and (optionally) per-station multiplicities.  The fixed point
+    iterates every element simultaneously with per-element convergence
+    masking: an element that meets ``tolerance`` is frozen while the
+    rest keep iterating, so each element's solution is exactly what an
+    independent :func:`schweitzer_mva` call would produce — batching is
+    a pure wall-time optimisation.
+
+    Parameters
+    ----------
+    demands:
+        ``(batch, classes, stations)`` service demands.
+    populations, think_times:
+        ``(batch, classes)`` customer counts and per-cycle think times.
+    visits:
+        Optional ``(batch, classes, stations)`` visit counts (see
+        :func:`schweitzer_mva`); defaults to one visit wherever demand
+        is positive.
+    multiplicities:
+        Optional ``(batch, stations)`` per-element server counts for
+        QUEUE stations, overriding ``Station.multiplicity``.
+    initial_queues:
+        Optional ``(batch, classes, stations)`` starting queue lengths
+        (warm start).  Defaults to :func:`default_initial_queue`.
+    raise_on_failure:
+        When true (the sequential contract), raise
+        :class:`~repro.errors.ConvergenceError` if any element fails to
+        converge; when false, report failures via ``converged``.
+
+    Raises
+    ------
+    SolverError
+        On inconsistent or non-finite inputs, or when a class has zero
+        demand and zero think time.
+    ConvergenceError
+        See ``raise_on_failure``.
+    """
+    demands = np.asarray(demands, dtype=float)
+    populations = np.asarray(populations, dtype=float)
+    think_times = np.asarray(think_times, dtype=float)
+    _validate_batch(stations, demands, populations, think_times)
+    batch, classes, station_count = demands.shape
+
+    if visits is None:
+        visits = (demands > 0).astype(float)
+    else:
+        visits = np.asarray(visits, dtype=float)
+        if visits.shape != demands.shape:
+            raise SolverError("visits shape must match demands shape")
+        if np.any((demands > 0) & (visits <= 0)):
+            raise SolverError("positive demand requires positive visits")
+
+    is_queue = np.array([s.kind is StationKind.QUEUE for s in stations])
+    is_fcfs = np.array(
+        [
+            s.kind is StationKind.QUEUE and s.discipline is Discipline.FCFS
+            for s in stations
+        ]
+    )
+    if multiplicities is None:
+        multiplicities = np.broadcast_to(
+            np.array([s.multiplicity for s in stations], dtype=np.int64),
+            (batch, station_count),
+        )
+    else:
+        multiplicities = np.asarray(multiplicities, dtype=np.int64)
+        if multiplicities.shape != (batch, station_count):
+            raise SolverError(
+                f"multiplicities shape {multiplicities.shape} does not "
+                f"match (batch, stations) = {(batch, station_count)}"
+            )
+        if np.any(multiplicities < 1):
+            raise SolverError("multiplicities must be >= 1")
+
+    # Seidmann split, per element: an m-server queue behaves like a
+    # single server with demand D/m plus a pure delay of D(m-1)/m.
+    multi = is_queue & (multiplicities > 1)
+    m = multiplicities[:, None, :]
+    split = multi[:, None, :]
+    extra_delay = np.where(split, demands * (m - 1) / m, 0.0)
+    queue_demand = np.where(split, demands / m, demands)
+    # Per-visit (queueing) service times; zero where a class never visits.
+    queue_service = np.divide(
+        queue_demand, visits, out=np.zeros_like(queue_demand),
+        where=visits > 0,
+    )
+
+    pops = populations
+    active = pops > 0
+    # Schweitzer self-term ratio (N_c - 1)/N_c, clamped at zero.
+    ratio = np.maximum(
+        0.0,
+        np.divide(pops - 1.0, pops, out=np.zeros_like(pops), where=active),
+    )
+
+    if initial_queues is None:
+        queue = default_initial_queue(demands, pops)
+    else:
+        initial_queues = np.asarray(initial_queues, dtype=float)
+        if initial_queues.shape != demands.shape:
+            raise SolverError(
+                f"initial_queues shape {initial_queues.shape} does not "
+                f"match demands shape {demands.shape}"
+            )
+        if not np.all(np.isfinite(initial_queues)):
+            raise SolverError("initial_queues must be finite")
+        if np.any(initial_queues < 0):
+            raise SolverError("initial_queues must be non-negative")
+        queue = initial_queues.copy()
+
+    residence = np.zeros_like(demands)
+    throughput = np.zeros_like(pops)
+    iterations = np.zeros(batch, dtype=np.int64)
+    converged = np.zeros(batch, dtype=bool)
+    if classes == 0 or station_count == 0 or batch == 0:
+        # Degenerate: the sequential loop performs one vacuous update
+        # (delta == 0) and stops.
+        iterations += 1 if batch else 0
+        converged |= True
+        return BatchMVAResult(
+            throughputs=throughput,
+            residence_times=residence,
+            queue_lengths=queue,
+            utilizations=np.zeros((batch, station_count)),
+            cycle_times=np.zeros((batch, classes)),
+            iterations=iterations,
+            converged=converged,
+        )
+
+    last_residual = np.zeros(batch)
+    # Live-subset state: elements are compacted out once they converge.
+    # All per-iteration operations are elementwise over the batch axis
+    # (class/station reductions are per element), so compaction cannot
+    # change any element's trajectory.
+    live = np.arange(batch)
+
+    def sliced(index):
+        return (
+            queue[index], demands[index], visits[index],
+            queue_demand[index], queue_service[index], extra_delay[index],
+            pops[index], think_times[index], ratio[index], active[index],
+        )
+
+    (q, dem, vis, q_dem, q_srv, x_delay, pop, think, rat, act) = sliced(live)
+    for _ in range(max_iterations):
+        residence_live = np.empty_like(dem)
+        for c in range(classes):
+            # Arrival theorem with the Schweitzer estimate: class c sees
+            # every other class's queue plus (N_c-1)/N_c of its own.
+            # Explicit class-ordered accumulation keeps each element's
+            # arithmetic identical to the sequential solver's.
+            seen_total = np.zeros_like(dem[:, 0, :])
+            backlog = np.zeros_like(seen_total)
+            for j in range(classes):
+                if j == c:
+                    seen_j = q[:, j, :] * rat[:, c, None]
+                else:
+                    seen_j = q[:, j, :]
+                seen_total = seen_total + seen_j
+                backlog = backlog + q_srv[:, j, :] * seen_j
+            fcfs_residence = (
+                vis[:, c, :] * (q_srv[:, c, :] + backlog) + x_delay[:, c, :]
+            )
+            ps_residence = (
+                q_dem[:, c, :] * (1.0 + seen_total) + x_delay[:, c, :]
+            )
+            residence_live[:, c, :] = np.where(
+                is_queue,
+                np.where(is_fcfs, fcfs_residence, ps_residence),
+                dem[:, c, :],
+            )
+        residence_live[~act] = 0.0
+        denom = think + residence_live.sum(axis=2)
+        bad = act & (denom <= 0)
+        if bad.any():
+            c = int(np.argwhere(bad)[0][1])
+            raise SolverError(f"class {c} has zero demand and zero think time")
+        thr = np.divide(pop, denom, out=np.zeros_like(pop), where=act)
+        new_queue = thr[:, :, None] * residence_live
+        delta = np.abs(new_queue - q).max(axis=(1, 2))
+        q = new_queue
+        iterations[live] += 1
+        done = delta < tolerance
+        if done.any():
+            done_idx = live[done]
+            queue[done_idx] = q[done]
+            residence[done_idx] = residence_live[done]
+            throughput[done_idx] = thr[done]
+            converged[done_idx] = True
+            keep = ~done
+            live = live[keep]
+            if live.size == 0:
+                break
+            (_, dem, vis, q_dem, q_srv, x_delay, pop, think, rat, act) = (
+                sliced(live)
+            )
+            q = q[keep]
+            delta = delta[keep]
+            residence_live = residence_live[keep]
+            thr = thr[keep]
+        last_residual[live] = delta
+        queue[live] = q
+        residence[live] = residence_live
+        throughput[live] = thr
+
+    if live.size and raise_on_failure:
+        raise ConvergenceError(
+            "Bard-Schweitzer MVA did not converge",
+            iterations=max_iterations,
+            residual=float(last_residual[live].max()),
+        )
+
+    utilization = np.einsum("bc,bck->bk", throughput, demands)
+    utilization = np.where(
+        is_queue, utilization / multiplicities, utilization
+    )
+    cycle = np.where(
+        active, think_times + residence.sum(axis=2), 0.0
+    )
+    return BatchMVAResult(
+        throughputs=throughput,
+        residence_times=residence,
+        queue_lengths=queue,
+        utilizations=utilization,
+        cycle_times=cycle,
+        iterations=iterations,
+        converged=converged,
+    )
+
+
 def schweitzer_mva(
     stations: list[Station],
     demands: np.ndarray,
@@ -272,7 +607,8 @@ def schweitzer_mva(
 
     Accepts non-integer populations (useful when a caller class is a
     fractional share of a multi-entry task).  Classes with zero
-    population are carried through with zero throughput.
+    population are carried through with zero throughput.  This is the
+    batch-of-one view of :func:`schweitzer_mva_batch`.
 
     Parameters
     ----------
@@ -291,108 +627,18 @@ def schweitzer_mva(
     classes = len(populations)
     think = list(think_times) if think_times is not None else [0.0] * classes
     _validate_inputs(stations, demands, populations, think)
-    if visits is None:
-        visits = (demands > 0).astype(float)
-    else:
+    if visits is not None:
         visits = np.asarray(visits, dtype=float)
         if visits.shape != demands.shape:
             raise SolverError("visits shape must match demands shape")
-        if np.any((demands > 0) & (visits <= 0)):
-            raise SolverError("positive demand requires positive visits")
-
-    # Per-visit service time; zero where a class never visits.
-    service = np.divide(
-        demands, visits, out=np.zeros_like(demands), where=visits > 0
+        visits = visits[None]
+    result = schweitzer_mva_batch(
+        stations,
+        demands[None],
+        np.asarray(populations, dtype=float)[None],
+        np.asarray(think, dtype=float)[None],
+        visits=visits,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
     )
-    queue_demand, extra_delay = _seidmann(stations, demands)
-    # Per-visit queueing service after the Seidmann split.
-    queue_service = np.divide(
-        queue_demand, visits, out=np.zeros_like(queue_demand), where=visits > 0
-    )
-
-    station_count = len(stations)
-    is_queue = np.array([s.kind is StationKind.QUEUE for s in stations])
-    is_fcfs = np.array(
-        [
-            s.kind is StationKind.QUEUE and s.discipline is Discipline.FCFS
-            for s in stations
-        ]
-    )
-    pops = np.asarray(populations, dtype=float)
-    active = pops > 0
-
-    # Initial guess: customers evenly spread over stations with demand.
-    queue = np.zeros((classes, station_count))
-    for c in range(classes):
-        positive = demands[c] > 0
-        if active[c] and positive.any():
-            queue[c, positive] = pops[c] / positive.sum()
-
-    residence = np.zeros((classes, station_count))
-    throughput = np.zeros(classes)
-    delta = 0.0
-    for iteration in range(max_iterations):
-        total_queue = queue.sum(axis=0)
-        for c in range(classes):
-            if not active[c]:
-                residence[c] = 0.0
-                continue
-            # Arrival theorem with the Schweitzer estimate: an arriving
-            # class-c customer sees the others plus a (N_c - 1)/N_c
-            # share of its own class's queue.
-            seen_per_class = queue.copy()
-            seen_per_class[c] *= max(0.0, (pops[c] - 1.0) / pops[c])
-            seen_total = seen_per_class.sum(axis=0)
-            # FCFS: wait for the actual backlogged work of each class.
-            backlog = np.einsum("jk,jk->k", queue_service, seen_per_class)
-            fcfs_residence = (
-                visits[c] * (queue_service[c] + backlog) + extra_delay[c]
-            )
-            ps_residence = queue_demand[c] * (1.0 + seen_total) + extra_delay[c]
-            residence[c] = np.where(
-                is_queue,
-                np.where(is_fcfs, fcfs_residence, ps_residence),
-                demands[c],
-            )
-        new_throughput = np.zeros(classes)
-        for c in range(classes):
-            if not active[c]:
-                continue
-            denom = think[c] + residence[c].sum()
-            if denom <= 0:
-                raise SolverError(f"class {c} has zero demand and zero think time")
-            new_throughput[c] = pops[c] / denom
-        new_queue = new_throughput[:, None] * residence
-        delta = float(np.max(np.abs(new_queue - queue))) if queue.size else 0.0
-        queue = new_queue
-        throughput = new_throughput
-        if delta < tolerance:
-            break
-    else:
-        raise ConvergenceError(
-            "Bard-Schweitzer MVA did not converge",
-            iterations=max_iterations,
-            residual=delta,
-        )
-
-    utilization = np.zeros(station_count)
-    for k, station in enumerate(stations):
-        if station.kind is StationKind.QUEUE:
-            utilization[k] = float(
-                np.dot(throughput, demands[:, k]) / station.multiplicity
-            )
-        else:
-            utilization[k] = float(np.dot(throughput, demands[:, k]))
-    cycle = np.array(
-        [
-            think[c] + residence[c].sum() if active[c] else 0.0
-            for c in range(classes)
-        ]
-    )
-    return MVAResult(
-        throughputs=throughput,
-        residence_times=residence,
-        queue_lengths=queue,
-        utilizations=utilization,
-        cycle_times=cycle,
-    )
+    return result.element(0)

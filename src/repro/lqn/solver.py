@@ -23,18 +23,37 @@ Waiting-time updates are damped to stabilise the fixed point.  The
 approach is the standard decomposition used by LQNS/Method of Layers
 [14] (Rolia & Sevcik's MOL; Woodside's SRVN), reimplemented from the
 published equations.
+
+Batching
+--------
+Within one outer iteration every submodel is *independent*: a software
+submodel reads and writes only the ``wait_task[(caller, server)]``
+entries of its own server, a hardware submodel only the ``wait_proc``
+entries of its own processor, and both read entry services and rates
+that are fixed by steps 1–2.  :func:`solve_lqn_batch` exploits this by
+building the submodel networks of *all* models still iterating and
+solving them in **one** :func:`~repro.lqn.mva.schweitzer_mva_batch`
+call per outer sweep — each model's trajectory, and therefore its
+result, is exactly what a sequential :func:`solve_lqn` produces.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import SolverError
 from repro.lqn.model import LQNModel
-from repro.lqn.mva import Discipline, Station, StationKind, schweitzer_mva
-from repro.lqn.results import LQNResults
+from repro.lqn.mva import (
+    Discipline,
+    Station,
+    StationKind,
+    default_initial_queue,
+    schweitzer_mva_batch,
+)
+from repro.lqn.results import LQNResults, WarmStart
 
 #: Throughputs below this are treated as "task inactive".
 _EPSILON = 1e-12
@@ -63,6 +82,10 @@ def solve_lqn(
     tolerance: float = 1e-8,
     max_iterations: int = 2000,
     damping: float = 0.5,
+    warm_start: WarmStart | None = None,
+    mva_tolerance: float = 1e-10,
+    mva_max_iterations: int = 100_000,
+    mva_warm_start: bool = True,
 ) -> LQNResults:
     """Solve an LQN model for steady-state throughputs and delays.
 
@@ -77,6 +100,21 @@ def solve_lqn(
     damping:
         Fraction of each newly solved waiting time blended into the
         estimate per outer iteration (0 < damping ≤ 1).
+    warm_start:
+        Optional waiting-time seed (a previous solve's
+        :attr:`~repro.lqn.results.LQNResults.warm_start`).  Entries for
+        tasks absent from this model are ignored.  The solver converges
+        to the same fixed point either way; a good seed just gets there
+        in fewer iterations.
+    mva_tolerance, mva_max_iterations:
+        Convergence budget of the inner submodel AMVA solves.  An inner
+        solve that exhausts its budget is a *soft* failure: the outer
+        iteration continues with the best available estimates and the
+        result reports ``converged=False``.
+    mva_warm_start:
+        Seed each inner AMVA solve with the queue lengths of the same
+        submodel from the previous outer iteration (default).  Disable
+        to reproduce fully cold inner solves.
 
     Raises
     ------
@@ -85,128 +123,447 @@ def solve_lqn(
     SolverError
         If a reference class has a degenerate (zero-length) cycle.
     """
+    return solve_lqn_batch(
+        [model],
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        damping=damping,
+        warm_starts=[warm_start],
+        mva_tolerance=mva_tolerance,
+        mva_max_iterations=mva_max_iterations,
+        mva_warm_start=mva_warm_start,
+    )[0]
+
+
+@dataclass
+class _SubmodelSpec:
+    """One submodel network queued for the shared batched AMVA call."""
+
+    state: "_ModelState"
+    kind: str  # "task" | "proc"
+    server: str  # server task or processor name
+    classes: list[str]
+    visit_counts: list[float]
+    services: list[float]  # per-call phase-1 services (software only)
+    populations: list[float]
+    thinks: list[float]
+    multiplicity: int
+    phase2_correction: float = 0.0
+
+
+@dataclass
+class _ModelState:
+    """Mutable per-model solver state for the lockstep batch."""
+
+    model: LQNModel
+    visits: dict[str, dict[str, float]]
+    entry_order: list[str]
+    wait_task: dict[tuple[str, str], float]
+    wait_proc: dict[str, float]
+    throughput_ref: dict[str, float]
+    service: dict[str, float]
+    busy: dict[str, float]
+    entry_rate: dict[str, float]
+    task_rate: dict[str, float]
+    iterations_used: int
+    converged: bool = False
+    active: bool = True
+    inner_failed: bool = False
+    # (kind, server) -> (class-name signature, final queue lengths) of
+    # the previous outer iteration, for inner warm starts.
+    inner_queues: dict[tuple[str, str], tuple[tuple[str, ...], np.ndarray]] = field(
+        default_factory=dict
+    )
+
+
+def _init_state(
+    model: LQNModel, warm_start: WarmStart | None, max_iterations: int
+) -> _ModelState:
     model.validate()
+    wait_task: dict[tuple[str, str], float] = {}
+    wait_proc: dict[str, float] = {name: 0.0 for name in model.tasks}
+    if warm_start is not None:
+        for (caller, server), value in warm_start.wait_task.items():
+            if caller in model.tasks and server in model.tasks:
+                wait_task[(caller, server)] = float(value)
+        for task, value in warm_start.wait_proc.items():
+            if task in model.tasks:
+                wait_proc[task] = float(value)
+    return _ModelState(
+        model=model,
+        visits=_reference_visits(model),
+        entry_order=_topological_entries(model),
+        wait_task=wait_task,
+        wait_proc=wait_proc,
+        throughput_ref={r.name: 0.0 for r in model.reference_tasks()},
+        service={name: 0.0 for name in model.entries},
+        busy={name: 0.0 for name in model.entries},
+        entry_rate={name: 0.0 for name in model.entries},
+        task_rate={name: 0.0 for name in model.tasks},
+        iterations_used=max_iterations,
+    )
+
+
+def solve_lqn_batch(
+    models: Sequence[LQNModel],
+    *,
+    tolerance: float = 1e-8,
+    max_iterations: int = 2000,
+    damping: float = 0.5,
+    warm_starts: Sequence[WarmStart | None] | None = None,
+    mva_tolerance: float = 1e-10,
+    mva_max_iterations: int = 100_000,
+    mva_warm_start: bool = True,
+) -> list[LQNResults]:
+    """Solve several LQN models in lockstep with shared batched AMVA.
+
+    Semantically equivalent to ``[solve_lqn(m, ...) for m in models]``
+    — each model follows exactly the trajectory the sequential solver
+    would give it — but every outer sweep solves the submodel networks
+    of *all* still-active models in one
+    :func:`~repro.lqn.mva.schweitzer_mva_batch` call, replacing
+    hundreds of small Python fixed points per configuration sweep with
+    a handful of vectorised ones.
+
+    ``warm_starts`` optionally provides one
+    :class:`~repro.lqn.results.WarmStart` (or ``None``) per model.
+    See :func:`solve_lqn` for the remaining parameters.
+    """
     if not 0 < damping <= 1:
         raise SolverError("damping must be in (0, 1]")
+    models = list(models)
+    if warm_starts is None:
+        warm_starts = [None] * len(models)
+    if len(warm_starts) != len(models):
+        raise SolverError("warm_starts length must equal the number of models")
+    states = [
+        _init_state(model, seed, max_iterations)
+        for model, seed in zip(models, warm_starts)
+    ]
+
+    for iteration in range(max_iterations):
+        live = [s for s in states if s.active]
+        if not live:
+            break
+        deltas: dict[int, float] = {}
+        specs: list[_SubmodelSpec] = []
+        for state in live:
+            deltas[id(state)] = _update_services_and_rates(state)
+            specs.extend(_software_specs(state))
+            specs.extend(_processor_specs(state))
+
+        if specs:
+            _solve_specs(
+                specs,
+                damping=damping,
+                deltas=deltas,
+                mva_tolerance=mva_tolerance,
+                mva_max_iterations=mva_max_iterations,
+                mva_warm_start=mva_warm_start,
+            )
+
+        for state in live:
+            if deltas[id(state)] < tolerance:
+                state.iterations_used = iteration + 1
+                state.converged = True
+                state.active = False
+
+    return [
+        _collect_results(
+            state,
+            state.iterations_used,
+            state.converged and not state.inner_failed,
+        )
+        for state in states
+    ]
+
+
+def _update_services_and_rates(state: _ModelState) -> float:
+    """Steps 1–2: entry services bottom-up, then reference throughputs
+    and per-entry/per-task rates.  Returns the throughput delta."""
+    model = state.model
+    service, busy = state.service, state.busy
+    wait_task, wait_proc = state.wait_task, state.wait_proc
+
+    for name in state.entry_order:
+        entry = model.entries[name]
+        total = entry.demand
+        if entry.demand > 0:
+            total += wait_proc[entry.task]
+        for call in entry.calls:
+            target = model.entries[call.target]
+            wait = wait_task.get((entry.task, target.task), 0.0)
+            total += call.mean_calls * (wait + service[call.target])
+        service[name] = total
+        second = entry.phase2_demand
+        if second > 0:
+            second += wait_proc[entry.task]
+        busy[name] = total + second
+
+    new_throughput: dict[str, float] = {}
+    for reference in model.reference_tasks():
+        # A user's own second phase delays its next cycle.
+        cycle = reference.think_time + sum(
+            busy[entry.name]
+            for entry in model.entries_of_task(reference.name)
+        )
+        if cycle <= 0:
+            raise SolverError(
+                f"reference task {reference.name!r} has a zero-length cycle"
+            )
+        new_throughput[reference.name] = reference.multiplicity / cycle
+
+    delta = max(
+        (
+            abs(new_throughput[name] - state.throughput_ref[name])
+            for name in new_throughput
+        ),
+        default=0.0,
+    )
+    state.throughput_ref = new_throughput
 
     references = model.reference_tasks()
-    visits = _reference_visits(model)
-    entry_names = list(model.entries)
-    entry_order = _topological_entries(model)
-
-    # Per-(caller task, server task) per-visit waiting estimates.
-    wait_task: dict[tuple[str, str], float] = {}
-    # Per-task processor waiting per invocation.
-    wait_proc: dict[str, float] = {name: 0.0 for name in model.tasks}
-
-    throughput_ref: dict[str, float] = {r.name: 0.0 for r in references}
-    service: dict[str, float] = {name: 0.0 for name in entry_names}
-    # Busy time per invocation: phase 1 (the caller-visible service)
-    # plus the post-reply second phase.
-    busy: dict[str, float] = {name: 0.0 for name in entry_names}
-    entry_rate: dict[str, float] = {name: 0.0 for name in entry_names}
-    task_rate: dict[str, float] = {name: 0.0 for name in model.tasks}
-
-    iterations_used = max_iterations
-    converged = False
-    for iteration in range(max_iterations):
-        # -- 1. entry service times, bottom-up ------------------------
-        for name in entry_order:
-            entry = model.entries[name]
-            total = entry.demand
-            if entry.demand > 0:
-                total += wait_proc[entry.task]
-            for call in entry.calls:
-                target = model.entries[call.target]
-                wait = wait_task.get((entry.task, target.task), 0.0)
-                total += call.mean_calls * (wait + service[call.target])
-            service[name] = total
-            second = entry.phase2_demand
-            if second > 0:
-                second += wait_proc[entry.task]
-            busy[name] = total + second
-
-        # -- 2. reference throughputs ---------------------------------
-        new_throughput: dict[str, float] = {}
-        for reference in references:
-            # A user's own second phase delays its next cycle.
-            cycle = reference.think_time + sum(
-                busy[entry.name]
-                for entry in model.entries_of_task(reference.name)
-            )
-            if cycle <= 0:
-                raise SolverError(
-                    f"reference task {reference.name!r} has a zero-length cycle"
-                )
-            new_throughput[reference.name] = reference.multiplicity / cycle
-
-        delta = max(
-            (
-                abs(new_throughput[name] - throughput_ref[name])
-                for name in new_throughput
-            ),
-            default=0.0,
+    for name in model.entries:
+        state.entry_rate[name] = sum(
+            new_throughput[r.name] * state.visits[r.name].get(name, 0.0)
+            for r in references
         )
-        throughput_ref = new_throughput
+    for task_name in model.tasks:
+        state.task_rate[task_name] = sum(
+            state.entry_rate[entry.name]
+            for entry in model.entries_of_task(task_name)
+        )
+    return delta
 
-        for name in entry_names:
-            entry_rate[name] = sum(
-                throughput_ref[r.name] * visits[r.name].get(name, 0.0)
-                for r in references
+
+def _software_specs(state: _ModelState) -> list[_SubmodelSpec]:
+    """Step 3 networks: queueing at each server task's request queue."""
+    model = state.model
+    specs: list[_SubmodelSpec] = []
+    for server_task in model.server_tasks():
+        server = server_task.name
+        callers: list[str] = []
+        visit_counts: list[float] = []
+        services: list[float] = []
+        populations: list[float] = []
+        thinks: list[float] = []
+        clamped_population = 0.0
+        total_population = 0.0
+
+        for caller in model.callers_of_task(server):
+            x_caller = state.task_rate[caller]
+            rate, per_call_service = _call_rate_and_service(
+                model, caller, server, state.entry_rate, state.busy
             )
-        for task_name in model.tasks:
-            task_rate[task_name] = sum(
-                entry_rate[entry.name]
-                for entry in model.entries_of_task(task_name)
+            if x_caller <= _EPSILON or rate <= _EPSILON:
+                continue
+            v = rate / x_caller  # calls into `server` per caller invocation
+            cycle = model.tasks[caller].multiplicity / x_caller
+            current_wait = state.wait_task.get((caller, server), 0.0)
+            residence = v * (current_wait + per_call_service)
+            callers.append(caller)
+            visit_counts.append(v)
+            services.append(per_call_service)
+            populations.append(model.tasks[caller].multiplicity)
+            surrogate_think = cycle - residence
+            thinks.append(max(0.0, surrogate_think))
+            total_population += model.tasks[caller].multiplicity
+            if surrogate_think <= 0.0:
+                clamped_population += model.tasks[caller].multiplicity
+
+        if not callers:
+            continue
+
+        # Ghost-work correction for second phases.  When the submodel is
+        # *saturated* (caller surrogate think times clamp at zero), every
+        # service completion is immediately followed by a re-arrival, so
+        # the new request always finds the previous customer's phase-2
+        # work still holding the thread — extra waiting the closed MVA
+        # cannot see (the owner is no longer a queued customer).  In the
+        # fully clamped limit the exact extra wait is the mean second
+        # phase; below saturation the surrogate think absorbs the
+        # leftover and no correction is due.  Scale by the clamped share
+        # of the population.
+        total_rate = sum(
+            state.entry_rate[entry.name]
+            for entry in model.entries_of_task(server)
+        )
+        mean_phase2 = (
+            sum(
+                state.entry_rate[entry.name]
+                * (state.busy[entry.name] - state.service[entry.name])
+                for entry in model.entries_of_task(server)
+            ) / total_rate
+            if total_rate > _EPSILON
+            else 0.0
+        )
+        clamped_share = (
+            clamped_population / total_population
+            if total_population > 0
+            else 0.0
+        )
+        specs.append(
+            _SubmodelSpec(
+                state=state,
+                kind="task",
+                server=server,
+                classes=callers,
+                visit_counts=visit_counts,
+                services=services,
+                populations=populations,
+                thinks=thinks,
+                multiplicity=model.tasks[server].multiplicity,
+                phase2_correction=mean_phase2 * clamped_share,
             )
+        )
+    return specs
 
-        # -- 3. software submodels ------------------------------------
-        for server in model.server_tasks():
-            delta = max(
-                delta,
-                _solve_software_submodel(
-                    model,
-                    server.name,
-                    service,
-                    busy,
-                    entry_rate,
-                    task_rate,
-                    wait_task,
-                    damping,
-                ),
+
+def _processor_specs(state: _ModelState) -> list[_SubmodelSpec]:
+    """Step 4 networks: contention of hosted tasks at each processor."""
+    model = state.model
+    specs: list[_SubmodelSpec] = []
+    for processor in model.processors.values():
+        tasks: list[str] = []
+        demands_per_invocation: list[float] = []
+        populations: list[float] = []
+        thinks: list[float] = []
+        for task in model.tasks.values():
+            if task.processor != processor.name:
+                continue
+            x_task = state.task_rate[task.name]
+            if x_task <= _EPSILON:
+                continue
+            demand = sum(
+                state.entry_rate[entry.name]
+                * (entry.demand + entry.phase2_demand)
+                for entry in model.entries_of_task(task.name)
+            ) / x_task
+            if demand <= _EPSILON:
+                continue
+            cycle = task.multiplicity / x_task
+            residence = state.wait_proc[task.name] + demand
+            tasks.append(task.name)
+            demands_per_invocation.append(demand)
+            populations.append(task.multiplicity)
+            thinks.append(max(0.0, cycle - residence))
+        if not tasks:
+            continue
+        specs.append(
+            _SubmodelSpec(
+                state=state,
+                kind="proc",
+                server=processor.name,
+                classes=tasks,
+                # Processor demand is per invocation; one visit per class
+                # (the sequential solver's default-visits convention).
+                visit_counts=[1.0] * len(tasks),
+                services=demands_per_invocation,
+                populations=populations,
+                thinks=thinks,
+                multiplicity=processor.multiplicity,
             )
+        )
+    return specs
 
-        # -- 4. hardware submodels ------------------------------------
-        for processor in model.processors.values():
-            delta = max(
-                delta,
-                _solve_processor_submodel(
-                    model,
-                    processor.name,
-                    entry_rate,
-                    task_rate,
-                    wait_proc,
-                    damping,
-                ),
-            )
 
-        if delta < tolerance:
-            iterations_used = iteration + 1
-            converged = True
-            break
+#: The single shared station template of every submodel network: one
+#: FCFS queue; per-spec multiplicities ride in the batch call.
+_SUBMODEL_STATION = Station(
+    name="submodel", kind=StationKind.QUEUE, multiplicity=1,
+    discipline=Discipline.FCFS,
+)
 
-    return _collect_results(
-        model,
-        visits,
-        throughput_ref,
-        entry_rate,
-        task_rate,
-        service,
-        busy,
-        wait_task,
-        iterations_used,
-        converged,
+
+def _solve_specs(
+    specs: list[_SubmodelSpec],
+    *,
+    damping: float,
+    deltas: dict[int, float],
+    mva_tolerance: float,
+    mva_max_iterations: int,
+    mva_warm_start: bool,
+) -> None:
+    """Solve every queued submodel in one batched AMVA call and apply
+    the damped waiting-time updates to each owning model."""
+    batch = len(specs)
+    class_max = max(len(spec.classes) for spec in specs)
+    demands = np.zeros((batch, class_max, 1))
+    visits = np.zeros((batch, class_max, 1))
+    populations = np.zeros((batch, class_max))
+    thinks = np.zeros((batch, class_max))
+    multiplicities = np.ones((batch, 1), dtype=np.int64)
+    for i, spec in enumerate(specs):
+        n = len(spec.classes)
+        v = np.asarray(spec.visit_counts)
+        demands[i, :n, 0] = v * np.asarray(spec.services)
+        visits[i, :n, 0] = v
+        populations[i, :n] = spec.populations
+        thinks[i, :n] = spec.thinks
+        multiplicities[i, 0] = spec.multiplicity
+
+    initial = default_initial_queue(demands, populations)
+    if mva_warm_start:
+        for i, spec in enumerate(specs):
+            seeded = spec.state.inner_queues.get((spec.kind, spec.server))
+            if seeded is None:
+                continue
+            signature, queue = seeded
+            if signature != tuple(spec.classes):
+                continue
+            initial[i, : len(spec.classes), 0] = queue
+
+    result = schweitzer_mva_batch(
+        [_SUBMODEL_STATION],
+        demands,
+        populations,
+        thinks,
+        visits=visits,
+        multiplicities=multiplicities,
+        initial_queues=initial,
+        tolerance=mva_tolerance,
+        max_iterations=mva_max_iterations,
+        raise_on_failure=False,
     )
+
+    for i, spec in enumerate(specs):
+        state = spec.state
+        n = len(spec.classes)
+        if not result.converged[i]:
+            # Soft failure: keep iterating with the best available
+            # estimates and surface it via converged=False at the end.
+            state.inner_failed = True
+        if mva_warm_start:
+            state.inner_queues[(spec.kind, spec.server)] = (
+                tuple(spec.classes),
+                result.queue_lengths[i, :n, 0].copy(),
+            )
+        max_change = 0.0
+        if spec.kind == "task":
+            for index, caller in enumerate(spec.classes):
+                v = spec.visit_counts[index]
+                solved_wait = spec.phase2_correction + max(
+                    0.0,
+                    result.residence_times[i, index, 0] / v
+                    - spec.services[index],
+                )
+                key = (caller, spec.server)
+                old = state.wait_task.get(key, 0.0)
+                new = (1.0 - damping) * old + damping * solved_wait
+                state.wait_task[key] = new
+                max_change = max(max_change, abs(new - old))
+        else:
+            for index, task_name in enumerate(spec.classes):
+                solved_wait = max(
+                    0.0,
+                    result.residence_times[i, index, 0]
+                    - spec.services[index],
+                )
+                old = state.wait_proc[task_name]
+                new = (1.0 - damping) * old + damping * solved_wait
+                state.wait_proc[task_name] = new
+                max_change = max(max_change, abs(new - old))
+        deltas[id(state)] = max(deltas[id(state)], max_change)
 
 
 def _topological_entries(model: LQNModel) -> list[str]:
@@ -255,180 +612,15 @@ def _call_rate_and_service(
     return rate, weighted_busy / rate
 
 
-def _solve_software_submodel(
-    model: LQNModel,
-    server: str,
-    service: Mapping[str, float],
-    busy: Mapping[str, float],
-    entry_rate: Mapping[str, float],
-    task_rate: Mapping[str, float],
-    wait_task: dict[tuple[str, str], float],
-    damping: float,
-) -> float:
-    """One AMVA solve of the queueing at a server task's request queue.
-
-    Returns the largest damped change applied to a waiting estimate.
-    """
-    callers: list[str] = []
-    visit_counts: list[float] = []
-    services: list[float] = []
-    populations: list[float] = []
-    thinks: list[float] = []
-    clamped_population = 0.0
-    total_population = 0.0
-
-    for caller in model.callers_of_task(server):
-        x_caller = task_rate[caller]
-        rate, per_call_service = _call_rate_and_service(
-            model, caller, server, entry_rate, busy
-        )
-        if x_caller <= _EPSILON or rate <= _EPSILON:
-            continue
-        v = rate / x_caller  # calls into `server` per caller invocation
-        cycle = model.tasks[caller].multiplicity / x_caller
-        current_wait = wait_task.get((caller, server), 0.0)
-        residence = v * (current_wait + per_call_service)
-        callers.append(caller)
-        visit_counts.append(v)
-        services.append(per_call_service)
-        populations.append(model.tasks[caller].multiplicity)
-        surrogate_think = cycle - residence
-        thinks.append(max(0.0, surrogate_think))
-        total_population += model.tasks[caller].multiplicity
-        if surrogate_think <= 0.0:
-            clamped_population += model.tasks[caller].multiplicity
-
-    if not callers:
-        return 0.0
-
-    station = Station(
-        name=server,
-        kind=StationKind.QUEUE,
-        multiplicity=model.tasks[server].multiplicity,
-        discipline=Discipline.FCFS,
-    )
-    demands = np.array([[v * s] for v, s in zip(visit_counts, services)])
-    visit_matrix = np.array([[v] for v in visit_counts])
-    result = schweitzer_mva(
-        [station], demands, populations, thinks, visits=visit_matrix
-    )
-
-    # Ghost-work correction for second phases.  When the submodel is
-    # *saturated* (caller surrogate think times clamp at zero), every
-    # service completion is immediately followed by a re-arrival, so the
-    # new request always finds the previous customer's phase-2 work
-    # still holding the thread — extra waiting the closed MVA cannot
-    # see (the owner is no longer a queued customer).  In the fully
-    # clamped limit the exact extra wait is the mean second phase; below
-    # saturation the surrogate think absorbs the leftover and no
-    # correction is due.  Scale by the clamped share of the population.
-    total_rate = sum(
-        entry_rate[entry.name] for entry in model.entries_of_task(server)
-    )
-    mean_phase2 = (
-        sum(
-            entry_rate[entry.name] * (busy[entry.name] - service[entry.name])
-            for entry in model.entries_of_task(server)
-        ) / total_rate
-        if total_rate > _EPSILON
-        else 0.0
-    )
-    clamped_share = (
-        clamped_population / total_population if total_population > 0 else 0.0
-    )
-    phase2_correction = mean_phase2 * clamped_share
-
-    max_change = 0.0
-    for index, caller in enumerate(callers):
-        v = visit_counts[index]
-        solved_wait = phase2_correction + max(
-            0.0, result.residence_times[index, 0] / v - services[index]
-        )
-        key = (caller, server)
-        old = wait_task.get(key, 0.0)
-        new = (1.0 - damping) * old + damping * solved_wait
-        wait_task[key] = new
-        max_change = max(max_change, abs(new - old))
-    return max_change
-
-
-def _solve_processor_submodel(
-    model: LQNModel,
-    processor: str,
-    entry_rate: Mapping[str, float],
-    task_rate: Mapping[str, float],
-    wait_proc: dict[str, float],
-    damping: float,
-) -> float:
-    """One AMVA solve of the contention at a processor.
-
-    Each hosted task is a customer class; its per-invocation processor
-    demand is the entry-mix-weighted host demand.  Returns the largest
-    damped change applied to a waiting estimate.
-    """
-    tasks: list[str] = []
-    demands_per_invocation: list[float] = []
-    populations: list[float] = []
-    thinks: list[float] = []
-
-    for task in model.tasks.values():
-        if task.processor != processor:
-            continue
-        x_task = task_rate[task.name]
-        if x_task <= _EPSILON:
-            continue
-        demand = sum(
-            entry_rate[entry.name] * (entry.demand + entry.phase2_demand)
-            for entry in model.entries_of_task(task.name)
-        ) / x_task
-        if demand <= _EPSILON:
-            continue
-        cycle = task.multiplicity / x_task
-        residence = wait_proc[task.name] + demand
-        tasks.append(task.name)
-        demands_per_invocation.append(demand)
-        populations.append(task.multiplicity)
-        thinks.append(max(0.0, cycle - residence))
-
-    if not tasks:
-        return 0.0
-
-    station = Station(
-        name=processor,
-        kind=StationKind.QUEUE,
-        multiplicity=model.processors[processor].multiplicity,
-        discipline=Discipline.FCFS,
-    )
-    demands = np.array([[d] for d in demands_per_invocation])
-    result = schweitzer_mva([station], demands, populations, thinks)
-
-    max_change = 0.0
-    for index, task_name in enumerate(tasks):
-        solved_wait = max(
-            0.0,
-            result.residence_times[index, 0] - demands_per_invocation[index],
-        )
-        old = wait_proc[task_name]
-        new = (1.0 - damping) * old + damping * solved_wait
-        wait_proc[task_name] = new
-        max_change = max(max_change, abs(new - old))
-    return max_change
-
-
 def _collect_results(
-    model: LQNModel,
-    visits: Mapping[str, Mapping[str, float]],
-    throughput_ref: Mapping[str, float],
-    entry_rate: Mapping[str, float],
-    task_rate: Mapping[str, float],
-    service: Mapping[str, float],
-    busy: Mapping[str, float],
-    wait_task: Mapping[tuple[str, str], float],
+    state: _ModelState,
     iterations: int,
     converged: bool,
 ) -> LQNResults:
-    task_throughputs = dict(task_rate)
-    for name, value in throughput_ref.items():
+    model = state.model
+    entry_rate = state.entry_rate
+    task_throughputs = dict(state.task_rate)
+    for name, value in state.throughput_ref.items():
         task_throughputs[name] = value
 
     entry_waiting: dict[str, float] = {}
@@ -445,7 +637,7 @@ def _collect_results(
                     continue
                 stream = entry_rate[caller_entry.name] * call.mean_calls
                 total_rate += stream
-                weighted += stream * wait_task.get(
+                weighted += stream * state.wait_task.get(
                     (caller_entry.task, entry.task), 0.0
                 )
         entry_waiting[entry.name] = weighted / total_rate if total_rate > 0 else 0.0
@@ -453,7 +645,7 @@ def _collect_results(
     task_utilizations: dict[str, float] = {}
     for task in model.tasks.values():
         occupancy = sum(
-            entry_rate[e.name] * busy[e.name]
+            entry_rate[e.name] * state.busy[e.name]
             for e in model.entries_of_task(task.name)
         )
         task_utilizations[task.name] = occupancy / task.multiplicity
@@ -470,10 +662,14 @@ def _collect_results(
     return LQNResults(
         task_throughputs=task_throughputs,
         entry_throughputs=dict(entry_rate),
-        entry_service_times=dict(service),
+        entry_service_times=dict(state.service),
         entry_waiting_times=entry_waiting,
         task_utilizations=task_utilizations,
         processor_utilizations=processor_utilizations,
         iterations=iterations,
         converged=converged,
+        warm_start=WarmStart(
+            wait_task=dict(state.wait_task),
+            wait_proc=dict(state.wait_proc),
+        ),
     )

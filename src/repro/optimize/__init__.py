@@ -20,6 +20,7 @@ from repro.optimize.frontier import (
     pareto_frontier,
 )
 from repro.optimize.search import (
+    BoundsSkip,
     CandidateEvaluation,
     DesignSpaceSearch,
     SearchResult,
@@ -41,6 +42,7 @@ from repro.optimize.spec import (
 __all__ = [
     "STYLES",
     "TOPOLOGIES",
+    "BoundsSkip",
     "Candidate",
     "CandidateEvaluation",
     "CostModel",

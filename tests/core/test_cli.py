@@ -231,6 +231,13 @@ class TestSweep:
         assert len(lines) == 5
         assert lines[0].startswith("name,architecture,expected_reward")
 
+    def test_sweep_warm_start_flag(self, spec_files, capsys):
+        _, spec = spec_files
+        assert main(["sweep", spec, "--warm-start"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 4 points" in out
+        assert "max batch" in out
+
     def test_sweep_progress_flag(self, spec_files, capsys):
         _, spec = spec_files
         assert main(["sweep", spec, "--progress"]) == 0
@@ -269,12 +276,15 @@ class TestUnconvergedReporting:
     ):
         from repro.core import performability as mod
 
-        real = mod.solve_lqn
-        monkeypatch.setattr(
-            mod,
-            "solve_lqn",
-            lambda lqn: dataclasses.replace(real(lqn), converged=False),
-        )
+        real = mod.solve_lqn_batch
+
+        def unconverged_batch(models, **kwargs):
+            return [
+                dataclasses.replace(r, converged=False)
+                for r in real(models, **kwargs)
+            ]
+
+        monkeypatch.setattr(mod, "solve_lqn_batch", unconverged_batch)
         ftlqn, mama, probs = model_files
         code = main(["analyze", ftlqn, "--mama", mama, "--probs", probs,
                      "--progress"])
@@ -381,6 +391,19 @@ class TestOptimize:
         lines = csv_out.read_text().splitlines()
         assert len(lines) == 7
         assert lines[0].startswith("name,architecture,topology")
+
+    def test_optimize_new_flags(self, optimize_spec, capsys):
+        _, spec = optimize_spec
+        assert main(
+            ["optimize", spec, "--strategy", "greedy", "--warm-start"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bounds skips" in out
+        assert main(
+            ["optimize", spec, "--strategy", "greedy", "--no-bounds"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 bounds skips" in out
 
     def test_strategy_and_budget_overrides(self, optimize_spec, capsys):
         _, spec = optimize_spec

@@ -373,18 +373,77 @@ class TestSpecParsing:
             probs_from_document({"a": "lots"}, label="probs")
 
 
+class TestWarmStartedEngine:
+    @staticmethod
+    def _growing_points():
+        """Point 1 pins every component but AppA perfectly reliable, so
+        its scan reaches only 2 configurations; point 2 releases the
+        full failure map, so 4 of its 6 configurations are solved fresh
+        — each seeded from a cached neighbour when warm starts are on."""
+        full = figure1_failure_probs()
+        restricted = {
+            name: (probability if name == "AppA" else 0.0)
+            for name, probability in full.items()
+        }
+        return [
+            SweepPoint(name="restricted", failure_probs=restricted),
+            SweepPoint(name="full", failure_probs=full),
+        ]
+
+    def test_warm_engine_agrees_with_cold(
+        self, figure1, centralized, network
+    ):
+        points = self._growing_points()
+        cold = make_engine(figure1, centralized, network).run(points)
+        warm_counters = ScanCounters()
+        warm = make_engine(
+            figure1, centralized, network, lqn_warm_start=True
+        ).run(points, counters=warm_counters)
+        for cold_point, warm_point in zip(cold.points, warm.points):
+            assert warm_point.expected_reward == pytest.approx(
+                cold_point.expected_reward, abs=1e-6
+            )
+            for cold_rec, warm_rec in zip(
+                cold_point.result.records, warm_point.result.records
+            ):
+                assert warm_rec.configuration == cold_rec.configuration
+                assert warm_rec.converged == cold_rec.converged
+        # The second point introduces configurations absent from the
+        # first point's cache fill, and each gets seeded from a
+        # neighbour at Hamming distance >= 1.
+        assert warm_counters.lqn_warm_starts > 0
+        assert (
+            warm_counters.lqn_warm_distance
+            >= warm_counters.lqn_warm_starts
+        )
+
+    def test_cold_engine_records_no_warm_starts(
+        self, figure1, centralized, network
+    ):
+        counters = ScanCounters()
+        make_engine(figure1, centralized, network).run(
+            standard_points(centralized, network), counters=counters
+        )
+        assert counters.lqn_warm_starts == 0
+        assert counters.lqn_warm_distance == 0
+        assert counters.lqn_batch_max > 0
+
+
 class TestUnconverged:
     def test_unconverged_solutions_counted_and_flagged(
         self, figure1, centralized, monkeypatch
     ):
         from repro.core import performability as mod
 
-        real = mod.solve_lqn
-        monkeypatch.setattr(
-            mod,
-            "solve_lqn",
-            lambda lqn: dataclasses.replace(real(lqn), converged=False),
-        )
+        real = mod.solve_lqn_batch
+
+        def unconverged_batch(models, **kwargs):
+            return [
+                dataclasses.replace(r, converged=False)
+                for r in real(models, **kwargs)
+            ]
+
+        monkeypatch.setattr(mod, "solve_lqn_batch", unconverged_batch)
         analyzer = PerformabilityAnalyzer(
             figure1,
             centralized,

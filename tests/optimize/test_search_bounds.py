@@ -1,0 +1,116 @@
+"""Bounds fast path: every skip is provably decided, and the greedy
+outcome is identical with and without the screening."""
+
+import pytest
+
+from repro.core import ScanCounters
+from repro.optimize import DesignSpace, DesignSpaceSearch
+
+from tests.optimize.conftest import TINY_PROBS, TINY_TASKS, TINY_UPGRADES
+
+
+@pytest.fixture(scope="module")
+def screened_space(ftlqn):
+    return DesignSpace(
+        ftlqn,
+        tasks=TINY_TASKS,
+        topologies=("none", "centralized", "distributed"),
+        styles=("agents-status", "direct"),
+        upgrades=TINY_UPGRADES,
+        base_failure_probs=TINY_PROBS,
+    )
+
+
+@pytest.fixture(scope="module")
+def greedy_pair(screened_space):
+    """The same greedy search run with and without the fast path."""
+    with_counters = ScanCounters()
+    with_bounds = DesignSpaceSearch(
+        screened_space, counters=with_counters, bounds_fast_path=True
+    ).greedy(restarts=2)
+    without = DesignSpaceSearch(
+        screened_space, bounds_fast_path=False
+    ).greedy(restarts=2)
+    return with_bounds, without, with_counters
+
+
+class TestSkipsAreProvablyDecided:
+    def test_screening_fires(self, greedy_pair):
+        with_bounds, _, _ = greedy_pair
+        assert with_bounds.bounds_skips
+
+    def test_skip_condition_held(self, greedy_pair):
+        with_bounds, _, _ = greedy_pair
+        for skip in with_bounds.bounds_skips:
+            assert skip.upper_bound + 1e-6 <= skip.incumbent_reward
+
+    def test_true_reward_never_exceeds_the_bound(
+        self, screened_space, greedy_pair
+    ):
+        with_bounds, _, _ = greedy_pair
+        search = DesignSpaceSearch(screened_space, bounds_fast_path=False)
+        for skip in with_bounds.bounds_skips:
+            (evaluation,) = search.evaluate([skip.candidate])
+            assert evaluation.expected_reward <= skip.upper_bound + 1e-6
+            assert evaluation.expected_reward < skip.incumbent_reward
+
+    def test_incumbent_reward_matches_its_evaluation(self, greedy_pair):
+        with_bounds, _, _ = greedy_pair
+        for skip in with_bounds.bounds_skips:
+            assert (
+                with_bounds.evaluation(skip.incumbent).expected_reward
+                == skip.incumbent_reward
+            )
+
+    def test_counter_matches_skip_list(self, greedy_pair):
+        with_bounds, _, counters = greedy_pair
+        assert counters.lqn_bounds_skips == len(with_bounds.bounds_skips)
+        assert (
+            with_bounds.counters.lqn_bounds_skips
+            == len(with_bounds.bounds_skips)
+        )
+
+
+class TestOutcomeUnchanged:
+    def test_same_best_candidate_and_reward(self, greedy_pair):
+        with_bounds, without, _ = greedy_pair
+        assert with_bounds.best().name == without.best().name
+        assert (
+            with_bounds.best().expected_reward
+            == without.best().expected_reward
+        )
+
+    def test_screened_evaluations_are_a_subset(self, greedy_pair):
+        # The walks take identical trajectories, so the screened run
+        # evaluates a subset of the unscreened run's candidates.  (A
+        # candidate skipped against one incumbent may still be
+        # evaluated later, from a weaker incumbent or another restart.)
+        with_bounds, without, _ = greedy_pair
+        screened = {entry.name for entry in with_bounds.evaluations}
+        full = {entry.name for entry in without.evaluations}
+        assert screened <= full
+
+    def test_skipping_saves_evaluations(self, greedy_pair):
+        with_bounds, without, _ = greedy_pair
+        assert len(with_bounds.evaluations) <= len(without.evaluations)
+
+
+class TestFastPathGating:
+    def test_bounded_method_disables_screening(self, screened_space):
+        result = DesignSpaceSearch(
+            screened_space, method="bounded", epsilon=0.0
+        ).greedy()
+        assert result.bounds_skips == ()
+        assert result.counters.lqn_bounds_skips == 0
+
+    def test_negative_weights_disable_screening(self, screened_space):
+        result = DesignSpaceSearch(
+            screened_space, weights={"users": -1.0}
+        ).greedy()
+        assert result.bounds_skips == ()
+
+    def test_opt_out_flag(self, screened_space):
+        result = DesignSpaceSearch(
+            screened_space, bounds_fast_path=False
+        ).greedy()
+        assert result.bounds_skips == ()
