@@ -1,7 +1,8 @@
 # Developer conveniences; the test suite needs src/ on PYTHONPATH.
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-snapshot bench-snapshot-lqn docs-check fuzz
+.PHONY: test bench bench-snapshot bench-snapshot-lqn \
+	bench-snapshot-campaign docs-check fuzz
 
 test:
 	$(PY) -m pytest -x -q
@@ -29,6 +30,12 @@ bench-snapshot:
 # speedup-gated, written to BENCH_lqn.json (CI artifact).
 bench-snapshot-lqn:
 	$(PY) benchmarks/snapshot_lqn.py --out BENCH_lqn.json
+
+# Campaign layer: multi-process dispatcher speedup (enforced on >=4
+# CPU hosts), store-resume zero-recompute and 1e-12 parallel/sequential
+# parity gates, written to BENCH_campaign.json (CI artifact).
+bench-snapshot-campaign:
+	$(PY) benchmarks/snapshot_campaign.py --out BENCH_campaign.json
 
 # Verify that every ```python block in docs/*.md and README.md parses,
 # so guide snippets cannot rot into syntax errors.

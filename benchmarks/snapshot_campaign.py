@@ -1,0 +1,270 @@
+"""Write a machine-readable perf snapshot of the campaign subsystem.
+
+Companion of ``snapshot.py`` / ``snapshot_lqn.py``: this file tracks
+the campaign layer — the multi-process dispatcher and the
+content-addressed result store — and writes one JSON document::
+
+    python benchmarks/snapshot_campaign.py --out BENCH_campaign.json
+
+The ``make bench-snapshot-campaign`` target invokes exactly that; CI
+uploads the file as an artifact.  Gates, in order:
+
+* **parity (always)** — every point of the parallel run must match the
+  sequential run's expected reward to 1e-12 under identical keys (the
+  records are computed from identical effective inputs, so any drift
+  is a dispatcher bug);
+* **resume (always)** — a campaign pre-filled with a prefix of its
+  points must resume solving exactly the complement, and a rerun over
+  the completed store must solve exactly zero points;
+* **speedup (CPU-gated)** — the parallel dispatcher must beat the
+  sequential one by ``SPEEDUP_FLOOR`` on the ≥200-point grid.  The
+  floor is only *enforced* when the host has at least
+  ``SPEEDUP_MIN_CPUS`` cores — a 1-CPU container cannot speed anything
+  up and an enforced floor there would only document scheduler noise —
+  but the measured numbers and the host's ``cpu_count`` are always
+  written, so the artifact is honest about what was and wasn't gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+from repro.campaign import CampaignSpec, ResultStore, run_campaign
+from repro.campaign.spec import GridWorkload
+from repro.core.sweep import SweepPointResult
+from repro.ftlqn import FTLQNModel, Request
+from repro.mama.architectures import centralized_architecture
+
+PARITY_TOLERANCE = 1e-12
+SPEEDUP_FLOOR = 3.0
+#: Cores below which the speedup floor is reported but not enforced.
+SPEEDUP_MIN_CPUS = 4
+#: Pre-filled prefix of the resume check.
+RESUME_PREFIX = 40
+
+GRID_VALUES = tuple(round(0.02 + 0.03 * index, 4) for index in range(10))
+
+
+#: Replication width of the benchmark service.  Six servers keep a
+#: single point around tens of milliseconds — heavy enough that the
+#: dispatcher's per-point IPC overhead is noise, light enough that the
+#: 200-point sequential baseline stays under a dozen seconds.
+SERVERS = 6
+
+
+def bench_system() -> FTLQNModel:
+    """Users -> app -> one service replicated over ``SERVERS`` tasks."""
+    model = FTLQNModel(name="campaign-bench")
+    for processor in (
+        "pu", "pa", *(f"p{index}" for index in range(SERVERS)),
+    ):
+        model.add_processor(processor)
+    model.add_task("users", processor="pu", multiplicity=4,
+                   is_reference=True, think_time=1.0)
+    model.add_task("app", processor="pa", multiplicity=2)
+    targets = []
+    for index in range(SERVERS):
+        model.add_task(f"s{index}", processor=f"p{index}")
+        model.add_entry(f"e{index}", task=f"s{index}",
+                        demand=1.0 + 0.1 * index)
+        targets.append(f"e{index}")
+    model.add_service("svc", targets=targets)
+    model.add_entry("ea", task="app", demand=0.5,
+                    requests=[Request("svc", mean_calls=2.0)])
+    model.add_entry("u", task="users", requests=[Request("ea")])
+    return model.validated()
+
+
+def bench_spec() -> CampaignSpec:
+    """A 200-point campaign: 10 x 10 failure grid x 2 knowledge
+    models (centralized MAMA, perfect)."""
+    tasks = {"app": "pa"} | {
+        f"s{index}": f"p{index}" for index in range(SERVERS)
+    }
+    mama = centralized_architecture(
+        tasks=tasks, subscribers=["app"], manager_processor="pm",
+    )
+    probs = {"app": 0.05, "m1": 0.04} | {
+        f"s{index}": 0.1 for index in range(SERVERS)
+    }
+    return CampaignSpec(
+        name="bench",
+        ftlqn=bench_system(),
+        architectures={"central": mama},
+        base_failure_probs=probs,
+        workloads=[
+            GridWorkload(
+                label="grid",
+                architectures=("central", None),
+                axes=(("s0", GRID_VALUES), ("s1", GRID_VALUES)),
+                weights={"users": 1.0},
+            ),
+        ],
+    )
+
+
+def git_revision() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def rewards_by_key(store: ResultStore) -> dict[str, float]:
+    return {
+        stored.key: SweepPointResult.from_dict(
+            stored.document["record"]
+        ).result.expected_reward
+        for stored in store.rows(kind="solve")
+    }
+
+
+def timed_run(compiled, path, *, workers: int):
+    with ResultStore(path) as store:
+        start = time.perf_counter()
+        result = run_campaign(compiled, store, workers=workers)
+        seconds = time.perf_counter() - start
+        rewards = rewards_by_key(store)
+    return result, seconds, rewards
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_campaign.json")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel worker count (default 0 = all cores, capped at 8)",
+    )
+    parser.add_argument(
+        "--scratch", default=None,
+        help="directory for the scratch stores (default: a temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    cpu_count = os.cpu_count() or 1
+    workers = args.workers if args.workers > 0 else min(cpu_count, 8)
+    enforce_speedup = cpu_count >= SPEEDUP_MIN_CPUS
+
+    compiled = bench_spec().compile()
+    total = len(compiled.points)
+    if total < 200:
+        raise SystemExit(f"bench campaign shrank to {total} points (< 200)")
+
+    with tempfile.TemporaryDirectory(dir=args.scratch) as scratch:
+        print(f"campaign bench: {total} points, workers={workers} "
+              f"(host has {cpu_count} CPUs)", file=sys.stderr)
+        sequential, seq_seconds, seq_rewards = timed_run(
+            compiled, f"{scratch}/seq.sqlite", workers=1
+        )
+        print(f"  sequential: {seq_seconds:.2f}s", file=sys.stderr)
+        parallel, par_seconds, par_rewards = timed_run(
+            compiled, f"{scratch}/par.sqlite", workers=workers
+        )
+        print(f"  parallel:   {par_seconds:.2f}s", file=sys.stderr)
+        assert sequential.solved == parallel.solved == total
+
+        # Gate 1 (always): per-key reward parity to 1e-12.
+        if seq_rewards.keys() != par_rewards.keys():
+            raise SystemExit("parallel run stored a different key set")
+        worst = max(
+            abs(seq_rewards[key] - par_rewards[key])
+            for key in seq_rewards
+        )
+        if worst > PARITY_TOLERANCE:
+            raise SystemExit(
+                f"parallel/sequential reward parity {worst:.3e} exceeds "
+                f"{PARITY_TOLERANCE:.0e}"
+            )
+
+        # Gate 2 (always): prefix-resume solves exactly the complement,
+        # and a rerun over the full store solves nothing.
+        prefix = dataclasses.replace(
+            compiled, points=compiled.points[:RESUME_PREFIX]
+        )
+        with ResultStore(f"{scratch}/resume.sqlite") as store:
+            run_campaign(prefix, store, workers=1)
+            resumed = run_campaign(compiled, store, workers=workers)
+            rerun = run_campaign(compiled, store, workers=1)
+            resumed_rewards = rewards_by_key(store)
+        if resumed.store_hits != RESUME_PREFIX:
+            raise SystemExit(
+                f"resume saw {resumed.store_hits} store hits, expected "
+                f"{RESUME_PREFIX}"
+            )
+        if resumed.solved != total - RESUME_PREFIX or rerun.solved != 0:
+            raise SystemExit(
+                f"resume recomputed work: solved {resumed.solved} "
+                f"(expected {total - RESUME_PREFIX}), rerun solved "
+                f"{rerun.solved} (expected 0)"
+            )
+        resume_worst = max(
+            abs(resumed_rewards[key] - seq_rewards[key])
+            for key in seq_rewards
+        )
+        if resume_worst > PARITY_TOLERANCE:
+            raise SystemExit(
+                f"resumed-store rewards drifted {resume_worst:.3e} from "
+                f"the cold run"
+            )
+
+    # Gate 3 (CPU-gated): the dispatcher must actually scale.
+    speedup = seq_seconds / par_seconds if par_seconds > 0 else float("inf")
+    print(f"  speedup:    {speedup:.2f}x "
+          f"({'enforced' if enforce_speedup else 'not enforced'} at "
+          f"{SPEEDUP_FLOOR}x)", file=sys.stderr)
+    if enforce_speedup and speedup < SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"campaign speedup {speedup:.2f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor with {workers} workers on "
+            f"{cpu_count} CPUs"
+        )
+
+    document = {
+        "suite": "campaign",
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": cpu_count,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_enforced": enforce_speedup,
+        "parity_tolerance": PARITY_TOLERANCE,
+        "entries": [
+            {
+                "case": "grid-10x10x2",
+                "points": total,
+                "workers": workers,
+                "sequential_seconds": seq_seconds,
+                "parallel_seconds": par_seconds,
+                "speedup": speedup,
+                "max_parity_diff": worst,
+                "resume": {
+                    "prefilled": RESUME_PREFIX,
+                    "resumed_solved": resumed.solved,
+                    "resumed_hits": resumed.store_hits,
+                    "rerun_solved": rerun.solved,
+                    "max_resume_diff": resume_worst,
+                },
+            },
+        ],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

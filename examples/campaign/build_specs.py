@@ -1,0 +1,117 @@
+"""Regenerate the multi-region example campaign's JSON files.
+
+The scenario is a production-shaped two-region replicated service:
+shoppers enter through a global frontend service that can land on
+either region's web tier; each web tier reads a storage service that
+prefers its local database replica but can fail over to the remote
+one.  Two fault-management designs compete — one central manager
+watching both regions versus per-region managers — across a grid of
+database failure probabilities, a couple of named disaster scenarios,
+a small design-space search and a fuzz seed range.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/campaign/build_specs.py
+
+and commit the regenerated ``model.json`` / ``central.json`` /
+``regional.json`` (``campaign.json`` is hand-maintained — it is the
+interesting file).  The CI ``campaign-smoke`` job runs this campaign,
+SIGKILLs the dispatcher mid-run, reruns it, and asserts that the
+resume recomputes nothing.
+"""
+
+from pathlib import Path
+
+from repro.ftlqn import FTLQNModel, Request
+from repro.ftlqn.serialize import model_to_json
+from repro.mama.architectures import (
+    Domain,
+    centralized_architecture,
+    distributed_architecture,
+)
+from repro.mama.serialize import mama_to_json
+
+HERE = Path(__file__).parent
+
+
+def build_model() -> FTLQNModel:
+    model = FTLQNModel(name="multi-region-store")
+    for processor in (
+        "p.users", "p.web-east", "p.web-west", "p.db-east", "p.db-west",
+    ):
+        model.add_processor(processor)
+
+    model.add_task("users", processor="p.users", multiplicity=60,
+                   is_reference=True, think_time=4.0)
+    model.add_task("web-east", processor="p.web-east", multiplicity=3)
+    model.add_task("web-west", processor="p.web-west", multiplicity=3)
+    model.add_task("db-east", processor="p.db-east", multiplicity=2)
+    model.add_task("db-west", processor="p.db-west", multiplicity=2)
+
+    # Storage: each region prefers its local replica; the remote one is
+    # the (slower) failover target of the same service.
+    model.add_entry("q-east-local", task="db-east", demand=0.020)
+    model.add_entry("q-east-remote", task="db-west", demand=0.050)
+    model.add_service("storage-east",
+                      targets=["q-east-local", "q-east-remote"])
+    model.add_entry("q-west-local", task="db-west", demand=0.020)
+    model.add_entry("q-west-remote", task="db-east", demand=0.050)
+    model.add_service("storage-west",
+                      targets=["q-west-local", "q-west-remote"])
+
+    model.add_entry("page-east", task="web-east", demand=0.010,
+                    requests=[Request("storage-east", mean_calls=2.0)])
+    model.add_entry("page-west", task="web-west", demand=0.012,
+                    requests=[Request("storage-west", mean_calls=2.0)])
+    model.add_service("frontend", targets=["page-east", "page-west"])
+    model.add_entry("shop", task="users", requests=[Request("frontend")])
+    return model.validated()
+
+
+#: Application tasks each architecture monitors, task → host processor.
+#: ``users`` decides the global frontend service (it issues the
+#: requests), so every architecture must observe it.
+MONITORED = {
+    "users": "p.users",
+    "web-east": "p.web-east",
+    "web-west": "p.web-west",
+    "db-east": "p.db-east",
+    "db-west": "p.db-west",
+}
+
+
+def build_architectures() -> dict:
+    central = centralized_architecture(
+        tasks=MONITORED,
+        subscribers=["users", "web-east", "web-west"],
+        manager_processor="p.mgmt",
+    )
+    regional = distributed_architecture(
+        domains=[
+            Domain(
+                manager="dm.east",
+                manager_processor="p.mgmt-east",
+                tasks={"users": "p.users",
+                       "web-east": "p.web-east", "db-east": "p.db-east"},
+                subscribers=("users", "web-east"),
+            ),
+            Domain(
+                manager="dm.west",
+                manager_processor="p.mgmt-west",
+                tasks={"web-west": "p.web-west", "db-west": "p.db-west"},
+                subscribers=("web-west",),
+            ),
+        ]
+    )
+    return {"central": central, "regional": regional}
+
+
+def main() -> None:
+    (HERE / "model.json").write_text(model_to_json(build_model()) + "\n")
+    for name, mama in build_architectures().items():
+        (HERE / f"{name}.json").write_text(mama_to_json(mama) + "\n")
+    print(f"wrote model.json, central.json, regional.json under {HERE}")
+
+
+if __name__ == "__main__":
+    main()

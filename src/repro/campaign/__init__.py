@@ -1,0 +1,80 @@
+"""Distributed campaign runner with a persistent result store.
+
+A *campaign* is the unit of large-scale work on top of the fast
+per-point machinery: hundreds (or hundreds of thousands) of scenario
+points — sweep grids, optimizer candidate sets, fuzz seed ranges —
+solved once, persisted forever, and reported on offline.  The
+subsystem is the data layer ROADMAP item 5's analysis service will sit
+on, modelled on simulation-campaign managers (cluster manager +
+memoizer + results store + progress) from the `slp` lineage cited in
+PAPERS.md.
+
+Four pieces, importable separately:
+
+* :mod:`repro.campaign.keys` — content-addressed point keys: every
+  campaign point (models + failure probabilities + reward weights +
+  backend + ε + solver tolerances + schema version) canonically
+  serialized and hashed, stable across processes and interpreter runs.
+* :mod:`repro.campaign.store` — the persistent result store: one
+  sqlite file in WAL mode, one row per solved point keyed by its
+  content address, holding the full-fidelity result document
+  (rewards, intervals, configuration records, counters, timing).
+* :mod:`repro.campaign.spec` — campaign specifications and workload
+  producers: a spec enumerates sweep grids, explicit points, design-
+  space candidate sets and fuzz seed ranges, and compiles them into a
+  flat list of content-addressed points.
+* :mod:`repro.campaign.runner` — the multi-process dispatcher: shards
+  pending (not-yet-stored) points over worker processes each hosting
+  a warm :class:`~repro.core.sweep.SweepEngine`, streams results back
+  incrementally with progress/ETA, and commits each finished point to
+  the store immediately — kill it anywhere, rerun the same spec, and
+  it completes from the store with zero recomputation.
+* :mod:`repro.campaign.report` — offline reporting decoupled from
+  execution: JSON/CSV summaries, Pareto frontiers and per-counter
+  aggregates rendered straight from the store.
+"""
+
+from repro.campaign.keys import (
+    CODE_SCHEMA_VERSION,
+    canonical_json,
+    fingerprint,
+    fuzz_point_key,
+    solve_point_key,
+    solver_tolerances,
+)
+from repro.campaign.store import ResultStore, StoredResult
+from repro.campaign.spec import (
+    CampaignSpec,
+    CompiledCampaign,
+    CompiledPoint,
+    campaign_spec_from_document,
+    load_campaign_spec,
+)
+from repro.campaign.runner import (
+    CampaignProgress,
+    CampaignResult,
+    console_campaign_progress,
+    run_campaign,
+)
+from repro.campaign.report import CampaignReport
+
+__all__ = [
+    "CODE_SCHEMA_VERSION",
+    "CampaignProgress",
+    "CampaignReport",
+    "CampaignResult",
+    "CampaignSpec",
+    "CompiledCampaign",
+    "CompiledPoint",
+    "ResultStore",
+    "StoredResult",
+    "campaign_spec_from_document",
+    "canonical_json",
+    "console_campaign_progress",
+    "fingerprint",
+    "fuzz_point_key",
+    "load_campaign_spec",
+    "run_campaign",
+    "solve_point_key",
+    "solver_tolerances",
+]

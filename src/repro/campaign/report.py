@@ -1,0 +1,313 @@
+"""Offline campaign reporting, decoupled from execution.
+
+:class:`CampaignReport` renders summaries straight from a
+:class:`~repro.campaign.store.ResultStore` — no models are loaded, no
+point is re-solved, so reports on a million-point store are a sqlite
+scan.  Three views:
+
+* **solve rows** — one per stored solve point: expected reward,
+  system-failure probability, reward interval, timing, plus any
+  candidate metadata (cost, component count) the campaign attached;
+* **Pareto frontiers** — the reward-vs-failure frontier over all solve
+  rows, and the reward-vs-cost frontier over rows carrying candidate
+  costs (the paper's §8 architecture-comparison question, at campaign
+  scale);
+* **fuzz summary** — seeds checked, failures (with their
+  disagreements), simulation cross-checks performed.
+
+``to_json`` emits the whole report; ``to_csv`` emits the solve rows as
+a flat table for spreadsheets/pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.core.progress import ScanCounters
+from repro.core.sweep import SweepPointResult
+from repro.campaign.store import ResultStore
+
+#: Columns of the CSV view, in order.
+_CSV_COLUMNS = (
+    "name", "workload", "architecture", "expected_reward",
+    "failed_probability", "reward_lower", "reward_upper",
+    "unexplored_probability", "method", "configurations", "scan_cached",
+    "seconds", "cost", "component_count",
+)
+
+
+@dataclass(frozen=True)
+class SolveRow:
+    """One solve point's report line (see :meth:`from_stored`)."""
+
+    key: str
+    name: str
+    workload: str
+    architecture: str | None
+    expected_reward: float
+    failed_probability: float
+    reward_lower: float
+    reward_upper: float
+    unexplored_probability: float
+    method: str
+    configurations: int
+    scan_cached: bool
+    seconds: float
+    extra: Mapping = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float | None:
+        candidate = self.extra.get("candidate")
+        return None if candidate is None else candidate.get("cost")
+
+    @property
+    def component_count(self) -> int | None:
+        candidate = self.extra.get("candidate")
+        return None if candidate is None else candidate.get("component_count")
+
+    def as_dict(self) -> dict:
+        document = {
+            "key": self.key,
+            "name": self.name,
+            "workload": self.workload,
+            "architecture": self.architecture,
+            "expected_reward": self.expected_reward,
+            "failed_probability": self.failed_probability,
+            "reward_lower": self.reward_lower,
+            "reward_upper": self.reward_upper,
+            "unexplored_probability": self.unexplored_probability,
+            "method": self.method,
+            "configurations": self.configurations,
+            "scan_cached": self.scan_cached,
+            "seconds": self.seconds,
+        }
+        if self.extra:
+            document["extra"] = dict(self.extra)
+        return document
+
+
+@dataclass(frozen=True)
+class FuzzRow:
+    """One fuzz point's report line."""
+
+    key: str
+    name: str
+    workload: str
+    seed: int
+    ok: bool
+    simulated: bool
+    state_count: int
+    distinct_configurations: int
+    seconds: float
+    disagreements: tuple[dict, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "name": self.name,
+            "workload": self.workload,
+            "seed": self.seed,
+            "ok": self.ok,
+            "simulated": self.simulated,
+            "state_count": self.state_count,
+            "distinct_configurations": self.distinct_configurations,
+            "seconds": self.seconds,
+            "disagreements": list(self.disagreements),
+        }
+
+
+def _dominates_rf(a: SolveRow, b: SolveRow) -> bool:
+    """``a`` dominates ``b`` on (reward ↑, failure probability ↓)."""
+    return (
+        a.expected_reward >= b.expected_reward
+        and a.failed_probability <= b.failed_probability
+        and (
+            a.expected_reward > b.expected_reward
+            or a.failed_probability < b.failed_probability
+        )
+    )
+
+
+def _dominates_rc(a: SolveRow, b: SolveRow) -> bool:
+    """``a`` dominates ``b`` on (reward ↑, cost ↓)."""
+    return (
+        a.expected_reward >= b.expected_reward
+        and a.cost <= b.cost
+        and (a.expected_reward > b.expected_reward or a.cost < b.cost)
+    )
+
+
+def _frontier(rows: Sequence[SolveRow], dominates) -> list[SolveRow]:
+    return [
+        row
+        for row in rows
+        if not any(dominates(other, row) for other in rows if other is not row)
+    ]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """An offline view of one (or every) campaign in a store."""
+
+    campaign: str | None
+    solve_rows: tuple[SolveRow, ...]
+    fuzz_rows: tuple[FuzzRow, ...]
+    counters: ScanCounters
+    total_seconds: float
+
+    @classmethod
+    def from_store(
+        cls, store: ResultStore, *, campaign: str | None = None
+    ) -> "CampaignReport":
+        """Build the report from stored rows (``campaign=None`` reads
+        everything in the store)."""
+        solve_rows: list[SolveRow] = []
+        fuzz_rows: list[FuzzRow] = []
+        counters = ScanCounters()
+        total_seconds = 0.0
+        for stored in store.rows(campaign=campaign):
+            total_seconds += stored.seconds
+            document = stored.document
+            if stored.kind == "solve":
+                record = SweepPointResult.from_dict(document["record"])
+                result = record.result
+                lower, upper = result.reward_interval
+                solve_rows.append(
+                    SolveRow(
+                        key=stored.key,
+                        name=stored.name,
+                        workload=document.get("workload", ""),
+                        architecture=record.point.architecture,
+                        expected_reward=result.expected_reward,
+                        failed_probability=result.failed_probability,
+                        reward_lower=lower,
+                        reward_upper=upper,
+                        unexplored_probability=result.unexplored_probability,
+                        method=result.method,
+                        configurations=len(result.records),
+                        scan_cached=record.scan_cached,
+                        seconds=stored.seconds,
+                        extra=document.get("extra", {}),
+                    )
+                )
+                counters.merge(
+                    ScanCounters.from_dict(document.get("counters") or {})
+                )
+            elif stored.kind == "fuzz":
+                fuzz_rows.append(
+                    FuzzRow(
+                        key=stored.key,
+                        name=stored.name,
+                        workload=document.get("workload", ""),
+                        seed=int(document.get("seed", -1)),
+                        ok=bool(document.get("ok", True)),
+                        simulated=bool(document.get("simulated", False)),
+                        state_count=int(document.get("state_count", 0)),
+                        distinct_configurations=int(
+                            document.get("distinct_configurations", 0)
+                        ),
+                        seconds=stored.seconds,
+                        disagreements=tuple(
+                            document.get("disagreements", [])
+                        ),
+                    )
+                )
+        return cls(
+            campaign=campaign,
+            solve_rows=tuple(solve_rows),
+            fuzz_rows=tuple(fuzz_rows),
+            counters=counters,
+            total_seconds=total_seconds,
+        )
+
+    # -- derived views ---------------------------------------------------
+
+    def pareto_reward_failure(self) -> tuple[SolveRow, ...]:
+        """Rows not dominated on (expected reward ↑, system-failure
+        probability ↓), sorted by decreasing reward."""
+        frontier = _frontier(self.solve_rows, _dominates_rf)
+        return tuple(
+            sorted(frontier, key=lambda r: -r.expected_reward)
+        )
+
+    def pareto_reward_cost(self) -> tuple[SolveRow, ...]:
+        """Rows carrying candidate costs, not dominated on (expected
+        reward ↑, cost ↓), sorted by increasing cost — the campaign
+        analogue of the optimizer's frontier."""
+        costed = [row for row in self.solve_rows if row.cost is not None]
+        return tuple(sorted(_frontier(costed, _dominates_rc),
+                            key=lambda r: (r.cost, -r.expected_reward)))
+
+    def failed_fuzz(self) -> tuple[FuzzRow, ...]:
+        return tuple(row for row in self.fuzz_rows if not row.ok)
+
+    def summary(self) -> dict:
+        """The headline numbers of the report."""
+        best = max(
+            self.solve_rows,
+            key=lambda r: r.expected_reward,
+            default=None,
+        )
+        return {
+            "campaign": self.campaign,
+            "solve_points": len(self.solve_rows),
+            "fuzz_points": len(self.fuzz_rows),
+            "fuzz_failures": len(self.failed_fuzz()),
+            "simulated_checks": sum(
+                1 for row in self.fuzz_rows if row.simulated
+            ),
+            "total_seconds": self.total_seconds,
+            "best_point": None if best is None else {
+                "name": best.name,
+                "expected_reward": best.expected_reward,
+                "failed_probability": best.failed_probability,
+            },
+            "counters": self.counters.to_dict(),
+        }
+
+    # -- renderings ------------------------------------------------------
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(
+            {
+                "summary": self.summary(),
+                "solve": [row.as_dict() for row in self.solve_rows],
+                "pareto": {
+                    "reward_failure": [
+                        row.name for row in self.pareto_reward_failure()
+                    ],
+                    "reward_cost": [
+                        row.name for row in self.pareto_reward_cost()
+                    ],
+                },
+                "fuzz": [row.as_dict() for row in self.fuzz_rows],
+            },
+            indent=indent,
+        )
+
+    def to_csv(self) -> str:
+        """The solve rows as a flat CSV table."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(_CSV_COLUMNS)
+        for row in self.solve_rows:
+            writer.writerow(
+                [
+                    row.name, row.workload,
+                    "" if row.architecture is None else row.architecture,
+                    repr(row.expected_reward),
+                    repr(row.failed_probability),
+                    repr(row.reward_lower), repr(row.reward_upper),
+                    repr(row.unexplored_probability),
+                    row.method, row.configurations,
+                    int(row.scan_cached), repr(row.seconds),
+                    "" if row.cost is None else repr(row.cost),
+                    "" if row.component_count is None
+                    else row.component_count,
+                ]
+            )
+        return buffer.getvalue()

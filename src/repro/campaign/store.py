@@ -1,0 +1,235 @@
+"""The persistent, content-addressed result store.
+
+One sqlite file (WAL mode) holds every point a campaign ever solved,
+keyed by the point's content address (:mod:`repro.campaign.keys`).
+Rows are immutable facts — "this exact analysis input produced this
+result" — so the store doubles as a cross-run memo: re-running a
+campaign with overlapping points only solves the delta, and a
+dispatcher killed mid-campaign resumes from whatever it had committed.
+
+Durability model
+----------------
+Each :meth:`ResultStore.put` commits its own transaction.  With WAL
+journaling a commit is one fsync-bounded append; after a SIGKILL the
+next open replays the WAL and every committed point is present.  The
+dispatcher therefore commits per point — the write rate (tens per
+second) is far below WAL's capacity, and the property the campaign
+runner sells ("kill -9, rerun, zero recomputation") falls directly out
+of it.
+
+Concurrency: the default dispatcher funnels all writes through the
+parent process, but the store also holds up under multiple writer
+processes (``busy_timeout`` + WAL), which is how several campaign
+runners on one host can share a store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.errors import SerializationError
+
+#: On-disk format version of the store itself (tables/columns), not of
+#: the analysis semantics — that lives inside every key as
+#: :data:`repro.campaign.keys.CODE_SCHEMA_VERSION`.
+STORE_FORMAT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    key      TEXT PRIMARY KEY,
+    kind     TEXT NOT NULL,
+    name     TEXT NOT NULL,
+    campaign TEXT,
+    document TEXT NOT NULL,
+    seconds  REAL NOT NULL,
+    created  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS points_kind ON points (kind);
+CREATE INDEX IF NOT EXISTS points_campaign ON points (campaign);
+"""
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One stored point: its content address, what kind of work it was
+    (``"solve"`` or ``"fuzz"``), the human-facing point name, the
+    owning campaign label, the result document, and the wall seconds
+    the original solve took."""
+
+    key: str
+    kind: str
+    name: str
+    campaign: str | None
+    document: dict
+    seconds: float
+    created: float
+
+
+class ResultStore:
+    """Content-addressed sqlite result store (context manager).
+
+    ``path`` may be ``":memory:"`` for tests.  Opening creates the
+    schema if needed and validates :data:`STORE_FORMAT_VERSION` —
+    refusing to read a store written by an incompatible layout is a
+    one-line error instead of silent corruption.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        try:
+            self._connection = sqlite3.connect(self.path, timeout=30.0)
+            self._connection.execute("SELECT 1")
+        except sqlite3.Error as exc:
+            raise SerializationError(
+                f"cannot open result store {self.path}: {exc}"
+            ) from exc
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute("PRAGMA busy_timeout=30000")
+        self._connection.executescript(_SCHEMA)
+        row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'format_version'"
+        ).fetchone()
+        if row is None:
+            self._connection.execute(
+                "INSERT INTO meta (key, value) VALUES ('format_version', ?)",
+                (str(STORE_FORMAT_VERSION),),
+            )
+            self._connection.commit()
+        elif int(row[0]) != STORE_FORMAT_VERSION:
+            self._connection.close()
+            raise SerializationError(
+                f"result store {self.path} has format version {row[0]}, "
+                f"this build reads {STORE_FORMAT_VERSION}"
+            )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- writes ---------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        *,
+        kind: str,
+        name: str,
+        document: dict,
+        seconds: float,
+        campaign: str | None = None,
+    ) -> None:
+        """Commit one finished point.  Idempotent: re-putting a key
+        (e.g. two racing runners solving the same point) replaces the
+        row with an equivalent one."""
+        self._connection.execute(
+            "INSERT OR REPLACE INTO points "
+            "(key, kind, name, campaign, document, seconds, created) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                key, kind, name, campaign,
+                json.dumps(document, separators=(",", ":")),
+                float(seconds), time.time(),
+            ),
+        )
+        self._connection.commit()
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, key: str) -> StoredResult | None:
+        """The stored point under ``key``, or ``None``."""
+        row = self._connection.execute(
+            "SELECT key, kind, name, campaign, document, seconds, created "
+            "FROM points WHERE key = ?",
+            (key,),
+        ).fetchone()
+        return None if row is None else self._row(row)
+
+    def known(self, keys: Iterable[str]) -> set[str]:
+        """The subset of ``keys`` already present — the memo query the
+        dispatcher runs before sharding pending work."""
+        keys = list(keys)
+        present: set[str] = set()
+        chunk = 500  # stay far below SQLITE_MAX_VARIABLE_NUMBER
+        for start in range(0, len(keys), chunk):
+            batch = keys[start:start + chunk]
+            placeholders = ",".join("?" * len(batch))
+            present.update(
+                row[0]
+                for row in self._connection.execute(
+                    f"SELECT key FROM points WHERE key IN ({placeholders})",
+                    batch,
+                )
+            )
+        return present
+
+    def count(self, *, kind: str | None = None) -> int:
+        if kind is None:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM points"
+            ).fetchone()
+        else:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM points WHERE kind = ?", (kind,)
+            ).fetchone()
+        return int(row[0])
+
+    def rows(
+        self,
+        *,
+        kind: str | None = None,
+        campaign: str | None = None,
+    ) -> Iterator[StoredResult]:
+        """All stored points, optionally filtered, in insertion order
+        (rowid) so reports are stable across reads."""
+        query = (
+            "SELECT key, kind, name, campaign, document, seconds, created "
+            "FROM points"
+        )
+        clauses, args = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            args.append(kind)
+        if campaign is not None:
+            clauses.append("campaign = ?")
+            args.append(campaign)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY rowid"
+        for row in self._connection.execute(query, args):
+            yield self._row(row)
+
+    def journal_mode(self) -> str:
+        """The live journal mode (``"wal"`` on disk, ``"memory"`` for
+        in-memory stores) — exposed for tests and diagnostics."""
+        return str(
+            self._connection.execute("PRAGMA journal_mode").fetchone()[0]
+        )
+
+    @staticmethod
+    def _row(row) -> StoredResult:
+        key, kind, name, campaign, document, seconds, created = row
+        return StoredResult(
+            key=key,
+            kind=kind,
+            name=name,
+            campaign=campaign,
+            document=json.loads(document),
+            seconds=float(seconds),
+            created=float(created),
+        )

@@ -30,6 +30,13 @@ Commands
     report the Pareto frontier over (expected reward, cost, component
     count) and recommend the best candidate under a cost budget (see
     :mod:`repro.optimize`).
+``campaign``
+    Run a large point campaign (sweep grids, optimizer candidate sets,
+    fuzz seed ranges) against a persistent content-addressed result
+    store, sharded over worker processes and resumable after any crash
+    (``campaign run``); render offline JSON/CSV reports and Pareto
+    frontiers from the store (``campaign report``).  See
+    :mod:`repro.campaign`.
 
 Model files use the JSON formats of :mod:`repro.ftlqn.serialize` and
 :mod:`repro.mama.serialize`.  The ``--probs`` file is either a flat
@@ -462,19 +469,29 @@ def _cmd_optimize(args) -> int:
     progress = console_progress(sys.stderr) if args.progress else None
     budget = args.budget if args.budget is not None else spec.budget
     strategy = args.strategy or spec.strategy
-    search = DesignSpaceSearch(
-        space, weights=weights, method=_resolve_method(args),
-        jobs=args.jobs, progress=progress,
-        warm_start=args.warm_start,
-        bounds_fast_path=not args.no_bounds,
-    )
-    if strategy == "exhaustive":
-        result = search.exhaustive()
-    else:
-        result = search.greedy(
-            seed=spec.seed, restarts=spec.restarts,
-            max_rounds=spec.max_rounds, move_limit=spec.move_limit,
+    store = None
+    if getattr(args, "store", None):
+        from repro.campaign import ResultStore
+
+        store = ResultStore(args.store)
+    try:
+        search = DesignSpaceSearch(
+            space, weights=weights, method=_resolve_method(args),
+            jobs=args.jobs, progress=progress,
+            warm_start=args.warm_start,
+            bounds_fast_path=not args.no_bounds,
+            store=store,
         )
+        if strategy == "exhaustive":
+            result = search.exhaustive()
+        else:
+            result = search.greedy(
+                seed=spec.seed, restarts=spec.restarts,
+                max_rounds=spec.max_rounds, move_limit=spec.move_limit,
+            )
+    finally:
+        if store is not None:
+            store.close()
     report = OptimizationReport.from_search(result, budget=budget)
 
     print(f"space: {result.space_size} candidates, "
@@ -501,12 +518,15 @@ def _cmd_optimize(args) -> int:
             f", {c.lqn_warm_starts} warm starts "
             f"(mean distance {mean_distance:.1f})"
         )
+    stored = (
+        f", {result.store_hits} store hits" if result.store_hits else ""
+    )
     print(
         f"search: {c.distinct_configurations} distinct configurations, "
         f"{c.scan_cache_hits} scan-cache hits, "
         f"{c.lqn_bounds_skips} bounds skips; "
         f"lqn: {c.lqn_solves} solves, {c.lqn_cache_hits} cache hits "
-        f"({100.0 * result.lqn_cache_hit_rate:.1f}% hit rate){warm}"
+        f"({100.0 * result.lqn_cache_hit_rate:.1f}% hit rate){warm}{stored}"
     )
     if budget is not None:
         if report.recommended is None:
@@ -546,17 +566,27 @@ def _cmd_verify(args) -> int:
             file=sys.stderr,
         )
 
-    report = run_fuzz(
-        seeds=args.seeds,
-        seed_start=args.seed_start,
-        time_budget=args.time_budget,
-        backends=args.backends.split(",") if args.backends else None,
-        jobs=args.jobs,
-        sim_every=args.sim_every,
-        parallel_every=args.parallel_every,
-        shrink=not args.no_shrink,
-        log=log,
-    )
+    store = None
+    if args.store:
+        from repro.campaign import ResultStore
+
+        store = ResultStore(args.store)
+    try:
+        report = run_fuzz(
+            seeds=args.seeds,
+            seed_start=args.seed_start,
+            time_budget=args.time_budget,
+            backends=args.backends.split(",") if args.backends else None,
+            jobs=args.jobs,
+            sim_every=args.sim_every,
+            parallel_every=args.parallel_every,
+            shrink=not args.no_shrink,
+            log=log,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
 
     document = report.as_dict()
     if args.json_out:
@@ -580,13 +610,16 @@ def _cmd_verify(args) -> int:
         print(f"wrote artifacts to {directory}", file=sys.stderr)
 
     budget_note = " (stopped by --time-budget)" if report.stopped_by_budget else ""
+    store_note = (
+        f", {report.store_hits} store hits" if report.store_hits else ""
+    )
     print(
         f"verify: {len(report.outcomes)}/{report.seeds_requested} seeds, "
         f"{document['states_covered']} states covered, "
         f"{document['simulation_checks']} simulation checks, "
         f"{document['parallel_checks']} parallel checks, "
         f"{len(report.failures)} counterexample(s) in "
-        f"{report.seconds:.1f}s{budget_note}"
+        f"{report.seconds:.1f}s{budget_note}{store_note}"
     )
     for outcome in report.failures:
         print(f"seed {outcome.seed}: "
@@ -596,6 +629,103 @@ def _cmd_verify(args) -> int:
             print(f"  shrunk to {tasks} task(s) in "
                   f"{len(outcome.shrink_steps)} step(s)")
     return 0 if report.ok else 1
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import (
+        ResultStore,
+        console_campaign_progress,
+        load_campaign_spec,
+        run_campaign,
+    )
+
+    spec = load_campaign_spec(args.spec)
+    method = args.backend if args.backend is not None else args.method
+    progress = (
+        console_campaign_progress(sys.stderr) if args.progress else None
+    )
+    with ResultStore(args.store) as store:
+        result = run_campaign(
+            spec, store,
+            workers=args.workers,
+            method=method,
+            epsilon=args.epsilon,
+            progress=progress,
+        )
+    duplicates = (
+        f" ({result.duplicate_points} duplicate spec points collapsed)"
+        if result.duplicate_points else ""
+    )
+    print(
+        f"campaign {result.campaign!r}: {result.total} points{duplicates} — "
+        f"{result.store_hits} from store, {result.solved} solved in "
+        f"{result.seconds:.1f}s"
+    )
+    if result.failed_checks:
+        print(
+            f"{len(result.failed_checks)} fuzz check(s) FAILED: "
+            + ", ".join(result.failed_checks[:5])
+            + ("..." if len(result.failed_checks) > 5 else "")
+        )
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(result.to_dict(), indent=2)
+        )
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign_report(args) -> int:
+    from repro.campaign import CampaignReport, ResultStore
+
+    with ResultStore(args.store) as store:
+        report = CampaignReport.from_store(store, campaign=args.campaign)
+    summary = report.summary()
+    scope = args.campaign or "all campaigns"
+    print(
+        f"store {args.store} ({scope}): {summary['solve_points']} solve "
+        f"points, {summary['fuzz_points']} fuzz checks "
+        f"({summary['fuzz_failures']} failed, "
+        f"{summary['simulated_checks']} simulated), "
+        f"{summary['total_seconds']:.1f} accumulated solve seconds"
+    )
+    best = summary["best_point"]
+    if best is not None:
+        print(
+            f"best point: {best['name']} "
+            f"(E[reward] {best['expected_reward']:.4f}, "
+            f"P(failed) {best['failed_probability']:.6f})"
+        )
+    frontier = report.pareto_reward_failure()
+    if frontier:
+        print(f"reward/failure frontier ({len(frontier)} points):")
+        for row in frontier[:10]:
+            print(
+                f"  {row.name}: E[reward] {row.expected_reward:.4f}, "
+                f"P(failed) {row.failed_probability:.6f}"
+            )
+        if len(frontier) > 10:
+            print(f"  ... and {len(frontier) - 10} more")
+    costed = report.pareto_reward_cost()
+    if costed:
+        print(f"reward/cost frontier ({len(costed)} candidates):")
+        for row in costed[:10]:
+            print(
+                f"  {row.name}: E[reward] {row.expected_reward:.4f}, "
+                f"cost {row.cost:.2f}"
+            )
+    for row in report.failed_fuzz():
+        details = "; ".join(
+            d.get("detail", "?") for d in row.disagreements[:3]
+        )
+        print(f"fuzz FAILURE {row.name}: {details}")
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json())
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.csv_out:
+        Path(args.csv_out).write_text(report.to_csv())
+        print(f"wrote {args.csv_out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_paper(args) -> int:
@@ -842,7 +972,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one CSV row per candidate (reward, cost, frontier "
         "and recommendation flags)",
     )
+    optimize.add_argument(
+        "--store", metavar="FILE",
+        help="memoize candidate evaluations in a campaign result store "
+        "(sqlite); re-runs and campaigns sharing the store skip "
+        "already-solved candidates",
+    )
     optimize.set_defaults(handler=_cmd_optimize)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run resumable point campaigns against a persistent store",
+        epilog="A campaign spec names one FTLQN model, MAMA "
+        "architecture variants, a base scenario and a list of "
+        "workloads (sweep grids, explicit points, design-space "
+        "candidate sets, fuzz seed ranges); `campaign run` expands it "
+        "into content-addressed points, skips everything the store "
+        "already holds, and shards the rest over --workers processes, "
+        "committing each result as it lands — kill it anywhere and "
+        "rerun to resume with zero recomputation.  `campaign report` "
+        "renders JSON/CSV summaries and Pareto frontiers offline from "
+        "the store.  See docs/performance_guide.md §11 and "
+        "examples/campaign/.",
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="run (or resume) a campaign spec against a store"
+    )
+    campaign_run.add_argument("spec", help="campaign specification JSON file")
+    campaign_run.add_argument(
+        "--store", required=True, metavar="FILE",
+        help="result-store sqlite file (created if absent)",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes to shard points over "
+        "(default 1 = run inline; 0 = all cores)",
+    )
+    campaign_run.add_argument(
+        "--method", choices=method_choices(), default=None,
+        help="override the spec's scan method",
+    )
+    campaign_run.add_argument(
+        "--backend",
+        metavar="{" + ",".join(method_choices()) + "}",
+        default=None,
+        help="scan backend; overrides --method and the spec",
+    )
+    campaign_run.add_argument(
+        "--epsilon", type=float, default=None, metavar="E",
+        help="bounded backend only: override the spec's mass bound",
+    )
+    campaign_run.add_argument(
+        "--progress", action="store_true",
+        help="stream per-point campaign progress and ETA to stderr",
+    )
+    campaign_run.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the run summary (hits, solves, counters) as JSON",
+    )
+    campaign_run.set_defaults(handler=_cmd_campaign_run)
+
+    campaign_report = campaign_commands.add_parser(
+        "report", help="render offline reports from a result store"
+    )
+    campaign_report.add_argument(
+        "--store", required=True, metavar="FILE",
+        help="result-store sqlite file to read",
+    )
+    campaign_report.add_argument(
+        "--campaign", metavar="NAME", default=None,
+        help="restrict to one campaign name (default: whole store)",
+    )
+    campaign_report.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the full report (rows, frontiers, counters) as JSON",
+    )
+    campaign_report.add_argument(
+        "--csv", dest="csv_out", metavar="FILE",
+        help="write one CSV row per solve point",
+    )
+    campaign_report.set_defaults(handler=_cmd_campaign_report)
 
     verify = commands.add_parser(
         "verify", help="fuzz the analytic backends against each other",
@@ -906,6 +1119,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifacts", metavar="DIR",
         help="write report.json plus repro scripts and corpus entries "
         "for any counterexamples into DIR",
+    )
+    verify.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="memoize checks in a campaign result store (sqlite): "
+        "already-stored seeds are skipped, fresh checks are committed "
+        "as they finish, so an interrupted campaign resumes where it "
+        "died",
     )
     verify.set_defaults(handler=_cmd_verify)
 

@@ -32,7 +32,7 @@ callbacks only ever run in the parent process.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, fields
 
 
@@ -189,6 +189,31 @@ class ScanCounters:
     def as_dict(self) -> dict[str, int | float]:
         """Plain-dict view, e.g. for benchmark JSON ``extra_info``."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self) -> dict[str, int | float]:
+        """Canonical JSON form — the schema campaign-store rows,
+        sweep exports and benchmark snapshots all share.  Identical to
+        :meth:`as_dict`; the ``to_dict``/``from_dict`` pair is the
+        round-trippable interface."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "ScanCounters":
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Missing fields default to zero, so rows written before a
+        counter existed still load; unknown fields raise ``ValueError``
+        (a row from a *newer* schema should be re-keyed, not silently
+        truncated).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScanCounters fields {unknown}; known fields: "
+                f"{sorted(known)}"
+            )
+        return cls(**{name: document[name] for name in document})
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,44 @@ class ConfigurationRecord:
             return "System Failed"
         return "{" + ", ".join(sorted(self.configuration)) + "}"
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form (sorted component list, ``None`` for the
+        failed configuration) — the schema shared by sweep exports and
+        campaign-store rows."""
+        return {
+            "configuration": (
+                sorted(self.configuration)
+                if self.configuration is not None
+                else None
+            ),
+            "probability": float(self.probability),
+            "reward": float(self.reward),
+            "throughputs": {
+                task: float(value)
+                for task, value in sorted(self.throughputs.items())
+            },
+            "converged": bool(self.converged),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "ConfigurationRecord":
+        """Rebuild a record from :meth:`to_dict` output (exact floats:
+        JSON round-trips IEEE doubles via shortest-repr)."""
+        configuration = document["configuration"]
+        return cls(
+            configuration=(
+                None if configuration is None
+                else frozenset(str(name) for name in configuration)
+            ),
+            probability=float(document["probability"]),
+            reward=float(document["reward"]),
+            throughputs={
+                str(task): float(value)
+                for task, value in document.get("throughputs", {}).items()
+            },
+            converged=bool(document.get("converged", True)),
+        )
+
 
 @dataclass(frozen=True)
 class PerformabilityResult:
@@ -148,4 +186,58 @@ class PerformabilityResult:
         return sum(
             record.probability * record.throughputs.get(task, 0.0)
             for record in self.records
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form carrying full fidelity (records,
+        counters, reward interval) so a stored result reconstructs
+        exactly — the campaign store's row payload."""
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "expected_reward": float(self.expected_reward),
+            "state_count": int(self.state_count),
+            "method": self.method,
+            "jobs": int(self.jobs),
+            "counters": (
+                None if self.counters is None else self.counters.to_dict()
+            ),
+            "unexplored_probability": float(self.unexplored_probability),
+            "reward_lower": (
+                None if self.reward_lower is None else float(self.reward_lower)
+            ),
+            "reward_upper": (
+                None if self.reward_upper is None else float(self.reward_upper)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "PerformabilityResult":
+        """Rebuild a result from :meth:`to_dict` output.  Records keep
+        their serialized order, so re-folding the expected reward from
+        a round-tripped result is bit-identical."""
+        counters_doc = document.get("counters")
+        return cls(
+            records=tuple(
+                ConfigurationRecord.from_dict(entry)
+                for entry in document["records"]
+            ),
+            expected_reward=float(document["expected_reward"]),
+            state_count=int(document["state_count"]),
+            method=str(document["method"]),
+            jobs=int(document.get("jobs", 1)),
+            counters=(
+                None if counters_doc is None
+                else ScanCounters.from_dict(counters_doc)
+            ),
+            unexplored_probability=float(
+                document.get("unexplored_probability", 0.0)
+            ),
+            reward_lower=(
+                None if document.get("reward_lower") is None
+                else float(document["reward_lower"])
+            ),
+            reward_upper=(
+                None if document.get("reward_upper") is None
+                else float(document["reward_upper"])
+            ),
         )

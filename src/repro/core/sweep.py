@@ -109,6 +109,68 @@ class SweepPoint:
     common_causes: tuple[CommonCause, ...] | None = None
     weights: Mapping[str, float] | None = None
 
+    def to_dict(self) -> dict:
+        """Canonical JSON form.  ``None`` overrides are omitted, so the
+        document round-trips the "keep the base" / "override with
+        empty" distinction exactly."""
+        document: dict = {"name": self.name, "architecture": self.architecture}
+        if self.failure_probs is not None:
+            document["failure_probs"] = {
+                str(name): float(value)
+                for name, value in sorted(self.failure_probs.items())
+            }
+        if self.common_causes is not None:
+            document["common_causes"] = [
+                {
+                    "name": cause.name,
+                    "probability": float(cause.probability),
+                    "components": list(cause.components),
+                }
+                for cause in self.common_causes
+            ]
+        if self.weights is not None:
+            document["weights"] = {
+                str(name): float(value)
+                for name, value in sorted(self.weights.items())
+            }
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        causes = None
+        if "common_causes" in document:
+            causes = tuple(
+                CommonCause(
+                    name=str(item["name"]),
+                    probability=float(item["probability"]),
+                    components=tuple(str(c) for c in item["components"]),
+                )
+                for item in document["common_causes"]
+            )
+        architecture = document.get("architecture")
+        return cls(
+            name=str(document["name"]),
+            architecture=None if architecture is None else str(architecture),
+            failure_probs=(
+                {
+                    str(name): float(value)
+                    for name, value in document["failure_probs"].items()
+                }
+                if "failure_probs" in document
+                else None
+            ),
+            common_causes=causes,
+            weights=(
+                {
+                    str(name): float(value)
+                    for name, value in document["weights"].items()
+                }
+                if "weights" in document
+                else None
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class SweepPointResult:
@@ -140,6 +202,33 @@ class SweepPointResult:
     @property
     def failed_probability(self) -> float:
         return self.result.failed_probability
+
+    def to_dict(self) -> dict:
+        """Full-fidelity canonical JSON form (the campaign store's
+        per-point payload; :meth:`SweepResult.to_json_dict` renders the
+        lighter export view)."""
+        return {
+            "point": self.point.to_dict(),
+            "failure_probs": {
+                str(name): float(value)
+                for name, value in sorted(self.failure_probs.items())
+            },
+            "result": self.result.to_dict(),
+            "scan_cached": bool(self.scan_cached),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "SweepPointResult":
+        """Rebuild an evaluated point from :meth:`to_dict` output."""
+        return cls(
+            point=SweepPoint.from_dict(document["point"]),
+            failure_probs={
+                str(name): float(value)
+                for name, value in document["failure_probs"].items()
+            },
+            result=PerformabilityResult.from_dict(document["result"]),
+            scan_cached=bool(document.get("scan_cached", False)),
+        )
 
 
 @dataclass(frozen=True)
@@ -196,22 +285,10 @@ class SweepResult:
             if entry.point.weights is not None:
                 document["weights"] = dict(entry.point.weights)
             if include_records:
+                # One record schema everywhere: exports share
+                # ConfigurationRecord.to_dict with campaign-store rows.
                 document["records"] = [
-                    {
-                        "configuration": (
-                            sorted(record.configuration)
-                            if record.configuration is not None
-                            else None
-                        ),
-                        "probability": float(record.probability),
-                        "reward": float(record.reward),
-                        "throughputs": {
-                            task: float(value)
-                            for task, value in record.throughputs.items()
-                        },
-                        "converged": record.converged,
-                    }
-                    for record in entry.result.records
+                    record.to_dict() for record in entry.result.records
                 ]
             points.append(document)
         return {
@@ -221,6 +298,32 @@ class SweepResult:
             "lqn_cache_hit_rate": self.lqn_cache_hit_rate,
             "points": points,
         }
+
+    def to_dict(self) -> dict:
+        """Full-fidelity canonical JSON form: every point's complete
+        :class:`~repro.core.results.PerformabilityResult` plus the
+        aggregated counters.  :meth:`from_dict` reconstructs an equal
+        :class:`SweepResult`; :meth:`to_json_dict` is the lighter
+        human-facing export."""
+        return {
+            "points": [entry.to_dict() for entry in self.points],
+            "counters": self.counters.to_dict(),
+            "method": self.method,
+            "jobs": int(self.jobs),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_dict` output."""
+        return cls(
+            points=tuple(
+                SweepPointResult.from_dict(entry)
+                for entry in document["points"]
+            ),
+            counters=ScanCounters.from_dict(document["counters"]),
+            method=str(document["method"]),
+            jobs=int(document.get("jobs", 1)),
+        )
 
     def to_json(self, *, indent: int | None = 2,
                 include_records: bool = True) -> str:

@@ -141,6 +141,7 @@ class SearchResult:
     jobs: int = 1
     rounds: int = 0
     bounds_skips: tuple[BoundsSkip, ...] = ()
+    store_hits: int = 0
 
     def evaluation(self, name: str) -> CandidateEvaluation:
         """Look up one evaluated candidate by name."""
@@ -207,6 +208,13 @@ class DesignSpaceSearch:
         (whose rewards are intervals) and for reward functions the
         bound does not cover (negative weights, or an opaque custom
         ``RewardFunction``).
+    store:
+        Optional :class:`~repro.campaign.store.ResultStore`: candidate
+        evaluations are memoized under their content-addressed solve
+        keys (:func:`repro.campaign.keys.solve_point_key`), so a
+        re-run of the same search — or a campaign that evaluated the
+        same candidates — costs store lookups instead of solves.
+        Fresh evaluations are committed as they finish.
     """
 
     def __init__(
@@ -221,6 +229,7 @@ class DesignSpaceSearch:
         counters: ScanCounters | None = None,
         warm_start: bool = False,
         bounds_fast_path: bool = True,
+        store=None,
     ):
         self.space = space
         self.method = method
@@ -244,6 +253,11 @@ class DesignSpaceSearch:
         self._evaluated: dict[str, CandidateEvaluation] = {}
         self._order: list[str] = []
         self._distinct: set[frozenset[str] | None] = set()
+        self._store = store
+        self._store_hits = 0
+        self._ftlqn_document: dict | None = None
+        self._mama_documents: dict[str, dict] = {}
+        self._weights = None if weights is None else dict(weights)
         # Bounds fast path: the reward weights the upper bound is taken
         # over (None when the reward is opaque and cannot be bounded).
         bound_weights = getattr(self._reward, "weights", None)
@@ -285,6 +299,11 @@ class DesignSpaceSearch:
                 continue
             seen.add(candidate.name)
             fresh.append(candidate)
+        if fresh and self._store is not None:
+            fresh = [
+                candidate for candidate in fresh
+                if not self._record_from_store(candidate)
+            ]
         if fresh:
             run_counters = ScanCounters()
             sweep = self.engine.run(
@@ -295,7 +314,68 @@ class DesignSpaceSearch:
             self.counters.merge(run_counters)
             for candidate, entry in zip(fresh, sweep.points):
                 self._record(candidate, entry)
+                if self._store is not None:
+                    self._store.put(
+                        self._candidate_key(candidate),
+                        kind="solve",
+                        name=candidate.name,
+                        document={
+                            "kind": "solve",
+                            "workload": "optimize",
+                            "record": entry.to_dict(),
+                            "counters": (
+                                entry.result.counters.to_dict()
+                                if entry.result.counters is not None
+                                else ScanCounters().to_dict()
+                            ),
+                        },
+                        seconds=0.0,
+                    )
         return [self._evaluated[candidate.name] for candidate in requested]
+
+    def _candidate_key(self, candidate: Candidate) -> str:
+        """The candidate's content-addressed solve key — identical to
+        what a campaign's optimize workload computes for it, so the
+        search and ``repro campaign`` memoize each other."""
+        # Lazy: repro.campaign sits above the optimize package.
+        from repro.campaign.keys import solve_point_key
+
+        if self._ftlqn_document is None:
+            import json
+
+            from repro.ftlqn.serialize import model_to_json
+
+            self._ftlqn_document = json.loads(model_to_json(self.space.ftlqn))
+        mama_document = self._mama_documents.get(candidate.architecture)
+        if mama_document is None:
+            import json
+
+            from repro.mama.serialize import mama_to_json
+
+            mama_document = json.loads(mama_to_json(
+                self.engine.architectures[candidate.architecture]
+            ))
+            self._mama_documents[candidate.architecture] = mama_document
+        point = candidate.sweep_point()
+        return solve_point_key(
+            self._ftlqn_document,
+            mama_document,
+            failure_probs=self.engine.effective_failure_probs(point),
+            common_causes=self.space.common_causes,
+            weights=self._weights,
+            method=self.method,
+            epsilon=self.epsilon,
+        )
+
+    def _record_from_store(self, candidate: Candidate) -> bool:
+        """Serve one candidate from the result store, if present."""
+        stored = self._store.get(self._candidate_key(candidate))
+        if stored is None or stored.kind != "solve":
+            return False
+        entry = SweepPointResult.from_dict(stored.document["record"])
+        self._record(candidate, entry)
+        self._store_hits += 1
+        return True
 
     def _record(
         self, candidate: Candidate, entry: SweepPointResult
@@ -323,6 +403,7 @@ class DesignSpaceSearch:
             jobs=self.jobs,
             rounds=rounds,
             bounds_skips=tuple(self._bounds_skips),
+            store_hits=self._store_hits,
         )
 
     # ------------------------------------------------------------------

@@ -13,6 +13,15 @@ The campaign is budgeted two ways: ``seeds`` bounds the seed range and
 ``time_budget`` (seconds, optional) stops early — nightly CI gives a
 wall-clock budget so the job finishes whatever the machine, while
 ``repro verify --seeds N`` gives an exact, reproducible range.
+
+With a :class:`~repro.campaign.store.ResultStore` attached
+(``store=``), every completed check is committed under its
+content-addressed key (:func:`repro.campaign.keys.fuzz_point_key`) and
+already-stored seeds are skipped — a nightly job that died at seed 700
+resumes there instead of re-checking 0–699, and a widened seed range
+only pays for the new seeds.  Check strength is derived from the
+*seed value* (``seed % sim_every``), not the position in the range, so
+a seed's key means the same thing whatever range reached it.
 """
 
 from __future__ import annotations
@@ -60,6 +69,10 @@ class SeedOutcome:
     shrink_steps: list[str] = field(default_factory=list)
     script: str | None = None
     corpus: dict | None = None
+    #: True when the verdict came from the result store instead of a
+    #: fresh oracle run (shrink artifacts are not re-derived for cached
+    #: failures — they were produced when the failure was first found).
+    cached: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -73,6 +86,7 @@ class SeedOutcome:
             "disagreements": self.disagreements,
             "shrunken": self.shrunken,
             "shrink_steps": self.shrink_steps,
+            "cached": self.cached,
         }
 
 
@@ -94,11 +108,16 @@ class FuzzReport:
     def ok(self) -> bool:
         return not self.failures
 
+    @property
+    def store_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
     def as_dict(self) -> dict:
         return {
             "backends": list(self.backends),
             "seeds_requested": self.seeds_requested,
             "seeds_checked": len(self.outcomes),
+            "store_hits": self.store_hits,
             "seconds": round(self.seconds, 3),
             "stopped_by_budget": self.stopped_by_budget,
             "failures": len(self.failures),
@@ -124,19 +143,39 @@ def run_fuzz(
     parallel_every: int = 25,
     shrink: bool = True,
     log: FuzzLog | None = None,
+    store=None,
 ) -> FuzzReport:
     """Run one fuzzing campaign and return its report.
 
     Every seed runs all selected backends serially; every
     ``parallel_every``-th seed additionally re-runs them with
     ``jobs`` worker processes, and every ``sim_every``-th seed adds the
-    Monte-Carlo cross-check (0 disables either).  Disagreements are
-    shrunk (unless ``shrink=False``) with a predicate that replays only
-    the *analytic* part of the oracle — simulation-only disagreements
-    are reported but not shrunk, since the stochastic check is not a
-    reliable reduction predicate.
+    Monte-Carlo cross-check (0 disables either; both are keyed on the
+    seed *value*, so the same seed gets the same check strength in any
+    range).  Disagreements are shrunk (unless ``shrink=False``) with a
+    predicate that replays only the *analytic* part of the oracle —
+    simulation-only disagreements are reported but not shrunk, since
+    the stochastic check is not a reliable reduction predicate.
+
+    ``store`` (a :class:`~repro.campaign.store.ResultStore`) memoizes
+    checks across runs: stored seeds are reported as ``cached``
+    outcomes without re-running the oracle, fresh checks are committed
+    as they finish (so a killed campaign resumes where it died).  The
+    row format is shared with ``repro campaign`` fuzz workloads — a
+    campaign and a ``repro verify --store`` run memoize each other.
     """
     table = default_backends(backends)
+    backend_names = tuple(table)
+    oracle_document = None
+    if store is not None:
+        # Lazy: repro.campaign imports the verify package for its fuzz
+        # workloads, so the store integration must not import it back
+        # at module level.
+        from dataclasses import asdict
+
+        from repro.campaign.keys import fuzz_point_key as _fuzz_point_key
+
+        oracle_document = asdict(config)
     started = time.perf_counter()
     outcomes: list[SeedOutcome] = []
     stopped = False
@@ -147,12 +186,32 @@ def run_fuzz(
             break
         seed = seed_start + index
         jobs_checked = (1,)
-        if parallel_every and jobs > 1 and index % parallel_every == 0:
+        if parallel_every and jobs > 1 and seed % parallel_every == 0:
             jobs_checked = (1, jobs)
-        simulate = bool(sim_every) and index % sim_every == 0
+        simulate = bool(sim_every) and seed % sim_every == 0
 
         seed_started = time.perf_counter()
         scenario = generate_scenario(seed, space)
+
+        key = None
+        if store is not None:
+            key = _fuzz_point_key(
+                scenario.to_document(),
+                backends=backend_names,
+                jobs_checked=jobs_checked,
+                simulate=simulate,
+                oracle_config=oracle_document,
+            )
+            stored = store.get(key)
+            if stored is not None:
+                outcome = _outcome_from_store(
+                    seed, stored.document, jobs_checked
+                )
+                outcomes.append(outcome)
+                if log is not None:
+                    log(outcome)
+                continue
+
         report = check_scenario(
             scenario,
             backends=table,
@@ -170,6 +229,33 @@ def run_fuzz(
             jobs_checked=jobs_checked,
             disagreements=[d.as_dict() for d in report.disagreements],
         )
+        if store is not None:
+            store.put(
+                key,
+                kind="fuzz",
+                name=f"verify/seed-{seed}",
+                document={
+                    "kind": "fuzz",
+                    "workload": "verify",
+                    "seed": seed,
+                    "ok": report.ok,
+                    "reference_backend": report.reference_backend,
+                    "backends_checked": list(report.backends_checked),
+                    "jobs_checked": list(report.jobs_checked),
+                    "simulated": report.simulated,
+                    "bounded_checked": report.bounded_checked,
+                    "state_count": report.state_count,
+                    "distinct_configurations": (
+                        report.distinct_configurations
+                    ),
+                    "expected_reward": report.expected_reward,
+                    "failed_probability": report.failed_probability,
+                    "disagreements": [
+                        d.as_dict() for d in report.disagreements
+                    ],
+                },
+                seconds=time.perf_counter() - seed_started,
+            )
 
         analytic_failure = any(
             d.kind != "simulation" for d in report.disagreements
@@ -187,6 +273,29 @@ def run_fuzz(
         seeds_requested=seeds,
         seconds=time.perf_counter() - started,
         stopped_by_budget=stopped,
+    )
+
+
+def _outcome_from_store(
+    seed: int, document: dict, jobs_checked: tuple[int, ...]
+) -> SeedOutcome:
+    """A ``cached`` outcome rebuilt from a stored check document.
+
+    The stored verdict stands — in particular a remembered failure
+    fails the rerun too — but shrink artifacts are not re-derived.
+    """
+    return SeedOutcome(
+        seed=seed,
+        ok=bool(document.get("ok", True)),
+        seconds=0.0,
+        state_count=int(document.get("state_count", 0)),
+        distinct_configurations=int(
+            document.get("distinct_configurations", 0)
+        ),
+        simulated=bool(document.get("simulated", False)),
+        jobs_checked=jobs_checked,
+        disagreements=list(document.get("disagreements", [])),
+        cached=True,
     )
 
 

@@ -1,0 +1,47 @@
+"""Design-space searches memoized through the campaign store: a rerun
+of the same search serves every candidate from the store."""
+
+import pytest
+
+from repro.campaign import ResultStore
+from repro.optimize import DesignSpace, DesignSpaceSearch, UpgradeOption
+from tests.campaign.conftest import TINY_TASKS, tiny_system
+
+PROBS = {"app": 0.05, "s1": 0.1, "s2": 0.1, "p1": 0.05, "p2": 0.05}
+
+UPGRADES = (
+    UpgradeOption("s1", 0.01, cost=2.0, name="fast-disk"),
+)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace(
+        tiny_system(),
+        tasks=TINY_TASKS,
+        upgrades=UPGRADES,
+        base_failure_probs=PROBS,
+    )
+
+
+def test_search_rerun_is_served_from_the_store(space, tmp_path):
+    with ResultStore(tmp_path / "s.sqlite") as store:
+        cold = DesignSpaceSearch(space, store=store).exhaustive()
+        assert cold.store_hits == 0
+        assert store.count(kind="solve") == len(cold.evaluations)
+
+        warm = DesignSpaceSearch(space, store=store).exhaustive()
+    assert warm.store_hits == len(warm.evaluations)
+    assert len(warm.evaluations) == len(cold.evaluations)
+    for before, after in zip(cold.evaluations, warm.evaluations):
+        assert before.candidate.name == after.candidate.name
+        assert after.expected_reward == pytest.approx(
+            before.expected_reward, abs=1e-12
+        )
+        assert after.cost == before.cost
+
+
+def test_search_without_store_still_works(space):
+    result = DesignSpaceSearch(space).exhaustive()
+    assert result.store_hits == 0
+    assert result.evaluations

@@ -1,0 +1,199 @@
+"""The campaign dispatcher: memoization, parallel parity, stored-fuzz
+verdict propagation, and the SIGKILL-resume guarantee (proved by
+actually killing a dispatcher subprocess)."""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign
+from repro.campaign.runner import CampaignProgress, console_campaign_progress
+from repro.core.sweep import SweepPointResult
+from tests.campaign.conftest import kill_spec, make_spec, mixed_spec
+from tests.campaign.conftest import small_grid_workload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rewards_by_key(store):
+    return {
+        stored.key: SweepPointResult.from_dict(
+            stored.document["record"]
+        ).result.expected_reward
+        for stored in store.rows(kind="solve")
+    }
+
+
+class TestSequentialRuns:
+    def test_cold_run_solves_everything(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            result = run_campaign(mixed_spec(), store)
+            assert result.total == 7
+            assert result.store_hits == 0
+            assert result.solved == 7
+            assert result.ok
+            assert result.counters.states_visited > 0
+            assert store.count(kind="solve") == 5
+            assert store.count(kind="fuzz") == 2
+            assert set(result.keys) == {
+                point.name for point in mixed_spec().compile().points
+            }
+
+    def test_rerun_is_fully_memoized(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_campaign(mixed_spec(), store)
+            result = run_campaign(mixed_spec(), store)
+        assert result.store_hits == 7
+        assert result.solved == 0
+        # A fully memoized rerun did no scanning at all.
+        assert result.counters.states_visited == 0
+        assert result.counters.lqn_solves == 0
+
+    def test_progress_stream(self, tmp_path):
+        events = []
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_campaign(
+                make_spec([small_grid_workload()]), store,
+                progress=events.append,
+            )
+        assert all(isinstance(e, CampaignProgress) for e in events)
+        assert events[0].completed == 0
+        assert events[-1].completed == events[-1].total == 4
+        assert events[-1].fraction == 1.0
+        assert any(e.eta_seconds is not None for e in events)
+
+    def test_console_progress_renders(self, tmp_path):
+        import io
+
+        stream = io.StringIO()
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            run_campaign(
+                make_spec([small_grid_workload()]), store,
+                progress=console_campaign_progress(stream),
+            )
+        text = stream.getvalue()
+        assert "4/4 points" in text
+        assert text.endswith("\n")
+
+    def test_compiled_campaign_rejects_backend_overrides(self, tmp_path):
+        compiled = make_spec([small_grid_workload()]).compile()
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            with pytest.raises(ValueError, match="compile time"):
+                run_campaign(compiled, store, method="bits")
+
+
+def comparable_records(store):
+    """Record documents with per-run noise (timing counters, cache
+    attribution) stripped, keyed by content address."""
+    records = {}
+    for stored in store.rows(kind="solve"):
+        record = dict(stored.document["record"])
+        record.pop("scan_cached", None)
+        result = dict(record["result"])
+        result.pop("counters", None)
+        record["result"] = result
+        records[stored.key] = record
+    return records
+
+
+class TestParallelDispatch:
+    def test_two_workers_match_sequential_bit_for_bit(self, tmp_path):
+        spec = make_spec([small_grid_workload()])
+        with ResultStore(tmp_path / "par.sqlite") as store:
+            result = run_campaign(spec, store, workers=2)
+            assert result.solved == 4
+            assert result.store_hits == 0
+            parallel = comparable_records(store)
+            parallel_rewards = rewards_by_key(store)
+        with ResultStore(tmp_path / "seq.sqlite") as store:
+            run_campaign(spec, store, workers=1)
+            sequential = comparable_records(store)
+            sequential_rewards = rewards_by_key(store)
+        # Numerical content is identical; only timing counters and
+        # cache attribution inside ScanCounters may differ.
+        assert parallel == sequential
+        for key, reward in sequential_rewards.items():
+            assert parallel[key] is not None
+            assert abs(parallel_rewards[key] - reward) <= 1e-12
+
+    def test_workers_zero_means_all_cores(self, tmp_path):
+        spec = make_spec([small_grid_workload()])
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            result = run_campaign(spec, store, workers=0)
+        assert result.solved == 4
+
+
+class TestStoredFuzzVerdicts:
+    def test_stored_failure_still_fails_the_rerun(self, tmp_path):
+        compiled = mixed_spec().compile()
+        fuzz_point = compiled.fuzz_points[0]
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(
+                fuzz_point.key,
+                kind="fuzz",
+                name=fuzz_point.name,
+                document={
+                    "kind": "fuzz", "ok": False,
+                    "seed": fuzz_point.payload["seed"],
+                    "disagreements": [{"backend": "mutant"}],
+                },
+                seconds=0.1,
+                campaign="unit",
+            )
+            result = run_campaign(mixed_spec(), store)
+        assert not result.ok
+        assert result.failed_checks == (fuzz_point.name,)
+        # The remembered verdict cost no recomputation.
+        assert result.store_hits == 1
+
+
+class TestKillAndResume:
+    def run_killed_dispatcher(self, store_path, kill_after=3):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        )
+        script = (
+            "import sys\n"
+            "from tests.campaign.conftest import kill_campaign_main\n"
+            "kill_campaign_main(sys.argv[1], int(sys.argv[2]))\n"
+        )
+        return subprocess.run(
+            [sys.executable, "-c", script, str(store_path), str(kill_after)],
+            env=env, cwd=REPO_ROOT, capture_output=True, text=True,
+            timeout=300,
+        )
+
+    def test_sigkill_then_resume_recomputes_nothing(self, tmp_path):
+        store_path = tmp_path / "killed.sqlite"
+        proc = self.run_killed_dispatcher(store_path, kill_after=3)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        total = len(kill_spec().compile().points)
+        with ResultStore(store_path) as store:
+            committed = store.count()
+            assert 0 < committed < total
+            resumed = run_campaign(kill_spec(), store)
+            assert resumed.store_hits == committed
+            assert resumed.solved == total - committed
+            assert store.count() == total
+            warm = rewards_by_key(store)
+
+        # And the survivors' rewards match a cold, never-killed run.
+        with ResultStore(tmp_path / "cold.sqlite") as store:
+            cold = run_campaign(kill_spec(), store)
+            assert cold.solved == total
+            cold_rewards = rewards_by_key(store)
+        assert warm.keys() == cold_rewards.keys()
+        for key, reward in cold_rewards.items():
+            assert warm[key] == pytest.approx(reward, abs=1e-12)
+
+        # A third run over the resumed store is a pure memo.
+        with ResultStore(store_path) as store:
+            third = run_campaign(kill_spec(), store)
+        assert third.store_hits == total
+        assert third.solved == 0

@@ -1,0 +1,112 @@
+"""Stable dict round trips for the result types the campaign store
+persists: counters, configuration records, performability results and
+sweep points/results."""
+
+import json
+
+import pytest
+
+from repro.core.dependency import CommonCause
+from repro.core.progress import ScanCounters
+from repro.core.results import ConfigurationRecord, PerformabilityResult
+from repro.core.sweep import (
+    SweepEngine,
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+)
+from tests.campaign.conftest import TINY_PROBS, tiny_mama, tiny_system
+
+
+def solved_sweep() -> SweepResult:
+    engine = SweepEngine(
+        tiny_system(), {"central": tiny_mama()},
+        base_failure_probs=TINY_PROBS,
+    )
+    return engine.run([
+        SweepPoint(name="base", architecture="central"),
+        SweepPoint(
+            name="degraded", architecture="central",
+            failure_probs={"s1": 0.4},
+            common_causes=(
+                CommonCause("rack", 0.05, ("s1", "s2")),
+            ),
+            weights={"users": 2.0},
+        ),
+        SweepPoint(name="perfect", architecture=None),
+    ])
+
+
+class TestScanCounters:
+    def test_round_trip(self):
+        counters = ScanCounters()
+        counters.states_visited = 12
+        counters.lqn_solves = 3
+        counters.scan_seconds = 0.5
+        counters.distinct_configurations = 4
+        rebuilt = ScanCounters.from_dict(counters.to_dict())
+        assert rebuilt.to_dict() == counters.to_dict()
+
+    def test_json_safe(self):
+        json.dumps(ScanCounters().to_dict())
+
+    def test_missing_fields_default_and_unknown_fields_raise(self):
+        rebuilt = ScanCounters.from_dict({"states_visited": 2})
+        assert rebuilt.states_visited == 2
+        assert rebuilt.lqn_solves == 0
+        with pytest.raises(ValueError, match="unknown ScanCounters"):
+            ScanCounters.from_dict({"from_the_future": 9})
+
+
+class TestSweepRoundTrips:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return solved_sweep()
+
+    def test_sweep_point_round_trip(self, sweep):
+        for record in sweep.points:
+            point = record.point
+            rebuilt = SweepPoint.from_dict(point.to_dict())
+            assert rebuilt == point
+            assert rebuilt.to_dict() == point.to_dict()
+
+    def test_point_result_round_trip_is_exact(self, sweep):
+        for record in sweep.points:
+            document = record.to_dict()
+            rebuilt = SweepPointResult.from_dict(document)
+            assert rebuilt.to_dict() == document
+            # Bit-exact numerical fidelity, not approximate.
+            assert rebuilt.result.expected_reward == (
+                record.result.expected_reward
+            )
+            assert rebuilt.failure_probs == dict(record.failure_probs)
+            assert rebuilt.scan_cached == record.scan_cached
+
+    def test_configuration_records_round_trip(self, sweep):
+        result = sweep.points[0].result
+        for record in result.records:
+            rebuilt = ConfigurationRecord.from_dict(record.to_dict())
+            assert rebuilt.configuration == record.configuration
+            assert rebuilt.probability == record.probability
+            assert rebuilt.reward == record.reward
+            assert dict(rebuilt.throughputs) == dict(record.throughputs)
+            assert rebuilt.converged == record.converged
+
+    def test_performability_result_round_trip(self, sweep):
+        result = sweep.points[1].result
+        rebuilt = PerformabilityResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.expected_reward == result.expected_reward
+        assert rebuilt.failed_probability == result.failed_probability
+        assert rebuilt.reward_interval == result.reward_interval
+
+    def test_sweep_result_round_trip(self, sweep):
+        document = sweep.to_dict()
+        rebuilt = SweepResult.from_dict(document)
+        assert rebuilt.to_dict() == document
+        assert [p.name for p in rebuilt.points] == [
+            "base", "degraded", "perfect",
+        ]
+
+    def test_documents_are_json_safe(self, sweep):
+        json.loads(json.dumps(sweep.to_dict()))

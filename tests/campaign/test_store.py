@@ -1,0 +1,114 @@
+"""The sqlite result store: round trips, memo queries, durability
+settings and format versioning."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.store import STORE_FORMAT_VERSION, ResultStore
+from repro.errors import SerializationError
+
+DOC = {"kind": "solve", "record": {"x": 1.5}, "counters": {}}
+
+
+def put_sample(store, key="k1", **overrides):
+    settings = dict(
+        kind="solve", name="p1", document=DOC, seconds=0.25,
+        campaign="unit",
+    )
+    settings.update(overrides)
+    store.put(key, **settings)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            put_sample(store)
+            stored = store.get("k1")
+        assert stored.key == "k1"
+        assert stored.kind == "solve"
+        assert stored.name == "p1"
+        assert stored.campaign == "unit"
+        assert stored.document == DOC
+        assert stored.seconds == 0.25
+        assert stored.created > 0
+
+    def test_get_missing_is_none(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            assert store.get("nope") is None
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ResultStore(path) as store:
+            put_sample(store)
+        with ResultStore(path) as store:
+            assert store.get("k1").document == DOC
+
+    def test_put_is_idempotent(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            put_sample(store)
+            put_sample(store, seconds=9.0)
+            assert store.count() == 1
+            assert store.get("k1").seconds == 9.0
+
+
+class TestQueries:
+    def test_known_partitions(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            put_sample(store, key="a")
+            put_sample(store, key="b")
+            assert store.known(["a", "b", "c"]) == {"a", "b"}
+            assert store.known([]) == set()
+
+    def test_known_chunks_large_batches(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            for index in range(30):
+                put_sample(store, key=f"k{index:04d}")
+            keys = [f"k{index:04d}" for index in range(1200)]
+            assert store.known(keys) == {f"k{index:04d}" for index in range(30)}
+
+    def test_rows_filters_and_order(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            put_sample(store, key="a", kind="solve", campaign="one")
+            put_sample(store, key="b", kind="fuzz", campaign="two")
+            put_sample(store, key="c", kind="solve", campaign="two")
+            assert [r.key for r in store.rows()] == ["a", "b", "c"]
+            assert [r.key for r in store.rows(kind="solve")] == ["a", "c"]
+            assert [r.key for r in store.rows(campaign="two")] == ["b", "c"]
+            assert [
+                r.key for r in store.rows(kind="solve", campaign="two")
+            ] == ["c"]
+
+    def test_count_by_kind(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            put_sample(store, key="a", kind="solve")
+            put_sample(store, key="b", kind="fuzz")
+            assert store.count() == 2
+            assert store.count(kind="fuzz") == 1
+
+
+class TestDurabilityAndFormat:
+    def test_wal_journal_on_disk(self, tmp_path):
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            assert store.journal_mode() == "wal"
+
+    def test_format_version_written(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ResultStore(path).close()
+        row = sqlite3.connect(path).execute(
+            "SELECT value FROM meta WHERE key = 'format_version'"
+        ).fetchone()
+        assert int(row[0]) == STORE_FORMAT_VERSION
+
+    def test_incompatible_format_rejected(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        ResultStore(path).close()
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE meta SET value = ? WHERE key = 'format_version'",
+            (str(STORE_FORMAT_VERSION + 1),),
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(SerializationError, match="format version"):
+            ResultStore(path)
