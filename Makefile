@@ -2,7 +2,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test bench bench-snapshot bench-snapshot-lqn \
-	bench-snapshot-campaign docs-check fuzz
+	bench-snapshot-campaign bench-snapshot-service docs-check fuzz
 
 test:
 	$(PY) -m pytest -x -q
@@ -36,6 +36,13 @@ bench-snapshot-lqn:
 # parity gates, written to BENCH_campaign.json (CI artifact).
 bench-snapshot-campaign:
 	$(PY) benchmarks/snapshot_campaign.py --out BENCH_campaign.json
+
+# Analysis service: CLI/daemon 1e-12 parity on every catalog scenario,
+# warm-cache >=10x cold latency (always enforced) and concurrent
+# micro-batched throughput (enforced on >=4 CPU hosts), written to
+# BENCH_service.json (CI artifact).
+bench-snapshot-service:
+	$(PY) benchmarks/snapshot_service.py --out BENCH_service.json
 
 # Verify that every ```python block in docs/*.md and README.md parses,
 # so guide snippets cannot rot into syntax errors.

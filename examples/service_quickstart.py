@@ -1,0 +1,103 @@
+"""Warm-cache analysis service: boot a daemon in-process and drive it.
+
+This example shows the whole HTTP surface without leaving Python:
+
+1. start ``repro serve`` on a free port inside this process;
+2. analyze a catalog scenario cold, then warm — the second call hits
+   the shared caches and returns the bit-identical result document;
+3. overlay what-if failure probabilities on the warm engine;
+4. stream a sweep as NDJSON progress events;
+5. run a design-space search and read the recommendation;
+6. dump the daemon's cache/batcher statistics.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_quickstart.py
+"""
+
+import threading
+import time
+
+from repro.service import AnalysisService, ServiceClient, serve
+
+
+def main() -> None:
+    service = AnalysisService(workers=2)
+    captured = {}
+    ready = threading.Event()
+
+    def on_ready(server):
+        captured["port"] = server.port
+        ready.set()
+
+    threading.Thread(
+        target=serve,
+        args=(service,),
+        kwargs={"port": 0, "ready": on_ready},
+        daemon=True,
+    ).start()
+    if not ready.wait(30):
+        raise SystemExit("daemon did not come up")
+    client = ServiceClient(port=captured["port"])
+    print(f"daemon listening on port {captured['port']}")
+
+    # -- catalog --------------------------------------------------------
+    catalog = client.catalog()
+    names = [entry["name"] for entry in catalog["scenarios"]]
+    print(f"catalog: {', '.join(names)}")
+
+    # -- cold vs warm analysis ------------------------------------------
+    payload = {"scenario": "datacenter-risk", "architecture": "centralized"}
+    start = time.perf_counter()
+    cold = client.analyze(payload)
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = client.analyze(payload)
+    warm_seconds = time.perf_counter() - start
+    assert cold["result"] == warm["result"]
+    print(
+        f"datacenter-risk/centralized: reward "
+        f"{cold['expected_reward']:.6f} "
+        f"(cold {cold_seconds * 1e3:.1f} ms, warm {warm_seconds * 1e3:.1f} ms)"
+    )
+
+    # -- what-if overlay on the warm engine -----------------------------
+    whatif = client.analyze(
+        {**payload, "failure_probs": {"p.site1": 0.05}}
+    )
+    print(
+        f"  with p.site1 degraded to 0.05: reward "
+        f"{whatif['expected_reward']:.6f}"
+    )
+
+    # -- streaming sweep ------------------------------------------------
+    events = list(client.sweep_stream({"scenario": "cdn-failover"}))
+    progress = sum(1 for event in events if event["event"] == "progress")
+    final = events[-1]
+    assert final["event"] == "result"
+    print(
+        f"cdn-failover sweep: {len(final['points'])} points, "
+        f"{progress} progress events streamed"
+    )
+
+    # -- design-space search --------------------------------------------
+    report = client.optimize(
+        {"scenario": "multi-region-ecommerce",
+         "search": {"strategy": "exhaustive"}}
+    )
+    print(
+        f"multi-region-ecommerce optimize: evaluated "
+        f"{report['evaluated']}, recommended {report['recommended']}"
+    )
+
+    # -- daemon statistics ----------------------------------------------
+    stats = client.stats()
+    print(
+        f"stats: {stats['requests']} requests, "
+        f"lqn cache hit rate {stats['lqn_cache_hit_rate']:.2f}, "
+        f"batcher {stats['batcher']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,10 +14,21 @@ into the manager's variable order, ``low`` is the cofactor for the
 variable being False and ``high`` for True.  The reduction invariants —
 ``low != high`` and unique ``(level, low, high)`` triples — are maintained
 by :meth:`BDD._mk`.
+
+Thread safety
+-------------
+Each manager carries one re-entrant lock.  Public operations acquire it
+once at the entry point and recurse through unlocked private bodies, so
+the per-node cost is unchanged and a manager shared between the analysis
+service's worker threads cannot corrupt its unique/apply/negate/from_expr
+tables (all four are check-then-insert caches, unsafe under races).
+Distinct managers never share state, so single-threaded workloads — one
+manager per scan — only pay one uncontended acquire per operation.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping, Sequence
 
 from repro.booleans.expr import FALSE, TRUE, And, Expr, Not, Or, Var
@@ -59,6 +70,9 @@ class BDD:
         # convert exactly once per manager.
         self._expr_cache: dict[Expr, int] = {}
         self.apply_cache_hits = 0
+        # Guards every table above; see "Thread safety" in the module
+        # docstring.  Re-entrant so composed public calls stay cheap.
+        self._lock = threading.RLock()
 
     @property
     def order(self) -> tuple[str, ...]:
@@ -86,6 +100,10 @@ class BDD:
 
     def var(self, name: str) -> int:
         """The BDD for a single variable."""
+        with self._lock:
+            return self._var(name)
+
+    def _var(self, name: str) -> int:
         try:
             level = self._level[name]
         except KeyError:
@@ -97,14 +115,20 @@ class BDD:
 
     def apply_and(self, u: int, v: int) -> int:
         """Conjunction of two nodes."""
-        return self._apply("and", u, v)
+        with self._lock:
+            return self._apply("and", u, v)
 
     def apply_or(self, u: int, v: int) -> int:
         """Disjunction of two nodes."""
-        return self._apply("or", u, v)
+        with self._lock:
+            return self._apply("or", u, v)
 
     def negate(self, u: int) -> int:
         """Negation of a node."""
+        with self._lock:
+            return self._negate(u)
+
+    def _negate(self, u: int) -> int:
         if u == ZERO:
             return ONE
         if u == ONE:
@@ -113,7 +137,7 @@ class BDD:
         if cached is not None:
             return cached
         level, low, high = self._nodes[u]
-        result = self._mk(level, self.negate(low), self.negate(high))
+        result = self._mk(level, self._negate(low), self._negate(high))
         self._not_cache[u] = result
         return result
 
@@ -168,6 +192,10 @@ class BDD:
         ``working`` condition is shared by dozens of parents — would
         redo the same apply work once per reference.)
         """
+        with self._lock:
+            return self._from_expr(expr)
+
+    def _from_expr(self, expr: Expr) -> int:
         cached = self._expr_cache.get(expr)
         if cached is not None:
             return cached
@@ -176,19 +204,19 @@ class BDD:
         elif expr == FALSE:
             node = ZERO
         elif isinstance(expr, Var):
-            node = self.var(expr.name)
+            node = self._var(expr.name)
         elif isinstance(expr, Not):
-            node = self.negate(self.from_expr(expr.operand))
+            node = self._negate(self._from_expr(expr.operand))
         elif isinstance(expr, And):
             node = ONE
             for term in expr.terms:
-                node = self.apply_and(node, self.from_expr(term))
+                node = self._apply("and", node, self._from_expr(term))
                 if node == ZERO:
                     break
         elif isinstance(expr, Or):
             node = ZERO
             for term in expr.terms:
-                node = self.apply_or(node, self.from_expr(term))
+                node = self._apply("or", node, self._from_expr(term))
                 if node == ONE:
                     break
         else:
@@ -200,9 +228,10 @@ class BDD:
 
     def evaluate(self, node: int, assignment: Mapping[str, bool]) -> bool:
         """Evaluate a node under a total variable assignment."""
-        while node not in (ZERO, ONE):
-            level, low, high = self._nodes[node]
-            node = high if assignment[self._order[level]] else low
+        with self._lock:
+            while node not in (ZERO, ONE):
+                level, low, high = self._nodes[node]
+                node = high if assignment[self._order[level]] else low
         return node == ONE
 
     def probability(self, node: int, probs: Mapping[str, float]) -> float:
@@ -224,13 +253,18 @@ class BDD:
             cache[n] = value
             return value
 
-        return walk(node)
+        with self._lock:
+            return walk(node)
 
     def support(self, node: int) -> frozenset[str]:
         """Variables the function actually depends on."""
         seen: set[int] = set()
         names: set[str] = set()
         stack = [node]
+        with self._lock:
+            return self._support(stack, seen, names)
+
+    def _support(self, stack, seen, names) -> frozenset[str]:
         while stack:
             n = stack.pop()
             if n in (ZERO, ONE) or n in seen:
@@ -264,19 +298,20 @@ class BDD:
         variable space.  Each leaf's probability is one weighted
         traversal, linear in its diagram size.
         """
-        branches: list[tuple[tuple[bool, ...], int]] = [((), ONE)]
-        for output in outputs:
-            negated = self.negate(output)
-            split: list[tuple[tuple[bool, ...], int]] = []
-            for signature, constraint in branches:
-                high = self.apply_and(constraint, output)
-                if high != ZERO:
-                    split.append((signature + (True,), high))
-                low = self.apply_and(constraint, negated)
-                if low != ZERO:
-                    split.append((signature + (False,), low))
-            branches = split
-        return {
-            signature: self.probability(constraint, probs)
-            for signature, constraint in branches
-        }
+        with self._lock:
+            branches: list[tuple[tuple[bool, ...], int]] = [((), ONE)]
+            for output in outputs:
+                negated = self._negate(output)
+                split: list[tuple[tuple[bool, ...], int]] = []
+                for signature, constraint in branches:
+                    high = self._apply("and", constraint, output)
+                    if high != ZERO:
+                        split.append((signature + (True,), high))
+                    low = self._apply("and", constraint, negated)
+                    if low != ZERO:
+                        split.append((signature + (False,), low))
+                branches = split
+            return {
+                signature: self.probability(constraint, probs)
+                for signature, constraint in branches
+            }

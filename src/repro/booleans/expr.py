@@ -24,6 +24,18 @@ Pickling reconstructs nodes through the interning constructors, so
 identity-based fast paths survive process boundaries (workers of the
 parallel scan receive structurally shared problems).
 
+The intern tables are guarded by one module-level lock, making node
+construction safe from concurrent threads: without it, two threads
+racing the same check-then-insert window could each construct a node
+for the same structure, and the loser's escaped instance would break
+every identity-based fast path downstream (``a == b`` but ``a is not
+b``, so the kernel compiler's id-keyed CSE would duplicate work and
+id-keyed memo tables would silently miss).  The long-lived analysis
+service (:mod:`repro.service`) evaluates requests on a thread pool, so
+this is a correctness requirement, not a nicety; the lock is
+uncontended in single-threaded use and is never held while user code
+runs (only around the table lookup/insert itself).
+
 Example
 -------
 >>> from repro.booleans import Var, all_of, any_of
@@ -35,9 +47,16 @@ True
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping
 from typing import Union
 from weakref import WeakValueDictionary
+
+#: One lock for every intern table.  Construction holds it only around
+#: the lookup/insert pair (no user code, no recursion), so a single
+#: shared lock cannot deadlock and keeps And/Or/Not/Var mutually
+#: consistent when threads race structurally equal nodes.
+_INTERN_LOCK = threading.Lock()
 
 
 class Expr:
@@ -151,12 +170,13 @@ class Var(Expr):
     def __new__(cls, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"variable name must be a non-empty string, got {name!r}")
-        self = cls._interned.get(name)
-        if self is None:
-            self = super().__new__(cls)
-            object.__setattr__(self, "name", name)
-            object.__setattr__(self, "_hash", hash(("var", name)))
-            cls._interned[name] = self
+        with _INTERN_LOCK:
+            self = cls._interned.get(name)
+            if self is None:
+                self = super().__new__(cls)
+                object.__setattr__(self, "name", name)
+                object.__setattr__(self, "_hash", hash(("var", name)))
+                cls._interned[name] = self
         return self
 
     def evaluate(self, assignment: Mapping[str, bool]) -> bool:
@@ -200,12 +220,13 @@ class Not(Expr):
     _interned: "WeakValueDictionary[Expr, Not]" = WeakValueDictionary()
 
     def __new__(cls, operand: Expr):
-        self = cls._interned.get(operand)
-        if self is None:
-            self = super().__new__(cls)
-            object.__setattr__(self, "operand", operand)
-            object.__setattr__(self, "_hash", hash(("not", operand)))
-            cls._interned[operand] = self
+        with _INTERN_LOCK:
+            self = cls._interned.get(operand)
+            if self is None:
+                self = super().__new__(cls)
+                object.__setattr__(self, "operand", operand)
+                object.__setattr__(self, "_hash", hash(("not", operand)))
+                cls._interned[operand] = self
         return self
 
     @staticmethod
@@ -258,12 +279,13 @@ class _NaryOp(Expr):
     _interned: "WeakValueDictionary[tuple[Expr, ...], _NaryOp]"
 
     def __new__(cls, terms: tuple[Expr, ...]):
-        self = cls._interned.get(terms)
-        if self is None:
-            self = super().__new__(cls)
-            object.__setattr__(self, "terms", terms)
-            object.__setattr__(self, "_hash", hash((cls._symbol, terms)))
-            cls._interned[terms] = self
+        with _INTERN_LOCK:
+            self = cls._interned.get(terms)
+            if self is None:
+                self = super().__new__(cls)
+                object.__setattr__(self, "terms", terms)
+                object.__setattr__(self, "_hash", hash((cls._symbol, terms)))
+                cls._interned[terms] = self
         return self
 
     def variables(self) -> frozenset[str]:

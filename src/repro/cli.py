@@ -37,6 +37,11 @@ Commands
     (``campaign run``); render offline JSON/CSV reports and Pareto
     frontiers from the store (``campaign report``).  See
     :mod:`repro.campaign`.
+``serve``
+    Run the warm-cache analysis HTTP daemon: per-scenario sweep
+    engines stay warm across requests, concurrent uncached LQN solves
+    are micro-batched, and every response is bit-identical to the
+    one-shot CLI (see :mod:`repro.service`).
 
 Model files use the JSON formats of :mod:`repro.ftlqn.serialize` and
 :mod:`repro.mama.serialize`.  The ``--probs`` file is either a flat
@@ -235,6 +240,14 @@ def _cmd_analyze(args) -> int:
             f"{c.lqn_unconverged} unconverged in {c.lqn_seconds:.2f}s",
             file=sys.stderr,
         )
+    if getattr(args, "json_out", None):
+        # Machine-precision export: counters are stripped so the
+        # document depends only on the analytical inputs (the service
+        # parity harness diffs this against /analyze responses).
+        document = result.to_dict()
+        document.pop("counters", None)
+        Path(args.json_out).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.json_out}", file=sys.stderr)
     return 0
 
 
@@ -675,6 +688,30 @@ def _cmd_campaign_run(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import AnalysisService, serve
+
+    service = AnalysisService(
+        workers=args.workers,
+        batch_window=args.batch_window,
+    )
+    if args.preload:
+        print("preloading catalog engines...", file=sys.stderr)
+        service.preload()
+
+    def ready(server) -> None:
+        # Printed to stdout on purpose: with --port 0 the bound port is
+        # the one piece of output scripts must parse.
+        print(
+            f"repro serve listening on http://{server.host}:{server.port} "
+            f"({service.workers} workers)",
+            flush=True,
+        )
+
+    serve(service, host=args.host, port=args.port, ready=ready)
+    return 0
+
+
 def _cmd_campaign_report(args) -> int:
     from repro.campaign import CampaignReport, ResultStore
 
@@ -762,6 +799,32 @@ def _cmd_paper(args) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's
+    ``repro.__version__`` when running uninstalled (PYTHONPATH=src)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except Exception:
+        import repro
+
+        return getattr(repro, "__version__", "unknown")
+
+
+def _workers_arg(value: str) -> int:
+    """``--workers`` parser: a positive integer, or ``auto``/``0`` for
+    one worker per CPU core."""
+    if value == "auto":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -772,6 +835,10 @@ def build_parser() -> argparse.ArgumentParser:
         "`analyze --progress` streams live progress and cost counters "
         "to stderr.  See docs/performance_guide.md for choosing "
         "--method and --jobs.",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -840,6 +907,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--weights",
         help='reward weights per user group as JSON, e.g. \'{"UserA": 1}\'',
+    )
+    analyze.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the full-fidelity result document as JSON (machine "
+        "precision — the printed table rounds to 6 decimals)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -1008,9 +1080,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store sqlite file (created if absent)",
     )
     campaign_run.add_argument(
-        "--workers", type=int, default=1, metavar="N",
+        "--workers", type=_workers_arg, default=1, metavar="N",
         help="worker processes to shard points over "
-        "(default 1 = run inline; 0 = all cores)",
+        "(default 1 = run inline; 'auto' or 0 = all cores)",
     )
     campaign_run.add_argument(
         "--method", choices=method_choices(), default=None,
@@ -1056,6 +1128,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one CSV row per solve point",
     )
     campaign_report.set_defaults(handler=_cmd_campaign_report)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the warm-cache analysis HTTP daemon",
+        epilog="The daemon keeps one SweepEngine per catalog scenario "
+        "warm across requests (structure, scan and LQN caches) and "
+        "coalesces concurrent uncached LQN solves into single batched "
+        "calls.  Routes: GET /healthz /stats /catalog "
+        "/scenarios/<name>; POST /analyze /sweep /optimize (JSON in, "
+        "JSON out; sweep accepts \"stream\": true for NDJSON "
+        "progress).  Responses are bit-identical to the one-shot CLI "
+        "on the same inputs.  See docs/performance_guide.md §12.",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, metavar="N",
+        help="TCP port (default 8000; 0 = pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--workers", type=_workers_arg, default=0, metavar="N",
+        help="solver worker threads (default 'auto' = one per CPU core)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=None, metavar="SECONDS",
+        help="micro-batching pile-up window (default 0.002; 0 disables "
+        "the wait but still coalesces whatever raced in)",
+    )
+    serve.add_argument(
+        "--preload", action="store_true",
+        help="derive every catalog scenario's analysis structures "
+        "before accepting requests",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     verify = commands.add_parser(
         "verify", help="fuzz the analytic backends against each other",

@@ -35,6 +35,8 @@ from repro.core.kernel import (
 from repro.core.symbolic import bdd_configurations, build_indicator_bdd
 from repro.core.performability import (
     AnalysisStructure,
+    BatchSolver,
+    LQNCoordinator,
     PerformabilityAnalyzer,
     derive_structure,
 )
@@ -60,7 +62,9 @@ from repro.core.configuration import configuration_to_lqn, group_support
 
 __all__ = [
     "AnalysisStructure",
+    "BatchSolver",
     "CommonCause",
+    "LQNCoordinator",
     "CompiledKernel",
     "DEFAULT_EPSILON",
     "ConfigurationRecord",

@@ -12,9 +12,10 @@ expected reward rate = Σ R_i · Prob(C_i) (§5 step 6)
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass
-from collections.abc import Mapping, MutableMapping
+from collections.abc import Callable, Mapping, MutableMapping, Sequence
 
 from repro.booleans.expr import Expr, Var, all_of
 from repro.core.configuration import configuration_to_lqn
@@ -44,7 +45,7 @@ from repro.errors import ModelError
 from repro.ftlqn.fault_graph import build_fault_graph
 from repro.ftlqn.model import FTLQNModel
 from repro.lqn.results import LQNResults, WarmStart
-from repro.lqn.solver import solve_lqn, solve_lqn_batch
+from repro.lqn.solver import solve_lqn_batch
 from repro.mama.knowledge import KnowledgeGraph
 from repro.mama.model import ComponentKind, MAMAModel
 
@@ -92,6 +93,155 @@ class WarmStartIndex:
         if best is None or best_key is None:
             return None, 0
         return best, best_key[0]
+
+
+#: Signature of an injectable batched LQN solver: a list of ordinary
+#: LQN models plus optional per-model warm-start seeds in, one
+#: :class:`LQNResults` per model (same order) out.  The default is
+#: :func:`repro.lqn.solver.solve_lqn_batch`; the analysis service
+#: injects its micro-batching queue here so concurrent requests
+#: coalesce into fewer, larger batched solves.
+BatchSolver = Callable[
+    [Sequence[object], Sequence[WarmStart | None] | None],
+    list[LQNResults],
+]
+
+
+def _solve_direct(models, warm_starts):
+    return solve_lqn_batch(models, warm_starts=warm_starts)
+
+
+class LQNCoordinator:
+    """Single-flight gate over a shared configuration → LQN cache.
+
+    Concurrent analyzers (the sweep engine under the analysis service's
+    thread pool) share one LQN cache; without coordination two threads
+    that miss on the same configuration would both solve it — wasted
+    work, and a lost-update on the cache-hit counters.  The coordinator
+    closes that window: a thread *claims* the configurations it will
+    solve by publishing an in-flight latch under the lock, solves every
+    claim in **one** batched call (preserving the PR-8 batching win
+    across concurrent requests), then publishes the results and
+    releases the latches.  A thread that finds a configuration already
+    claimed simply waits on the claimant's latch and reads the cache —
+    so across all threads each distinct configuration is solved exactly
+    once, and per-thread ``solved_now`` sets stay disjoint (coherent
+    ``lqn_solves``/``lqn_cache_hits`` accounting).
+
+    Single-threaded behaviour is bit-identical to the historical inline
+    batch solve: every missing configuration is claimed, models are
+    built in the same order, and the same ``solve_lqn_batch`` call is
+    issued (batched solves are bitwise-equal to sequential ones).
+
+    Parameters
+    ----------
+    ftlqn:
+        The layered model whose configurations are being solved.
+    cache:
+        The shared configuration → :class:`LQNResults` mapping; a fresh
+        dict when omitted.  All mutation happens under the internal
+        lock.
+    solver:
+        Optional :data:`BatchSolver` override (micro-batching, custom
+        tolerances).  Defaults to :func:`solve_lqn_batch`.
+    """
+
+    def __init__(
+        self,
+        ftlqn: FTLQNModel,
+        cache: MutableMapping[frozenset[str], LQNResults] | None = None,
+        *,
+        solver: BatchSolver | None = None,
+    ) -> None:
+        self._ftlqn = ftlqn
+        self._cache = cache if cache is not None else {}
+        self._solver = solver or _solve_direct
+        self._lock = threading.Lock()
+        self._inflight: dict[frozenset[str], threading.Event] = {}
+
+    @property
+    def cache(self) -> MutableMapping[frozenset[str], LQNResults]:
+        """The shared configuration → LQN-results mapping."""
+        return self._cache
+
+    def ensure(
+        self,
+        configurations: Sequence[frozenset[str]],
+        *,
+        counters: ScanCounters | None = None,
+        warm_index: WarmStartIndex | None = None,
+    ) -> set[frozenset[str]]:
+        """Make every configuration present in the cache.
+
+        ``configurations`` must not contain duplicates (callers pass
+        the missing keys of a probability mapping, which are unique).
+        Returns the subset this call actually solved — configurations
+        claimed by concurrent peers are waited for instead and are
+        *not* in the returned set, so callers can keep attributing
+        cache hits and fresh solves exactly.
+        """
+        claimed: list[frozenset[str]] = []
+        waiting: list[tuple[frozenset[str], threading.Event]] = []
+        seeds: list[WarmStart | None] | None = None
+        with self._lock:
+            for configuration in configurations:
+                if configuration in self._cache:
+                    continue
+                latch = self._inflight.get(configuration)
+                if latch is None:
+                    self._inflight[configuration] = threading.Event()
+                    claimed.append(configuration)
+                else:
+                    waiting.append((configuration, latch))
+            if claimed and warm_index is not None:
+                # Under the lock: ``nearest`` iterates the cache, which
+                # concurrent claimants mutate under this same lock.
+                seeds = []
+                for configuration in claimed:
+                    seed, distance = warm_index.nearest(configuration)
+                    if seed is not None and counters is not None:
+                        counters.lqn_warm_starts += 1
+                        counters.lqn_warm_distance += distance
+                    seeds.append(seed)
+        solved: set[frozenset[str]] = set()
+        if claimed:
+            try:
+                batch = self._solver(
+                    [
+                        configuration_to_lqn(self._ftlqn, configuration)
+                        for configuration in claimed
+                    ],
+                    seeds,
+                )
+                with self._lock:
+                    for configuration, results in zip(claimed, batch):
+                        self._cache[configuration] = results
+            finally:
+                # Release the latches even on solver failure so waiting
+                # peers can re-claim instead of blocking forever.
+                with self._lock:
+                    for configuration in claimed:
+                        latch = self._inflight.pop(configuration, None)
+                        if latch is not None:
+                            latch.set()
+            if counters is not None:
+                counters.record_level("lqn_batch_max", len(claimed))
+            solved.update(claimed)
+        for _configuration, latch in waiting:
+            latch.wait()
+        # A peer whose solver raised released its latches without
+        # publishing results; claim the leftovers ourselves (its error
+        # surfaces on its own thread, not here).
+        retry = [
+            configuration
+            for configuration, _latch in waiting
+            if configuration not in self._cache
+        ]
+        if retry:
+            solved |= self.ensure(
+                retry, counters=counters, warm_index=warm_index
+            )
+        return solved
 
 
 @dataclass(frozen=True)
@@ -244,6 +394,17 @@ class PerformabilityAnalyzer:
         starts make the last ~1e-8 of each solve depend on cache
         history (see the class docstring), so sweeps only pass one
         when explicitly enabled.
+    lqn_solver:
+        Optional :data:`BatchSolver` replacing
+        :func:`~repro.lqn.solver.solve_lqn_batch` for the batched LQN
+        phase (the analysis service injects its micro-batching queue).
+        Ignored when ``lqn_coordinator`` is given — the coordinator
+        already carries a solver.
+    lqn_coordinator:
+        Optional shared :class:`LQNCoordinator`.  When given it
+        supersedes ``lqn_cache`` (the analyzer adopts the
+        coordinator's cache) and makes concurrent analyzers over the
+        same model solve each distinct configuration exactly once.
 
     Example
     -------
@@ -262,6 +423,8 @@ class PerformabilityAnalyzer:
         structure: AnalysisStructure | None = None,
         lqn_cache: MutableMapping[frozenset[str], LQNResults] | None = None,
         warm_index: WarmStartIndex | None = None,
+        lqn_solver: BatchSolver | None = None,
+        lqn_coordinator: LQNCoordinator | None = None,
     ):
         self._ftlqn = ftlqn
         self._mama = mama
@@ -283,7 +446,14 @@ class PerformabilityAnalyzer:
             )
         self._reward = reward
         self._problem = self._build_problem()
-        self._lqn_cache = lqn_cache if lqn_cache is not None else {}
+        if lqn_coordinator is not None:
+            self._coordinator = lqn_coordinator
+            self._lqn_cache = lqn_coordinator.cache
+        else:
+            self._lqn_cache = lqn_cache if lqn_cache is not None else {}
+            self._coordinator = LQNCoordinator(
+                ftlqn, self._lqn_cache, solver=lqn_solver
+            )
         self._warm_index = warm_index
 
     # ------------------------------------------------------------------
@@ -486,12 +656,18 @@ class PerformabilityAnalyzer:
         )
 
     def performance_of(self, configuration: frozenset[str]) -> LQNResults:
-        """Step 5: solve the LQN of one configuration (cached)."""
+        """Step 5: solve the LQN of one configuration (cached).
+
+        Cache misses route through the shared
+        :class:`LQNCoordinator` as a batch of one — bitwise-equal to a
+        direct :func:`~repro.lqn.solver.solve_lqn` call, and safe when
+        another thread is solving the same configuration.  (No warm
+        seeds here, matching the historical cold single solve.)
+        """
         cached = self._lqn_cache.get(configuration)
         if cached is None:
-            lqn = configuration_to_lqn(self._ftlqn, configuration)
-            cached = solve_lqn(lqn)
-            self._lqn_cache[configuration] = cached
+            self._coordinator.ensure([configuration])
+            cached = self._lqn_cache[configuration]
         return cached
 
     def solve(
@@ -571,35 +747,23 @@ class PerformabilityAnalyzer:
         lqn_started = time.perf_counter()
         # Solve every uncached configuration in one batched layered
         # solve (bit-identical to sequential per-configuration solves;
-        # see solve_lqn_batch).  Cache hits are counted against the
-        # cache state *before* this call.
+        # see solve_lqn_batch), going through the single-flight
+        # coordinator so concurrent analyzers sharing this cache solve
+        # each configuration exactly once.  Cache hits are counted
+        # against the cache state *before* this call; configurations a
+        # peer solved while we waited count as hits, keeping
+        # lqn_solves + lqn_cache_hits coherent across threads.
         missing = [
             configuration
             for configuration in probabilities
             if configuration is not None
             and configuration not in self._lqn_cache
         ]
-        solved_now = set(missing)
+        solved_now: set[frozenset[str]] = set()
         if missing:
-            seeds: list[WarmStart | None] | None = None
-            if self._warm_index is not None:
-                seeds = []
-                for configuration in missing:
-                    seed, distance = self._warm_index.nearest(configuration)
-                    if seed is not None:
-                        counters.lqn_warm_starts += 1
-                        counters.lqn_warm_distance += distance
-                    seeds.append(seed)
-            batch = solve_lqn_batch(
-                [
-                    configuration_to_lqn(self._ftlqn, configuration)
-                    for configuration in missing
-                ],
-                warm_starts=seeds,
+            solved_now = self._coordinator.ensure(
+                missing, counters=counters, warm_index=self._warm_index
             )
-            for configuration, results in zip(missing, batch):
-                self._lqn_cache[configuration] = results
-            counters.record_level("lqn_batch_max", len(missing))
         solved = 0
         for configuration, probability in probabilities.items():
             solved += 1

@@ -30,6 +30,16 @@ Points are evaluated sequentially so every point sees the caches warmed
 by its predecessors; each point's state-space scan dispatches over the
 ``jobs``/``progress`` machinery of :mod:`repro.core.enumeration`, and
 the engine reports a coarse ``"sweep"`` progress phase between points.
+
+One engine may also be shared by concurrent threads — the analysis
+service (:mod:`repro.service`) runs every request of a model against
+one warm engine.  The three caches are protected by an engine lock plus
+single-flight gates: when several threads miss on the same scan key or
+the same configuration at once, exactly one performs the work while the
+others wait and take a cache hit, so results stay bit-identical to a
+sequential run and the counters stay coherent (``lqn_solves`` still
+equals the number of distinct configurations solved engine-wide, with
+no lost updates).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import threading
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 
@@ -45,6 +56,8 @@ from repro.core.dependency import CommonCause
 from repro.core.enumeration import normalize_method, resolve_jobs
 from repro.core.performability import (
     AnalysisStructure,
+    BatchSolver,
+    LQNCoordinator,
     PerformabilityAnalyzer,
     WarmStartIndex,
     derive_structure,
@@ -392,6 +405,11 @@ class SweepEngine:
         history, i.e. on point order — so the default (``False``)
         preserves the engine's bit-exact equivalence with per-point
         analyzers.
+    lqn_solver:
+        Optional :data:`~repro.core.performability.BatchSolver`
+        replacing ``solve_lqn_batch`` for every LQN solve issued
+        through this engine (the analysis service injects its
+        micro-batching queue so concurrent requests coalesce).
 
     The engine owns three caches, all keyed only by what the cached
     value actually depends on:
@@ -413,6 +431,7 @@ class SweepEngine:
         base_common_causes: Sequence[CommonCause] = (),
         base_reward: RewardFunction | None = None,
         lqn_warm_start: bool = False,
+        lqn_solver: BatchSolver | None = None,
     ):
         self._ftlqn = ftlqn.validated()
         self._ftlqn_names = frozenset(ftlqn.component_names())
@@ -428,6 +447,15 @@ class SweepEngine:
         self._warm_index = (
             WarmStartIndex(self._lqn_cache) if lqn_warm_start else None
         )
+        # Thread-safe cache protocol (see the module docstring): one
+        # re-entrant engine lock over the structure/scan tables, a
+        # single-flight latch table for in-progress scans, and a
+        # coordinator playing the same role for the LQN cache.
+        self._lock = threading.RLock()
+        self._scan_inflight: dict[_ScanKey, threading.Event] = {}
+        self._coordinator = LQNCoordinator(
+            self._ftlqn, self._lqn_cache, solver=lqn_solver
+        )
 
     @property
     def architectures(self) -> Mapping[str, MAMAModel]:
@@ -440,29 +468,49 @@ class SweepEngine:
         rejected — the structure cache is keyed by name, so silently
         swapping the model would serve stale structures.
         """
-        if name in self._architectures:
-            if self._architectures[name] is not mama:
-                raise ModelError(
-                    f"architecture {name!r} is already registered with a "
-                    "different model"
-                )
-            return
-        self._architectures[name] = mama
+        with self._lock:
+            if name in self._architectures:
+                if self._architectures[name] is not mama:
+                    raise ModelError(
+                        f"architecture {name!r} is already registered with "
+                        "a different model"
+                    )
+                return
+            self._architectures[name] = mama
 
     @property
     def lqn_cache(self) -> Mapping[frozenset[str], LQNResults]:
         """The shared cross-point configuration→LQN-results cache."""
         return self._lqn_cache
 
+    def cache_stats(self) -> dict[str, int]:
+        """Current sizes of the engine's shared caches (a consistent
+        snapshot, taken under the engine lock; the ``/stats`` endpoint
+        of the analysis service aggregates these per warm engine)."""
+        with self._lock:
+            return {
+                "architectures": len(self._architectures),
+                "structures": len(self._structures),
+                "scan_entries": len(self._scan_cache),
+                "lqn_entries": len(self._lqn_cache),
+            }
+
     def structure_for(self, architecture: str | None) -> AnalysisStructure:
-        """The (cached) analysis structure of one architecture key."""
-        structure = self._structures.get(architecture)
-        if structure is None:
-            structure = derive_structure(
-                self._ftlqn, self._mama_for(architecture)
-            )
-            self._structures[architecture] = structure
-        return structure
+        """The (cached) analysis structure of one architecture key.
+
+        Derivation happens under the engine lock, so concurrent callers
+        racing the same uncached architecture derive it once (it is a
+        one-off per architecture, so serialising it is cheap and keeps
+        the invariant that every caller sees the same instance).
+        """
+        with self._lock:
+            structure = self._structures.get(architecture)
+            if structure is None:
+                structure = derive_structure(
+                    self._ftlqn, self._mama_for(architecture)
+                )
+                self._structures[architecture] = structure
+            return structure
 
     def _mama_for(self, architecture: str | None) -> MAMAModel | None:
         if architecture is None:
@@ -525,7 +573,7 @@ class SweepEngine:
             reward=reward,
             common_causes=causes,
             structure=self.structure_for(point.architecture),
-            lqn_cache=self._lqn_cache,
+            lqn_coordinator=self._coordinator,
             warm_index=self._warm_index,
         )
 
@@ -548,6 +596,12 @@ class SweepEngine:
         fresh state-space scan.  Used by :meth:`run` for each point and
         by the optimizer's bounds fast path, which needs a candidate's
         configuration support without paying for its LQN solves.
+
+        Scans are single-flight across threads: the first thread to
+        miss on a key claims it and scans outside the engine lock;
+        threads racing the same key wait on its latch and then take the
+        cache hit, so one fresh scan happens per distinct key however
+        many threads ask.
         """
         method = normalize_method(method)
         if counters is None:
@@ -563,15 +617,33 @@ class SweepEngine:
                 else self._base_common_causes
             ),
         )
-        probabilities = self._scan_cache.get(key)
-        if probabilities is not None:
-            counters.scan_cache_hits += 1
-            return probabilities, True
-        probabilities = self.analyzer_for(point).configuration_probabilities(
-            method=method, jobs=jobs, epsilon=epsilon,
-            progress=progress, counters=counters,
-        )
-        self._scan_cache[key] = probabilities
+        while True:
+            with self._lock:
+                probabilities = self._scan_cache.get(key)
+                if probabilities is not None:
+                    counters.scan_cache_hits += 1
+                    return probabilities, True
+                latch = self._scan_inflight.get(key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._scan_inflight[key] = latch
+                    break
+            # Someone else is scanning this key; wait and re-check.  If
+            # their scan failed, the re-check misses and we claim it.
+            latch.wait()
+        try:
+            probabilities = self.analyzer_for(
+                point
+            ).configuration_probabilities(
+                method=method, jobs=jobs, epsilon=epsilon,
+                progress=progress, counters=counters,
+            )
+            with self._lock:
+                self._scan_cache[key] = probabilities
+        finally:
+            with self._lock:
+                self._scan_inflight.pop(key, None)
+                latch.set()
         return probabilities, False
 
     def run(

@@ -215,6 +215,12 @@ class DesignSpaceSearch:
         re-run of the same search — or a campaign that evaluated the
         same candidates — costs store lookups instead of solves.
         Fresh evaluations are committed as they finish.
+    lqn_solver:
+        Optional :data:`~repro.core.performability.BatchSolver`
+        override forwarded to the session's
+        :class:`~repro.core.sweep.SweepEngine` — the analysis service
+        passes its shared micro-batcher here so search evaluations
+        coalesce with concurrent requests.
     """
 
     def __init__(
@@ -230,6 +236,7 @@ class DesignSpaceSearch:
         warm_start: bool = False,
         bounds_fast_path: bool = True,
         store=None,
+        lqn_solver=None,
     ):
         self.space = space
         self.method = method
@@ -249,6 +256,7 @@ class DesignSpaceSearch:
             base_common_causes=space.common_causes,
             base_reward=self._reward,
             lqn_warm_start=warm_start,
+            lqn_solver=lqn_solver,
         )
         self._evaluated: dict[str, CandidateEvaluation] = {}
         self._order: list[str] = []

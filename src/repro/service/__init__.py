@@ -1,0 +1,48 @@
+"""Warm-cache analysis service: HTTP daemon over shared sweep engines.
+
+``repro serve`` boots :func:`~repro.service.http.serve` around one
+:class:`~repro.service.state.AnalysisService` — per-scenario
+:class:`~repro.core.sweep.SweepEngine` instances whose structure, scan
+and LQN caches persist across requests, a shared
+:class:`~repro.service.batching.MicroBatcher` coalescing concurrent
+uncached LQN solves into single batched calls, and a scenario catalog
+grown from the worked examples.  Responses are bit-identical to the
+one-shot CLI on the same inputs; the warm-path speedup is measured by
+``benchmarks/snapshot_service.py`` (``BENCH_service.json``).
+"""
+
+from repro.service.batching import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_BATCH,
+    MicroBatcher,
+)
+from repro.service.catalog import (
+    ScenarioBundle,
+    load_scenario,
+    scenario_names,
+)
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import ServiceServer, serve
+from repro.service.state import (
+    AnalysisService,
+    ServiceError,
+    error_status,
+    resolve_workers,
+)
+
+__all__ = [
+    "AnalysisService",
+    "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "MicroBatcher",
+    "ScenarioBundle",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "error_status",
+    "load_scenario",
+    "resolve_workers",
+    "scenario_names",
+    "serve",
+]

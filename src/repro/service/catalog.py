@@ -1,0 +1,461 @@
+"""Named scenario catalog served by the analysis daemon.
+
+Three ready-to-analyze scenarios, grown from the walk-throughs in
+``examples/`` into self-contained bundles a client can discover
+(``GET /catalog``), download (``GET /scenarios/<name>``) and analyze
+(``POST /analyze`` with ``{"scenario": "<name>"}``) without shipping a
+model of its own:
+
+* ``multi-region-ecommerce`` — the storefront of
+  ``examples/ecommerce_failover.py``: shoppers and back-office staff
+  over a replicated order database, centralized vs two-domain
+  distributed management, revenue-weighted reward;
+* ``cdn-failover`` — two user regions behind regional edge caches with
+  an origin fallback; regional frontends decide, per the management
+  architecture's knowledge, whether to fail over to the peer edge or
+  the origin;
+* ``datacenter-risk`` — the two-site payment platform of
+  ``examples/datacenter_risk_review.py``: WAN links, a site-power
+  common cause that takes a server and its monitoring agent down
+  together, and a backbone cut hitting both WAN paths.
+
+Each bundle carries everything the warm engine needs (model,
+architectures, baseline probabilities, causes, weights) plus a default
+sweep, and renders itself to the same JSON documents the CLI consumes
+(``model_to_json`` / ``mama_to_json``) — so a catalog scenario can be
+replayed through ``repro analyze`` byte-for-byte, which is exactly what
+the service benchmark's parity gate does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from collections.abc import Callable, Mapping
+
+from repro.core.dependency import CommonCause
+from repro.core.sweep import SweepPoint
+from repro.errors import ModelError
+from repro.ftlqn import FTLQNModel, Request
+from repro.ftlqn.serialize import model_to_json
+from repro.mama.architectures import (
+    Domain,
+    centralized_architecture,
+    distributed_architecture,
+)
+from repro.mama.model import MAMAModel
+from repro.mama.serialize import mama_to_json
+
+
+@dataclass(frozen=True)
+class ScenarioBundle:
+    """One catalog scenario: a model, its architectures and baselines."""
+
+    name: str
+    title: str
+    description: str
+    ftlqn: FTLQNModel
+    architectures: Mapping[str, MAMAModel]
+    failure_probs: Mapping[str, float]
+    default_architecture: str
+    common_causes: tuple[CommonCause, ...] = ()
+    weights: Mapping[str, float] | None = None
+    points: tuple[SweepPoint, ...] = ()
+
+    def to_document(self) -> dict:
+        """The full JSON form served by ``GET /scenarios/<name>``.
+
+        ``model``/``architectures`` are the canonical serializer
+        documents, so a client (or the parity harness) can write them
+        to files and feed them straight to the one-shot CLI.
+        """
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "model": json.loads(model_to_json(self.ftlqn, indent=None)),
+            "architectures": {
+                key: json.loads(mama_to_json(mama, indent=None))
+                for key, mama in self.architectures.items()
+            },
+            "default_architecture": self.default_architecture,
+            "failure_probs": {
+                name: float(value)
+                for name, value in sorted(self.failure_probs.items())
+            },
+            "common_causes": [
+                {
+                    "name": cause.name,
+                    "probability": float(cause.probability),
+                    "components": list(cause.components),
+                }
+                for cause in self.common_causes
+            ],
+            "weights": (
+                None
+                if self.weights is None
+                else {
+                    name: float(value)
+                    for name, value in sorted(self.weights.items())
+                }
+            ),
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def summary(self) -> dict:
+        """The per-scenario row of ``GET /catalog``."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "architectures": sorted(self.architectures),
+            "default_architecture": self.default_architecture,
+            "components": len(self.failure_probs),
+            "common_causes": len(self.common_causes),
+            "points": len(self.points),
+        }
+
+
+# ----------------------------------------------------------------------
+# multi-region-ecommerce
+
+
+def _build_store() -> FTLQNModel:
+    model = FTLQNModel(name="store")
+    for processor in (
+        "p.shoppers", "p.staff", "p.web", "p.office", "p.db1", "p.db2",
+    ):
+        model.add_processor(processor)
+    model.add_task("shoppers", processor="p.shoppers", multiplicity=120,
+                   is_reference=True, think_time=5.0)
+    model.add_task("staff", processor="p.staff", multiplicity=10,
+                   is_reference=True, think_time=2.0)
+    model.add_task("webapp", processor="p.web", multiplicity=4)
+    model.add_task("backoffice", processor="p.office")
+    model.add_task("orders-primary", processor="p.db1", multiplicity=2)
+    model.add_task("orders-replica", processor="p.db2", multiplicity=2)
+    model.add_entry("read1", task="orders-primary", demand=0.030)
+    model.add_entry("read2", task="orders-replica", demand=0.045)
+    model.add_entry("write1", task="orders-primary", demand=0.060)
+    model.add_entry("write2", task="orders-replica", demand=0.090)
+    model.add_service("order-reads", targets=["read1", "read2"])
+    model.add_service("order-writes", targets=["write1", "write2"])
+    model.add_entry("page", task="webapp", demand=0.015,
+                    requests=[Request("order-reads", mean_calls=3.0)])
+    model.add_entry("report", task="backoffice", demand=0.200,
+                    requests=[Request("order-writes", mean_calls=1.0)])
+    model.add_entry("shop", task="shoppers", requests=[Request("page")])
+    model.add_entry("work", task="staff", requests=[Request("report")])
+    return model.validated()
+
+
+def _ecommerce() -> ScenarioBundle:
+    monitored = {
+        "webapp": "p.web",
+        "backoffice": "p.office",
+        "orders-primary": "p.db1",
+        "orders-replica": "p.db2",
+    }
+    centralized = centralized_architecture(
+        tasks=monitored,
+        subscribers=["webapp", "backoffice"],
+        manager_processor="p.mgmt",
+    )
+    distributed = distributed_architecture(
+        domains=[
+            Domain(
+                manager="dm.front",
+                manager_processor="p.mgmt1",
+                tasks={"webapp": "p.web", "orders-primary": "p.db1"},
+                subscribers=("webapp",),
+            ),
+            Domain(
+                manager="dm.back",
+                manager_processor="p.mgmt2",
+                tasks={"backoffice": "p.office", "orders-replica": "p.db2"},
+                subscribers=("backoffice",),
+            ),
+        ]
+    )
+    probs = {
+        "webapp": 0.02, "backoffice": 0.02,
+        "orders-primary": 0.04, "orders-replica": 0.04,
+        "p.web": 0.01, "p.office": 0.01, "p.db1": 0.02, "p.db2": 0.02,
+    }
+    for mama in (centralized, distributed):
+        for component in mama.components.values():
+            name = component.name
+            if name in probs:
+                continue
+            if name.startswith("p.mgmt"):
+                probs[name] = 0.01
+            elif not name.startswith("p."):
+                probs[name] = 0.03  # agents and managers
+    points = [
+        SweepPoint(name="perfect"),
+        SweepPoint(name="centralized", architecture="centralized"),
+        SweepPoint(name="distributed", architecture="distributed"),
+        SweepPoint(
+            name="centralized-db-degraded",
+            architecture="centralized",
+            failure_probs={"orders-primary": 0.12, "orders-replica": 0.12},
+        ),
+    ]
+    return ScenarioBundle(
+        name="multi-region-ecommerce",
+        title="Multi-region e-commerce storefront",
+        description=(
+            "Shoppers and back-office staff over a replicated order "
+            "database; centralized vs two-domain distributed fault "
+            "management under a revenue-weighted reward (shopper "
+            "throughput worth 5x staff throughput)."
+        ),
+        ftlqn=_build_store(),
+        architectures={
+            "centralized": centralized,
+            "distributed": distributed,
+        },
+        failure_probs=probs,
+        default_architecture="centralized",
+        weights={"shoppers": 5.0, "staff": 1.0},
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+# cdn-failover
+
+
+def _build_cdn() -> FTLQNModel:
+    model = FTLQNModel(name="cdn")
+    for processor in (
+        "p.eu", "p.us", "p.fe-eu", "p.fe-us",
+        "p.edge-eu", "p.edge-us", "p.origin",
+    ):
+        model.add_processor(processor)
+    model.add_task("users-eu", processor="p.eu", multiplicity=80,
+                   is_reference=True, think_time=3.0)
+    model.add_task("users-us", processor="p.us", multiplicity=60,
+                   is_reference=True, think_time=3.0)
+    model.add_task("fe-eu", processor="p.fe-eu", multiplicity=4)
+    model.add_task("fe-us", processor="p.fe-us", multiplicity=4)
+    model.add_task("edge-eu", processor="p.edge-eu", multiplicity=2)
+    model.add_task("edge-us", processor="p.edge-us", multiplicity=2)
+    model.add_task("origin", processor="p.origin", multiplicity=2)
+    # Each region gets its own entries on the shared edge/origin tasks
+    # (a service's selected target must be unique per configuration, so
+    # services never share target *entries* — only the tasks behind
+    # them, like the replicated order database of the e-commerce
+    # scenario).  Peer-edge hits and origin fetches cost more than
+    # local hits.
+    model.add_entry("eu-hit", task="edge-eu", demand=0.012)
+    model.add_entry("eu-peer", task="edge-us", demand=0.020)
+    model.add_entry("eu-fetch", task="origin", demand=0.060)
+    model.add_entry("us-hit", task="edge-us", demand=0.014)
+    model.add_entry("us-peer", task="edge-eu", demand=0.022)
+    model.add_entry("us-fetch", task="origin", demand=0.060)
+    model.add_service("content-eu", targets=["eu-hit", "eu-peer", "eu-fetch"])
+    model.add_service("content-us", targets=["us-hit", "us-peer", "us-fetch"])
+    model.add_entry("page-eu", task="fe-eu", demand=0.008,
+                    requests=[Request("content-eu", mean_calls=2.0)])
+    model.add_entry("page-us", task="fe-us", demand=0.008,
+                    requests=[Request("content-us", mean_calls=2.0)])
+    model.add_entry("browse-eu", task="users-eu",
+                    requests=[Request("page-eu")])
+    model.add_entry("browse-us", task="users-us",
+                    requests=[Request("page-us")])
+    return model.validated()
+
+
+def _cdn() -> ScenarioBundle:
+    monitored = {
+        "fe-eu": "p.fe-eu", "fe-us": "p.fe-us",
+        "edge-eu": "p.edge-eu", "edge-us": "p.edge-us",
+        "origin": "p.origin",
+    }
+    centralized = centralized_architecture(
+        tasks=monitored,
+        subscribers=["fe-eu", "fe-us"],
+        manager_processor="p.noc",
+    )
+    regional = distributed_architecture(
+        domains=[
+            Domain(
+                manager="dm.eu",
+                manager_processor="p.noc-eu",
+                tasks={"fe-eu": "p.fe-eu", "edge-eu": "p.edge-eu",
+                       "origin": "p.origin"},
+                subscribers=("fe-eu",),
+            ),
+            Domain(
+                manager="dm.us",
+                manager_processor="p.noc-us",
+                tasks={"fe-us": "p.fe-us", "edge-us": "p.edge-us"},
+                subscribers=("fe-us",),
+            ),
+        ]
+    )
+    probs = {
+        "edge-eu": 0.05, "edge-us": 0.05, "origin": 0.02,
+        "fe-eu": 0.01, "fe-us": 0.01,
+        "p.edge-eu": 0.02, "p.edge-us": 0.02, "p.origin": 0.01,
+    }
+    for mama in (centralized, regional):
+        for component in mama.components.values():
+            name = component.name
+            if name in probs:
+                continue
+            if name.startswith("p.noc"):
+                probs[name] = 0.01
+            elif not name.startswith("p."):
+                probs[name] = 0.02
+    points = [
+        SweepPoint(name="perfect"),
+        SweepPoint(name="centralized", architecture="centralized"),
+        SweepPoint(name="regional", architecture="regional"),
+        SweepPoint(
+            name="centralized-edge-storm",
+            architecture="centralized",
+            failure_probs={"edge-eu": 0.2, "edge-us": 0.2},
+        ),
+    ]
+    return ScenarioBundle(
+        name="cdn-failover",
+        title="CDN failover across two regions",
+        description=(
+            "Two user regions behind regional edge caches with origin "
+            "fallback; compares a central NOC against per-region "
+            "managers when the frontends must decide where to fail "
+            "over.  EU traffic weighted 2x (peak hours)."
+        ),
+        ftlqn=_build_cdn(),
+        architectures={"centralized": centralized, "regional": regional},
+        failure_probs=probs,
+        default_architecture="regional",
+        weights={"users-eu": 2.0, "users-us": 1.0},
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+# datacenter-risk
+
+
+def _build_platform() -> FTLQNModel:
+    model = FTLQNModel(name="payments")
+    for processor in ("p.clients", "p.gw", "p.site1", "p.site2"):
+        model.add_processor(processor)
+    model.add_link("wan.site1")
+    model.add_link("wan.site2")
+    model.add_task("clients", processor="p.clients", multiplicity=40,
+                   is_reference=True, think_time=2.0)
+    model.add_task("gateway", processor="p.gw", multiplicity=2)
+    model.add_task("ledger1", processor="p.site1")
+    model.add_task("ledger2", processor="p.site2")
+    model.add_entry("post1", task="ledger1", demand=0.04,
+                    depends_on=["wan.site1"])
+    model.add_entry("post2", task="ledger2", demand=0.06,
+                    depends_on=["wan.site2"])
+    model.add_service("ledger", targets=["post1", "post2"])
+    model.add_entry("pay", task="gateway", demand=0.01,
+                    requests=[Request("ledger")])
+    model.add_entry("use", task="clients", requests=[Request("pay")])
+    return model.validated()
+
+
+def _datacenter() -> ScenarioBundle:
+    centralized = centralized_architecture(
+        tasks={"gateway": "p.gw", "ledger1": "p.site1",
+               "ledger2": "p.site2"},
+        subscribers=["gateway"],
+        manager_processor="p.mgmt",
+        links=["wan.site1", "wan.site2"],
+    )
+    probs = {
+        "gateway": 0.01, "ledger1": 0.03, "ledger2": 0.03,
+        "p.gw": 0.01, "p.site1": 0.02, "p.site2": 0.02,
+        "wan.site1": 0.02, "wan.site2": 0.02,
+    }
+    for component in centralized.components.values():
+        if component.name not in probs and component.name not in (
+            "gateway", "ledger1", "ledger2",
+        ):
+            probs[component.name] = 0.02
+    causes = (
+        CommonCause(
+            "site1-power", 0.01, ("ledger1", "p.site1", "ag.ledger1")
+        ),
+        CommonCause("backbone-cut", 0.005, ("wan.site1", "wan.site2")),
+    )
+    # The common causes name a management agent, so every default point
+    # runs under the centralized architecture (the perfect-knowledge
+    # universe has no agents to take down).
+    points = [
+        SweepPoint(name="baseline", architecture="centralized"),
+        SweepPoint(
+            name="power-hardened",
+            architecture="centralized",
+            common_causes=(
+                CommonCause(
+                    "site1-power", 0.002,
+                    ("ledger1", "p.site1", "ag.ledger1"),
+                ),
+                causes[1],
+            ),
+        ),
+        SweepPoint(
+            name="no-shared-modes",
+            architecture="centralized",
+            common_causes=(),
+        ),
+    ]
+    return ScenarioBundle(
+        name="datacenter-risk",
+        title="Two-site datacenter risk review",
+        description=(
+            "A payment platform with a warm standby site: WAN links "
+            "the manager pings, a site-power event that fails a server "
+            "together with its monitoring agent, and a backbone cut "
+            "hitting both WAN paths."
+        ),
+        ftlqn=_build_platform(),
+        architectures={"centralized": centralized},
+        failure_probs=probs,
+        default_architecture="centralized",
+        common_causes=causes,
+        points=tuple(points),
+    )
+
+
+# ----------------------------------------------------------------------
+
+#: Scenario builders, keyed by catalog name.  Builders are lazy — a
+#: bundle is constructed (and its models validated) on first use; the
+#: service keeps the built bundle alive next to its warm engine.
+SCENARIO_BUILDERS: dict[str, Callable[[], ScenarioBundle]] = {
+    "multi-region-ecommerce": _ecommerce,
+    "cdn-failover": _cdn,
+    "datacenter-risk": _datacenter,
+}
+
+
+def scenario_names() -> list[str]:
+    """Catalog scenario names, sorted."""
+    return sorted(SCENARIO_BUILDERS)
+
+
+def load_scenario(name: str) -> ScenarioBundle:
+    """Build one catalog scenario by name.
+
+    Raises
+    ------
+    ModelError
+        If the name is not in the catalog.
+    """
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown scenario {name!r}; catalog: {scenario_names()}"
+        ) from None
+    return builder()

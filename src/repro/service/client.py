@@ -1,0 +1,134 @@
+"""Minimal stdlib client for the analysis service.
+
+Used by the service tests, the benchmark harness and the CI smoke job;
+also a reasonable starting point for real clients.  One
+:class:`ServiceClient` opens a fresh :mod:`http.client` connection per
+call (the daemon closes connections after each response), decodes JSON
+bodies, and raises :class:`ServiceClientError` with the server's error
+message on any non-2xx status.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Iterator
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx response, carrying the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one daemon address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8000, *,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def get(self, path: str) -> dict:
+        return self._request("GET", path, None)
+
+    def post(self, path: str, payload: dict) -> dict:
+        return self._request("POST", path, payload)
+
+    # Convenience wrappers mirroring the routes.
+
+    def healthz(self) -> dict:
+        return self.get("/healthz")
+
+    def stats(self) -> dict:
+        return self.get("/stats")
+
+    def catalog(self) -> dict:
+        return self.get("/catalog")
+
+    def scenario(self, name: str) -> dict:
+        return self.get(f"/scenarios/{name}")
+
+    def analyze(self, payload: dict) -> dict:
+        return self.post("/analyze", payload)
+
+    def sweep(self, payload: dict) -> dict:
+        return self.post("/sweep", payload)
+
+    def optimize(self, payload: dict) -> dict:
+        return self.post("/optimize", payload)
+
+    def sweep_stream(self, payload: dict) -> Iterator[dict]:
+        """``POST /sweep`` with ``stream: true``; yields NDJSON events.
+
+        The last yielded event is either ``{"event": "result", ...}``
+        (the full sweep document) or ``{"event": "error", ...}``.
+        """
+        payload = {**payload, "stream": True}
+        connection = self._connect()
+        try:
+            body = json.dumps(payload)
+            connection.request(
+                "POST", "/sweep", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceClientError(
+                    response.status, _error_message(response.read())
+                )
+            # http.client undoes the chunking; lines are the events.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+            if buffer.strip():
+                yield json.loads(buffer)
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str, payload: dict | None) -> dict:
+        connection = self._connect()
+        try:
+            headers = {}
+            body = None
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if not (200 <= response.status < 300):
+                raise ServiceClientError(
+                    response.status, _error_message(raw)
+                )
+            return json.loads(raw)
+        finally:
+            connection.close()
+
+
+def _error_message(raw: bytes) -> str:
+    try:
+        return str(json.loads(raw).get("error", raw.decode()))
+    except Exception:
+        return raw.decode(errors="replace")

@@ -1,0 +1,345 @@
+"""Stdlib-only asyncio HTTP/1.1 front end for the analysis service.
+
+One event loop accepts connections and parses requests; every analysis
+request is dispatched to a bounded :class:`~concurrent.futures.
+ThreadPoolExecutor` (``service.workers`` threads) so CPU-bound solves
+never block the loop — and so concurrent requests genuinely overlap,
+which is what feeds the shared :class:`~repro.service.batching.
+MicroBatcher` and the engines' single-flight caches.
+
+Routes
+------
+
+====== ==================== ==========================================
+GET    ``/healthz``          liveness + uptime
+GET    ``/stats``            cache sizes, hit rates, counter aggregates
+GET    ``/catalog``          scenario summaries
+GET    ``/scenarios/<name>`` full scenario document (model included)
+POST   ``/analyze``          one point, full serialized result
+POST   ``/sweep``            many points; ``"stream": true`` upgrades
+                             the response to NDJSON progress events
+                             followed by the final document
+POST   ``/optimize``         design-space search
+====== ==================== ==========================================
+
+Streaming sweeps bridge the engine's synchronous
+:class:`~repro.core.progress.ProgressEvent` callback (fired in a worker
+thread) into the event loop via ``loop.call_soon_threadsafe`` feeding
+an :class:`asyncio.Queue`; each event is written as one JSON line of a
+chunked ``application/x-ndjson`` response, the final line carrying the
+complete sweep document.
+
+The module is deliberately dependency-free: request parsing covers the
+small HTTP subset the service speaks (JSON in, JSON out, no keep-alive
+pipelining games) rather than pulling in a framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.state import AnalysisService, error_status
+
+#: Bound on accepted request bodies (16 MiB — generous for any model).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _encode(document: object) -> bytes:
+    return json.dumps(document, sort_keys=True).encode() + b"\n"
+
+
+def _response(
+    status: int, body: bytes, *, content_type: str = "application/json"
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode() + body
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return _encode({"error": message, "status": status})
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, object]:
+    """Parse one request; returns ``(method, path, json_body_or_None)``."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        raise _BadRequest(400, "empty request")
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _BadRequest(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _BadRequest(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body: object = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except ValueError as exc:
+            raise _BadRequest(400, f"request body is not JSON: {exc}")
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+class ServiceServer:
+    """The running daemon: an :mod:`asyncio` server plus a worker pool.
+
+    Use :func:`serve` (or ``repro serve``) rather than instantiating
+    directly; :attr:`port` reports the *bound* port, so ``port=0``
+    (pick a free port) works for tests and parallel CI jobs.
+    """
+
+    def __init__(
+        self, service: AnalysisService, host: str = "127.0.0.1",
+        port: int = 8000,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.requested_port = port
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=service.workers, thread_name_prefix="repro-serve"
+        )
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except _BadRequest as exc:
+                writer.write(
+                    _response(exc.status, _error_body(exc.status, str(exc)))
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            await self._dispatch(method, path, body, writer)
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: object,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        service = self.service
+        try:
+            if method == "GET":
+                if path == "/healthz":
+                    return self._send(writer, 200, service.healthz())
+                if path == "/stats":
+                    return self._send(writer, 200, service.stats())
+                if path == "/catalog":
+                    return self._send(writer, 200, service.catalog_document())
+                if path.startswith("/scenarios/"):
+                    name = path[len("/scenarios/"):]
+                    document = await self._offload(
+                        service.scenario_document, name
+                    )
+                    return self._send(writer, 200, document)
+                raise _BadRequest(404, f"no such route: GET {path}")
+            if method == "POST":
+                if path == "/analyze":
+                    document = await self._offload(service.analyze, body)
+                    return self._send(writer, 200, document)
+                if path == "/sweep":
+                    if isinstance(body, dict) and body.get("stream"):
+                        return await self._stream_sweep(writer, body)
+                    document = await self._offload(service.sweep, body)
+                    return self._send(writer, 200, document)
+                if path == "/optimize":
+                    document = await self._offload(service.optimize, body)
+                    return self._send(writer, 200, document)
+                raise _BadRequest(404, f"no such route: POST {path}")
+            raise _BadRequest(405, f"unsupported method: {method}")
+        except _BadRequest as exc:
+            service.record_error()
+            self._send_raw(
+                writer, exc.status, _error_body(exc.status, str(exc))
+            )
+        except Exception as exc:  # library errors → JSON error responses
+            service.record_error()
+            status = error_status(exc)
+            self._send_raw(writer, status, _error_body(status, str(exc)))
+
+    async def _offload(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, fn, *args)
+
+    def _send(
+        self, writer: asyncio.StreamWriter, status: int, document: object
+    ) -> None:
+        self._send_raw(writer, status, _encode(document))
+
+    def _send_raw(
+        self, writer: asyncio.StreamWriter, status: int, body: bytes
+    ) -> None:
+        if not writer.is_closing():
+            writer.write(_response(status, body))
+
+    # ------------------------------------------------------------------
+
+    async def _stream_sweep(
+        self, writer: asyncio.StreamWriter, payload: dict
+    ) -> None:
+        """Chunked NDJSON: progress events, then the final document.
+
+        The engine fires :class:`ProgressEvent`s synchronously in the
+        worker thread; ``call_soon_threadsafe`` hops each one onto the
+        loop, where this coroutine drains the queue and writes one JSON
+        line per event.  The stream is opened with ``200`` eagerly —
+        an error mid-sweep therefore arrives as a final NDJSON line
+        with an ``"error"`` key, not as an HTTP status.
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue[dict | None] = asyncio.Queue()
+
+        def progress(event) -> None:
+            loop.call_soon_threadsafe(
+                queue.put_nowait,
+                {
+                    "event": "progress",
+                    "phase": event.phase,
+                    "completed": event.completed,
+                    "total": event.total,
+                },
+            )
+
+        def run() -> dict:
+            return self.service.sweep(payload, progress=progress)
+
+        writer.write(
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n".encode()
+        )
+        task = loop.run_in_executor(self._pool, run)
+        task.add_done_callback(
+            lambda _fut: loop.call_soon_threadsafe(queue.put_nowait, None)
+        )
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            self._write_chunk(writer, _encode(item))
+            await writer.drain()
+        try:
+            document = await task
+            final = {"event": "result", **document}
+        except Exception as exc:
+            self.service.record_error()
+            final = {
+                "event": "error",
+                "error": str(exc),
+                "status": error_status(exc),
+            }
+        self._write_chunk(writer, _encode(final))
+        self._write_chunk(writer, b"")
+
+    @staticmethod
+    def _write_chunk(writer: asyncio.StreamWriter, payload: bytes) -> None:
+        if writer.is_closing():
+            return
+        writer.write(f"{len(payload):x}\r\n".encode() + payload + b"\r\n")
+
+
+async def _serve_async(
+    service: AnalysisService,
+    host: str,
+    port: int,
+    *,
+    ready=None,
+) -> None:
+    server = ServiceServer(service, host, port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+
+
+def serve(
+    service: AnalysisService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    ready=None,
+) -> None:
+    """Run the daemon until interrupted (the ``repro serve`` backend).
+
+    ``ready`` is called once with the :class:`ServiceServer` after the
+    socket is bound — the CLI uses it to print the actual port (which
+    matters with ``--port 0``), tests use it to capture the server.
+    """
+    try:
+        asyncio.run(_serve_async(service, host, port, ready=ready))
+    except KeyboardInterrupt:
+        pass

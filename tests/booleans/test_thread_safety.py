@@ -1,0 +1,176 @@
+"""Multi-threaded stress tests for the hash-cons and BDD caches.
+
+The intern tables of :mod:`repro.booleans.expr` and the memo tables of
+:mod:`repro.booleans.bdd` are check-then-insert caches.  Before they
+were locked, two threads racing the same window could each construct a
+node for the same structure; the loser's instance escaped and broke
+every identity-based invariant downstream (``a == b`` but
+``a is not b``).  These tests hammer exactly that window from many
+threads behind a barrier; on the unlocked code they fail within a few
+runs (the race is sensitive to hash table layout, hence the
+``PYTHONHASHSEED`` note in the issue — any seed loses eventually).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.booleans import FALSE, TRUE, Var, all_of, any_of
+from repro.booleans.bdd import BDD
+from repro.booleans.expr import And, Not, Or
+
+THREADS = 8
+ROUNDS = 60
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` on N threads released by one barrier."""
+    barrier = threading.Barrier(threads)
+    results: list[object] = [None] * threads
+    errors: list[BaseException] = []
+
+    def run(index: int) -> None:
+        try:
+            barrier.wait()
+            results[index] = worker(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=run, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestInternRaces:
+    def test_var_identity_across_threads(self):
+        # Fresh names each round so no thread can win before the race:
+        # every round, all eight threads construct the same previously
+        # unseen Var at the same moment.
+        for round_index in range(ROUNDS):
+            name = f"race-var-{round_index}"
+            results = _hammer(lambda _index: Var(name))
+            assert all(node is results[0] for node in results)
+
+    def test_connective_identity_across_threads(self):
+        for round_index in range(ROUNDS):
+            # Pre-intern the leaves so the race is purely on the
+            # connective tables.
+            leaves = [Var(f"race-term-{round_index}-{i}") for i in range(4)]
+
+            def build(_index, leaves=leaves):
+                conj = all_of(leaves)
+                disj = any_of([conj, leaves[0]])
+                return conj, Not.of(conj), disj
+
+            results = _hammer(build)
+            first = results[0]
+            for got in results[1:]:
+                for ours, theirs in zip(first, got):
+                    assert ours is theirs
+
+    def test_mixed_construction_is_consistent(self):
+        # Threads build overlapping expressions bottom-up; whatever the
+        # interleaving, structural equality must imply identity.
+        for round_index in range(ROUNDS // 4):
+            names = [f"race-mix-{round_index}-{i}" for i in range(6)]
+
+            def build(index, names=names):
+                vs = [Var(name) for name in names]
+                paths = [
+                    all_of([vs[i], vs[(i + 1 + index) % len(vs)]])
+                    for i in range(len(vs))
+                ]
+                return any_of(paths)
+
+            built = _hammer(build)
+            # Same index -> same rotation -> must be the same object.
+            again = _hammer(build)
+            for ours, theirs in zip(built, again):
+                assert ours is theirs
+
+
+class TestBDDManagerRaces:
+    def test_shared_manager_from_expr(self):
+        order = [f"x{i}" for i in range(10)]
+        exprs = [
+            any_of(
+                [
+                    all_of([Var(order[i]), Var(order[(i + k) % len(order)])])
+                    for i in range(len(order))
+                ]
+            )
+            for k in range(1, 5)
+        ]
+        probs = {name: 0.9 - 0.05 * i for i, name in enumerate(order)}
+
+        # Reference: one manager, single-threaded.
+        reference = BDD(order)
+        expected = [
+            reference.probability(reference.from_expr(expr), probs)
+            for expr in exprs
+        ]
+
+        for _ in range(ROUNDS // 4):
+            shared = BDD(order)
+
+            def convert(index, shared=shared, exprs=exprs, probs=probs):
+                out = []
+                for expr in exprs[index % len(exprs):] + exprs[: index % len(exprs)]:
+                    node = shared.from_expr(expr)
+                    out.append((expr, shared.probability(node, probs)))
+                return out
+
+            results = _hammer(convert)
+            for per_thread in results:
+                for expr, probability in per_thread:
+                    assert probability == pytest.approx(
+                        expected[exprs.index(expr)], abs=0.0
+                    )
+            # The unique table must still satisfy the reduction
+            # invariant: one node id per (level, low, high) triple.
+            triples = shared._nodes[2:]
+            assert len(triples) == len(set(triples))
+            # And canonicity: converting again yields identical ids.
+            for expr in exprs:
+                assert shared.from_expr(expr) == shared.from_expr(expr)
+
+    def test_shared_manager_signature_masses(self):
+        order = [f"c{i}" for i in range(6)]
+        outputs_exprs = [Var(order[i]) | Var(order[(i + 1) % 6]) for i in range(6)]
+        probs = {name: 0.8 for name in order}
+
+        reference = BDD(order)
+        ref_nodes = [reference.from_expr(e) for e in outputs_exprs]
+        expected = reference.signature_masses(ref_nodes, probs)
+
+        shared = BDD(order)
+        nodes = [shared.from_expr(e) for e in outputs_exprs]
+
+        def masses(_index):
+            return shared.signature_masses(nodes, probs)
+
+        for got in _hammer(masses):
+            assert got == expected
+
+    def test_constants_and_negation(self):
+        shared = BDD(["a", "b"])
+        a = shared.from_expr(Var("a"))
+
+        def work(_index):
+            return (
+                shared.from_expr(TRUE),
+                shared.from_expr(FALSE),
+                shared.negate(shared.negate(a)),
+            )
+
+        for one, zero, back in _hammer(work):
+            assert one == 1 and zero == 0 and back == a

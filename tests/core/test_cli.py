@@ -531,3 +531,72 @@ class TestVerify:
         assert "--seeds" in helptext
         assert "--time-budget" in helptext
         assert "testing_guide" in helptext
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Either the installed distribution version or the source
+        # tree's __version__ — both follow X.Y.Z.
+        assert out.split()[1].count(".") >= 1
+
+
+class TestAnalyzeJsonExport:
+    def test_json_export_has_machine_precision(
+        self, model_files, tmp_path, capsys
+    ):
+        ftlqn, mama, probs = model_files
+        out_path = tmp_path / "result.json"
+        code = main([
+            "analyze", ftlqn, "--mama", mama, "--probs", probs,
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        # Counters are stripped: the document depends only on the
+        # analytical inputs, so repeated runs diff clean.
+        assert "counters" not in document
+        assert document["expected_reward"] > 0.0
+        printed = capsys.readouterr().out
+        # The printed table rounds; the export must not.
+        assert f"{document['expected_reward']:.6f}" in printed
+        rerun_path = tmp_path / "again.json"
+        assert main([
+            "analyze", ftlqn, "--mama", mama, "--probs", probs,
+            "--json", str(rerun_path),
+        ]) == 0
+        assert json.loads(rerun_path.read_text()) == document
+
+
+class TestServeParser:
+    def test_serve_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        helptext = capsys.readouterr().out
+        assert "--port" in helptext
+        assert "--workers" in helptext
+        assert "--batch-window" in helptext
+
+    def test_campaign_workers_accepts_auto(self, capsys):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["campaign", "run", "spec.json", "--store", "s.db",
+             "--workers", "auto"]
+        )
+        assert args.workers == 0
+        args = build_parser().parse_args(
+            ["serve", "--workers", "auto"]
+        )
+        assert args.workers == 0
+
+    def test_campaign_workers_rejects_garbage(self, capsys):
+        from repro.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", "spec.json", "--store", "s.db",
+                 "--workers", "lots"]
+            )

@@ -1,0 +1,183 @@
+"""Concurrent SweepEngine use: bit-identical results, coherent counters.
+
+The analysis service evaluates requests against one warm engine from a
+thread pool.  The contract under concurrency is the same as the
+engine's sequential contract — every point's result is bit-identical to
+a fresh sequential evaluation — plus counter coherence: merged across
+all threads, ``lqn_solves`` must equal the number of distinct
+configurations solved engine-wide (the single-flight guarantee), with
+``lqn_solves + lqn_cache_hits`` equal to the total number of
+configuration evaluations (no lost updates) and exactly one fresh scan
+per distinct scan key.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import ScanCounters, SweepEngine, SweepPoint
+from repro.experiments.figure1 import figure1_failure_probs
+
+THREADS = 6
+REPEATS = 3
+
+
+def overlapping_points(centralized, network) -> list[SweepPoint]:
+    """Points sharing scans and configurations across architectures."""
+    points = [
+        SweepPoint(name="perfect", failure_probs=figure1_failure_probs()),
+    ]
+    for architecture in ("centralized", "network"):
+        base = figure1_failure_probs(
+            {"centralized": centralized, "network": network}[architecture]
+        )
+        for scale_index, scale in enumerate((1.0, 0.5, 2.0)):
+            probs = {
+                name: min(1.0, value * scale)
+                for name, value in base.items()
+            }
+            points.append(
+                SweepPoint(
+                    name=f"{architecture}@{scale_index}",
+                    architecture=architecture,
+                    failure_probs=probs,
+                )
+            )
+    return points
+
+
+def run_threads(worker, count=THREADS):
+    barrier = threading.Barrier(count)
+    errors: list[BaseException] = []
+    outputs: list[object] = [None] * count
+
+    def body(index: int) -> None:
+        try:
+            barrier.wait()
+            outputs[index] = worker(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(index,))
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return outputs
+
+
+class TestConcurrentSweep:
+    def test_bit_identical_to_sequential(self, figure1, centralized, network):
+        points = overlapping_points(centralized, network)
+
+        def analytical(result) -> dict:
+            # Everything but the instrumentation: counters legitimately
+            # differ with cache warmth (a warm point reports zero scan
+            # work), the analytical payload must not.
+            document = result.to_dict()
+            document.pop("counters")
+            return document
+
+        sequential = SweepEngine(
+            figure1, {"centralized": centralized, "network": network}
+        ).run(points)
+        expected = {
+            entry.name: analytical(entry.result)
+            for entry in sequential.points
+        }
+
+        shared = SweepEngine(
+            figure1, {"centralized": centralized, "network": network}
+        )
+
+        # Every thread submits the full point list (maximum overlap),
+        # rotated so threads hit the caches in different orders, and
+        # repeats it so later rounds exercise the warm path too.
+        def worker(index):
+            results = {}
+            counters = ScanCounters()
+            rotated = points[index % len(points):] + points[: index % len(points)]
+            for _ in range(REPEATS):
+                for point in rotated:
+                    sweep = shared.run([point], counters=counters)
+                    results[point.name] = analytical(sweep.points[0].result)
+            return results, counters
+
+        outputs = run_threads(worker)
+        for results, _counters in outputs:
+            assert results.keys() == expected.keys()
+            for name, document in results.items():
+                assert document == expected[name], name
+
+        # Counter coherence across the merged per-thread counters.
+        merged = ScanCounters()
+        for _results, counters in outputs:
+            merged.merge(counters)
+        operational = {
+            record.configuration
+            for entry in sequential.points
+            for record in entry.result.records
+            if record.configuration is not None
+        }
+        evaluations_per_thread = REPEATS * sum(
+            sum(
+                1
+                for record in entry.result.records
+                if record.configuration is not None
+            )
+            for entry in sequential.points
+        )
+        # Single-flight: each distinct configuration solved exactly once
+        # engine-wide; everything else was a cache hit — no lost updates.
+        assert merged.lqn_solves == len(operational)
+        assert (
+            merged.lqn_solves + merged.lqn_cache_hits
+            == THREADS * evaluations_per_thread
+        )
+        # One fresh scan per distinct scan key (== per point here, since
+        # every point has distinct effective probabilities).
+        total_scans = THREADS * REPEATS * len(points)
+        assert merged.scan_cache_hits == total_scans - len(points)
+        assert merged.sweep_points == total_scans
+        # The shared cache ended up with exactly the distinct set.
+        assert set(shared.lqn_cache) == operational
+        assert shared.cache_stats()["scan_entries"] == len(points)
+
+    def test_hit_rate_reflects_shared_cache(
+        self, figure1, centralized, network
+    ):
+        points = overlapping_points(centralized, network)
+        shared = SweepEngine(
+            figure1, {"centralized": centralized, "network": network}
+        )
+        counters = ScanCounters()
+        lock = threading.Lock()
+
+        def worker(_index):
+            local = ScanCounters()
+            result = shared.run(points, counters=local)
+            with lock:
+                counters.merge(local)
+            return result
+
+        outputs = run_threads(worker, count=4)
+        rates = {round(r.lqn_cache_hit_rate, 12) for r in outputs}
+        # Per-run rates differ by which thread won each solve, but the
+        # merged view must account for every evaluation exactly once.
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+        total = counters.lqn_solves + counters.lqn_cache_hits
+        per_run = sum(
+            sum(
+                1
+                for record in entry.result.records
+                if record.configuration is not None
+            )
+            for entry in outputs[0].points
+        )
+        assert total == 4 * per_run
+        assert counters.lqn_solves == len(set(shared.lqn_cache))

@@ -1,0 +1,92 @@
+"""The scenario catalog: every bundle validates, solves and round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SweepEngine
+from repro.errors import ModelError
+from repro.ftlqn.serialize import model_from_json
+from repro.mama.serialize import mama_from_json
+from repro.service.catalog import load_scenario, scenario_names
+
+
+class TestCatalog:
+    def test_names_are_stable_and_sorted(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert set(names) == {
+            "cdn-failover", "datacenter-risk", "multi-region-ecommerce",
+        }
+
+    def test_unknown_name_lists_the_catalog(self):
+        with pytest.raises(ModelError, match="cdn-failover"):
+            load_scenario("no-such-scenario")
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_bundle_is_well_formed(self, name):
+        bundle = load_scenario(name)
+        assert bundle.name == name
+        assert bundle.title and bundle.description
+        bundle.ftlqn.validated()
+        assert bundle.architectures
+        for mama in bundle.architectures.values():
+            mama.validated()
+        if bundle.default_architecture is not None:
+            assert bundle.default_architecture in bundle.architectures
+        assert bundle.points
+        for point in bundle.points:
+            assert (
+                point.architecture is None
+                or point.architecture in bundle.architectures
+            )
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_default_points_solve(self, name):
+        bundle = load_scenario(name)
+        engine = SweepEngine(
+            bundle.ftlqn,
+            dict(bundle.architectures),
+            base_failure_probs=dict(bundle.failure_probs),
+            base_common_causes=bundle.common_causes,
+        )
+        result = engine.run(list(bundle.points))
+        for entry in result.points:
+            assert entry.result.expected_reward > 0.0
+            assert 0.0 <= entry.result.failed_probability <= 1.0
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_document_round_trips(self, name):
+        bundle = load_scenario(name)
+        document = bundle.to_document()
+        # The embedded model and architecture documents parse back into
+        # validated models — the service serves these verbatim and a
+        # client may post them straight back as an inline model.
+        ftlqn = model_from_json(json.dumps(document["model"]))
+        assert set(ftlqn.component_names()) == set(
+            bundle.ftlqn.component_names()
+        )
+        for arch_name, arch_doc in document["architectures"].items():
+            mama = mama_from_json(json.dumps(arch_doc))
+            assert mama.validated() is mama
+            assert arch_name in bundle.architectures
+        assert document["failure_probs"] == dict(bundle.failure_probs)
+        summary = bundle.summary()
+        assert summary["name"] == name
+        assert summary["architectures"] == sorted(bundle.architectures)
+
+    def test_perfect_beats_managed_architectures(self):
+        # Sanity of the modeling: imperfect coverage must cost reward.
+        bundle = load_scenario("multi-region-ecommerce")
+        engine = SweepEngine(
+            bundle.ftlqn,
+            dict(bundle.architectures),
+            base_failure_probs=dict(bundle.failure_probs),
+        )
+        result = engine.run(list(bundle.points))
+        perfect = result.point("perfect").result.expected_reward
+        for entry in result.points:
+            if entry.name != "perfect":
+                assert entry.result.expected_reward <= perfect
