@@ -2,7 +2,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: test bench bench-snapshot bench-snapshot-lqn \
-	bench-snapshot-campaign bench-snapshot-service docs-check fuzz
+	bench-snapshot-campaign bench-snapshot-service \
+	bench-snapshot-temporal docs-check fuzz
 
 test:
 	$(PY) -m pytest -x -q
@@ -43,6 +44,13 @@ bench-snapshot-campaign:
 # BENCH_service.json (CI artifact).
 bench-snapshot-service:
 	$(PY) benchmarks/snapshot_service.py --out BENCH_service.json
+
+# Temporal layer: uniformization scaling + accuracy vs a dense expm
+# reference, steady-state 1e-12 parity on every Figure-1 case, and the
+# analytic-curve-inside-the-simulator's-confidence-interval gate,
+# written to BENCH_temporal.json (CI artifact).
+bench-snapshot-temporal:
+	$(PY) benchmarks/snapshot_temporal.py --out BENCH_temporal.json
 
 # Verify that every ```python block in docs/*.md and README.md parses,
 # so guide snippets cannot rot into syntax errors.

@@ -1,0 +1,260 @@
+"""Write a machine-readable perf snapshot of the temporal layer.
+
+Companion of ``snapshot_service.py`` for the CTMC/transient pipeline::
+
+    python benchmarks/snapshot_temporal.py --out BENCH_temporal.json
+
+The ``make bench-snapshot-temporal`` target invokes exactly that; CI
+uploads the file as an artifact.  Gates, in order:
+
+* **steady parity (always)** — for every Figure-1 management case, the
+  :class:`~repro.core.temporal.TemporalAnalyzer` curve's ``t → ∞``
+  limit must match the static
+  :class:`~repro.core.PerformabilityAnalyzer` answer to 1e-12.  The
+  temporal mode is a superset of the static one; it must not drift by
+  a bit.
+* **uniformization accuracy (always)** — on random irreducible chains
+  of growing size, the uniformized transient distribution must stay
+  within ``2 x tolerance`` (plus double-precision slack) of a dense
+  ``expm`` reference, while the wall-clock per solve is recorded as
+  the scaling trajectory.
+* **simulator coverage (always)** — on the centralized Figure-1 case,
+  the analytic transient availability must fall inside a Student-t
+  interval of the independent event-driven simulator at *every* grid
+  time.  This is the end-to-end "the curve means what it says" gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import random
+import subprocess
+import sys
+import time
+
+import numpy as np
+import scipy.linalg
+import scipy.stats
+
+from repro.core import PerformabilityAnalyzer
+from repro.core.temporal import TemporalAnalyzer, time_grid
+from repro.experiments.architectures import ARCHITECTURE_BUILDERS
+from repro.experiments.figure1 import figure1_failure_probs, figure1_system
+from repro.markov.availability import ComponentAvailability
+from repro.markov.ctmc import CTMC
+from repro.markov.uniformization import transient_distribution
+from repro.sim import simulate_transient
+
+STEADY_TOLERANCE = 1e-12
+UNIFORMIZATION_TOLERANCE = 1e-9
+#: Allowed excess over the series' own truncation budget: the analytic
+#: bound is ``tolerance`` of discarded Poisson mass, doubled for the
+#: renormalization step, plus double-precision accumulation slack.
+ACCURACY_SLACK = 1e-10
+CHAIN_SIZES = (8, 32, 128, 256)
+HORIZON_T = 5.0
+SIM_CONFIDENCE = 0.999
+SIM_FLOOR = 0.01
+SIM_REPLICATIONS = 300
+SIM_TIMES = time_grid(6.0, 5)
+
+
+def git_revision() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def random_chain(states: int, seed: int) -> CTMC:
+    """Irreducible CTMC: a directed cycle (so every state is reachable)
+    plus ~3N random extra transitions."""
+    rng = random.Random(seed)
+    chain = CTMC()
+    names = [f"s{i}" for i in range(states)]
+    for index, name in enumerate(names):
+        chain.add_transition(
+            name, names[(index + 1) % states],
+            rate=rng.uniform(0.05, 3.0),
+        )
+    for _ in range(3 * states):
+        source, target = rng.sample(names, 2)
+        chain.add_transition(source, target, rate=rng.uniform(0.05, 3.0))
+    return chain
+
+
+def expm_reference(chain: CTMC, t: float) -> np.ndarray:
+    generator = chain.generator()
+    vector = np.zeros(len(chain.states))
+    vector[0] = 1.0
+    return vector @ scipy.linalg.expm(generator * t)
+
+
+def uniformization_trajectory() -> tuple[list[dict], float]:
+    entries = []
+    worst = 0.0
+    for states in CHAIN_SIZES:
+        chain = random_chain(states, seed=states)
+        initial = {chain.states[0]: 1.0}
+        start = time.perf_counter()
+        distribution = transient_distribution(
+            chain, initial, HORIZON_T, tolerance=UNIFORMIZATION_TOLERANCE
+        )
+        seconds = time.perf_counter() - start
+        reference = expm_reference(chain, HORIZON_T)
+        error = float(sum(
+            abs(distribution[name] - reference[i])
+            for i, name in enumerate(chain.states)
+        ))
+        worst = max(worst, error)
+        rate = float(np.max(-np.diag(chain.generator())))
+        print(f"  uniformization: {states:4d} states, "
+              f"lambda*t {rate * HORIZON_T:8.1f}, "
+              f"{seconds * 1e3:8.2f}ms, l1 error {error:.2e}",
+              file=sys.stderr)
+        entries.append({
+            "states": states,
+            "lambda_t": rate * HORIZON_T,
+            "seconds": seconds,
+            "l1_error_vs_expm": error,
+        })
+    return entries, worst
+
+
+def t_interval(samples: list[float]) -> tuple[float, float]:
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    quantile = scipy.stats.t.ppf(1.0 - (1.0 - SIM_CONFIDENCE) / 2.0, n - 1)
+    return mean, quantile * math.sqrt(variance / n) + SIM_FLOOR
+
+
+def figure1_cases() -> tuple[list[dict], float, dict]:
+    """Steady parity across all management cases + the sim gate on the
+    centralized one.  Returns (entries, worst steady diff, sim gate)."""
+    ftlqn = figure1_system()
+    entries = []
+    worst = 0.0
+    sim_gate: dict = {}
+    cases: list[tuple[str, object]] = [("perfect", None)]
+    cases += [
+        (name, builder()) for name, builder in ARCHITECTURE_BUILDERS.items()
+    ]
+    for name, mama in cases:
+        probs = figure1_failure_probs(mama)
+        rates = {
+            component: ComponentAvailability.from_probability(p)
+            for component, p in probs.items()
+        }
+        static = PerformabilityAnalyzer(
+            ftlqn, mama, failure_probs=probs
+        ).solve()
+        architectures = None if mama is None else {"arch": mama}
+        analyzer = TemporalAnalyzer(ftlqn, architectures, rates=rates)
+        start = time.perf_counter()
+        curve = analyzer.evaluate(
+            SIM_TIMES, architecture=None if mama is None else "arch"
+        )
+        seconds = time.perf_counter() - start
+        diff = abs(curve.steady.expected_reward - static.expected_reward)
+        worst = max(worst, diff)
+        print(f"  figure1/{name}: curve {seconds * 1e3:7.1f}ms, "
+              f"steady diff {diff:.2e}", file=sys.stderr)
+        entries.append({
+            "case": name,
+            "curve_seconds": seconds,
+            "steady_diff": diff,
+            "steady_reward": curve.steady.expected_reward,
+            "interval_availability": curve.interval_availability,
+        })
+        if name == "centralized":
+            group_rewards = {
+                record.configuration: dict(record.throughputs)
+                for record in static.records
+                if record.configuration is not None
+            }
+            start = time.perf_counter()
+            sim = simulate_transient(
+                ftlqn, mama, rates,
+                times=SIM_TIMES,
+                replications=SIM_REPLICATIONS,
+                seed=17,
+                group_rewards=group_rewards,
+            )
+            sim_seconds = time.perf_counter() - start
+            covered = []
+            for index, point in enumerate(curve.points):
+                mean, half = t_interval(
+                    list(sim.operational_samples[index])
+                )
+                covered.append(bool(abs(point.availability - mean) <= half))
+            sim_gate = {
+                "replications": SIM_REPLICATIONS,
+                "confidence": SIM_CONFIDENCE,
+                "seconds": sim_seconds,
+                "times": list(SIM_TIMES),
+                "covered": covered,
+            }
+            print(f"  figure1/centralized sim: {sim_seconds:5.1f}s, "
+                  f"covered {sum(covered)}/{len(covered)} grid times",
+                  file=sys.stderr)
+    return entries, worst, sim_gate
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_temporal.json")
+    args = parser.parse_args(argv)
+
+    print("temporal bench: uniformization scaling", file=sys.stderr)
+    uniformization_entries, worst_error = uniformization_trajectory()
+    budget = 2.0 * UNIFORMIZATION_TOLERANCE + ACCURACY_SLACK
+    if worst_error > budget:
+        raise SystemExit(
+            f"uniformization error {worst_error:.3e} exceeds the "
+            f"{budget:.1e} budget"
+        )
+
+    print("temporal bench: figure1 pipeline", file=sys.stderr)
+    case_entries, worst_steady, sim_gate = figure1_cases()
+    if worst_steady > STEADY_TOLERANCE:
+        raise SystemExit(
+            f"steady-state drift {worst_steady:.3e} exceeds "
+            f"{STEADY_TOLERANCE:.0e}"
+        )
+    if not all(sim_gate["covered"]):
+        raise SystemExit(
+            "analytic transient availability left the simulator's "
+            f"{SIM_CONFIDENCE} Student-t interval: {sim_gate['covered']}"
+        )
+
+    document = {
+        "suite": "temporal",
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "steady_tolerance": STEADY_TOLERANCE,
+        "uniformization_tolerance": UNIFORMIZATION_TOLERANCE,
+        "max_uniformization_error": worst_error,
+        "max_steady_diff": worst_steady,
+        "uniformization": uniformization_entries,
+        "figure1_cases": case_entries,
+        "simulation_gate": sim_gate,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

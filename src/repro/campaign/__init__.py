@@ -41,12 +41,14 @@ from repro.campaign.keys import (
     fuzz_point_key,
     solve_point_key,
     solver_tolerances,
+    temporal_point_key,
 )
 from repro.campaign.store import ResultStore, StoredResult
 from repro.campaign.spec import (
     CampaignSpec,
     CompiledCampaign,
     CompiledPoint,
+    TemporalWorkload,
     campaign_spec_from_document,
     load_campaign_spec,
 )
@@ -68,6 +70,7 @@ __all__ = [
     "CompiledPoint",
     "ResultStore",
     "StoredResult",
+    "TemporalWorkload",
     "campaign_spec_from_document",
     "canonical_json",
     "console_campaign_progress",
@@ -77,4 +80,5 @@ __all__ = [
     "run_campaign",
     "solve_point_key",
     "solver_tolerances",
+    "temporal_point_key",
 ]

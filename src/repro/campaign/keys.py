@@ -173,19 +173,86 @@ def solve_point_key(
     return fingerprint(solve_point_document(ftlqn, mama, **kwargs))
 
 
+def temporal_point_document(
+    ftlqn: FTLQNModel | Mapping,
+    mama: MAMAModel | Mapping | None,
+    *,
+    rates: Mapping[str, Sequence[float]],
+    times: Sequence[float],
+    latencies: Sequence[float] = (),
+    common_causes: Sequence[CommonCause] = (),
+    cause_repair_rate: float = 1.0,
+    weights: Mapping[str, float] | None = None,
+    method: str = "factored",
+    epsilon: float = 0.0,
+) -> dict:
+    """The canonical fingerprint document of one temporal point.
+
+    ``rates`` maps component names to ``(failure_rate, repair_rate)``
+    pairs — the *effective* rates the transient curve is evaluated
+    with, mirroring the effective-probability convention of solve
+    points.  ``times`` is the transient grid and ``latencies`` the
+    detection latencies of the erosion curve solved alongside it;
+    both are part of the key because both decide the stored numbers.
+    """
+    method = normalize_method(method)
+    ftlqn_doc = (
+        json.loads(model_to_json(ftlqn))
+        if isinstance(ftlqn, FTLQNModel) else ftlqn
+    )
+    if isinstance(mama, MAMAModel):
+        mama_doc = _canonical_mama_document(json.loads(mama_to_json(mama)))
+    elif mama is not None:
+        mama_doc = _canonical_mama_document(mama)
+    else:
+        mama_doc = None
+    return {
+        "schema": CODE_SCHEMA_VERSION,
+        "kind": "temporal",
+        "ftlqn": ftlqn_doc,
+        "mama": mama_doc,
+        "rates": {
+            str(name): [float(pair[0]), float(pair[1])]
+            for name, pair in rates.items()
+        },
+        "times": [float(value) for value in times],
+        "latencies": [float(value) for value in latencies],
+        "common_causes": _causes_document(common_causes),
+        "cause_repair_rate": float(cause_repair_rate),
+        "weights": (
+            None if weights is None
+            else {str(name): float(value) for name, value in weights.items()}
+        ),
+        "method": method,
+        "epsilon": float(epsilon) if method == "bounded" else 0.0,
+        "solver": solver_tolerances(),
+    }
+
+
+def temporal_point_key(
+    ftlqn: FTLQNModel | Mapping,
+    mama: MAMAModel | Mapping | None,
+    **kwargs,
+) -> str:
+    """Content address of one temporal point (see
+    :func:`temporal_point_document` for the hashed fields)."""
+    return fingerprint(temporal_point_document(ftlqn, mama, **kwargs))
+
+
 def fuzz_point_document(
     scenario_document: Mapping,
     *,
     backends: Sequence[str],
     jobs_checked: Sequence[int] = (1,),
     simulate: bool = False,
+    temporal: bool = False,
     oracle_config: Mapping | None = None,
 ) -> dict:
     """The canonical fingerprint document of one differential-oracle
     check: the scenario itself (minus its provenance seed — two seeds
     that generate the same scenario share one check) plus everything
     that decides what the check *proves* (backend set, parallel jobs,
-    simulation cross-check, oracle tolerances)."""
+    simulation and temporal cross-checks, oracle tolerances)."""
     scenario = dict(scenario_document)
     scenario.pop("seed", None)
     return {
@@ -195,6 +262,7 @@ def fuzz_point_document(
         "backends": [str(name) for name in backends],
         "jobs_checked": [int(jobs) for jobs in jobs_checked],
         "simulate": bool(simulate),
+        "temporal": bool(temporal),
         "oracle": dict(oracle_config or {}),
         "solver": solver_tolerances(),
     }

@@ -171,6 +171,7 @@ def _worker_engine():
         # once, in the parent, at compile time.
         engine = SweepEngine(ftlqn, architectures)
         _WORKER_STATE["engine"] = engine
+        _WORKER_STATE["ftlqn"] = ftlqn
     return engine
 
 
@@ -205,6 +206,57 @@ def _execute_solve(payload: Mapping) -> dict:
     }
 
 
+def _execute_temporal(payload: Mapping) -> dict:
+    from repro.core.temporal import TemporalAnalyzer
+    from repro.markov.availability import ComponentAvailability
+
+    engine = _worker_engine()
+    analyzer = TemporalAnalyzer(
+        _WORKER_STATE["ftlqn"],
+        rates={
+            name: ComponentAvailability(
+                failure_rate=pair[0], repair_rate=pair[1]
+            )
+            for name, pair in payload["rates"].items()
+        },
+        common_causes=tuple(
+            CommonCause(
+                name=cause["name"],
+                probability=cause["probability"],
+                components=tuple(cause["components"]),
+            )
+            for cause in payload["common_causes"]
+        ),
+        cause_repair_rate=payload["cause_repair_rate"],
+        weights=payload["weights"],
+        engine=engine,
+    )
+    counters = ScanCounters()
+    curve = analyzer.evaluate(
+        payload["times"],
+        architecture=payload["architecture"],
+        method=payload["method"],
+        jobs=1,
+        epsilon=payload["epsilon"],
+        counters=counters,
+    )
+    erosion = ()
+    if payload["latencies"]:
+        erosion = analyzer.erosion_curve(
+            payload["latencies"],
+            method=payload["method"],
+            jobs=1,
+            epsilon=payload["epsilon"],
+            counters=counters,
+        )
+    return {
+        "kind": "temporal",
+        "result": curve.to_json_dict(),
+        "erosion": [point.to_dict() for point in erosion],
+        "counters": counters.to_dict(),
+    }
+
+
 def _execute_fuzz(payload: Mapping) -> dict:
     from repro.verify.generator import Scenario
     from repro.verify.oracle import check_scenario, default_backends
@@ -215,6 +267,7 @@ def _execute_fuzz(payload: Mapping) -> dict:
         backends=default_backends(payload["backends"]),
         jobs=tuple(payload["jobs_checked"]),
         simulate=payload["simulate"],
+        temporal=payload.get("temporal", False),
     )
     return {
         "kind": "fuzz",
@@ -224,6 +277,7 @@ def _execute_fuzz(payload: Mapping) -> dict:
         "backends_checked": list(report.backends_checked),
         "jobs_checked": list(report.jobs_checked),
         "simulated": report.simulated,
+        "temporal_checked": report.temporal_checked,
         "bounded_checked": report.bounded_checked,
         "state_count": report.state_count,
         "distinct_configurations": report.distinct_configurations,
@@ -238,9 +292,11 @@ def _execute_point(kind: str, name: str, workload: str, payload: dict):
     start = time.perf_counter()
     if kind == "solve":
         document = _execute_solve(payload)
+    elif kind == "temporal":
+        document = _execute_temporal(payload)
     elif kind == "fuzz":
         document = _execute_fuzz(payload)
-    else:  # pragma: no cover - compile() only emits the two kinds
+    else:  # pragma: no cover - compile() only emits known kinds
         raise ValueError(f"unknown point kind {kind!r}")
     document["workload"] = workload
     return document, time.perf_counter() - start
@@ -256,7 +312,7 @@ def _fold_result(
     counters: ScanCounters,
     failed: list[str],
 ) -> None:
-    if point.kind == "solve":
+    if point.kind in ("solve", "temporal"):
         counters.merge(ScanCounters.from_dict(document["counters"]))
     elif point.kind == "fuzz" and not document.get("ok", True):
         failed.append(point.name)

@@ -13,7 +13,11 @@ each of which expands into concrete scenario points:
   (:mod:`repro.optimize.space`): every candidate of the space becomes
   one point, carrying its cost metadata into the store;
 * ``fuzz`` — a differential-verification seed range
-  (:mod:`repro.verify`): every seed becomes one oracle check.
+  (:mod:`repro.verify`): every seed becomes one oracle check;
+* ``temporal`` — a transient performability curve per architecture
+  variant (:class:`~repro.core.temporal.TemporalAnalyzer`): the base
+  scenario lifted to failure/repair rates, evaluated over a time grid
+  with an optional detection-latency erosion curve.
 
 :meth:`CampaignSpec.compile` resolves all of it into a flat
 :class:`CompiledCampaign`: per-point *effective* inputs (base +
@@ -37,7 +41,9 @@ The file format (see ``examples/campaign/campaign.json``)::
          "axes": {"db1": [0.01, 0.05]}, "weights": {"users": 1.0}},
         {"kind": "points", "points": [...]},
         {"kind": "optimize", "space": {...}},
-        {"kind": "fuzz", "seeds": 20}
+        {"kind": "fuzz", "seeds": 20},
+        {"kind": "temporal", "architectures": ["central"],
+         "horizon": 20, "points": 9, "latencies": [0.5]}
       ]
     }
 
@@ -53,7 +59,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Mapping, Sequence
 
-from repro.campaign.keys import fuzz_point_key, solve_point_key
+from repro.campaign.keys import (
+    fuzz_point_key,
+    solve_point_key,
+    temporal_point_key,
+)
 from repro.core.bounded import DEFAULT_EPSILON
 from repro.core.dependency import CommonCause
 from repro.core.enumeration import normalize_method
@@ -157,10 +167,37 @@ class FuzzWorkload:
     backends: tuple[str, ...] | None = None
     sim_every: int = 10
     parallel_every: int = 25
+    temporal_every: int = 10
     jobs: int = 2
 
 
-Workload = GridWorkload | PointsWorkload | OptimizeWorkload | FuzzWorkload
+@dataclass(frozen=True)
+class TemporalWorkload:
+    """A transient performability curve per architecture variant.
+
+    The static base scenario is lifted to failure/repair rates with
+    :meth:`~repro.markov.availability.ComponentAvailability
+    .from_probability` at ``repair_rate`` (so the curve's ``t → ∞``
+    limit reproduces the static point exactly); ``rates`` overrides
+    individual components with explicit ``(failure_rate, repair_rate)``
+    pairs.  ``latencies`` adds the detection-latency erosion curve to
+    every point's stored result.
+    """
+
+    label: str
+    architectures: tuple[str | None, ...]
+    times: tuple[float, ...]
+    repair_rate: float = 1.0
+    cause_repair_rate: float = 1.0
+    latencies: tuple[float, ...] = ()
+    rates: Mapping[str, tuple[float, float]] | None = None
+    weights: Mapping[str, float] | None = None
+
+
+Workload = (
+    GridWorkload | PointsWorkload | OptimizeWorkload | FuzzWorkload
+    | TemporalWorkload
+)
 
 
 # ----------------------------------------------------------------------
@@ -177,7 +214,7 @@ class CompiledPoint:
     """
 
     key: str
-    kind: str  # "solve" | "fuzz"
+    kind: str  # "solve" | "fuzz" | "temporal"
     name: str
     workload: str
     payload: dict
@@ -208,6 +245,10 @@ class CompiledCampaign:
     @property
     def fuzz_points(self) -> tuple[CompiledPoint, ...]:
         return tuple(p for p in self.points if p.kind == "fuzz")
+
+    @property
+    def temporal_points(self) -> tuple[CompiledPoint, ...]:
+        return tuple(p for p in self.points if p.kind == "temporal")
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +296,13 @@ class CampaignSpec:
             elif isinstance(workload, OptimizeWorkload):
                 points.extend(
                     self._compile_optimize(
+                        workload, architectures, ftlqn_document,
+                        method, epsilon,
+                    )
+                )
+            elif isinstance(workload, TemporalWorkload):
+                points.extend(
+                    self._compile_temporal(
                         workload, architectures, ftlqn_document,
                         method, epsilon,
                     )
@@ -452,6 +500,80 @@ class CampaignSpec:
             )
         return points
 
+    def _compile_temporal(
+        self,
+        workload: TemporalWorkload,
+        architectures: Mapping[str, MAMAModel],
+        ftlqn_document: dict,
+        method: str,
+        epsilon: float,
+    ) -> list[CompiledPoint]:
+        # Lazy: the markov layer is only needed for this workload kind.
+        from repro.markov.availability import ComponentAvailability
+
+        points = []
+        for architecture in workload.architectures:
+            probe = SweepPoint(
+                name=f"{workload.label}/{architecture or 'perfect'}",
+                architecture=architecture,
+            )
+            effective = self._effective_probs(probe, architectures)
+            rates: dict[str, tuple[float, float]] = {}
+            for name, probability in effective.items():
+                lifted = ComponentAvailability.from_probability(
+                    probability, repair_rate=workload.repair_rate
+                )
+                rates[name] = (lifted.failure_rate, lifted.repair_rate)
+            for name, pair in (workload.rates or {}).items():
+                rates[name] = (float(pair[0]), float(pair[1]))
+            mama = (
+                None if architecture is None else architectures[architecture]
+            )
+            key = temporal_point_key(
+                ftlqn_document,
+                mama,
+                rates=rates,
+                times=workload.times,
+                latencies=workload.latencies,
+                common_causes=self.base_common_causes,
+                cause_repair_rate=workload.cause_repair_rate,
+                weights=workload.weights,
+                method=method,
+                epsilon=epsilon,
+            )
+            payload = {
+                "name": probe.name,
+                "architecture": architecture,
+                "rates": {
+                    name: [pair[0], pair[1]]
+                    for name, pair in rates.items()
+                },
+                "times": list(workload.times),
+                "latencies": list(workload.latencies),
+                "common_causes": [
+                    {
+                        "name": cause.name,
+                        "probability": cause.probability,
+                        "components": list(cause.components),
+                    }
+                    for cause in self.base_common_causes
+                ],
+                "cause_repair_rate": workload.cause_repair_rate,
+                "weights": (
+                    None if workload.weights is None
+                    else dict(workload.weights)
+                ),
+                "method": method,
+                "epsilon": epsilon,
+            }
+            points.append(
+                CompiledPoint(
+                    key=key, kind="temporal", name=probe.name,
+                    workload=workload.label, payload=payload,
+                )
+            )
+        return points
+
     def _compile_fuzz(self, workload: FuzzWorkload) -> list[CompiledPoint]:
         # Lazy: the verify package imports simulation machinery.
         from dataclasses import asdict
@@ -469,6 +591,10 @@ class CampaignSpec:
             simulate = (
                 workload.sim_every > 0 and seed % workload.sim_every == 0
             )
+            temporal = (
+                workload.temporal_every > 0
+                and seed % workload.temporal_every == 0
+            )
             jobs_checked = (1,)
             if (
                 workload.parallel_every > 0
@@ -481,6 +607,7 @@ class CampaignSpec:
                 backends=backends,
                 jobs_checked=jobs_checked,
                 simulate=simulate,
+                temporal=temporal,
                 oracle_config=oracle_document,
             )
             points.append(
@@ -495,6 +622,7 @@ class CampaignSpec:
                         "backends": list(backends),
                         "jobs_checked": list(jobs_checked),
                         "simulate": simulate,
+                        "temporal": temporal,
                     },
                 )
             )
@@ -517,7 +645,11 @@ _OPTIMIZE_KEYS = frozenset(
 )
 _FUZZ_KEYS = frozenset(
     {"kind", "label", "seeds", "seed_start", "backends", "sim_every",
-     "parallel_every", "jobs"}
+     "parallel_every", "temporal_every", "jobs"}
+)
+_TEMPORAL_KEYS = frozenset(
+    {"kind", "label", "architectures", "times", "horizon", "points",
+     "repair_rate", "cause_repair_rate", "latencies", "rates", "weights"}
 )
 
 
@@ -617,13 +749,83 @@ def _workload_from_document(item, index: int) -> Workload:
                 ),
                 sim_every=int(item.get("sim_every", 10)),
                 parallel_every=int(item.get("parallel_every", 25)),
+                temporal_every=int(item.get("temporal_every", 10)),
                 jobs=int(item.get("jobs", 2)),
             )
         except (TypeError, ValueError) as exc:
             raise SerializationError(f"{what}: {exc}") from exc
+    if kind == "temporal":
+        _check_keys(item, _TEMPORAL_KEYS, what)
+        architectures_doc = item.get("architectures", [None])
+        if not isinstance(architectures_doc, list) or not architectures_doc:
+            raise SerializationError(
+                f'{what}: "architectures" must be a non-empty array of '
+                "architecture names (null = perfect knowledge)"
+            )
+        if "times" in item and "horizon" in item:
+            raise SerializationError(
+                f'{what}: give either an explicit "times" array or a '
+                '"horizon" (+ "points"), not both'
+            )
+        try:
+            if "times" in item:
+                times = tuple(float(t) for t in item["times"])
+            else:
+                from repro.core.temporal import time_grid
+
+                times = time_grid(
+                    float(item.get("horizon", 10.0)),
+                    int(item.get("points", 9)),
+                )
+            latencies = tuple(
+                float(value) for value in item.get("latencies", [])
+            )
+            repair_rate = float(item.get("repair_rate", 1.0))
+            cause_repair_rate = float(item.get("cause_repair_rate", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"{what}: {exc}") from exc
+        rates = None
+        if "rates" in item:
+            rates_doc = item["rates"]
+            if not isinstance(rates_doc, Mapping):
+                raise SerializationError(
+                    f'{what}: "rates" must map component names to '
+                    "[failure_rate, repair_rate] pairs"
+                )
+            rates = {}
+            for name, pair in rates_doc.items():
+                if not isinstance(pair, Sequence) or len(pair) != 2:
+                    raise SerializationError(
+                        f"{what}: rate for {name!r} must be a "
+                        "[failure_rate, repair_rate] pair"
+                    )
+                try:
+                    rates[str(name)] = (float(pair[0]), float(pair[1]))
+                except (TypeError, ValueError) as exc:
+                    raise SerializationError(
+                        f"{what}: rate for {name!r}: {exc}"
+                    ) from exc
+        weights = None
+        if "weights" in item:
+            weights = probs_from_document(
+                item["weights"], label=f"{what} weights"
+            )
+        return TemporalWorkload(
+            label=label,
+            architectures=tuple(
+                None if entry is None else str(entry)
+                for entry in architectures_doc
+            ),
+            times=times,
+            repair_rate=repair_rate,
+            cause_repair_rate=cause_repair_rate,
+            latencies=latencies,
+            rates=rates,
+            weights=weights,
+        )
     raise SerializationError(
         f"{what}: unknown workload kind {kind!r}; expected one of "
-        "['grid', 'points', 'optimize', 'fuzz']"
+        "['grid', 'points', 'optimize', 'fuzz', 'temporal']"
     )
 
 

@@ -8,6 +8,11 @@ Commands
 ``analyze``
     Run the coverage-aware performability analysis on model files and
     print the configuration table and expected reward.
+``temporal``
+    Evaluate the transient performability curve R(t) and interval
+    availability of a scenario lifted to failure/repair rates, plus the
+    detection-latency coverage-erosion curve (see
+    :mod:`repro.core.temporal`).
 ``importance``
     Rank components by Birnbaum reward/failure importance.
 ``dot``
@@ -246,6 +251,180 @@ def _cmd_analyze(args) -> int:
         # parity harness diffs this against /analyze responses).
         document = result.to_dict()
         document.pop("counters", None)
+        Path(args.json_out).write_text(json.dumps(document, indent=2))
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_temporal(args) -> int:
+    from repro.core.temporal import (
+        TemporalAnalyzer,
+        architecture_detection_latency,
+        time_grid,
+    )
+    from repro.markov.availability import ComponentAvailability
+    from repro.core.sweep import SweepPoint
+
+    if (args.model is None) == (args.scenario is None):
+        raise SerializationError(
+            "give either a model file or --scenario, not both or neither"
+        )
+    weights = None
+    if args.weights:
+        try:
+            weights_doc = json.loads(args.weights)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(
+                f"--weights is not valid JSON: {exc}"
+            ) from exc
+        weights = probs_from_document(weights_doc, label="--weights")
+
+    defaults: dict = {}
+    if args.scenario is not None:
+        from repro.service.catalog import load_scenario
+
+        bundle = load_scenario(args.scenario)
+        ftlqn = bundle.ftlqn
+        architectures = dict(bundle.architectures)
+        probs = dict(bundle.failure_probs)
+        causes = bundle.common_causes
+        if weights is None and bundle.weights is not None:
+            weights = dict(bundle.weights)
+        if bundle.temporal is not None:
+            defaults = dict(bundle.temporal)
+        if args.architecture is None:
+            architecture = bundle.default_architecture
+        elif args.architecture == "none":
+            architecture = None
+        else:
+            architecture = args.architecture
+    else:
+        ftlqn = model_from_json(_read(args.model))
+        mama = mama_from_json(_read(args.mama)) if args.mama else None
+        architectures = {} if mama is None else {"mama": mama}
+        architecture = "mama" if mama is not None else None
+        probs, causes = _load_probs(args.probs)
+
+    repair_rate = (
+        args.repair_rate
+        if args.repair_rate is not None
+        else float(defaults.get("repair_rate", 1.0))
+    )
+    if args.times is not None and args.horizon is not None:
+        raise SerializationError(
+            "give either --times or --horizon (+ --points), not both"
+        )
+    if args.times is not None:
+        times = [float(value) for value in args.times.split(",")]
+    else:
+        horizon = (
+            args.horizon
+            if args.horizon is not None
+            else float(defaults.get("horizon", 10.0))
+        )
+        points = (
+            args.points
+            if args.points is not None
+            else int(defaults.get("points", 9))
+        )
+        times = list(time_grid(horizon, points))
+    if args.latencies is not None:
+        latencies = [float(value) for value in args.latencies.split(",")]
+    else:
+        latencies = [float(value) for value in defaults.get("latencies", [])]
+
+    engine = SweepEngine(ftlqn, architectures, base_failure_probs=probs)
+    effective = engine.effective_failure_probs(
+        SweepPoint(name="temporal", architecture=architecture)
+    )
+    analyzer = TemporalAnalyzer(
+        ftlqn,
+        rates={
+            name: ComponentAvailability.from_probability(
+                probability, repair_rate=repair_rate
+            )
+            for name, probability in effective.items()
+        },
+        common_causes=causes,
+        cause_repair_rate=repair_rate,
+        weights=weights,
+        engine=engine,
+    )
+    derived_latency = None
+    if args.heartbeat_period is not None:
+        from repro.sim.heartbeat import HeartbeatConfig
+
+        mama_model = (
+            engine.architectures[architecture]
+            if architecture is not None else None
+        )
+        derived_latency = architecture_detection_latency(
+            mama_model,
+            HeartbeatConfig(
+                period=args.heartbeat_period,
+                misses=args.heartbeat_misses,
+                hop_delay=args.heartbeat_hop_delay,
+            ),
+        )
+        if derived_latency not in latencies:
+            latencies.append(derived_latency)
+
+    method = _resolve_method(args)
+    progress = console_progress(sys.stderr) if args.progress else None
+    counters = ScanCounters()
+    curve = analyzer.evaluate(
+        times,
+        architecture=architecture,
+        method=method,
+        jobs=args.jobs,
+        epsilon=args.epsilon,
+        progress=progress,
+        counters=counters,
+    )
+    erosion = ()
+    if latencies:
+        erosion = analyzer.erosion_curve(
+            sorted(latencies),
+            method=method,
+            jobs=args.jobs,
+            epsilon=args.epsilon,
+            progress=progress,
+            counters=counters,
+        )
+
+    label = architecture if architecture is not None else "perfect knowledge"
+    print(f"transient performability ({label}, {method} scan, "
+          f"repair rate {repair_rate:g})")
+    print(f"{'time':>10}  {'reward':>10}  {'availability':>12}")
+    for point in curve.points:
+        print(f"{point.time:10.4f}  {point.expected_reward:10.6f}  "
+              f"{point.availability:12.6f}")
+    print(f"{'steady':>10}  {curve.steady.expected_reward:10.6f}  "
+          f"{1.0 - curve.steady.failed_probability:12.6f}")
+    print(f"interval availability over [{curve.horizon[0]:g}, "
+          f"{curve.horizon[1]:g}]: {curve.interval_availability:.6f}")
+    print(f"time-averaged reward: {curve.time_averaged_reward:.6f} "
+          f"(integral {curve.reward_integral:.6f})")
+    if derived_latency is not None:
+        print(f"derived mean detection latency ({label}): "
+              f"{derived_latency:.4f}")
+    if erosion:
+        print("coverage erosion vs. mean detection latency:")
+        print(f"{'latency':>10}  {'reward':>10}  {'erosion':>8}  "
+              f"{'stale prob':>10}")
+        for point in erosion:
+            print(f"{point.latency:10.4f}  {point.expected_reward:10.6f}  "
+                  f"{point.erosion_factor:8.4f}  "
+                  f"{point.stale_probability:10.6f}")
+    if getattr(args, "json_out", None):
+        document = {
+            "scenario": args.scenario,
+            "architecture": architecture,
+            "repair_rate": repair_rate,
+            "result": curve.to_json_dict(),
+            "erosion": [point.to_dict() for point in erosion],
+            "derived_latency": derived_latency,
+        }
         Path(args.json_out).write_text(json.dumps(document, indent=2))
         print(f"wrote {args.json_out}", file=sys.stderr)
     return 0
@@ -914,6 +1093,92 @@ def build_parser() -> argparse.ArgumentParser:
         "precision — the printed table rounds to 6 decimals)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    temporal = commands.add_parser(
+        "temporal",
+        help="transient performability curve and coverage erosion",
+        epilog="The static scenario is lifted to failure/repair rates "
+        "with ComponentAvailability.from_probability at --repair-rate, "
+        "so the curve's steady-state limit reproduces `repro analyze` "
+        "exactly; the transient points are exact product-form CTMC "
+        "marginals evaluated through the same scan backends.  "
+        "--latencies adds the detection-delay erosion curve (expected "
+        "reward vs. mean detection latency); --heartbeat-period derives "
+        "an architecture's latency from its notification-hop depth.  "
+        "See docs/modeling_guide.md for a walk-through.",
+    )
+    temporal.add_argument(
+        "model", nargs="?",
+        help="FTLQN model JSON file (omit when using --scenario)",
+    )
+    temporal.add_argument("--mama", help="MAMA architecture JSON file")
+    temporal.add_argument("--probs", help="failure-probability JSON file")
+    temporal.add_argument(
+        "--scenario", metavar="NAME",
+        help="analyze a catalog scenario (see `repro serve` catalog) "
+        "instead of model files; its temporal block supplies defaults",
+    )
+    temporal.add_argument(
+        "--architecture", metavar="KEY",
+        help="scenario architecture key (default: the scenario's "
+        "default; 'none' = perfect knowledge)",
+    )
+    add_backend_args(temporal, with_epsilon=True)
+    temporal.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per time point's state-space scan "
+        "(default 1 = sequential; 0 = all cores)",
+    )
+    temporal.add_argument(
+        "--repair-rate", type=float, default=None, metavar="MU",
+        help="repair rate lifting static probabilities to rates "
+        "(default 1.0, or the scenario's temporal block)",
+    )
+    temporal.add_argument(
+        "--horizon", type=float, default=None, metavar="T",
+        help="time-grid horizon (default 10.0, or the scenario's "
+        "temporal block)",
+    )
+    temporal.add_argument(
+        "--points", type=int, default=None, metavar="N",
+        help="time-grid size (default 9, or the scenario's temporal "
+        "block)",
+    )
+    temporal.add_argument(
+        "--times", metavar="T1,T2,...",
+        help="explicit comma-separated time grid (overrides --horizon)",
+    )
+    temporal.add_argument(
+        "--latencies", metavar="L1,L2,...",
+        help="mean detection latencies for the erosion curve",
+    )
+    temporal.add_argument(
+        "--heartbeat-period", type=float, default=None, metavar="P",
+        help="derive the architecture's detection latency from a "
+        "heartbeat protocol with this period (uses the MAMA's "
+        "notification-hop depth) and add it to the erosion curve",
+    )
+    temporal.add_argument(
+        "--heartbeat-misses", type=int, default=2, metavar="K",
+        help="heartbeat misses before a failure is declared (default 2)",
+    )
+    temporal.add_argument(
+        "--heartbeat-hop-delay", type=float, default=0.0, metavar="D",
+        help="per-notification-hop propagation delay (default 0)",
+    )
+    temporal.add_argument(
+        "--weights",
+        help='reward weights per user group as JSON, e.g. \'{"UserA": 1}\'',
+    )
+    temporal.add_argument(
+        "--progress", action="store_true",
+        help="stream scan/LQN progress to stderr",
+    )
+    temporal.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="write the curve, erosion points and aggregates as JSON",
+    )
+    temporal.set_defaults(handler=_cmd_temporal)
 
     importance = commands.add_parser(
         "importance", help="rank components by Birnbaum importance",

@@ -46,6 +46,16 @@ from repro.core.sweep import (
     SweepPointResult,
     SweepResult,
 )
+from repro.core.temporal import (
+    EffectiveReward,
+    ErosionPoint,
+    TemporalAnalyzer,
+    TemporalPoint,
+    TemporalResult,
+    architecture_detection_latency,
+    notification_hops,
+    time_grid,
+)
 from repro.core.progress import (
     ProgressCallback,
     ProgressEvent,
@@ -68,6 +78,8 @@ __all__ = [
     "CompiledKernel",
     "DEFAULT_EPSILON",
     "ConfigurationRecord",
+    "EffectiveReward",
+    "ErosionPoint",
     "ImportanceRecord",
     "PerformabilityAnalyzer",
     "PerformabilityResult",
@@ -79,6 +91,10 @@ __all__ = [
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
+    "TemporalAnalyzer",
+    "TemporalPoint",
+    "TemporalResult",
+    "architecture_detection_latency",
     "bdd_configurations",
     "bitset_configurations",
     "bounded_configurations",
@@ -92,6 +108,8 @@ __all__ = [
     "method_choices",
     "nominal_configuration",
     "normalize_method",
+    "notification_hops",
+    "time_grid",
     "total_reference_throughput",
     "weighted_throughput_reward",
 ]

@@ -38,6 +38,7 @@ from repro.experiments.figure11 import run_figure11
 from repro.experiments.statespace import run_statespace
 from repro.experiments.sensitivity import run_sensitivity
 from repro.experiments.selection import run_selection
+from repro.experiments.detection_latency import run_detection_latency
 
 __all__ = [
     "APPLICATION_FAILURE_PROBABILITY",
@@ -51,6 +52,7 @@ __all__ = [
     "hierarchical_mama",
     "network_mama",
     "replicated_service_model",
+    "run_detection_latency",
     "run_figure11",
     "run_largescale",
     "run_selection",

@@ -21,7 +21,9 @@ from repro.markov.ctmc import CTMC
 from repro.markov.uniformization import transient_distribution
 from repro.markov.availability import (
     ComponentAvailability,
+    independent_components_ctmc,
     steady_state_unavailability,
+    validate_rates,
 )
 from repro.markov.detection import DelayModelResult, detection_delay_model
 from repro.markov.transient import (
@@ -37,7 +39,9 @@ __all__ = [
     "TransientPerformability",
     "TransientPoint",
     "detection_delay_model",
+    "independent_components_ctmc",
     "steady_state_unavailability",
     "transient_distribution",
     "transient_unavailability",
+    "validate_rates",
 ]

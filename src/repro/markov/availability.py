@@ -18,6 +18,7 @@ unavailability is λ/(λ+μ).  This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import product
 from collections.abc import Mapping
@@ -29,10 +30,32 @@ from repro.mama.model import MAMAModel
 from repro.markov.ctmc import CTMC
 
 
+def validate_rates(
+    failure_rate: float, repair_rate: float, *, component: str | None = None
+) -> None:
+    """Reject invalid (λ, μ) pairs with a :class:`ModelError`.
+
+    Finiteness is checked explicitly: ``NaN < 0`` is ``False``, so a
+    plain range test silently accepts NaN rates and lets them poison
+    every generator built from them.
+    """
+    ok = (
+        math.isfinite(failure_rate)
+        and math.isfinite(repair_rate)
+        and failure_rate >= 0
+        and repair_rate > 0
+    )
+    if not ok:
+        where = "" if component is None else f"component {component!r}: "
+        raise ModelError(
+            f"{where}need finite failure_rate >= 0 and repair_rate > 0, "
+            f"got ({failure_rate!r}, {repair_rate!r})"
+        )
+
+
 def steady_state_unavailability(failure_rate: float, repair_rate: float) -> float:
     """λ/(λ+μ) — long-run fraction of time a 2-state component is down."""
-    if failure_rate < 0 or repair_rate <= 0:
-        raise ModelError("need failure_rate >= 0 and repair_rate > 0")
+    validate_rates(failure_rate, repair_rate)
     return failure_rate / (failure_rate + repair_rate)
 
 
@@ -49,8 +72,7 @@ class ComponentAvailability:
     repair_rate: float
 
     def __post_init__(self) -> None:
-        if self.failure_rate < 0 or self.repair_rate <= 0:
-            raise ModelError("need failure_rate >= 0 and repair_rate > 0")
+        validate_rates(self.failure_rate, self.repair_rate)
 
     @property
     def unavailability(self) -> float:
@@ -64,8 +86,11 @@ class ComponentAvailability:
     def from_probability(
         failure_probability: float, *, repair_rate: float = 1.0
     ) -> "ComponentAvailability":
-        if not 0 <= failure_probability < 1:
-            raise ModelError("failure probability must be in [0, 1)")
+        if not 0 <= failure_probability < 1:  # NaN fails this comparison too
+            raise ModelError(
+                f"failure probability must be in [0, 1), "
+                f"got {failure_probability!r}"
+            )
         failure_rate = (
             repair_rate * failure_probability / (1.0 - failure_probability)
         )
@@ -88,6 +113,9 @@ def independent_components_ctmc(
         raise ModelError(
             f"joint chain over {len(names)} components is too large"
         )
+    for name in names:
+        rates = components[name]
+        validate_rates(rates.failure_rate, rates.repair_rate, component=name)
     chain = CTMC()
     for down_tuple in product((False, True), repeat=len(names)):
         down = frozenset(n for n, d in zip(names, down_tuple) if d)

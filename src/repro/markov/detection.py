@@ -26,6 +26,7 @@ space, exactly the blow-up §7 warns about).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from collections.abc import Mapping
 
@@ -33,7 +34,7 @@ from repro.core.configuration import group_support
 from repro.errors import ModelError
 from repro.ftlqn.fault_graph import PERFECT_KNOWLEDGE, build_fault_graph
 from repro.ftlqn.model import FTLQNModel
-from repro.markov.availability import ComponentAvailability
+from repro.markov.availability import ComponentAvailability, validate_rates
 from repro.markov.ctmc import CTMC
 
 #: Marker for "no operational configuration" in chain states.
@@ -89,12 +90,20 @@ def detection_delay_model(
         Rate at which a pending reconfiguration completes (1 / mean
         detection+reconfiguration latency).
     """
-    if detection_rate <= 0:
-        raise ModelError("detection_rate must be positive")
+    if not (math.isfinite(detection_rate) and detection_rate > 0):
+        raise ModelError(
+            f"detection_rate must be positive and finite, "
+            f"got {detection_rate!r}"
+        )
     component_names = ftlqn.component_names()
     unknown = [name for name in rates if name not in component_names]
     if unknown:
         raise ModelError(f"rates mention unknown components: {sorted(unknown)}")
+    for name, availability in rates.items():
+        validate_rates(
+            availability.failure_rate, availability.repair_rate,
+            component=name,
+        )
 
     graph = build_fault_graph(ftlqn)
     names = sorted(rates)
@@ -157,6 +166,11 @@ def detection_delay_model(
             else:
                 next_down = down | {name}
                 rate = availability.failure_rate
+            if rate == 0:
+                # A zero-rate edge (a component that never fails) leads
+                # nowhere; expanding its successor would double the
+                # reachable state space per such component for nothing.
+                continue
             successor = (next_down, active)
             chain.add_transition(state, successor, rate=rate)
             if successor not in seen:

@@ -24,6 +24,8 @@ from repro.optimize.search import (
     CandidateEvaluation,
     DesignSpaceSearch,
     SearchResult,
+    TemporalCandidateEvaluation,
+    TemporalRankingResult,
 )
 from repro.optimize.space import (
     STYLES,
@@ -51,6 +53,8 @@ __all__ = [
     "OptimizationReport",
     "SearchResult",
     "SearchSpec",
+    "TemporalCandidateEvaluation",
+    "TemporalRankingResult",
     "UpgradeOption",
     "best_under_budget",
     "dominates",

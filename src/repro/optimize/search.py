@@ -97,6 +97,112 @@ def _preference_key(evaluation: CandidateEvaluation) -> tuple:
 
 
 @dataclass(frozen=True)
+class TemporalCandidateEvaluation:
+    """One candidate ranked on the temporal axis.
+
+    ``static_reward`` is the steady-state expected reward (identical to
+    the candidate's ordinary evaluation); ``reward_integral`` the
+    time-integrated transient reward over the ranking's grid;
+    ``erosion_factor`` the fraction of reward the §7 detection-delay
+    model says survives the candidate's mean detection ``latency``.
+    The ranking objective multiplies the two temporal effects (they are
+    separable — latency is modeled under perfect knowledge, orthogonal
+    to the coverage axis the integral captures).
+    """
+
+    candidate: Candidate
+    latency: float
+    static_reward: float
+    reward_integral: float
+    time_averaged_reward: float
+    interval_availability: float
+    erosion_factor: float
+
+    @property
+    def effective_reward(self) -> float:
+        return self.reward_integral * self.erosion_factor
+
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+    @property
+    def architecture(self) -> str:
+        return self.candidate.architecture
+
+    @property
+    def cost(self) -> float:
+        return self.candidate.cost
+
+
+@dataclass(frozen=True)
+class TemporalRankingResult:
+    """Candidates ranked by latency-aware time-integrated reward."""
+
+    evaluations: tuple[TemporalCandidateEvaluation, ...]
+    times: tuple[float, ...]
+
+    def ranking(self) -> tuple[TemporalCandidateEvaluation, ...]:
+        """Best-first under the temporal objective."""
+        return tuple(sorted(
+            self.evaluations,
+            key=lambda entry: (
+                -entry.effective_reward, entry.cost, entry.name
+            ),
+        ))
+
+    def static_ranking(self) -> tuple[TemporalCandidateEvaluation, ...]:
+        """Best-first under the static (steady-state) objective."""
+        return tuple(sorted(
+            self.evaluations,
+            key=lambda entry: (-entry.static_reward, entry.cost, entry.name),
+        ))
+
+    @property
+    def best(self) -> TemporalCandidateEvaluation:
+        return self.ranking()[0]
+
+    @property
+    def flipped(self) -> bool:
+        """True when detection latency changes the order — the temporal
+        axis mattered for this scenario."""
+        return (
+            [entry.name for entry in self.ranking()]
+            != [entry.name for entry in self.static_ranking()]
+        )
+
+    def evaluation(self, name: str) -> TemporalCandidateEvaluation:
+        for entry in self.evaluations:
+            if entry.name == name:
+                return entry
+        raise KeyError(name)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "times": [float(t) for t in self.times],
+            "flipped": self.flipped,
+            "ranking": [
+                {
+                    "name": entry.name,
+                    "architecture": entry.architecture,
+                    "latency": float(entry.latency),
+                    "static_reward": float(entry.static_reward),
+                    "reward_integral": float(entry.reward_integral),
+                    "time_averaged_reward": float(
+                        entry.time_averaged_reward
+                    ),
+                    "interval_availability": float(
+                        entry.interval_availability
+                    ),
+                    "erosion_factor": float(entry.erosion_factor),
+                    "effective_reward": float(entry.effective_reward),
+                }
+                for entry in self.ranking()
+            ],
+        }
+
+
+@dataclass(frozen=True)
 class BoundsSkip:
     """One candidate the greedy search proved away without solving.
 
@@ -420,6 +526,107 @@ class DesignSpaceSearch:
         """Evaluate every candidate of the space."""
         self.evaluate(self.space.candidates())
         return self._finalize("exhaustive", 0)
+
+    # ------------------------------------------------------------------
+
+    def temporal_ranking(
+        self,
+        times: Sequence[float],
+        *,
+        latency: float | Mapping[str, float] | None = None,
+        heartbeat=None,
+        repair_rate: float = 1.0,
+        cause_repair_rate: float = 1.0,
+        candidates: Iterable[Candidate] | None = None,
+    ) -> TemporalRankingResult:
+        """Rank candidates by latency-aware time-integrated reward.
+
+        For each candidate, the transient reward curve over ``times``
+        (from a cold all-up start, rates lifted from the candidate's
+        effective failure probabilities at ``repair_rate``) is
+        integrated and multiplied by the §7 erosion factor at the
+        candidate's mean detection latency.  The latency comes from
+        exactly one of:
+
+        * ``latency`` — a scalar applied to every candidate, or a
+          mapping keyed by architecture;
+        * ``heartbeat`` — a :class:`~repro.sim.heartbeat
+          .HeartbeatConfig` whose hop count is replaced per
+          architecture by the MAMA's notify-chain depth
+          (:func:`~repro.core.temporal.architecture_detection_latency`)
+          — deeper management hierarchies pay more latency.
+
+        Defaults to one candidate per architecture (no upgrades): the
+        paper's architecture-ranking question.  All solves go through
+        the session's shared engine, so the steady-state rewards are
+        bit-identical to :meth:`evaluate` on the same candidates.
+        """
+        from repro.core.temporal import (
+            TemporalAnalyzer,
+            architecture_detection_latency,
+        )
+        from repro.markov.availability import ComponentAvailability
+
+        if (latency is None) == (heartbeat is None):
+            raise ModelError(
+                "provide exactly one of latency= or heartbeat="
+            )
+        if candidates is None:
+            candidates = [
+                self.space.candidate(key)
+                for key in self.space.architecture_keys()
+            ]
+        evaluations: list[TemporalCandidateEvaluation] = []
+        for candidate in candidates:
+            if heartbeat is not None:
+                candidate_latency = architecture_detection_latency(
+                    self.engine.architectures[candidate.architecture],
+                    heartbeat,
+                )
+            elif isinstance(latency, Mapping):
+                candidate_latency = float(latency[candidate.architecture])
+            else:
+                candidate_latency = float(latency)
+            point = candidate.sweep_point()
+            rates = {
+                name: ComponentAvailability.from_probability(
+                    probability, repair_rate=repair_rate
+                )
+                for name, probability in
+                self.engine.effective_failure_probs(point).items()
+            }
+            analyzer = TemporalAnalyzer(
+                self.space.ftlqn,
+                rates=rates,
+                common_causes=self.space.common_causes,
+                cause_repair_rate=cause_repair_rate,
+                weights=self._weights,
+                engine=self.engine,
+            )
+            curve = analyzer.evaluate(
+                times,
+                architecture=candidate.architecture,
+                method=self.method, jobs=self.jobs, epsilon=self.epsilon,
+                progress=self.progress, counters=self.counters,
+            )
+            (erosion,) = analyzer.erosion_curve(
+                [candidate_latency],
+                method=self.method, jobs=self.jobs, epsilon=self.epsilon,
+                progress=self.progress, counters=self.counters,
+            )
+            evaluations.append(TemporalCandidateEvaluation(
+                candidate=candidate,
+                latency=candidate_latency,
+                static_reward=curve.steady.expected_reward,
+                reward_integral=curve.reward_integral,
+                time_averaged_reward=curve.time_averaged_reward,
+                interval_availability=curve.interval_availability,
+                erosion_factor=erosion.erosion_factor,
+            ))
+        return TemporalRankingResult(
+            evaluations=tuple(evaluations),
+            times=tuple(float(t) for t in times),
+        )
 
     # ------------------------------------------------------------------
 

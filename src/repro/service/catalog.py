@@ -61,6 +61,11 @@ class ScenarioBundle:
     common_causes: tuple[CommonCause, ...] = ()
     weights: Mapping[str, float] | None = None
     points: tuple[SweepPoint, ...] = ()
+    #: Default temporal-analysis knobs (``POST /temporal`` falls back to
+    #: these): ``repair_rate`` lifts the static probabilities to
+    #: failure/repair rates, ``horizon``/``points`` define the default
+    #: time grid, ``latencies`` the detection-latency erosion curve.
+    temporal: Mapping[str, object] | None = None
 
     def to_document(self) -> dict:
         """The full JSON form served by ``GET /scenarios/<name>``.
@@ -100,6 +105,9 @@ class ScenarioBundle:
                 }
             ),
             "points": [point.to_dict() for point in self.points],
+            "temporal": (
+                None if self.temporal is None else dict(self.temporal)
+            ),
         }
 
     def summary(self) -> dict:
@@ -113,6 +121,7 @@ class ScenarioBundle:
             "components": len(self.failure_probs),
             "common_causes": len(self.common_causes),
             "points": len(self.points),
+            "temporal": self.temporal is not None,
         }
 
 
@@ -219,6 +228,15 @@ def _ecommerce() -> ScenarioBundle:
         default_architecture="centralized",
         weights={"shoppers": 5.0, "staff": 1.0},
         points=tuple(points),
+        temporal={
+            # Times are in hours: repairs take ~15 min, and the two-hour
+            # horizon shows the ramp from the all-up start to within a
+            # fraction of a percent of steady state.
+            "repair_rate": 4.0,
+            "horizon": 2.0,
+            "points": 9,
+            "latencies": [0.05, 0.25, 1.0],
+        },
     )
 
 
@@ -334,6 +352,12 @@ def _cdn() -> ScenarioBundle:
         default_architecture="regional",
         weights={"users-eu": 2.0, "users-us": 1.0},
         points=tuple(points),
+        temporal={
+            "repair_rate": 6.0,
+            "horizon": 1.5,
+            "points": 7,
+            "latencies": [0.05, 0.2, 0.5],
+        },
     )
 
 
@@ -424,6 +448,12 @@ def _datacenter() -> ScenarioBundle:
         default_architecture="centralized",
         common_causes=causes,
         points=tuple(points),
+        temporal={
+            "repair_rate": 2.0,
+            "horizon": 4.0,
+            "points": 9,
+            "latencies": [0.1, 0.5],
+        },
     )
 
 

@@ -20,6 +20,9 @@ POST   ``/sweep``            many points; ``"stream": true`` upgrades
                              the response to NDJSON progress events
                              followed by the final document
 POST   ``/optimize``         design-space search
+POST   ``/temporal``         transient performability curve (+ erosion);
+                             ``"stream": true`` upgrades to NDJSON time
+                             points followed by the final document
 ====== ==================== ==========================================
 
 Streaming sweeps bridge the engine's synchronous
@@ -212,6 +215,11 @@ class ServiceServer:
                 if path == "/optimize":
                     document = await self._offload(service.optimize, body)
                     return self._send(writer, 200, document)
+                if path == "/temporal":
+                    if isinstance(body, dict) and body.get("stream"):
+                        return await self._stream_temporal(writer, body)
+                    document = await self._offload(service.temporal, body)
+                    return self._send(writer, 200, document)
                 raise _BadRequest(404, f"no such route: POST {path}")
             raise _BadRequest(405, f"unsupported method: {method}")
         except _BadRequest as exc:
@@ -269,6 +277,54 @@ class ServiceServer:
 
         def run() -> dict:
             return self.service.sweep(payload, progress=progress)
+
+        writer.write(
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n".encode()
+        )
+        task = loop.run_in_executor(self._pool, run)
+        task.add_done_callback(
+            lambda _fut: loop.call_soon_threadsafe(queue.put_nowait, None)
+        )
+        while True:
+            item = await queue.get()
+            if item is None:
+                break
+            self._write_chunk(writer, _encode(item))
+            await writer.drain()
+        try:
+            document = await task
+            final = {"event": "result", **document}
+        except Exception as exc:
+            self.service.record_error()
+            final = {
+                "event": "error",
+                "error": str(exc),
+                "status": error_status(exc),
+            }
+        self._write_chunk(writer, _encode(final))
+        self._write_chunk(writer, b"")
+
+    async def _stream_temporal(
+        self, writer: asyncio.StreamWriter, payload: dict
+    ) -> None:
+        """Chunked NDJSON: one line per solved time point, then the
+        final document — same bridge as :meth:`_stream_sweep`, fed from
+        the analyzer's ``on_point`` hook instead of progress events."""
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue[dict | None] = asyncio.Queue()
+
+        def on_point(point) -> None:
+            loop.call_soon_threadsafe(
+                queue.put_nowait,
+                {"event": "point", **point.to_dict()},
+            )
+
+        def run() -> dict:
+            return self.service.temporal(payload, on_point=on_point)
 
         writer.write(
             "HTTP/1.1 200 OK\r\n"

@@ -414,6 +414,160 @@ class AnalysisService:
         document["seconds"] = seconds
         return document
 
+    def temporal(self, payload: object, on_point=None) -> dict:
+        """``POST /temporal``: a transient performability curve over a
+        warm engine.
+
+        The request names a scenario (or ships an inline model) exactly
+        like ``/analyze``, plus the temporal knobs: ``repair_rate``
+        lifts the effective failure probabilities to failure/repair
+        rates (explicit per-component ``rates`` pairs override), the
+        time grid comes from ``times`` or ``horizon``/``points``, and
+        ``latencies`` adds a detection-latency erosion curve.  A named
+        scenario's catalog ``temporal`` block provides the defaults.
+        ``on_point`` (set by the streaming HTTP route) receives each
+        :class:`~repro.core.temporal.TemporalPoint` as it is solved.
+        """
+        from repro.core.temporal import TemporalAnalyzer, time_grid
+        from repro.markov.availability import ComponentAvailability
+
+        payload = _object(payload, "temporal request")
+        self._count("temporal")
+        engine, bundle, baseline_consumed = self._resolve_engine(payload)
+        defaults = (
+            dict(bundle.temporal)
+            if bundle is not None and bundle.temporal is not None
+            else {}
+        )
+        architecture = payload.get(
+            "architecture",
+            bundle.default_architecture if bundle is not None else None,
+        )
+        if architecture is not None:
+            architecture = str(architecture)
+
+        overlay = None
+        if not baseline_consumed and payload.get("failure_probs") is not None:
+            overlay = probs_from_document(
+                payload["failure_probs"], label='"failure_probs"'
+            )
+        effective = engine.effective_failure_probs(
+            SweepPoint(
+                name="temporal",
+                architecture=architecture,
+                failure_probs=overlay,
+            )
+        )
+        repair_rate = payload.get(
+            "repair_rate", defaults.get("repair_rate", 1.0)
+        )
+        if not isinstance(repair_rate, (int, float)):
+            raise ServiceError('"repair_rate" must be a number')
+        rates = {
+            name: ComponentAvailability.from_probability(
+                probability, repair_rate=float(repair_rate)
+            )
+            for name, probability in effective.items()
+        }
+        for name, pair in _object(
+            payload.get("rates", {}), '"rates"'
+        ).items():
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise ServiceError(
+                    f'"rates" entry {name!r} must be a '
+                    "[failure_rate, repair_rate] pair"
+                )
+            rates[str(name)] = ComponentAvailability(
+                failure_rate=float(pair[0]), repair_rate=float(pair[1])
+            )
+
+        if "times" in payload and "horizon" in payload:
+            raise ServiceError(
+                'give either an explicit "times" array or a "horizon" '
+                '(+ "points"), not both'
+            )
+        if "times" in payload:
+            times_doc = payload["times"]
+            if not isinstance(times_doc, list):
+                raise ServiceError('"times" must be an array of numbers')
+            times = [float(value) for value in times_doc]
+        else:
+            times = list(
+                time_grid(
+                    float(payload.get(
+                        "horizon", defaults.get("horizon", 10.0)
+                    )),
+                    int(payload.get("points", defaults.get("points", 9))),
+                )
+            )
+        latencies_doc = payload.get(
+            "latencies", defaults.get("latencies", [])
+        )
+        if not isinstance(latencies_doc, list):
+            raise ServiceError('"latencies" must be an array of numbers')
+        latencies = [float(value) for value in latencies_doc]
+
+        if not baseline_consumed and payload.get("common_causes") is not None:
+            causes = causes_from_documents(payload["common_causes"])
+        elif bundle is not None:
+            causes = bundle.common_causes
+        else:
+            causes = ()
+        cause_repair_rate = payload.get(
+            "cause_repair_rate",
+            defaults.get("cause_repair_rate", float(repair_rate)),
+        )
+        if not isinstance(cause_repair_rate, (int, float)):
+            raise ServiceError('"cause_repair_rate" must be a number')
+        weights = None
+        if payload.get("weights") is not None:
+            weights = probs_from_document(
+                payload["weights"], label='"weights"'
+            )
+        elif bundle is not None and bundle.weights is not None:
+            weights = dict(bundle.weights)
+
+        method, jobs, epsilon = self._method_args(payload)
+        analyzer = TemporalAnalyzer(
+            engine._ftlqn,  # noqa: SLF001 - service-internal
+            rates=rates,
+            common_causes=causes,
+            cause_repair_rate=float(cause_repair_rate),
+            weights=weights,
+            engine=engine,
+        )
+        counters = ScanCounters()
+        started = time.perf_counter()
+        curve = analyzer.evaluate(
+            times,
+            architecture=architecture,
+            method=method,
+            jobs=jobs,
+            epsilon=epsilon,
+            counters=counters,
+            on_point=on_point,
+        )
+        erosion = ()
+        if latencies:
+            erosion = analyzer.erosion_curve(
+                latencies,
+                method=method,
+                jobs=jobs,
+                epsilon=epsilon,
+                counters=counters,
+            )
+        seconds = time.perf_counter() - started
+        self._merge(counters)
+        return {
+            "scenario": bundle.name if bundle is not None else None,
+            "architecture": architecture,
+            "method": method,
+            "seconds": seconds,
+            "repair_rate": float(repair_rate),
+            "result": curve.to_json_dict(),
+            "erosion": [point.to_dict() for point in erosion],
+        }
+
     # ------------------------------------------------------------------
     # Introspection
 

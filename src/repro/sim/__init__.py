@@ -20,7 +20,9 @@ from repro.sim.random_streams import RandomStreams
 from repro.sim.lqn_sim import LQNSimulationResult, simulate_lqn
 from repro.sim.availability_sim import (
     AvailabilitySimulationResult,
+    TransientSimulationResult,
     simulate_availability,
+    simulate_transient,
 )
 from repro.sim.heartbeat import (
     HeartbeatConfig,
@@ -35,9 +37,11 @@ __all__ = [
     "LQNSimulationResult",
     "RandomStreams",
     "Simulator",
+    "TransientSimulationResult",
     "detection_rate",
     "mean_detection_latency",
     "simulate_availability",
     "simulate_detection_latency",
     "simulate_lqn",
+    "simulate_transient",
 ]

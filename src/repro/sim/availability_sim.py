@@ -14,7 +14,19 @@ extension: the *active* configuration is only updated ``delay`` seconds
 after an event (detection + notification + reconfiguration latency),
 and during the stale window a user group earns reward only if the paths
 of the stale configuration are actually up — requests to a dead server
-earn nothing.
+earn nothing.  Two delay semantics are offered: ``"deterministic"``
+schedules one fixed-delay adoption per event (a realistic pipelined
+detector), while ``"exponential"`` keeps a *single* pending
+exponentially distributed timer with mean ``detection_delay`` — by
+memorylessness this is distribution-exact against the
+:func:`repro.markov.detection.detection_delay_model` CTMC, making it
+the oracle for that chain.
+
+:func:`simulate_transient` is the time-dependent counterpart: every
+replication restarts all-up at ``t = 0``, and per grid time it samples
+whether the system is operational and the reward rate of the adopted
+configuration — the Monte-Carlo oracle for
+:class:`repro.core.temporal.TemporalAnalyzer`.
 
 Long-run occupancies converge to the analytic configuration
 probabilities as the horizon grows (validated in ``tests/sim``).
@@ -32,8 +44,11 @@ from repro.core.performability import PerformabilityAnalyzer
 from repro.errors import ModelError
 from repro.ftlqn.model import FTLQNModel
 from repro.mama.model import MAMAModel
+from repro.markov.availability import ComponentAvailability
 from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStreams
+
+_DETECTION_MODES = ("deterministic", "exponential")
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,7 @@ def simulate_availability(
     seed: int = 1,
     repair_rate: float = 1.0,
     detection_delay: float = 0.0,
+    detection_mode: str = "deterministic",
     group_rewards: Mapping[frozenset[str], Mapping[str, float]] | None = None,
 ) -> AvailabilitySimulationResult:
     """Simulate failures/repairs and measure configuration occupancy.
@@ -90,11 +106,23 @@ def simulate_availability(
         Latency between a component event and the system adopting the
         newly correct configuration (0 = the paper's instantaneous
         model).
+    detection_mode:
+        ``"deterministic"`` schedules one fixed-``detection_delay``
+        adoption per component event; ``"exponential"`` keeps a single
+        pending timer with an Exp(1/``detection_delay``) firing time,
+        re-armed whenever the active configuration goes stale — the
+        distribution-exact counterpart of the
+        :func:`~repro.markov.detection.detection_delay_model` CTMC.
     """
     if horizon <= 0:
         raise ModelError("horizon must be positive")
     if repair_rate <= 0:
         raise ModelError("repair_rate must be positive")
+    if detection_mode not in _DETECTION_MODES:
+        raise ModelError(
+            f"detection_mode must be one of {_DETECTION_MODES}, "
+            f"got {detection_mode!r}"
+        )
     analyzer = PerformabilityAnalyzer(
         ftlqn, mama, failure_probs=failure_probs, common_causes=common_causes
     )
@@ -168,6 +196,24 @@ def simulate_availability(
         close_interval()
         active = evaluate_configuration()
 
+    # Exponential mode: one pending timer at most.  By memorylessness
+    # its remaining life is Exp(1/delay) at every instant, so keeping
+    # it armed across further component events matches the CTMC's
+    # constant-rate detection transition exactly; when an event happens
+    # to restore the active configuration the eventual firing is a
+    # no-op, equivalent to the chain leaving its stale set.
+    detection_pending = [False]
+
+    def fire_detection() -> None:
+        detection_pending[0] = False
+        adopt_configuration()
+
+    def arm_detection() -> None:
+        if evaluated != active and not detection_pending[0]:
+            detection_pending[0] = True
+            delay = streams.exponential("detection", detection_delay)
+            sim.schedule(delay, fire_detection)
+
     def component_event(name: str) -> None:
         nonlocal evaluated, event_count
         close_interval()
@@ -176,6 +222,8 @@ def simulate_availability(
         evaluated = evaluate_configuration()
         if detection_delay <= 0:
             adopt_configuration()
+        elif detection_mode == "exponential":
+            arm_detection()
         else:
             sim.schedule(detection_delay, adopt_configuration)
         schedule_next(name)
@@ -202,4 +250,160 @@ def simulate_availability(
         average_reward=reward_integral / horizon,
         event_count=event_count,
         horizon=horizon,
+    )
+
+
+@dataclass(frozen=True)
+class TransientSimulationResult:
+    """Per-grid-time Monte-Carlo samples from a cold (all-up) start.
+
+    ``reward_samples[k]`` / ``operational_samples[k]`` hold one entry
+    per replication: the reward rate of the configuration adopted at
+    ``times[k]`` and 1.0/0.0 for whether the system was operational.
+    Keeping the raw samples (rather than means) lets callers build
+    Student-t confidence intervals around the analytic transient curve.
+    """
+
+    times: tuple[float, ...]
+    reward_samples: tuple[tuple[float, ...], ...]
+    operational_samples: tuple[tuple[float, ...], ...]
+
+    @property
+    def replications(self) -> int:
+        return len(self.reward_samples[0]) if self.reward_samples else 0
+
+    def mean_reward(self, index: int) -> float:
+        samples = self.reward_samples[index]
+        return sum(samples) / len(samples)
+
+    def mean_availability(self, index: int) -> float:
+        samples = self.operational_samples[index]
+        return sum(samples) / len(samples)
+
+
+def simulate_transient(
+    ftlqn: FTLQNModel,
+    mama: MAMAModel | None,
+    rates: Mapping[str, ComponentAvailability],
+    *,
+    times: Sequence[float],
+    common_causes: Sequence[CommonCause] = (),
+    cause_repair_rate: float = 1.0,
+    replications: int = 200,
+    seed: int = 1,
+    group_rewards: Mapping[frozenset[str], Mapping[str, float]] | None = None,
+) -> TransientSimulationResult:
+    """Monte-Carlo transient oracle: every replication starts all-up.
+
+    Each component (and each common-cause event, lifted to an
+    alternating process via ``cause_repair_rate``) follows its own
+    exponential up/down renewal process; at every grid time the
+    component states are assembled and the configuration is evaluated
+    with the usual Definition-1 knowledge semantics.  The per-time
+    sample means are unbiased estimates of the analytic transient
+    availability and R(t) of
+    :class:`repro.core.temporal.TemporalAnalyzer`.
+    """
+    times = [float(t) for t in times]
+    if not times:
+        raise ModelError("need at least one time point")
+    for t in times:
+        if not (math.isfinite(t) and t >= 0):
+            raise ModelError(f"times must be finite and >= 0, got {t!r}")
+    for earlier, later in zip(times, times[1:]):
+        if not earlier < later:
+            raise ModelError("times must be strictly increasing")
+    if replications < 1:
+        raise ModelError("replications must be >= 1")
+
+    analyzer = PerformabilityAnalyzer(
+        ftlqn,
+        mama,
+        failure_probs={
+            name: availability.unavailability
+            for name, availability in rates.items()
+        },
+        common_causes=common_causes,
+    )
+    problem = analyzer.problem
+    components = list(problem.app_components) + list(problem.mgmt_components)
+    full_rates = dict(rates)
+    for cause in common_causes:
+        full_rates[cause.name] = ComponentAvailability.from_probability(
+            cause.probability, repair_rate=cause_repair_rate
+        )
+    missing = [name for name in components if name not in full_rates]
+    if missing:
+        raise ModelError(f"rates missing components: {sorted(missing)}")
+
+    fixed = problem.fixed_assignment()
+    know_exprs = dict(problem.know_exprs)
+
+    def evaluate_configuration(state: Mapping[str, bool]):
+        full = {**fixed, **state}
+        leaf_state = problem.leaf_state(state)
+        if problem.perfect:
+            know = lambda c, t: True
+        else:
+            know = lambda c, t: know_exprs[(c, t)].evaluate(full)
+        return analyzer.fault_graph.evaluate(leaf_state, know).configuration
+
+    def states_at_times(lam: float, mu: float, stream_name: str) -> list[bool]:
+        """Up/down at every grid time for one alternating process."""
+        out = [True] * len(times)
+        now = 0.0
+        up = True
+        index = 0
+        while index < len(times):
+            if up and lam == 0:
+                break  # never fails again; remaining grid times stay up
+            mean = (1.0 / lam) if up else (1.0 / mu)
+            now += streams.exponential(stream_name, mean)
+            while index < len(times) and times[index] < now:
+                out[index] = up
+                index += 1
+            up = not up
+        return out
+
+    streams = RandomStreams(seed)
+    reward_cache: dict[frozenset[str] | None, float] = {None: 0.0}
+
+    def reward_of(configuration) -> float:
+        value = reward_cache.get(configuration)
+        if value is None:
+            if group_rewards is None:
+                value = 0.0
+            else:
+                value = sum(group_rewards.get(configuration, {}).values())
+            reward_cache[configuration] = value
+        return value
+
+    reward_samples: list[list[float]] = [[] for _ in times]
+    operational_samples: list[list[float]] = [[] for _ in times]
+    for replication in range(replications):
+        trajectories = {
+            name: states_at_times(
+                full_rates[name].failure_rate,
+                full_rates[name].repair_rate,
+                f"replication:{replication}:{name}",
+            )
+            for name in components
+        }
+        for index in range(len(times)):
+            state = {
+                name: trajectory[index]
+                for name, trajectory in trajectories.items()
+            }
+            configuration = evaluate_configuration(state)
+            operational_samples[index].append(
+                0.0 if configuration is None else 1.0
+            )
+            reward_samples[index].append(reward_of(configuration))
+
+    return TransientSimulationResult(
+        times=tuple(times),
+        reward_samples=tuple(tuple(entry) for entry in reward_samples),
+        operational_samples=tuple(
+            tuple(entry) for entry in operational_samples
+        ),
     )

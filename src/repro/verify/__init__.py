@@ -23,6 +23,7 @@ from repro.verify.generator import (
     DEFAULT_SPACE,
     Scenario,
     ScenarioSpace,
+    TemporalSpec,
     generate_scenario,
     random_scenario,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "ScenarioSpace",
     "SeedOutcome",
     "ShrinkResult",
+    "TemporalSpec",
     "check_scenario",
     "corpus_entry",
     "default_backends",

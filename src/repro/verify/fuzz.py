@@ -63,6 +63,7 @@ class SeedOutcome:
     state_count: int
     distinct_configurations: int
     simulated: bool
+    temporal_checked: bool
     jobs_checked: tuple[int, ...]
     disagreements: list[dict] = field(default_factory=list)
     shrunken: dict | None = None
@@ -82,6 +83,7 @@ class SeedOutcome:
             "state_count": self.state_count,
             "distinct_configurations": self.distinct_configurations,
             "simulated": self.simulated,
+            "temporal_checked": self.temporal_checked,
             "jobs_checked": list(self.jobs_checked),
             "disagreements": self.disagreements,
             "shrunken": self.shrunken,
@@ -123,6 +125,9 @@ class FuzzReport:
             "failures": len(self.failures),
             "states_covered": sum(o.state_count for o in self.outcomes),
             "simulation_checks": sum(1 for o in self.outcomes if o.simulated),
+            "temporal_checks": sum(
+                1 for o in self.outcomes if o.temporal_checked
+            ),
             "parallel_checks": sum(
                 1 for o in self.outcomes if len(o.jobs_checked) > 1
             ),
@@ -141,6 +146,7 @@ def run_fuzz(
     jobs: int = 2,
     sim_every: int = 10,
     parallel_every: int = 25,
+    temporal_every: int = 10,
     shrink: bool = True,
     log: FuzzLog | None = None,
     store=None,
@@ -189,6 +195,7 @@ def run_fuzz(
         if parallel_every and jobs > 1 and seed % parallel_every == 0:
             jobs_checked = (1, jobs)
         simulate = bool(sim_every) and seed % sim_every == 0
+        temporal = bool(temporal_every) and seed % temporal_every == 0
 
         seed_started = time.perf_counter()
         scenario = generate_scenario(seed, space)
@@ -200,6 +207,7 @@ def run_fuzz(
                 backends=backend_names,
                 jobs_checked=jobs_checked,
                 simulate=simulate,
+                temporal=temporal,
                 oracle_config=oracle_document,
             )
             stored = store.get(key)
@@ -217,6 +225,7 @@ def run_fuzz(
             backends=table,
             jobs=jobs_checked,
             simulate=simulate,
+            temporal=temporal,
             config=config,
         )
         outcome = SeedOutcome(
@@ -226,6 +235,7 @@ def run_fuzz(
             state_count=report.state_count,
             distinct_configurations=report.distinct_configurations,
             simulated=report.simulated,
+            temporal_checked=report.temporal_checked,
             jobs_checked=jobs_checked,
             disagreements=[d.as_dict() for d in report.disagreements],
         )
@@ -243,6 +253,7 @@ def run_fuzz(
                     "backends_checked": list(report.backends_checked),
                     "jobs_checked": list(report.jobs_checked),
                     "simulated": report.simulated,
+                    "temporal_checked": report.temporal_checked,
                     "bounded_checked": report.bounded_checked,
                     "state_count": report.state_count,
                     "distinct_configurations": (
@@ -257,8 +268,12 @@ def run_fuzz(
                 seconds=time.perf_counter() - seed_started,
             )
 
+        # Simulation and temporal disagreements are reported but not
+        # shrunk: the shrink predicate replays only the analytic part
+        # of the oracle, where reductions are reliable.
         analytic_failure = any(
-            d.kind != "simulation" for d in report.disagreements
+            d.kind not in ("simulation", "temporal")
+            for d in report.disagreements
         )
         if not report.ok and shrink and analytic_failure:
             _shrink_outcome(outcome, scenario, table, jobs_checked, config)
@@ -293,6 +308,7 @@ def _outcome_from_store(
             document.get("distinct_configurations", 0)
         ),
         simulated=bool(document.get("simulated", False)),
+        temporal_checked=bool(document.get("temporal_checked", False)),
         jobs_checked=jobs_checked,
         disagreements=list(document.get("disagreements", [])),
         cached=True,

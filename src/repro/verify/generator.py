@@ -41,13 +41,49 @@ from repro.mama.serialize import mama_from_json, mama_to_json
 
 
 @dataclass(frozen=True)
+class TemporalSpec:
+    """The temporal dimension of a scenario.
+
+    Lifts the static failure probabilities to failure/repair CTMCs
+    (``repair_rate`` fixes the repair side; the failure rate follows
+    from each component's probability) and names the transient grid the
+    temporal oracle evaluates.  ``detection_latency`` optionally adds
+    the §7 detection-delay erosion sanity check.
+    """
+
+    repair_rate: float
+    times: tuple[float, ...]
+    detection_latency: float | None = None
+
+    def to_document(self) -> dict:
+        return {
+            "repair_rate": self.repair_rate,
+            "times": list(self.times),
+            "detection_latency": self.detection_latency,
+        }
+
+    @staticmethod
+    def from_document(document: Mapping) -> "TemporalSpec":
+        if not isinstance(document, Mapping):
+            raise SerializationError("temporal spec must be an object")
+        latency = document.get("detection_latency")
+        return TemporalSpec(
+            repair_rate=float(document["repair_rate"]),
+            times=tuple(float(t) for t in document["times"]),
+            detection_latency=None if latency is None else float(latency),
+        )
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One self-contained analysis scenario.
 
     ``seed`` records provenance (``None`` for hand-built or shrunken
-    scenarios).  :meth:`to_document`/:meth:`from_document` round-trip
-    through plain JSON objects, which is how counterexamples are
-    committed to the seed corpus and embedded in repro scripts.
+    scenarios).  ``temporal`` (optional) carries the failure/repair
+    rate lift and time grid of the transient cross-check.
+    :meth:`to_document`/:meth:`from_document` round-trip through plain
+    JSON objects, which is how counterexamples are committed to the
+    seed corpus and embedded in repro scripts.
     """
 
     ftlqn: FTLQNModel
@@ -55,6 +91,7 @@ class Scenario:
     failure_probs: dict[str, float]
     common_causes: tuple[CommonCause, ...] = ()
     seed: int | None = None
+    temporal: TemporalSpec | None = None
 
     def analyzer(self, **kwargs):
         """A :class:`~repro.core.PerformabilityAnalyzer` for this
@@ -109,6 +146,10 @@ class Scenario:
                 }
                 for cause in self.common_causes
             ],
+            "temporal": (
+                None if self.temporal is None
+                else self.temporal.to_document()
+            ),
         }
 
     @staticmethod
@@ -149,12 +190,18 @@ class Scenario:
                 )
             )
         seed = document.get("seed")
+        temporal_doc = document.get("temporal")
+        temporal = (
+            None if temporal_doc is None
+            else TemporalSpec.from_document(temporal_doc)
+        )
         return Scenario(
             ftlqn=ftlqn,
             mama=mama,
             failure_probs=failure_probs,
             common_causes=tuple(causes),
             seed=None if seed is None else int(seed),
+            temporal=temporal,
         )
 
 
@@ -200,6 +247,22 @@ class ScenarioSpace:
     #: Failure-probability range for ordinary unreliable components.
     probability_low: float = 0.005
     probability_high: float = 0.45
+    #: Probability a scenario carries a temporal dimension (repair
+    #: rate + transient time grid for the temporal oracle check).
+    p_temporal: float = 0.5
+    #: Repair-rate range of the CTMC lift.
+    repair_rate_low: float = 0.5
+    repair_rate_high: float = 4.0
+    #: Transient-grid horizon and size ranges.
+    temporal_horizon_low: float = 1.0
+    temporal_horizon_high: float = 8.0
+    temporal_points_low: int = 3
+    temporal_points_high: int = 5
+    #: Probability a temporal scenario also carries a detection
+    #: latency (drives the §7 erosion sanity check), and its range.
+    p_detection_latency: float = 0.3
+    detection_latency_low: float = 0.1
+    detection_latency_high: float = 1.0
 
 
 DEFAULT_SPACE = ScenarioSpace()
@@ -401,12 +464,44 @@ def generate_scenario(
                 )
             )
 
+    # -- temporal dimension ---------------------------------------------
+    # Drawn last so widening the space leaves the static part of every
+    # existing seed's scenario unchanged.
+    temporal: TemporalSpec | None = None
+    if rng.random() < space.p_temporal:
+        repair_rate = round(
+            rng.uniform(space.repair_rate_low, space.repair_rate_high), 3
+        )
+        horizon = round(
+            rng.uniform(
+                space.temporal_horizon_low, space.temporal_horizon_high
+            ),
+            3,
+        )
+        count = rng.randint(
+            space.temporal_points_low, space.temporal_points_high
+        )
+        step = horizon / (count - 1)
+        times = tuple(round(index * step, 6) for index in range(count))
+        latency = None
+        if rng.random() < space.p_detection_latency:
+            latency = round(
+                rng.uniform(
+                    space.detection_latency_low, space.detection_latency_high
+                ),
+                3,
+            )
+        temporal = TemporalSpec(
+            repair_rate=repair_rate, times=times, detection_latency=latency
+        )
+
     scenario = Scenario(
         ftlqn=ftlqn,
         mama=mama,
         failure_probs=failure_probs,
         common_causes=tuple(causes),
         seed=seed,
+        temporal=temporal,
     )
 
     # -- state-space cap ------------------------------------------------

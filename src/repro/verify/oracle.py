@@ -128,6 +128,18 @@ class OracleConfig:
     sim_confidence: float = 0.999
     sim_floor: float = 1e-9
     sim_bias_allowance: float = 25.0
+    #: Temporal check: deterministic tolerance for the uniformization
+    #: vs closed-form marginal comparison and the t → ∞ steady limit.
+    temporal_tolerance: float = 1e-9
+    #: Monte-Carlo side of the temporal check (the transient sampler is
+    #: unbiased, so there is no horizon bias allowance — only a floor
+    #: absorbing replication noise at near-deterministic grid points).
+    temporal_replications: int = 150
+    temporal_confidence: float = 0.999
+    temporal_floor: float = 0.02
+    #: Skip the detection-latency erosion sanity check when the delay
+    #: chain would exceed 2**temporal_max_chain_bits down-sets.
+    temporal_max_chain_bits: int = 8
 
 
 DEFAULT_ORACLE_CONFIG = OracleConfig()
@@ -142,10 +154,16 @@ class Disagreement:
     more than the tolerance), ``"total-mass"`` (reference probabilities
     do not sum to 1), ``"bounded-containment"`` (the bounded enumerator
     reported a configuration, probability or unexplored deficit that
-    violates its rigorous-underapproximation contract) or
+    violates its rigorous-underapproximation contract),
     ``"simulation"`` (analytic value outside the simulation confidence
-    interval).  ``backend`` is ``"<name>@jobs=N"``, ``"bounded"`` or
-    ``"sim"``; ``magnitude`` is the observed absolute error.
+    interval) or ``"temporal"`` (the transient cross-check failed: the
+    uniformization series disagrees with the closed-form marginal, the
+    ``t → ∞`` limit drifts off the static scan, the transient curve
+    falls outside the Monte-Carlo interval, or the detection-delay
+    erosion factor left (0, 1]).  ``backend`` is ``"<name>@jobs=N"``,
+    ``"bounded"``, ``"sim"``, ``"uniformization"``, ``"temporal"``,
+    ``"temporal-sim"`` or ``"detection-delay"``; ``magnitude`` is the
+    observed absolute error.
     """
 
     kind: str
@@ -173,6 +191,7 @@ class OracleReport:
     disagreements: list[Disagreement] = field(default_factory=list)
     simulated: bool = False
     bounded_checked: bool = False
+    temporal_checked: bool = False
     state_count: int = 0
     distinct_configurations: int = 0
     expected_reward: float | None = None
@@ -386,12 +405,197 @@ def _simulation_check(
             )
 
 
+def _temporal_interval(
+    samples: Sequence[float], config: OracleConfig
+) -> tuple[float, float]:
+    """(mean, half-width) of the transient-sample confidence interval."""
+    n = len(samples)
+    mean = sum(samples) / n
+    half = 0.0
+    if n >= 2:
+        variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+        sem = math.sqrt(variance / n)
+        from scipy.stats import t as student_t
+
+        quantile = float(
+            student_t.ppf(
+                1.0 - (1.0 - config.temporal_confidence) / 2.0, n - 1
+            )
+        )
+        half = quantile * sem
+    return mean, half + config.temporal_floor
+
+
+def _temporal_check(
+    scenario: Scenario,
+    reference: Mapping[frozenset[str] | None, float],
+    config: OracleConfig,
+    disagreements: list[Disagreement],
+) -> bool:
+    """Cross-check the scenario's temporal dimension; returns whether
+    the check actually ran.
+
+    Three obligations:
+
+    1. *uniformization vs closed form* — each component's transient
+       down-probability from the uniformization series on its 2-state
+       chain must match the closed-form marginal to
+       ``temporal_tolerance`` (deterministic; this is the hook the
+       mutation self-test uses to prove an injected uniformization bug
+       is caught);
+    2. *steady limit* — the temporal analyzer's ``t → ∞`` system
+       failure probability must equal the reference scan's;
+    3. *transient vs simulation* — the analytic availability at every
+       grid time must fall inside the Student-t interval of the
+       Monte-Carlo transient samples.
+
+    Plus, when the spec carries a detection latency and the delay chain
+    is small enough, an erosion sanity check (factor in (0, 1], stale
+    probability a probability).
+
+    Scenarios with pinned-down components or certain common causes
+    (probability 1) have no finite-rate CTMC lift and are skipped.
+    """
+    spec = scenario.temporal
+    if spec is None:
+        return False
+    if any(p >= 1.0 for p in scenario.failure_probs.values()):
+        return False
+    if any(c.probability >= 1.0 for c in scenario.common_causes):
+        return False
+
+    from repro.core.temporal import TemporalAnalyzer
+    from repro.markov.availability import ComponentAvailability
+    from repro.markov.ctmc import CTMC
+    from repro.markov.transient import transient_unavailability
+    from repro.sim.availability_sim import simulate_transient
+
+    rates = {
+        name: ComponentAvailability.from_probability(
+            p, repair_rate=spec.repair_rate
+        )
+        for name, p in scenario.failure_probs.items()
+    }
+
+    # 1. The uniformization series against the closed-form marginal.
+    for name, availability in sorted(rates.items()):
+        if availability.failure_rate == 0.0:
+            continue
+        chain = CTMC()
+        chain.add_transition("up", "down", rate=availability.failure_rate)
+        chain.add_transition("down", "up", rate=availability.repair_rate)
+        for t in spec.times:
+            series = chain.transient({"up": 1.0}, t)["down"]
+            closed = transient_unavailability(availability, t)
+            delta = abs(series - closed)
+            if delta > config.temporal_tolerance:
+                disagreements.append(
+                    Disagreement(
+                        kind="temporal",
+                        backend="uniformization",
+                        detail=f"component {name}: series marginal at "
+                        f"t={t:g} is {series:.15g}, closed form "
+                        f"{closed:.15g}",
+                        magnitude=delta,
+                    )
+                )
+
+    # 2 + 3. The temporal analyzer's curve: exact steady limit and
+    # simulation-validated transient availability.
+    architectures = None if scenario.mama is None else {"m": scenario.mama}
+    key = None if scenario.mama is None else "m"
+    analyzer = TemporalAnalyzer(
+        scenario.ftlqn,
+        architectures,
+        rates=rates,
+        common_causes=scenario.common_causes,
+        cause_repair_rate=spec.repair_rate,
+    )
+    curve = analyzer.evaluate(spec.times, architecture=key)
+    steady_delta = abs(
+        curve.steady.failed_probability - reference.get(None, 0.0)
+    )
+    if steady_delta > config.temporal_tolerance:
+        disagreements.append(
+            Disagreement(
+                kind="temporal",
+                backend="temporal",
+                detail=f"t→∞ failure probability "
+                f"{curve.steady.failed_probability:.15g} differs from the "
+                f"static scan's {reference.get(None, 0.0):.15g}",
+                magnitude=steady_delta,
+            )
+        )
+
+    sim_rates = dict(rates)
+    for name in scenario.component_universe():
+        sim_rates.setdefault(name, ComponentAvailability.from_probability(0.0))
+    base_seed = 1 if scenario.seed is None else scenario.seed * 1000 + 7
+    sim = simulate_transient(
+        scenario.ftlqn,
+        scenario.mama,
+        sim_rates,
+        times=spec.times,
+        common_causes=scenario.common_causes,
+        cause_repair_rate=spec.repair_rate,
+        replications=config.temporal_replications,
+        seed=base_seed,
+    )
+    for index, point in enumerate(curve.points):
+        mean, half = _temporal_interval(
+            sim.operational_samples[index], config
+        )
+        delta = abs(point.availability - mean)
+        if delta > half:
+            disagreements.append(
+                Disagreement(
+                    kind="temporal",
+                    backend="temporal-sim",
+                    detail=f"analytic availability at t={point.time:g} is "
+                    f"{point.availability:.6g}, outside the simulation "
+                    f"interval {mean:.6g} ± {half:.3g} "
+                    f"({config.temporal_replications} replications)",
+                    magnitude=delta,
+                )
+            )
+
+    # 4. Detection-latency erosion sanity (bounded chains only).
+    if spec.detection_latency is not None:
+        chain_components = set(scenario.ftlqn.component_names()) & set(rates)
+        if len(chain_components) <= config.temporal_max_chain_bits:
+            erosion = analyzer.erosion_curve([spec.detection_latency])[0]
+            factor = erosion.erosion_factor
+            if not (0.0 < factor <= 1.0 + config.temporal_tolerance):
+                disagreements.append(
+                    Disagreement(
+                        kind="temporal",
+                        backend="detection-delay",
+                        detail=f"erosion factor {factor:.6g} at latency "
+                        f"{spec.detection_latency:g} outside (0, 1]",
+                        magnitude=abs(factor - 1.0),
+                    )
+                )
+            if not (0.0 <= erosion.stale_probability <= 1.0):
+                disagreements.append(
+                    Disagreement(
+                        kind="temporal",
+                        backend="detection-delay",
+                        detail=f"stale probability "
+                        f"{erosion.stale_probability:.6g} is not a "
+                        "probability",
+                        magnitude=abs(erosion.stale_probability),
+                    )
+                )
+    return True
+
+
 def check_scenario(
     scenario: Scenario,
     *,
     backends: Mapping[str, BackendFn] | None = None,
     jobs: Sequence[int] = (1,),
     simulate: bool = False,
+    temporal: bool = False,
     config: OracleConfig = DEFAULT_ORACLE_CONFIG,
 ) -> OracleReport:
     """Run one scenario through every backend and compare the results.
@@ -481,5 +685,10 @@ def check_scenario(
             disagreements,
         )
         report.simulated = True
+
+    if temporal:
+        report.temporal_checked = _temporal_check(
+            scenario, reference, config, disagreements
+        )
 
     return report

@@ -1,0 +1,218 @@
+"""Temporal workloads in campaigns: compilation, content-addressed
+keys, execution through the dispatcher, memoization, and the JSON spec
+format.  The stored curve's steady state must be bit-identical to a
+static solve point of the same scenario — both go through the same
+sweep engine inside the worker."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    campaign_spec_from_document,
+    run_campaign,
+)
+from repro.campaign.spec import PointsWorkload, TemporalWorkload
+from repro.core.sweep import SweepPoint, SweepPointResult
+from repro.errors import SerializationError
+from repro.ftlqn.serialize import model_to_json
+from repro.mama.serialize import mama_to_json
+from tests.campaign.conftest import (
+    TINY_PROBS,
+    make_spec,
+    tiny_mama,
+    tiny_system,
+)
+
+TIMES = (0.0, 1.0, 3.0)
+
+
+def temporal_workload(**overrides) -> TemporalWorkload:
+    settings = dict(
+        label="curve",
+        architectures=("central", None),
+        times=TIMES,
+        repair_rate=2.0,
+        latencies=(0.5,),
+        weights={"users": 1.0},
+    )
+    settings.update(overrides)
+    return TemporalWorkload(**settings)
+
+
+def temporal_spec(**overrides) -> CampaignSpec:
+    return make_spec([temporal_workload(**overrides)])
+
+
+class TestCompilation:
+    def test_one_point_per_architecture(self):
+        compiled = temporal_spec().compile()
+        assert [point.name for point in compiled.points] == [
+            "curve/central", "curve/perfect",
+        ]
+        assert all(point.kind == "temporal" for point in compiled.points)
+        assert compiled.temporal_points == compiled.points
+
+    def test_payload_carries_rates_for_every_effective_component(self):
+        compiled = temporal_spec().compile()
+        central, perfect = compiled.points
+        # The architecture point's universe includes the management
+        # components; the perfect point's does not.
+        assert set(central.payload["rates"]) > set(perfect.payload["rates"])
+        assert "m1" in central.payload["rates"]
+        for pair in central.payload["rates"].values():
+            failure_rate, repair_rate = pair
+            assert failure_rate >= 0.0
+            assert repair_rate == pytest.approx(2.0)
+
+    def test_keys_are_stable_across_compiles(self):
+        first = temporal_spec().compile()
+        second = temporal_spec().compile()
+        assert [p.key for p in first.points] == [p.key for p in second.points]
+
+    def test_keys_depend_on_the_analysis_content(self):
+        base = temporal_spec().compile()
+        wider = temporal_spec(times=(0.0, 1.0, 5.0)).compile()
+        slower = temporal_spec(repair_rate=1.0).compile()
+        relabeled = temporal_spec(label="renamed").compile()
+        assert {p.key for p in base.points}.isdisjoint(
+            {p.key for p in wider.points}
+        )
+        assert {p.key for p in base.points}.isdisjoint(
+            {p.key for p in slower.points}
+        )
+        # The label is presentation metadata, not analysis content.
+        assert [p.key for p in base.points] == [
+            p.key for p in relabeled.points
+        ]
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def store_and_result(self, tmp_path_factory):
+        spec = make_spec([
+            temporal_workload(),
+            PointsWorkload(
+                label="static",
+                points=(SweepPoint(name="steady", architecture="central"),),
+            ),
+        ])
+        path = tmp_path_factory.mktemp("campaign") / "s.sqlite"
+        with ResultStore(path) as store:
+            result = run_campaign(spec, store)
+            rerun = run_campaign(spec, store)
+            rows = list(store.rows(kind="temporal"))
+            solve_rows = list(store.rows(kind="solve"))
+        return result, rerun, rows, solve_rows
+
+    def test_cold_run_solves_and_stores_curves(self, store_and_result):
+        result, _rerun, rows, _solves = store_and_result
+        assert result.ok
+        assert result.total == 3
+        assert result.solved == 3
+        assert len(rows) == 2
+        for stored in rows:
+            document = stored.document
+            assert document["kind"] == "temporal"
+            points = document["result"]["points"]
+            assert [p["time"] for p in points] == list(TIMES)
+            assert document["result"]["steady_state"]["expected_reward"] > 0
+            (erosion,) = document["erosion"]
+            assert erosion["latency"] == 0.5
+
+    def test_rerun_is_fully_memoized(self, store_and_result):
+        _result, rerun, _rows, _solves = store_and_result
+        assert rerun.store_hits == 3
+        assert rerun.solved == 0
+
+    def test_steady_state_matches_the_static_solve_point(
+        self, store_and_result
+    ):
+        """Same scenario, same engine machinery: the curve's t → ∞
+        limit reproduces the static point to double precision."""
+        _result, _rerun, rows, solves = store_and_result
+        static = next(
+            stored for stored in solves
+            if stored.document["record"]["point"]["name"] == "static/steady"
+        )
+        static_reward = SweepPointResult.from_dict(
+            static.document["record"]
+        ).result.expected_reward
+        central = next(
+            stored for stored in rows
+            if stored.document["result"]["architecture"] == "central"
+        )
+        steady = central.document["result"]["steady_state"]
+        assert steady["expected_reward"] == pytest.approx(
+            static_reward, abs=1e-12
+        )
+
+
+class TestJsonFormat:
+    def document(self):
+        return {
+            "name": "temporal-json",
+            "model": "model.json",
+            "architectures": {"central": "central.json"},
+            "base": {"failure_probs": {"app": 0.05, "s1": 0.1, "s2": 0.1}},
+            "workloads": [
+                {"kind": "temporal", "label": "curve",
+                 "architectures": ["central", None],
+                 "times": [0.0, 1.0, 3.0],
+                 "repair_rate": 2.0,
+                 "latencies": [0.5],
+                 "weights": {"users": 1.0}},
+            ],
+        }
+
+    def parse(self, document):
+        return campaign_spec_from_document(document)
+
+    def test_document_parses_to_a_temporal_workload(self, tmp_path):
+        (tmp_path / "model.json").write_text(model_to_json(tiny_system()))
+        (tmp_path / "central.json").write_text(mama_to_json(tiny_mama()))
+        document = self.document()
+        spec = campaign_spec_from_document(document, base_dir=tmp_path)
+        (workload,) = spec.workloads
+        assert isinstance(workload, TemporalWorkload)
+        assert workload.times == (0.0, 1.0, 3.0)
+        assert workload.repair_rate == 2.0
+        assert workload.architectures == ("central", None)
+        compiled = spec.compile()
+        assert [p.kind for p in compiled.points] == ["temporal", "temporal"]
+
+    def test_horizon_expands_to_a_grid(self, tmp_path):
+        (tmp_path / "model.json").write_text(model_to_json(tiny_system()))
+        (tmp_path / "central.json").write_text(mama_to_json(tiny_mama()))
+        document = self.document()
+        workload = document["workloads"][0]
+        del workload["times"]
+        workload["horizon"] = 4.0
+        workload["points"] = 3
+        spec = campaign_spec_from_document(document, base_dir=tmp_path)
+        assert spec.workloads[0].times == (0.0, 2.0, 4.0)
+
+    def test_times_and_horizon_are_mutually_exclusive(self, tmp_path):
+        (tmp_path / "model.json").write_text(model_to_json(tiny_system()))
+        (tmp_path / "central.json").write_text(mama_to_json(tiny_mama()))
+        document = self.document()
+        document["workloads"][0]["horizon"] = 4.0
+        with pytest.raises(SerializationError, match="either an explicit"):
+            campaign_spec_from_document(document, base_dir=tmp_path)
+
+    def test_round_trip_matches_programmatic_keys(self, tmp_path):
+        (tmp_path / "model.json").write_text(model_to_json(tiny_system()))
+        (tmp_path / "central.json").write_text(mama_to_json(tiny_mama()))
+        document = self.document()
+        document["base"]["failure_probs"] = dict(TINY_PROBS)
+        loaded = campaign_spec_from_document(
+            document, base_dir=tmp_path
+        ).compile()
+        programmatic = make_spec(
+            [temporal_workload()], name="temporal-json"
+        ).compile()
+        assert [p.key for p in loaded.points] == [
+            p.key for p in programmatic.points
+        ]

@@ -600,3 +600,69 @@ class TestServeParser:
                 ["campaign", "run", "spec.json", "--store", "s.db",
                  "--workers", "lots"]
             )
+
+
+class TestTemporal:
+    def test_model_file_curve_and_erosion(self, model_files, capsys):
+        ftlqn, mama, probs = model_files
+        code = main([
+            "temporal", ftlqn, "--mama", mama, "--probs", probs,
+            "--horizon", "2", "--points", "3", "--latencies", "0.5,1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transient performability" in out
+        assert "steady" in out
+        assert "interval availability over" in out
+        assert "coverage erosion vs. mean detection latency:" in out
+
+    def test_heartbeat_derives_a_latency(self, model_files, capsys):
+        ftlqn, mama, probs = model_files
+        code = main([
+            "temporal", ftlqn, "--mama", mama, "--probs", probs,
+            "--horizon", "2", "--points", "3",
+            "--heartbeat-period", "0.1", "--heartbeat-hop-delay", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "derived mean detection latency" in out
+        # Centralized = 3 notification hops: (2 - 0.5)*0.1 + 3*0.2.
+        assert "0.75" in out
+
+    def test_json_export(self, model_files, tmp_path, capsys):
+        ftlqn, mama, probs = model_files
+        out_path = tmp_path / "curve.json"
+        code = main([
+            "temporal", ftlqn, "--mama", mama, "--probs", probs,
+            "--times", "0,1,2", "--latencies", "0.5",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["repair_rate"] == 1.0
+        result = document["result"]
+        assert [p["time"] for p in result["points"]] == [0.0, 1.0, 2.0]
+        assert result["steady_state"]["expected_reward"] > 0
+        (erosion,) = document["erosion"]
+        assert erosion["latency"] == 0.5
+
+    def test_scenario_mode_uses_catalog_defaults(self, capsys):
+        code = main([
+            "temporal", "--scenario", "multi-region-ecommerce",
+            "--points", "3", "--horizon", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The catalog temporal block's repair rate, not the CLI default.
+        assert "repair rate 4" in out
+
+    def test_model_and_scenario_are_mutually_exclusive(
+        self, model_files, capsys
+    ):
+        ftlqn, _, _ = model_files
+        assert main([
+            "temporal", ftlqn, "--scenario", "multi-region-ecommerce",
+        ]) == 2
+        assert "not both or neither" in capsys.readouterr().err
+        assert main(["temporal"]) == 2
+        assert "not both or neither" in capsys.readouterr().err

@@ -1,0 +1,188 @@
+"""Unit tests for the temporal analysis layer (`repro.core.temporal`).
+
+The simulator cross-validation lives in
+``tests/markov/test_temporal_vs_sim.py``; these tests pin the plumbing:
+the time grid, the notification-hop depths of the paper's
+architectures, result-object shapes, input validation, and the erosion
+curve's structural properties.
+"""
+
+import math
+
+import pytest
+
+from repro.core.temporal import (
+    TemporalAnalyzer,
+    architecture_detection_latency,
+    notification_hops,
+    time_grid,
+)
+from repro.errors import ModelError
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.markov.availability import ComponentAvailability
+from repro.sim.heartbeat import HeartbeatConfig
+
+
+class TestTimeGrid:
+    def test_values_are_evenly_spaced_from_zero(self):
+        assert time_grid(10.0, 5) == (0.0, 2.5, 5.0, 7.5, 10.0)
+
+    def test_two_points_are_the_endpoints(self):
+        assert time_grid(3.0, 2) == (0.0, 3.0)
+
+    @pytest.mark.parametrize("horizon", [0.0, -1.0, math.inf, math.nan])
+    def test_bad_horizon_is_rejected(self, horizon):
+        with pytest.raises(ModelError):
+            time_grid(horizon, 5)
+
+    @pytest.mark.parametrize("points", [1, 0, -3])
+    def test_too_few_points_are_rejected(self, points):
+        with pytest.raises(ModelError):
+            time_grid(1.0, points)
+
+
+class TestNotificationHops:
+    """The paper's four architectures, pinned to their §7 depths."""
+
+    def test_perfect_knowledge_has_depth_zero(self):
+        assert notification_hops(None) == 0
+
+    def test_centralized_depth(self, centralized):
+        assert notification_hops(centralized) == 3
+
+    def test_distributed_depth(self, distributed):
+        assert notification_hops(distributed) == 4
+
+    def test_hierarchical_is_the_deepest(self, hierarchical):
+        assert notification_hops(hierarchical) == 5
+
+    def test_network_depth(self, network):
+        assert notification_hops(network) == 4
+
+    def test_latency_orders_like_depth(
+        self, centralized, distributed, hierarchical, network
+    ):
+        heartbeat = HeartbeatConfig(period=0.1, misses=2, hop_delay=0.2)
+
+        def latency(mama):
+            return architecture_detection_latency(mama, heartbeat)
+
+        assert latency(centralized) == pytest.approx(0.75)
+        assert latency(distributed) == pytest.approx(0.95)
+        assert latency(network) == pytest.approx(0.95)
+        assert latency(hierarchical) == pytest.approx(1.15)
+        # The heartbeat timeout itself is paid even with zero hops.
+        assert latency(None) == pytest.approx(0.15)
+
+    def test_zero_hop_delay_equalizes_architectures(
+        self, centralized, hierarchical
+    ):
+        heartbeat = HeartbeatConfig(period=0.1, misses=2, hop_delay=0.0)
+        assert architecture_detection_latency(
+            centralized, heartbeat
+        ) == architecture_detection_latency(hierarchical, heartbeat)
+
+
+@pytest.fixture(scope="module")
+def analyzer(figure1, centralized):
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in figure1_failure_probs(centralized).items()
+    }
+    return TemporalAnalyzer(figure1, {"central": centralized}, rates=rates)
+
+
+@pytest.fixture(scope="module")
+def curve(analyzer):
+    return analyzer.evaluate(time_grid(4.0, 3), architecture="central")
+
+
+class TestEvaluateValidation:
+    def test_single_time_point_is_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.evaluate([1.0], architecture="central")
+
+    def test_non_increasing_grid_is_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.evaluate([0.0, 2.0, 2.0], architecture="central")
+
+    def test_negative_start_is_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.evaluate([-1.0, 2.0], architecture="central")
+
+    def test_infinite_time_is_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.evaluate([0.0, math.inf], architecture="central")
+
+    def test_unknown_architecture_is_rejected(self, analyzer):
+        with pytest.raises(ModelError):
+            analyzer.evaluate([0.0, 1.0], architecture="nope")
+
+
+class TestResultShape:
+    def test_point_lookup_by_time(self, curve):
+        assert curve.point(0.0).time == 0.0
+        assert curve.point(4.0).expected_reward == pytest.approx(
+            curve.points[-1].expected_reward
+        )
+        with pytest.raises(KeyError):
+            curve.point(1.5)
+
+    def test_cold_start_and_monotone_unavailability(self, curve):
+        assert curve.points[0].failed_probability == 0.0
+        failed = [p.failed_probability for p in curve.points]
+        assert failed == sorted(failed)
+        assert failed[-1] <= curve.steady.failed_probability + 1e-9
+
+    def test_interval_availability_is_a_probability(self, curve):
+        assert 0.0 < curve.interval_availability <= 1.0
+        horizon = curve.points[-1].time - curve.points[0].time
+        assert curve.time_averaged_reward == pytest.approx(
+            curve.reward_integral / horizon
+        )
+
+    def test_json_document_shape(self, curve):
+        document = curve.to_json_dict()
+        assert document["architecture"] == "central"
+        assert document["horizon"] == [0.0, 4.0]
+        assert len(document["points"]) == 3
+        point = document["points"][0]
+        assert set(point) >= {
+            "time", "expected_reward", "failed_probability",
+            "availability", "failure_probs",
+        }
+        steady = document["steady_state"]
+        assert set(steady) >= {"expected_reward", "failed_probability"}
+        # Failure probabilities are emitted in sorted component order.
+        names = list(point["failure_probs"])
+        assert names == sorted(names)
+
+
+class TestErosionCurve:
+    def test_zero_latency_has_no_erosion(self, analyzer):
+        (point,) = analyzer.erosion_curve([0.0])
+        assert point.erosion_factor == pytest.approx(1.0)
+        assert point.expected_reward == pytest.approx(
+            point.instantaneous_reward
+        )
+
+    def test_erosion_decreases_with_latency(self, analyzer):
+        latencies = [0.1, 0.5, 2.0]
+        points = analyzer.erosion_curve(latencies)
+        factors = [p.erosion_factor for p in points]
+        assert all(0.0 < f <= 1.0 for f in factors)
+        assert factors == sorted(factors, reverse=True)
+        assert all(
+            p.expected_reward
+            == pytest.approx(p.instantaneous_reward * p.erosion_factor)
+            for p in points
+        )
+
+    def test_erosion_document_shape(self, analyzer):
+        (point,) = analyzer.erosion_curve([0.5])
+        document = point.to_dict()
+        assert set(document) >= {
+            "latency", "expected_reward", "instantaneous_reward",
+            "erosion_factor", "state_count",
+        }
+        assert document["latency"] == 0.5

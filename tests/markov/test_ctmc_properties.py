@@ -1,0 +1,121 @@
+"""Randomized property tests for the CTMC/uniformization layer.
+
+Complements the closed-form checks in ``test_ctmc.py`` /
+``test_uniformization.py`` with structural invariants over *randomly
+generated* chains: generator row sums, probability-vector invariance,
+the Chapman–Kolmogorov semigroup property, and a Fox–Glynn-style
+truncation-error guarantee (l1 error bounded by a multiple of the
+requested tolerance, shrinking monotonically as the tolerance tightens).
+"""
+
+import random
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.markov import CTMC, transient_distribution
+
+SEEDS = [7, 21, 99, 1234, 31337]
+
+
+def random_chain(seed: int) -> CTMC:
+    """An irreducible CTMC with 4–8 states and rates in [0.05, 3).
+
+    A directed cycle over all states guarantees irreducibility; extra
+    random edges vary the structure per seed.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(4, 8)
+    states = [f"s{i}" for i in range(n)]
+    chain = CTMC()
+    for i in range(n):
+        chain.add_transition(
+            states[i], states[(i + 1) % n], rate=rng.uniform(0.05, 3.0)
+        )
+    for _ in range(rng.randint(n, 3 * n)):
+        i, j = rng.sample(range(n), 2)
+        chain.add_transition(states[i], states[j], rate=rng.uniform(0.05, 3.0))
+    return chain
+
+
+def random_initial(chain: CTMC, seed: int) -> dict:
+    rng = random.Random(seed + 1)
+    weights = [rng.uniform(0.1, 1.0) for _ in chain.states]
+    total = sum(weights)
+    return {state: w / total for state, w in zip(chain.states, weights)}
+
+
+def l1_error(chain: CTMC, dist: dict, reference: np.ndarray) -> float:
+    return float(
+        sum(
+            abs(dist[state] - reference[index])
+            for index, state in enumerate(chain.states)
+        )
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generator_rows_sum_to_zero(seed):
+    q = random_chain(seed).generator()
+    assert np.allclose(q.sum(axis=1), 0.0, atol=1e-12)
+    off_diagonal = q - np.diag(np.diag(q))
+    assert np.all(off_diagonal >= 0.0)
+    assert np.all(np.diag(q) <= 0.0)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transient_is_probability_vector(seed):
+    chain = random_chain(seed)
+    initial = random_initial(chain, seed)
+    for t in (0.0, 0.3, 2.7, 40.0):
+        dist = transient_distribution(chain, initial, t)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-12)
+        assert all(0.0 <= p <= 1.0 for p in dist.values())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_semigroup_property(seed):
+    """Chapman–Kolmogorov: evolving t1 then t2 equals evolving t1+t2."""
+    chain = random_chain(seed)
+    initial = random_initial(chain, seed)
+    t1, t2 = 0.9, 1.7
+    direct = transient_distribution(chain, initial, t1 + t2)
+    intermediate = transient_distribution(chain, initial, t1)
+    composed = transient_distribution(chain, intermediate, t2)
+    for state in chain.states:
+        assert composed[state] == pytest.approx(direct[state], abs=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_truncation_error_bounded_and_monotone(seed):
+    """Fox–Glynn-style guarantee: l1 distance to the expm reference is
+    within a small multiple of the requested tolerance (truncated tail
+    plus its renormalisation each contribute at most ``tolerance``),
+    and tightening the tolerance never makes the error worse."""
+    chain = random_chain(seed)
+    initial = random_initial(chain, seed)
+    t = 3.1
+    p0 = chain.initial_vector(initial)
+    reference = p0 @ scipy.linalg.expm(chain.generator() * t)
+    tolerances = (1e-2, 1e-5, 1e-8, 1e-12)
+    errors = []
+    for tolerance in tolerances:
+        dist = transient_distribution(chain, initial, t, tolerance=tolerance)
+        error = l1_error(chain, dist, reference)
+        assert error <= 2.0 * tolerance + 1e-10
+        errors.append(error)
+    for looser, tighter in zip(errors, errors[1:]):
+        assert tighter <= looser + 1e-12
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transient_converges_to_steady_state(seed):
+    chain = random_chain(seed)
+    initial = random_initial(chain, seed)
+    steady = chain.steady_state()
+    # Λt is in the thousands here; the default 1e-12 tolerance is below
+    # the roundoff floor of the accumulated Poisson mass, so loosen it.
+    dist = transient_distribution(chain, initial, 400.0, tolerance=1e-9)
+    for state in chain.states:
+        assert dist[state] == pytest.approx(steady[state], abs=1e-8)

@@ -1,0 +1,175 @@
+"""Analytic temporal curves vs the Monte-Carlo transient oracle.
+
+Cross-validates :class:`repro.core.temporal.TemporalAnalyzer` against
+the independent event-driven simulator on the paper's Figure-1 cases
+(§6.3): transient availability and R(t) must fall inside Student-t
+confidence intervals of the simulated samples at every grid time, and
+the ``t → ∞`` limit must equal the static
+:class:`~repro.core.PerformabilityAnalyzer` analysis to 1e-12.  A
+heartbeat-style detection scenario closes the loop on the §7 delay
+model: the detection-delay CTMC's expected reward must agree with the
+exponential-detection simulator at the same confidence level.
+"""
+
+import math
+
+import pytest
+import scipy.stats
+
+from repro.core import PerformabilityAnalyzer
+from repro.core.temporal import TemporalAnalyzer, time_grid
+from repro.experiments.figure1 import figure1_failure_probs
+from repro.markov.availability import ComponentAvailability
+from repro.markov.detection import detection_delay_model
+from repro.sim import simulate_transient
+from repro.sim.availability_sim import simulate_availability
+
+CONFIDENCE = 0.99
+#: Small absolute floor so near-deterministic samples (variance ≈ 0,
+#: e.g. the all-up start at t = 0) still admit the analytic value.
+FLOOR = 0.01
+
+TIMES = time_grid(6.0, 5)
+REPLICATIONS = 400
+
+
+def t_interval(samples):
+    """Two-sided Student-t interval: (sample mean, half-width)."""
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    quantile = scipy.stats.t.ppf(1.0 - (1.0 - CONFIDENCE) / 2.0, n - 1)
+    return mean, quantile * math.sqrt(variance / n) + FLOOR
+
+
+def build_case(ftlqn, mama, seed):
+    """Static solve, analytic transient curve and simulated samples
+    for one Figure-1 management case."""
+    probs = figure1_failure_probs(mama)
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in probs.items()
+    }
+    static = PerformabilityAnalyzer(ftlqn, mama, failure_probs=probs).solve()
+    group_rewards = {
+        record.configuration: dict(record.throughputs)
+        for record in static.records
+        if record.configuration is not None
+    }
+    key = None if mama is None else "arch"
+    architectures = None if mama is None else {"arch": mama}
+    analyzer = TemporalAnalyzer(ftlqn, architectures, rates=rates)
+    curve = analyzer.evaluate(TIMES, architecture=key)
+    sim = simulate_transient(
+        ftlqn,
+        mama,
+        rates,
+        times=TIMES,
+        replications=REPLICATIONS,
+        seed=seed,
+        group_rewards=group_rewards,
+    )
+    return static, curve, sim
+
+
+@pytest.fixture(scope="module")
+def cases(figure1, centralized, network):
+    return {
+        "perfect": build_case(figure1, None, seed=23),
+        "centralized": build_case(figure1, centralized, seed=29),
+        "network": build_case(figure1, network, seed=31),
+    }
+
+
+CASE_NAMES = ("perfect", "centralized", "network")
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_steady_limit_equals_static_analysis(cases, name):
+    """t → ∞ goes through the same scan/solve path as the static
+    analyzer, so the limit is exact — not just statistically close."""
+    static, curve, _ = cases[name]
+    assert curve.steady.expected_reward == pytest.approx(
+        static.expected_reward, abs=1e-12
+    )
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_transient_availability_within_confidence(cases, name):
+    _, curve, sim = cases[name]
+    for index, point in enumerate(curve.points):
+        mean, half = t_interval(sim.operational_samples[index])
+        assert abs(point.availability - mean) <= half, (
+            f"t={point.time}: analytic {point.availability:.4f} vs "
+            f"simulated {mean:.4f} ± {half:.4f}"
+        )
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_transient_reward_within_confidence(cases, name):
+    _, curve, sim = cases[name]
+    for index, point in enumerate(curve.points):
+        mean, half = t_interval(sim.reward_samples[index])
+        assert abs(point.expected_reward - mean) <= half, (
+            f"t={point.time}: analytic R(t) {point.expected_reward:.4f} "
+            f"vs simulated {mean:.4f} ± {half:.4f}"
+        )
+
+
+@pytest.mark.parametrize("name", CASE_NAMES)
+def test_transient_unavailability_starts_at_zero_and_grows(cases, name):
+    """Cold start: everything is up at t = 0 and the transient
+    unavailability decays monotonically toward the steady value."""
+    _, curve, _ = cases[name]
+    first = curve.points[0]
+    assert first.time == 0.0
+    assert first.failed_probability == pytest.approx(0.0, abs=1e-12)
+    failed = [point.failed_probability for point in curve.points]
+    assert failed == sorted(failed)
+    assert failed[-1] <= curve.steady.failed_probability + 1e-9
+
+
+def test_heartbeat_detection_matches_exponential_sim(figure1):
+    """§7 delay model vs the distribution-exact simulator mode: run the
+    exponential-detection simulator on several seeds and require the
+    CTMC's expected reward to land inside the Student-t interval of the
+    per-seed long-run averages."""
+    probs = figure1_failure_probs()
+    rates = {
+        name: ComponentAvailability.from_probability(p)
+        for name, p in probs.items()
+    }
+    static = PerformabilityAnalyzer(figure1, None, failure_probs=probs).solve()
+    group_rewards = {
+        record.configuration: dict(record.throughputs)
+        for record in static.records
+        if record.configuration is not None
+    }
+    detection_rate = 2.0  # mean heartbeat detection latency of 0.5
+    analytic = detection_delay_model(
+        figure1, rates, group_rewards, detection_rate=detection_rate
+    )
+    samples = [
+        simulate_availability(
+            figure1,
+            None,
+            probs,
+            horizon=6_000.0,
+            seed=seed,
+            group_rewards=group_rewards,
+            detection_delay=1.0 / detection_rate,
+            detection_mode="exponential",
+        ).average_reward
+        for seed in (101, 103, 107, 109, 113, 127)
+    ]
+    mean, half = t_interval(samples)
+    assert abs(analytic.expected_reward - mean) <= half, (
+        f"CTMC reward {analytic.expected_reward:.4f} vs simulated "
+        f"{mean:.4f} ± {half:.4f}"
+    )
+    # The delay model must sit strictly between zero knowledge and the
+    # instantaneous (static) reward.
+    assert analytic.expected_reward < analytic.instantaneous_reward
+    assert analytic.instantaneous_reward == pytest.approx(
+        static.expected_reward, abs=1e-9
+    )

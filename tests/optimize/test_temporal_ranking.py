@@ -1,0 +1,113 @@
+"""The detection-latency study: the committed ranking flip.
+
+Section 7's headline claim is that detection latency can reverse an
+architecture choice that steady-state analysis gets "right".  The
+repository commits one such scenario
+(:mod:`repro.experiments.detection_latency`): under the default
+heartbeat the network architecture wins statically but the centralized
+one wins the latency-aware temporal objective.  These tests pin both
+orders — and the zero-hop-delay control where the flip disappears.
+"""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.experiments.detection_latency import (
+    DEFAULT_HEARTBEAT,
+    format_detection_latency,
+    latency_space,
+    run_detection_latency,
+)
+from repro.optimize import DesignSpaceSearch
+from repro.core.temporal import time_grid
+from repro.sim.heartbeat import HeartbeatConfig
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_detection_latency()
+
+
+@pytest.fixture(scope="module")
+def control():
+    """Same study, but every architecture pays only the heartbeat
+    timeout (hop_delay=0): latency no longer separates them."""
+    heartbeat = HeartbeatConfig(
+        period=DEFAULT_HEARTBEAT.period,
+        misses=DEFAULT_HEARTBEAT.misses,
+        hop_delay=0.0,
+    )
+    return run_detection_latency(
+        heartbeat=heartbeat, times=time_grid(20.0, 3)
+    )
+
+
+class TestCommittedFlip:
+    def test_ranking_flips_under_detection_latency(self, report):
+        assert report.flipped is True
+        assert report.ranking()[0] == "centralized"
+        assert report.static_ranking()[0] == "network"
+
+    def test_heartbeat_latencies_follow_hop_depth(self, report):
+        latencies = {
+            entry.name: entry.latency
+            for entry in report.result.evaluations
+        }
+        assert latencies["centralized"] == pytest.approx(0.75)
+        assert latencies["distributed"] == pytest.approx(0.95)
+        assert latencies["network"] == pytest.approx(0.95)
+        assert latencies["hierarchical"] == pytest.approx(1.15)
+
+    def test_effective_reward_is_integral_times_erosion(self, report):
+        for entry in report.result.evaluations:
+            assert entry.effective_reward == pytest.approx(
+                entry.reward_integral * entry.erosion_factor
+            )
+            assert 0.0 < entry.erosion_factor <= 1.0
+
+    def test_json_document_shape(self, report):
+        document = report.to_json_dict()
+        assert document["flipped"] is True
+        assert document["heartbeat"] == {
+            "period": 0.1, "misses": 2, "hop_delay": 0.2,
+        }
+        names = [entry["name"] for entry in document["ranking"]]
+        assert names[0] == "centralized"
+        assert sorted(names) == [
+            "centralized", "distributed", "hierarchical", "network",
+        ]
+        for entry in document["ranking"]:
+            assert set(entry) >= {
+                "name", "latency", "static_reward", "reward_integral",
+                "erosion_factor", "effective_reward",
+            }
+
+    def test_text_rendering_reports_the_flip(self, report):
+        text = format_detection_latency(report)
+        assert "ranking FLIPPED under detection latency" in text
+        assert "temporal ranking: centralized" in text
+        assert "static ranking:   network" in text
+
+
+class TestControl:
+    def test_uniform_latency_preserves_the_static_order(self, control):
+        assert control.flipped is False
+        assert control.ranking() == control.static_ranking()
+        assert control.ranking()[0] == "network"
+
+    def test_all_architectures_pay_the_same_latency(self, control):
+        latencies = {
+            entry.latency for entry in control.result.evaluations
+        }
+        assert len(latencies) == 1
+
+
+class TestValidation:
+    def test_latency_and_heartbeat_are_mutually_exclusive(self):
+        search = DesignSpaceSearch(latency_space())
+        with pytest.raises(ModelError):
+            search.temporal_ranking(
+                (0.0, 1.0), latency=0.5, heartbeat=DEFAULT_HEARTBEAT
+            )
+        with pytest.raises(ModelError):
+            search.temporal_ranking((0.0, 1.0))

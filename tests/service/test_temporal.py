@@ -1,0 +1,176 @@
+"""``POST /temporal``: warm-engine transient curves over the daemon.
+
+Covers the direct service method (defaults from the catalog scenario's
+temporal block, steady-state parity with ``/analyze``, payload
+validation) and the HTTP route in both plain and NDJSON-streaming
+form."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.temporal import time_grid
+from repro.service import AnalysisService, ServiceClient, serve
+from repro.service.state import ServiceError
+
+SCENARIO = "multi-region-ecommerce"
+
+
+@pytest.fixture(scope="module")
+def service():
+    return AnalysisService(workers=2, batch_window=0.005)
+
+
+@pytest.fixture(scope="module")
+def running_service(service):
+    captured = {}
+    ready = threading.Event()
+
+    def on_ready(server):
+        captured["server"] = server
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve, args=(service,), kwargs={"port": 0, "ready": on_ready},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(30), "daemon did not come up"
+    yield service, ServiceClient(port=captured["server"].port)
+
+
+class TestServiceMethod:
+    def test_catalog_temporal_block_supplies_the_defaults(self, service):
+        document = service.temporal({"scenario": SCENARIO})
+        assert document["scenario"] == SCENARIO
+        assert document["architecture"] == "centralized"
+        assert document["repair_rate"] == 4.0
+        times = [p["time"] for p in document["result"]["points"]]
+        assert times == pytest.approx(list(time_grid(2.0, 9)))
+        assert [e["latency"] for e in document["erosion"]] == [
+            0.05, 0.25, 1.0,
+        ]
+
+    def test_steady_state_matches_analyze(self, service):
+        """Both routes resolve the same warm engine and effective
+        inputs, so the curve's limit equals the static answer exactly."""
+        temporal = service.temporal(
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 2,
+             "latencies": []}
+        )
+        static = service.analyze({"scenario": SCENARIO})
+        assert temporal["result"]["steady_state"]["expected_reward"] == (
+            pytest.approx(static["expected_reward"], abs=1e-12)
+        )
+        assert temporal["result"]["steady_state"]["failed_probability"] == (
+            pytest.approx(static["failed_probability"], abs=1e-12)
+        )
+
+    def test_on_point_streams_the_curve_in_order(self, service):
+        seen = []
+        document = service.temporal(
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 3,
+             "latencies": []},
+            on_point=seen.append,
+        )
+        assert [p.time for p in seen] == [
+            p["time"] for p in document["result"]["points"]
+        ]
+
+    def test_rate_overrides_change_the_transient_not_the_grid(self, service):
+        base = service.temporal(
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 3,
+             "latencies": []}
+        )
+        tweaked = service.temporal(
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 3,
+             "latencies": [], "rates": {"webapp": [0.05, 0.5]}}
+        )
+        base_mid = base["result"]["points"][1]
+        tweaked_mid = tweaked["result"]["points"][1]
+        assert tweaked_mid["time"] == base_mid["time"]
+        assert tweaked_mid["expected_reward"] != pytest.approx(
+            base_mid["expected_reward"]
+        )
+
+    @pytest.mark.parametrize("payload, match", [
+        ({"scenario": SCENARIO, "times": [0.0, 1.0], "horizon": 2.0},
+         "either an explicit"),
+        ({"scenario": SCENARIO, "times": "soon"}, '"times" must be'),
+        ({"scenario": SCENARIO, "repair_rate": "fast"},
+         '"repair_rate" must be a number'),
+        ({"scenario": SCENARIO, "latencies": 0.5}, '"latencies" must be'),
+        ({"scenario": SCENARIO, "rates": {"webapp": [0.05]}},
+         "must be a"),
+    ])
+    def test_bad_payloads_are_rejected(self, service, payload, match):
+        with pytest.raises(ServiceError, match=match):
+            service.temporal(payload)
+
+
+def temporal_stream(client, payload):
+    """``POST /temporal`` with ``stream: true``, yielding NDJSON
+    events (mirrors :meth:`ServiceClient.sweep_stream`)."""
+    connection = http.client.HTTPConnection(
+        client.host, client.port, timeout=client.timeout
+    )
+    try:
+        connection.request(
+            "POST", "/temporal",
+            body=json.dumps({**payload, "stream": True}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 200
+        buffer = b""
+        while True:
+            chunk = response.read(4096)
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+        if buffer.strip():
+            yield json.loads(buffer)
+    finally:
+        connection.close()
+
+
+class TestHttpRoute:
+    def test_plain_post_returns_the_document(self, running_service):
+        _service, client = running_service
+        document = client.post(
+            "/temporal",
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 3},
+        )
+        assert document["scenario"] == SCENARIO
+        assert len(document["result"]["points"]) == 3
+        # Defaults still apply to knobs the payload leaves out.
+        assert document["repair_rate"] == 4.0
+
+    def test_streaming_yields_points_then_the_result(self, running_service):
+        _service, client = running_service
+        events = list(temporal_stream(
+            client,
+            {"scenario": SCENARIO, "horizon": 1.0, "points": 3,
+             "latencies": []},
+        ))
+        assert [e["event"] for e in events] == [
+            "point", "point", "point", "result",
+        ]
+        final = events[-1]
+        assert [e["time"] for e in events[:-1]] == [
+            p["time"] for p in final["result"]["points"]
+        ]
+
+    def test_unknown_scenario_is_a_client_error(self, running_service):
+        from repro.service import ServiceClientError
+
+        _service, client = running_service
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.post("/temporal", {"scenario": "no-such-scenario"})
+        assert excinfo.value.status in (400, 404)

@@ -39,5 +39,7 @@ def test_corpus_entries_pass_the_oracle(entry):
     if entry is None:
         pytest.skip("counterexample corpus is empty (no bugs found yet)")
     scenario = Scenario.from_document(entry["scenario"])
-    report = check_scenario(scenario)
+    # Entries carrying a temporal spec replay the transient cross-check
+    # too (uniformization marginals, steady limit, sim interval).
+    report = check_scenario(scenario, temporal=scenario.temporal is not None)
     assert report.ok, f"corpus entry {entry['id']} regressed:\n{report.summary()}"
